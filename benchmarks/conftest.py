@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``benchmarks/test_*.py`` regenerates one of the paper's tables or
+figures (timed by pytest-benchmark) and asserts the paper's *shape*: who
+wins, by roughly what factor, where the crossovers fall.  Absolute
+numbers come from the simulated substrate, not the authors' testbed.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+
+#: One bench-sized configuration shared by every campaign-driven target.
+BENCH_CONFIG = ExperimentConfig(
+    fleet_nodes=48, days=2.0, seed=0, graph_scale=0.01
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return BENCH_CONFIG
+
+
+@pytest.fixture(scope="session")
+def campaign_cube(bench_config):
+    from repro.experiments._campaign import campaign_cube as build
+
+    return build(bench_config)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Benchmark an expensive pipeline with a single timed round."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

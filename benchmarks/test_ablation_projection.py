@@ -1,0 +1,69 @@
+"""Ablation: projection weighting policy and characterization source.
+
+Two knobs DESIGN.md calls out:
+
+* runtime-increase weighting — energy-weighted (default) vs
+  GPU-hour-weighted;
+* characterization source — Table III measured on the simulated device
+  vs the paper's published Table III.
+"""
+
+from conftest import run_once
+
+from repro.core import (
+    measured_factors,
+    paper_factors,
+    project_savings,
+)
+
+
+def test_dt_weighting(benchmark, campaign_cube):
+    factors = measured_factors("frequency")
+    by_energy = run_once(
+        benchmark,
+        project_savings,
+        campaign_cube,
+        factors,
+        dt_weighting="energy",
+    )
+    by_hours = project_savings(
+        campaign_cube, factors, dt_weighting="gpu_hours"
+    )
+    r_e = by_energy.row_at(900)
+    r_h = by_hours.row_at(900)
+    print(
+        f"dT at 900 MHz: energy-weighted {r_e.runtime_increase_pct:.1f} %, "
+        f"GPU-hour-weighted {r_h.runtime_increase_pct:.1f} %"
+    )
+    # Savings are identical; only the reported slowdown changes, and
+    # hour-weighting dilutes it (CI hours < CI energy share).
+    assert r_e.total_mwh == r_h.total_mwh
+    assert r_h.runtime_increase_pct < r_e.runtime_increase_pct
+
+
+def test_factor_source(benchmark, campaign_cube):
+    ours = run_once(
+        benchmark,
+        project_savings,
+        campaign_cube,
+        measured_factors("frequency"),
+        campaign_energy_mwh=16820.0,
+    )
+    theirs = project_savings(
+        campaign_cube,
+        paper_factors("frequency"),
+        campaign_energy_mwh=16820.0,
+    )
+    print(
+        f"best no-slowdown savings: measured factors "
+        f"{ours.best_no_slowdown_row.savings_no_slowdown_pct:.1f} % at "
+        f"{ours.best_no_slowdown_row.cap:.0f} MHz; paper factors "
+        f"{theirs.best_no_slowdown_row.savings_no_slowdown_pct:.1f} % at "
+        f"{theirs.best_no_slowdown_row.cap:.0f} MHz (paper: 8.5 % at 900)"
+    )
+    # Both characterizations agree on the qualitative ceiling: mid-single
+    # digit to low-double digit percent, at a mid-frequency cap.
+    for table in (ours, theirs):
+        best = table.best_no_slowdown_row
+        assert 4.0 <= best.savings_no_slowdown_pct <= 13.0
+        assert 700 <= best.cap <= 1500

@@ -1,0 +1,18 @@
+"""Bench: bounding the boost region (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_boost(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_boost", bench_config)
+    print(result.text)
+
+    # Region 4 is a small slice of campaign energy (paper: 1.1 % of
+    # GPU-hours), and the reclaimable excess above 560 W is negligible —
+    # the paper's omission cannot change any conclusion.
+    assert result.data["region4_share"] < 0.05
+    assert result.data["excess_mwh"] < 0.01 * 16820.0
+    # Thermals make boost transient from a hot start.
+    assert result.data["boost_window_hot_s"] < 120.0

@@ -1,0 +1,36 @@
+"""Bench: fleet budget enforcement and the per-kernel governor."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_budget(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_budget", bench_config)
+    print(result.text)
+
+    rows = result.data["rows"]
+    assert rows
+    # Mild trims are cheap; cost grows monotonically-ish with depth.
+    mild = [r for r in rows if r["fraction"] == 0.95]
+    deep = [r for r in rows if r["fraction"] == 0.75]
+    assert all(r["feasible"] for r in mild)
+    assert max(r["mean_slowdown_pct"] for r in mild) < 10.0
+    if deep:
+        avg_mild = sum(r["mean_slowdown_pct"] for r in mild) / len(mild)
+        avg_deep = sum(r["mean_slowdown_pct"] for r in deep) / len(deep)
+        assert avg_deep > avg_mild
+
+
+def test_ext_governor(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_governor", bench_config)
+    print(result.text)
+
+    gov = result.data["governor"]
+    static = result.data["static_900"]
+    # The governor saves real energy at (near) zero runtime cost, while
+    # the static cap pays tens of percent for its larger savings.
+    assert gov["saving_pct"] > 2.0
+    assert gov["slowdown_pct"] <= 2.0 + 1e-6
+    assert static["slowdown_pct"] > 20.0
+    assert static["saving_pct"] > gov["saving_pct"]

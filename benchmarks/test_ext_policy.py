@@ -1,0 +1,28 @@
+"""Bench: the per-job policy extension (beyond the paper's artifacts)."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_policy(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_policy", bench_config)
+    print(result.text)
+
+    outcomes = result.data["outcomes"]
+    # The oracle dominates; the advisor captures most of it under budget.
+    assert outcomes["oracle"].saving_j >= outcomes["per_job"].saving_j
+    assert result.data["oracle_capture"] > 0.5
+    assert outcomes["per_job"].max_job_slowdown_pct <= 5.0 + 1e-9
+    assert outcomes["uniform"].max_job_slowdown_pct > 20.0
+    # All four workload families appear in the fingerprinted fleet.
+    assert len(result.data["families"]) == 4
+
+
+def test_ext_validation(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_validation", bench_config)
+    print(result.text)
+    # The power proxy is accurate; diffusion is a small, adjacent-region
+    # effect — the paper's "order of the zone classification is accurate".
+    assert result.data["accuracy"] > 0.95
+    assert (result.data["per_region_accuracy"] > 0.8).all()

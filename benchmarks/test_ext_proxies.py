@@ -1,0 +1,28 @@
+"""Bench: proxy-application cap response (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_proxies(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_proxies", bench_config)
+    print(result.text)
+
+    gemm = result.data["gemm"]
+    stencil = result.data["stencil"]
+    ckpt = result.data["checkpoint"]
+    caps = (1700, 1500, 1300, 1100, 900, 700)
+    at_900 = caps.index(900)
+
+    # Family placement by average power.
+    assert gemm["base_avg_power_w"] > 400
+    assert 200 < stencil["base_avg_power_w"] <= 420
+    assert ckpt["base_avg_power_w"] < 200
+
+    # Cap response spread: free savings for the stencil, a runtime bill
+    # for the solver, near-nothing for the checkpoint-bound app.
+    assert stencil["saving_pct"][at_900] > 10.0
+    assert stencil["runtime_x"][at_900] < 1.02
+    assert gemm["runtime_x"][at_900] > 1.5
+    assert abs(ckpt["runtime_x"][at_900] - 1.0) < 0.05

@@ -1,0 +1,22 @@
+"""Bench: phase-level replay vs the region-level projection (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_replay(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_replay", bench_config)
+    print(result.text)
+
+    # The two independent savings estimates agree within a few points at
+    # every cap — the region-binning leap holds on this substrate.
+    assert result.data["max_gap_pts"] < 5.0
+    for row in result.data["rows"]:
+        assert row["projection_pct"] > 0
+        assert row["replay_pct"] > 0
+    # Both estimates agree the deepest cap is the worst of the sweep.
+    by_cap = {r["cap"]: r for r in result.data["rows"]}
+    assert by_cap[700]["replay_pct"] == min(
+        r["replay_pct"] for r in result.data["rows"]
+    )

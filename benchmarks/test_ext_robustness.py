@@ -1,0 +1,20 @@
+"""Bench: headline robustness across seeds and fleet scale (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_robustness(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_robustness", bench_config)
+    print(result.text)
+
+    # The headline is stable: spread across resamples stays a couple of
+    # points even at this bench's small scale (it tightens as the fleet
+    # grows), and the best cap never leaves the mid-frequency band.
+    assert result.data["no_slowdown_std"] < 2.5
+    assert result.data["best_std"] < 2.5
+    assert 5.0 < result.data["best_mean"] < 15.0
+    assert all(
+        900 <= row["best_cap"] <= 1300 for row in result.data["rows"]
+    )

@@ -1,0 +1,27 @@
+"""Bench: headline sensitivity to the model calibration (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_sensitivity(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_sensitivity", bench_config)
+    print(result.text)
+
+    baseline = result.data["baseline"]
+    rows = result.data["rows"]
+    # The qualitative shape survives every perturbation: positive
+    # savings at a mid-frequency cap with a meaningful no-slowdown share.
+    for h in list(rows.values()) + [baseline]:
+        assert h["best_pct"] > 3.0
+        assert 700 <= h["best_cap"] <= 1500
+        assert h["no_slowdown_pct"] > 2.0
+    # The headline's error bar is bounded, and dominated by psi_cap0.
+    assert result.data["max_shift"] < 8.0
+    non_psi = [
+        abs(h["best_pct"] - baseline["best_pct"])
+        for key, h in rows.items()
+        if not key.startswith("psi_cap0")
+    ]
+    assert max(non_psi) < 1.5

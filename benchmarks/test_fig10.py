@@ -1,0 +1,19 @@
+"""Bench: Fig 10 — energy and savings heatmaps by domain x size class."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig10(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig10", bench_config)
+    print(result.text)
+
+    # Shape: most energy (and hence savings) sits in classes A-C; the
+    # savings heatmap never exceeds the energy heatmap.
+    assert result.data["large_class_energy_share"] > 0.8
+    assert (result.data["savings_mwh"] <= result.data["energy_mwh"] + 1e-9).all()
+    # The strongest domain is one of the memory/compute-heavy families.
+    assert result.data["top_domain"] in {
+        "CLI", "CFD", "FUS", "PHY", "AST", "MAT", "CHM", "NUC",
+    }

@@ -1,0 +1,15 @@
+"""Bench: Fig 2 — telemetry vs ROCm SMI, and the GPU/CPU energy split."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig2(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig2", bench_config)
+    print(result.text)
+    # Fig 2(a): the two measurement paths agree.
+    assert result.data["correlation"] > 0.99
+    assert result.data["mae_w"] < 10.0
+    # Fig 2(b): GPUs dominate node energy.
+    assert result.data["gpu_energy_fraction"] > 0.65

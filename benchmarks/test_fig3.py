@@ -1,0 +1,29 @@
+"""Bench: Fig 3 — the cyclic access pattern and the hit-model validation."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig3(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig3", bench_config)
+    print(result.text)
+
+    ratios = np.asarray(result.data["ratios"])
+    lru = np.asarray(result.data["lru"])
+    rnd = np.asarray(result.data["random"])
+    model = np.asarray(result.data["model"])
+
+    resident = ratios <= 1.0
+    over = ratios >= 1.25
+
+    # While resident: everything hits (random replacement nearly so).
+    assert (lru[resident] == 1.0).all()
+    assert (model[resident] == 1.0).all()
+    assert rnd[resident].min() > 0.75
+    # Past capacity: LRU cliffs, random decays, the model sits between.
+    assert (lru[over] == 0.0).all()
+    assert np.all(np.diff(rnd) <= 1e-9)
+    mid = (ratios > 1.0) & (ratios < 2.0)
+    assert (model[mid] >= lru[mid]).all()

@@ -1,0 +1,27 @@
+"""Bench: Fig 4 — the roofline under frequency and power caps."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig4(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig4", bench_config)
+    print(result.text)
+
+    intensities = result.data["intensities"]
+    tflops = result.data["uncapped_tflops"]
+    power = result.data["uncapped_power_w"]
+
+    # Shape: performance climbs along the memory roof then saturates.
+    assert tflops[-1] >= max(tflops) * 0.97
+    compute_side = intensities >= 8
+    assert np.ptp(tflops[compute_side]) < 0.05 * tflops.max()
+
+    # Shape: power peaks at the ridge (paper: 540 W at AI = 4), sits near
+    # 380 W on the memory-bound side, and relaxes to ~420 W at high AI.
+    assert result.data["peak_intensity"] == 4.0
+    assert 520 <= result.data["peak_power_w"] <= 560
+    assert 360 <= power[1] <= 400        # AI = 1/16
+    assert 400 <= power[-1] <= 440       # AI = 1024

@@ -1,0 +1,31 @@
+"""Bench: Fig 5 — VAI runtime/power/energy normalized to uncapped."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig5(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig5", bench_config)
+    print(result.text)
+
+    freq_time = result.data["frequency_time_s"]
+    freq_energy = result.data["frequency_energy_j"]
+    caps = result.data["freq_caps"]          # descending MHz
+
+    # Shape: compute-bound lines slow ~1/f; every line is monotone.
+    hi_ai = np.asarray(freq_time["AI=1024"])
+    assert np.all(np.diff(hi_ai) > 0)        # deeper cap, slower
+    assert hi_ai[-1] > 2.0                   # ~2.4x at 700 MHz
+
+    # Shape: energy-to-solution dips below 1 at mid caps for high-AI
+    # lines and comes back up at the deepest cap (paper Fig 5).
+    e = np.asarray(freq_energy["AI=1024"])
+    assert e.min() < 0.95
+    assert e[caps.index(700)] > e.min() + 0.05
+
+    # Power caps barely touch lines whose draw is below the cap.
+    p_time = result.data["power_time_s"]
+    low_ai = np.asarray(p_time["AI=0"])[:2]  # 500/400 W caps
+    assert np.allclose(low_ai, 1.0, atol=0.02)

@@ -1,0 +1,24 @@
+"""Bench: Fig 6 — the memory benchmark across working-set sizes."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig6(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig6", bench_config)
+    print(result.text)
+
+    sizes = np.asarray(result.data["sizes_mib"])
+    gbps = np.asarray(result.data["uncapped_gbps"])
+
+    # Shape: high bandwidth while the set is L2-resident, an HBM plateau
+    # beyond 16 MiB (the paper's knee).
+    l2_side = gbps[sizes <= 16]
+    hbm_side = gbps[sizes >= 64]
+    assert l2_side.min() > 1.5 * hbm_side.max()
+    assert np.ptp(hbm_side) < 0.05 * hbm_side.mean()
+
+    # Shape: the 140 W cap is breached on every HBM-resident size.
+    assert np.asarray(result.data["breached_140w"]).all()

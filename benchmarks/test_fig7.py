@@ -1,0 +1,29 @@
+"""Bench: Fig 7 — Louvain community detection under caps."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig7(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig7", bench_config)
+    print(result.text)
+
+    road = result.data["road-8M"]
+    social = result.data["social-8M"]
+
+    # Real algorithm ran: communities with meaningful modularity.
+    assert road["modularity"] > 0.9          # grid-like graphs are modular
+    assert social["modularity"] > 0.1
+
+    # Shape: the road network peaks near 205 W (paper) and is more
+    # clock-sensitive than the social network.
+    assert 160 <= road["max_power_w"] <= 250
+    road_slow_700 = road["runtime_x"][4]     # caps: 1700..700..500
+    social_slow_700 = social["runtime_x"][4]
+    assert road_slow_700 > social_slow_700 + 0.05
+
+    # Shape: social networks save energy at 900 MHz with <=5 % slowdown
+    # (paper: 2.9-5.2 %).
+    assert social["saving_pct"][3] > 1.0
+    assert social["runtime_x"][3] < 1.05

@@ -1,0 +1,18 @@
+"""Bench: Fig 8 — the system-wide GPU power distribution."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig8(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig8", bench_config)
+    print(result.text)
+
+    modes = np.asarray(result.data["mode_powers_w"])
+    # Shape: multi-modal, with more peaks at low power than high power
+    # and an idle mode near 89 W.
+    assert len(modes) >= 3
+    assert (modes < 300).sum() >= (modes > 420).sum()
+    assert np.min(np.abs(modes - 89.0)) < 20.0

@@ -1,0 +1,33 @@
+"""Bench: Fig 9 — per-science-domain power distributions."""
+
+import numpy as np
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_fig9(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig9", bench_config)
+    print(result.text)
+
+    dists = result.data
+    assert len(dists) >= 8
+
+    # Shape: all four Fig 9 families are represented.
+    dominant = {
+        name: int(np.argmax(d["region_pct"])) + 1
+        for name, d in dists.items()
+    }
+    assert 1 in dominant.values()   # latency-bound panels (c-d)
+    assert 2 in dominant.values()   # memory-intensive panels (e-f)
+    assert 3 in dominant.values()   # compute-intensive panels (a-b)
+    multi = [
+        name
+        for name, d in dists.items()
+        if np.count_nonzero(np.asarray(d["region_pct"]) >= 10.0) >= 3
+    ]
+    assert multi                    # multi-zone panels (g-h)
+
+    # Shape: each domain is modal (a few peaks, not a flat smear).
+    for d in dists.values():
+        assert 1 <= len(d["modes_w"]) <= 8

@@ -1,0 +1,85 @@
+"""Performance microbenchmarks for the library's hot paths.
+
+Unlike the artifact benches (one timed round of a whole experiment),
+these measure steady-state throughput of the kernels everything else is
+built on, so regressions in the vectorized paths show up directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import StreamingHistogram, join_campaign
+from repro.graph import louvain, social_network
+from repro.gpu import GPUDevice
+from repro.bench.vai import vai_kernel
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.telemetry import FleetTelemetryGenerator
+from repro.telemetry.profiles import PROFILES
+
+
+@pytest.fixture(scope="module")
+def small_fleet():
+    mix = default_mix(fleet_nodes=16)
+    log = SlurmSimulator(mix).run(units.days(1), rng=0)
+    gen = FleetTelemetryGenerator(log, mix, seed=1)
+    return log, gen.generate()
+
+
+def test_histogram_add_throughput(benchmark):
+    rng = np.random.default_rng(0)
+    samples = rng.uniform(80, 600, size=1_000_000)
+    hist = StreamingHistogram()
+
+    benchmark(hist.add, samples)
+    assert hist.total_count >= len(samples)
+
+
+def test_device_run_latency(benchmark):
+    device = GPUDevice()
+    kernel = vai_kernel(4.0)
+
+    result = benchmark(device.run, kernel)
+    assert result.power_w > 500
+
+
+def test_powercap_solve_latency(benchmark):
+    device = GPUDevice(power_cap_w=300.0)
+    kernel = vai_kernel(4.0)
+
+    result = benchmark(device.run, kernel)
+    assert result.f_core_hz < device.spec.f_max_hz
+
+
+def test_profile_trace_throughput(benchmark):
+    profile = PROFILES["multi_zone"]
+
+    trace = benchmark(
+        profile.sample_trace, 50_000, 15.0, 3, 4
+    )
+    assert trace.shape == (4, 50_000)
+
+
+def test_join_throughput(benchmark, small_fleet):
+    log, store = small_fleet
+
+    cube = benchmark(join_campaign, store, log)
+    assert cube.total_energy_j > 0
+
+
+def test_louvain_edges_per_second(benchmark):
+    graph = social_network(100_000, rng=0)
+
+    result = benchmark.pedantic(
+        louvain, args=(graph,), rounds=1, iterations=1
+    )
+    assert result.modularity > 0.1
+
+
+def test_scheduler_throughput(benchmark):
+    def schedule():
+        mix = default_mix(fleet_nodes=64)
+        return SlurmSimulator(mix).run(units.days(2), rng=7)
+
+    log = benchmark.pedantic(schedule, rounds=1, iterations=1)
+    assert len(log.jobs) > 50

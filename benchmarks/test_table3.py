@@ -1,0 +1,36 @@
+"""Bench: Table III — benchmark cap-response percentages."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+# Paper Table III, (VAI power %, VAI runtime %) per frequency cap.
+PAPER_VAI_FREQ = {
+    1500: (83.7, 112.8),
+    1300: (68.2, 129.8),
+    1100: (61.8, 152.2),
+    900: (53.3, 182.4),
+    700: (46.0, 231.0),
+}
+
+
+def test_table3(benchmark, bench_config):
+    result = run_once(benchmark, run, "table3", bench_config)
+    print(result.text)
+
+    freq = result.data["frequency"]
+    for cap, (paper_pow, paper_rt) in PAPER_VAI_FREQ.items():
+        vai_pow, vai_rt = freq[cap][0], freq[cap][1]
+        assert abs(vai_pow - paper_pow) < 7.0
+        assert abs(vai_rt - paper_rt) < 12.0
+        # MB runtime flat under frequency caps (paper: ~99 %).
+        assert abs(freq[cap][4] - 100.0) < 4.0
+
+    power = result.data["power"]
+    # Paper: moderate power caps do nothing to the memory benchmark...
+    for cap in (500, 400, 300):
+        assert abs(power[cap][5] - 100.0) < 2.0
+    # ... while 200 W slows it ~26 % and frequency capping saves energy
+    # on it at every setting.
+    assert abs(power[200][4] - 125.7) < 8.0
+    assert all(freq[cap][5] < 90.0 for cap in PAPER_VAI_FREQ)

@@ -1,0 +1,17 @@
+"""Bench: Table IV — the modal decomposition of the fleet campaign."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_table4(benchmark, bench_config):
+    result = run_once(benchmark, run, "table4", bench_config)
+    print(result.text)
+
+    ours = result.data["gpu_hours_pct"]
+    paper = result.data["paper_pct"]
+    for a, b in zip(ours, paper):
+        assert abs(a - b) < 5.0
+    # Shape: region ordering — memory > latency > compute > boost.
+    assert ours[1] > ours[0] > ours[2] > ours[3]

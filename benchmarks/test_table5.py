@@ -1,0 +1,38 @@
+"""Bench: Table V — the system-wide savings projection (the headline)."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_table5(benchmark, bench_config):
+    result = run_once(benchmark, run, "table5", bench_config)
+    print(result.text)
+
+    freq = result.data["frequency"]
+    power = result.data["power"]
+
+    # Shape: the projected ceiling is several percent of campaign energy
+    # at a mid-frequency cap (paper: 8.8 % at 900 MHz), and the
+    # no-slowdown ceiling is close behind (paper: 8.5 %).
+    best = freq.best_row
+    assert 900 <= best.cap <= 1300
+    assert 5.0 <= best.savings_pct <= 15.0
+    assert freq.best_no_slowdown_row.savings_no_slowdown_pct >= 5.0
+
+    # Shape: frequency capping beats power capping decisively.
+    assert best.savings_pct > power.best_row.savings_pct + 3.0
+
+    # Shape: the deepest frequency cap costs the most runtime and saves
+    # less than the best mid cap (the paper's 700 MHz row collapses).
+    deepest = freq.row_at(700)
+    assert deepest.runtime_increase_pct > best.runtime_increase_pct
+    assert deepest.total_mwh < best.total_mwh
+
+    # Cross-check with the paper's own Table III factors: the headline
+    # lands at 900 MHz near 8.5 % no-slowdown savings.
+    with_paper = result.data["frequency_paper_factors"]
+    assert with_paper.best_no_slowdown_row.cap == 900
+    assert abs(
+        with_paper.best_no_slowdown_row.savings_no_slowdown_pct - 8.5
+    ) < 3.5

@@ -1,0 +1,19 @@
+"""Bench: Table VI — savings for selected domains and large job classes."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_table6(benchmark, bench_config):
+    result = run_once(benchmark, run, "table6", bench_config)
+    print(result.text)
+
+    # Shape: six red-cell domains x classes A-C retain the bulk of the
+    # system-wide savings (paper: Table VI ~= 77 % of Table V at 900 MHz).
+    assert 1 <= len(result.data["domains"]) <= 6
+    assert 0.5 < result.data["retained_fraction"] <= 1.0
+
+    table = result.data["projection"]
+    assert abs(table.total_energy_mwh - 16820.0) < 0.01
+    assert table.best_row.savings_pct > 3.0

@@ -1,0 +1,37 @@
+"""Bench: Tables I, II and VII — configuration tables."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_table1(benchmark, bench_config):
+    result = run_once(benchmark, run, "table1", bench_config)
+    print(result.text)
+    assert "9408" in result.text
+    assert "1700 MHz" in result.text
+    assert "560 W" in result.text
+
+
+def test_table2(benchmark, bench_config):
+    result = run_once(benchmark, run, "table2", bench_config)
+    print(result.text)
+    assert "15 s" in result.text
+    assert "per-node-per-job" in result.text
+
+
+def test_table7(benchmark, bench_config):
+    result = run_once(benchmark, run, "table7", bench_config)
+    print(result.text)
+    for row in ("5645 - 9408", "1882 - 5644", "184 - 1881", "92 - 183",
+                "1 - 91"):
+        assert row in result.text
+
+
+def test_fig1(benchmark, bench_config):
+    result = run_once(benchmark, run, "fig1", bench_config)
+    print(result.text)
+    assert result.data["gpus_per_node"] == 4
+    assert result.data["gcds_per_node"] == 8
+    assert "MI250X" in result.text
+    assert "GCD" in result.text

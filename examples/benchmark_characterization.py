@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Benchmark characterization: roofline, VAI sweep, and Table III.
+
+Reproduces the paper's Section IV workflow on the simulated device:
+
+1. probe the empirical roofline (peak flops, peak bandwidth, ridge);
+2. trace the roofline with the VAI benchmark and locate the power peak;
+3. measure Table III — the cap-response percentages that feed the
+   system-scale projection.
+
+Run:  python examples/benchmark_characterization.py
+"""
+
+import numpy as np
+
+from repro.bench import VAIBenchmark, compute_table3, measure_roofline
+from repro.core import report
+from repro.gpu import GPUDevice
+
+
+def main() -> None:
+    device = GPUDevice()
+
+    ert = measure_roofline(device)
+    print(
+        f"empirical roofline: {ert.peak_tflops:.1f} TFLOP/s, "
+        f"{ert.peak_gbps:.0f} GB/s, ridge at "
+        f"{ert.ridge_intensity:.1f} flops/byte"
+    )
+
+    result = VAIBenchmark().run(device)
+    powers = result.column("power_w")
+    peak = result.points[int(np.argmax(powers))]
+    print(
+        f"VAI sweep: power peaks at {peak.power_w:.0f} W for "
+        f"AI={peak.intensity:g} (paper: 540 W at AI=4); "
+        f"memory-bound floor {powers.min():.0f} W\n"
+    )
+    print(
+        report.render_series(
+            "VAI roofline trace (uncapped)",
+            "AI",
+            result.intensities.tolist(),
+            {
+                "TFLOP/s": result.column("tflops"),
+                "GB/s": result.column("gbps"),
+                "power W": powers,
+            },
+        )
+    )
+
+    print()
+    for knob in ("frequency", "power"):
+        print(report.render_table3(compute_table3(knob=knob)))
+        print()
+
+
+if __name__ == "__main__":
+    main()

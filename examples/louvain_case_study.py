@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Louvain case study: a real graph application under power management.
+
+Reproduces Section IV-C: run Louvain community detection (the algorithm
+executes for real — communities and modularity are genuine) on a road
+network and a social network, then sweep GPU frequency caps and compare
+the two topologies' sensitivity, as in the paper's Fig 7.
+
+Run:  python examples/louvain_case_study.py [--edges 200000]
+"""
+
+import argparse
+
+from repro import units
+from repro.core import report
+from repro.graph import (
+    GPULouvainRunner,
+    degree_stats,
+    louvain,
+    road_network,
+    social_network,
+)
+from repro.gpu import GPUDevice
+
+FREQS_MHZ = (1700, 1300, 1100, 900, 700, 500)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--edges", type=int, default=200_000)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    networks = {
+        "road": road_network(args.edges, rng=args.seed),
+        "social": social_network(args.edges, rng=args.seed),
+    }
+    for name, graph in networks.items():
+        stats = degree_stats(graph)
+        print(
+            f"{name} network: {graph.n_edges:,} edges, "
+            f"d_max={stats.d_max}, d_avg={stats.d_avg:.1f}"
+        )
+        communities = louvain(graph)
+        print(
+            f"  Louvain: {communities.n_communities} communities, "
+            f"modularity {communities.modularity:.3f}, "
+            f"{len(communities.passes)} passes"
+        )
+
+        base = GPULouvainRunner(GPUDevice()).run(
+            graph, precomputed=communities
+        )
+        rows = {"runtime_x": [], "avg_power_w": [], "energy_saving_%": []}
+        for mhz in FREQS_MHZ:
+            device = (
+                GPUDevice()
+                if mhz == 1700
+                else GPUDevice(frequency_cap_hz=units.mhz(mhz))
+            )
+            r = GPULouvainRunner(device).run(graph, precomputed=communities)
+            rows["runtime_x"].append(r.total_time_s / base.total_time_s)
+            rows["avg_power_w"].append(r.avg_power_w)
+            rows["energy_saving_%"].append(
+                100 * (1 - r.energy_j / base.energy_j)
+            )
+        print(
+            report.render_series(
+                f"  GPU peak power {base.max_power_w:.0f} W",
+                "MHz",
+                list(FREQS_MHZ),
+                rows,
+            )
+        )
+        print()
+
+    print(
+        "The bounded-degree road network is clock-sensitive (latency\n"
+        "bound), while the power-law social network rides the HBM roof:\n"
+        "mid-frequency caps save energy on it almost for free — the\n"
+        "behaviour the paper generalizes to the memory-intensive region."
+    )
+
+
+if __name__ == "__main__":
+    main()

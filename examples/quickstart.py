@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Quickstart: run kernels on the simulated MI250X under both knobs.
+
+Demonstrates the lowest layer of the library: build a kernel, run it on a
+device, and see how a frequency cap and a power cap change runtime, power
+and energy — including the paper's key asymmetry (frequency caps reach
+HBM power; power caps do not).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import GPUDevice, KernelSpec, units
+
+
+def show(label: str, result) -> None:
+    print(
+        f"  {label:<22} {result.time_s:7.2f} s  {result.power_w:6.1f} W  "
+        f"{units.to_wh(result.energy_j):8.1f} Wh  ({result.bound}-bound, "
+        f"core at {units.to_mhz(result.f_core_hz):.0f} MHz"
+        + (", CAP BREACHED)" if result.cap_breached else ")")
+    )
+
+
+def main() -> None:
+    # A memory-bound stream (arithmetic intensity 1/8) and a compute-bound
+    # FMA kernel (intensity 64), each sized for ~20 s of runtime.
+    stream = KernelSpec(
+        "stream", flops=8e12, hbm_bytes=64e12, issue_bw_factor=2.7
+    )
+    fma = KernelSpec("fma", flops=240e12, hbm_bytes=3.75e12)
+
+    for kernel in (stream, fma):
+        print(f"kernel {kernel.name!r} "
+              f"(AI = {kernel.arithmetic_intensity:g} flops/byte)")
+        show("uncapped", GPUDevice().run(kernel))
+        show(
+            "900 MHz frequency cap",
+            GPUDevice(frequency_cap_hz=units.mhz(900)).run(kernel),
+        )
+        show("300 W power cap", GPUDevice(power_cap_w=300.0).run(kernel))
+        print()
+
+    print(
+        "Note how the frequency cap cuts the stream kernel's power with\n"
+        "no slowdown (the paper's memory-intensive savings), while the\n"
+        "300 W power cap cannot touch it: the controller only meters the\n"
+        "core domain, so HBM-heavy kernels breach low caps (Fig 6d)."
+    )
+
+
+if __name__ == "__main__":
+    main()

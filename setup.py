@@ -1,0 +1,9 @@
+"""Setuptools shim.
+
+Allows `python setup.py develop` in offline environments that lack the
+`wheel` package required by PEP 517 editable installs; `pip install -e .`
+remains the recommended path everywhere else.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,41 @@
+"""repro: reproduction of "Exploring the Frontiers of Energy Efficiency
+using Power Management at System Scale" (SC 2024).
+
+The package has four layers:
+
+* substrates — :mod:`repro.gpu` (a calibrated MI250X power/performance
+  simulator), :mod:`repro.graph` (CSR graphs + Louvain),
+  :mod:`repro.scheduler` (SLURM-like job traffic), and
+  :mod:`repro.telemetry` (out-of-band fleet power data);
+* benchmarks — :mod:`repro.bench` (the VAI roofline tracer and the
+  L2/HBM memory benchmark, Table III);
+* core analysis — :mod:`repro.core` (telemetry join, modal
+  decomposition, savings projection: Tables IV-VI, Figs 8-10);
+* experiments — :mod:`repro.experiments` regenerates every table and
+  figure; ``python -m repro run all`` prints them.
+
+Quickstart::
+
+    from repro import GPUDevice, KernelSpec, units
+
+    device = GPUDevice(frequency_cap_hz=units.mhz(900))
+    result = device.run(KernelSpec("k", flops=1e13, hbm_bytes=1e12))
+    print(result.power_w, result.time_s)
+"""
+
+from . import constants, units
+from .errors import ReproError
+from .gpu import FrontierNode, GPUDevice, KernelSpec, MI250XSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "units",
+    "ReproError",
+    "GPUDevice",
+    "KernelSpec",
+    "MI250XSpec",
+    "FrontierNode",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""Proxy applications.
+
+The paper's methodology section names two ways to study optimized codes:
+proxy applications (a kernel of a full workload without its complexity)
+and synthetic workloads (stress a specific subsystem).  The benchmarks in
+:mod:`repro.bench` are the synthetic side; this subpackage is the proxy
+side: applications modeled as alternating device-kernel and host phases,
+executed on the simulated GPU.
+
+* :mod:`repro.apps.phase`       — kernel and host phase descriptors
+* :mod:`repro.apps.application` — the phase-sequence executor
+* :mod:`repro.apps.proxies`     — a GEMM-heavy solver, a stencil/halo
+  CFD proxy, and a checkpoint-bound proxy spanning the paper's three
+  savable/unsavable workload families
+"""
+
+from .phase import HostPhase, KernelPhase
+from .application import Application, AppRunResult
+from .proxies import checkpoint_proxy, gemm_proxy, stencil_proxy
+
+__all__ = [
+    "HostPhase",
+    "KernelPhase",
+    "Application",
+    "AppRunResult",
+    "gemm_proxy",
+    "stencil_proxy",
+    "checkpoint_proxy",
+]

@@ -1,0 +1,124 @@
+"""Application executor: run a phase sequence on a device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from .. import constants
+from ..errors import KernelError
+from ..gpu import GPUDevice
+from ..rng import RngLike, ensure_rng
+from .phase import HostPhase, KernelPhase
+
+PhaseLike = Union[KernelPhase, HostPhase]
+
+
+@dataclass(frozen=True)
+class PhaseResult:
+    """Outcome of one phase at the device's current settings."""
+
+    name: str
+    kind: str             # "kernel" | "host"
+    time_s: float
+    power_w: float        # steady power while the phase runs
+    energy_j: float
+
+
+@dataclass(frozen=True)
+class AppRunResult:
+    """Outcome of one application run."""
+
+    app: str
+    phases: List[PhaseResult] = field(repr=False)
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(p.time_s for p in self.phases)
+
+    @property
+    def gpu_time_s(self) -> float:
+        return sum(p.time_s for p in self.phases if p.kind == "kernel")
+
+    @property
+    def host_time_s(self) -> float:
+        return sum(p.time_s for p in self.phases if p.kind == "host")
+
+    @property
+    def energy_j(self) -> float:
+        return sum(p.energy_j for p in self.phases)
+
+    @property
+    def avg_power_w(self) -> float:
+        return self.energy_j / self.total_time_s
+
+    @property
+    def max_power_w(self) -> float:
+        return max(p.power_w for p in self.phases)
+
+    def power_trace(
+        self,
+        *,
+        interval_s: float = constants.TELEMETRY_INTERVAL_S,
+        noise_w: float = 0.0,
+        rng: RngLike = None,
+    ) -> np.ndarray:
+        """Render the run into a sampled power time series."""
+        gen = ensure_rng(rng)
+        n = max(1, int(np.ceil(self.total_time_s / interval_s)))
+        t = (np.arange(n) + 0.5) * interval_s
+        edges = np.cumsum([p.time_s for p in self.phases])
+        powers = np.array([p.power_w for p in self.phases])
+        idx = np.minimum(
+            np.searchsorted(edges, t, side="right"), len(powers) - 1
+        )
+        trace = powers[idx]
+        if noise_w > 0:
+            trace = trace + gen.normal(0.0, noise_w, size=n)
+        return np.maximum(trace, 0.0)
+
+
+class Application:
+    """A named phase sequence."""
+
+    def __init__(self, name: str, phases: Sequence[PhaseLike]) -> None:
+        if not phases:
+            raise KernelError(f"application {name!r} has no phases")
+        self.name = name
+        self.phases = list(phases)
+
+    def run(self, device: GPUDevice) -> AppRunResult:
+        """Execute all phases under the device's current settings."""
+        idle_w = device.spec.idle_w
+        results: List[PhaseResult] = []
+        for phase in self.phases:
+            if isinstance(phase, KernelPhase):
+                r = device.run(phase.kernel)
+                time_s = r.time_s * phase.repeats
+                results.append(
+                    PhaseResult(
+                        name=phase.name,
+                        kind="kernel",
+                        time_s=time_s,
+                        power_w=r.power_w,
+                        energy_j=r.power_w * time_s,
+                    )
+                )
+            else:
+                results.append(
+                    PhaseResult(
+                        name=phase.name,
+                        kind="host",
+                        time_s=phase.duration_s,
+                        power_w=idle_w,
+                        energy_j=idle_w * phase.duration_s,
+                    )
+                )
+        return AppRunResult(app=self.name, phases=results)
+
+    def gpu_fraction(self, device: GPUDevice) -> float:
+        """Fraction of wall-clock the GPU is busy, at current settings."""
+        run = self.run(device)
+        return run.gpu_time_s / run.total_time_s

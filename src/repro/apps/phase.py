@@ -1,0 +1,40 @@
+"""Application phases.
+
+An application is a sequence of phases.  A :class:`KernelPhase` occupies
+the GPU (its duration and power respond to the management knobs); a
+:class:`HostPhase` leaves the GPU idling at a fixed wall-clock cost
+(CPU work, MPI exchange, I/O) — the part of an application that power
+management cannot touch but whose idle energy it still pays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KernelError
+from ..gpu import KernelSpec
+
+
+@dataclass(frozen=True)
+class KernelPhase:
+    """A GPU phase: one kernel, optionally repeated back to back."""
+
+    name: str
+    kernel: KernelSpec
+    repeats: int = 1
+
+    def __post_init__(self) -> None:
+        if self.repeats < 1:
+            raise KernelError(f"{self.name}: repeats must be >= 1")
+
+
+@dataclass(frozen=True)
+class HostPhase:
+    """A host-side phase: the GPU idles for a fixed duration."""
+
+    name: str
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise KernelError(f"{self.name}: duration must be positive")

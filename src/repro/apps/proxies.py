@@ -1,0 +1,83 @@
+"""Three proxy applications spanning the paper's workload families.
+
+Each proxy is a stylized kernel-of-a-real-workload whose phase structure
+places it in one Table IV region:
+
+* :func:`gemm_proxy` — a dense-solver iteration (HPL-like): large
+  high-intensity FMA kernels with brief panel-exchange host phases.
+  Compute-intensive (region 3): frequency caps cost runtime.
+* :func:`stencil_proxy` — a CFD/climate step: low-intensity streaming
+  sweeps plus halo-exchange host phases.  Memory-intensive (region 2):
+  frequency caps save energy nearly for free.
+* :func:`checkpoint_proxy` — a bursty producer that periodically
+  checkpoints: short kernels between long I/O phases.  Latency/IO bound
+  (region 1): caps change almost nothing in either direction.
+"""
+
+from __future__ import annotations
+
+from ..errors import KernelError
+from ..gpu import KernelSpec
+from .application import Application
+from .phase import HostPhase, KernelPhase
+
+
+def gemm_proxy(steps: int = 8, *, scale: float = 1.0) -> Application:
+    """A dense-solver proxy: compute-bound update + panel exchange."""
+    if steps < 1 or scale <= 0:
+        raise KernelError("steps must be >= 1 and scale positive")
+    update = KernelSpec(
+        name="gemm-update",
+        flops=scale * 240e12,        # ~20 s of FMA at the achievable roof
+        hbm_bytes=scale * 7.5e12,    # AI = 32: firmly compute-bound
+        issue_bw_factor=2.2,
+        compute_efficiency=0.95,
+    )
+    phases = []
+    for step in range(steps):
+        phases.append(KernelPhase(f"update-{step}", update))
+        phases.append(HostPhase(f"panel-exchange-{step}", scale * 0.8))
+    return Application("gemm-proxy", phases)
+
+
+def stencil_proxy(steps: int = 8, *, scale: float = 1.0) -> Application:
+    """A stencil/CFD proxy: streaming sweeps + halo exchange."""
+    if steps < 1 or scale <= 0:
+        raise KernelError("steps must be >= 1 and scale positive")
+    sweep = KernelSpec(
+        name="stencil-sweep",
+        flops=scale * 7.5e12,
+        hbm_bytes=scale * 30e12,     # AI = 0.25: memory-bound
+        issue_bw_factor=2.6,         # deep, regular streaming
+    )
+    phases = []
+    for step in range(steps):
+        phases.append(KernelPhase(f"sweep-{step}", sweep))
+        phases.append(HostPhase(f"halo-exchange-{step}", scale * 1.2))
+    return Application("stencil-proxy", phases)
+
+
+def checkpoint_proxy(steps: int = 6, *, scale: float = 1.0) -> Application:
+    """A checkpoint-bound proxy: short bursts between long I/O phases."""
+    if steps < 1 or scale <= 0:
+        raise KernelError("steps must be >= 1 and scale positive")
+    burst = KernelSpec(
+        name="burst",
+        flops=scale * 2e12,
+        hbm_bytes=scale * 2e12,
+        issue_bw_factor=1.8,
+        occupancy=0.35,              # sparse, latency-bound burst
+        stall_power_fraction=0.15,
+    )
+    phases = []
+    for step in range(steps):
+        phases.append(KernelPhase(f"burst-{step}", burst, repeats=2))
+        phases.append(HostPhase(f"checkpoint-{step}", scale * 18.0))
+    return Application("checkpoint-proxy", phases)
+
+
+ALL_PROXIES = {
+    "gemm": gemm_proxy,
+    "stencil": stencil_proxy,
+    "checkpoint": checkpoint_proxy,
+}

@@ -1,0 +1,33 @@
+"""Benchmark reproducers.
+
+These are the paper's Section III-B workloads, expressed as kernel
+generators plus sweep harnesses over the two management knobs:
+
+* :mod:`repro.bench.vai`      — Algorithm 1, the Variable Arithmetic
+  Intensity roofline tracer (Fig 4, Fig 5, Table III VAI columns)
+* :mod:`repro.bench.membench` — the GPU-benches L2-cache/HBM bandwidth
+  benchmark (Fig 6, Table III MB columns)
+* :mod:`repro.bench.ert`      — empirical roofline probes (peak flops,
+  peak bandwidth, ridge point)
+* :mod:`repro.bench.sweep`    — frequency-cap / power-cap sweep harness
+* :mod:`repro.bench.tables`   — Table III assembly from sweep results
+"""
+
+from .vai import VAIBenchmark, vai_kernel
+from .membench import MemoryBenchmark, membench_kernel
+from .ert import EmpiricalRoofline, measure_roofline
+from .sweep import CapSweep, SweepPoint
+from .tables import Table3, compute_table3
+
+__all__ = [
+    "VAIBenchmark",
+    "vai_kernel",
+    "MemoryBenchmark",
+    "membench_kernel",
+    "EmpiricalRoofline",
+    "measure_roofline",
+    "CapSweep",
+    "SweepPoint",
+    "Table3",
+    "compute_table3",
+]

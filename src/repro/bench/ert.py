@@ -1,0 +1,67 @@
+"""Empirical roofline probes (the paper's ERT reference point).
+
+The Empirical Roofline Tool measures a machine's achievable compute and
+bandwidth ceilings with FMA and streaming micro-kernels.  Here the probes
+run against the simulated device and recover the calibrated roofs, which
+downstream code uses to draw roofline ceilings (Fig 4) and to locate the
+ridge point that separates the memory- and compute-bound regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import units
+from ..gpu import GPUDevice, KernelSpec
+from .membench import MEMBENCH_ISSUE_BW_FACTOR
+
+
+@dataclass(frozen=True)
+class EmpiricalRoofline:
+    """Measured ceilings of a device configuration."""
+
+    peak_tflops: float
+    peak_gbps: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Flops/byte where the two ceilings intersect."""
+        return (self.peak_tflops * 1e12) / (self.peak_gbps * 1e9)
+
+    def attainable_tflops(self, intensity) -> np.ndarray:
+        """Roofline ceiling at the given arithmetic intensities."""
+        ai = np.asarray(intensity, dtype=float)
+        mem_roof = self.peak_gbps * 1e9 * ai / 1e12
+        return np.minimum(mem_roof, self.peak_tflops)
+
+
+def _flops_probe() -> KernelSpec:
+    """An FMA micro-kernel with negligible memory traffic."""
+    return KernelSpec(
+        name="ert-fma",
+        flops=1e14,
+        hbm_bytes=1e6,
+        issue_bw_factor=MEMBENCH_ISSUE_BW_FACTOR,
+    )
+
+
+def _bandwidth_probe() -> KernelSpec:
+    """A deep-issue streaming kernel with no flops."""
+    return KernelSpec(
+        name="ert-stream",
+        flops=0.0,
+        hbm_bytes=1e13,
+        issue_bw_factor=MEMBENCH_ISSUE_BW_FACTOR,
+    )
+
+
+def measure_roofline(device: GPUDevice) -> EmpiricalRoofline:
+    """Probe the device's achievable ceilings under its current caps."""
+    flops_run = device.run(_flops_probe())
+    bw_run = device.run(_bandwidth_probe())
+    return EmpiricalRoofline(
+        peak_tflops=units.to_tflops(flops_run.achieved_flops),
+        peak_gbps=units.to_gbps(bw_run.achieved_bw),
+    )

@@ -1,0 +1,158 @@
+"""The L2-cache / HBM memory bandwidth benchmark (GPU-benches style).
+
+The paper's modified GPU-benches L2 kernel launches 100 000 blocks of
+1 024 threads; block ``i`` streams chunk ``i % n_chunks`` of a working set
+that starts at 384 KB and doubles upward (Fig 3).  Below the 16 MB L2
+capacity every chunk hits in cache; above it the loads stream from HBM.
+The kernel is pure loads with deep memory-level parallelism, so — unlike
+VAI — its HBM-resident points are insensitive to the core clock.
+
+This module reproduces the sweep against the simulated hierarchy and
+reports bandwidth, power, and runtime per working-set size (Fig 6) plus
+the HBM-region summary consumed by Table III's MB columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import units
+from ..errors import KernelError
+from ..gpu import GPUDevice, KernelSpec
+
+#: Deep-issue character of the pure-load kernel: calibrated so a 200 W
+#: power cap (which parks the core at f_min) costs ~26 % runtime, matching
+#: Table III(b)'s MB row.
+MEMBENCH_ISSUE_BW_FACTOR = 2.7
+
+#: The paper's starting chunk size.
+FIRST_WORKING_SET_BYTES = 384 * 1024
+
+#: Launch geometry of the original kernel (for the docstring-faithful
+#: traffic volume accounting).
+BLOCKS = 100_000
+THREADS_PER_BLOCK = 1024
+BYTES_PER_THREAD = 8 * 16   # each thread streams 16 doubles per pass
+
+
+def working_set_grid(
+    n_sizes: int = 16, first_bytes: int = FIRST_WORKING_SET_BYTES
+) -> List[int]:
+    """The doubling working-set grid: 384 KB, 768 KB, ... (paper Fig 6)."""
+    if n_sizes <= 0:
+        raise KernelError("n_sizes must be positive")
+    return [first_bytes * 2**k for k in range(n_sizes)]
+
+
+def membench_kernel(
+    working_set_bytes: float,
+    *,
+    passes: int = 1,
+) -> KernelSpec:
+    """Build the chunk-cycling load kernel over ``working_set_bytes``.
+
+    Traffic volume follows the launch geometry (every block streams its
+    chunk in full), independent of where the chunk lands in the hierarchy.
+    """
+    if working_set_bytes <= 0:
+        raise KernelError("working set must be positive")
+    if passes <= 0:
+        raise KernelError("passes must be positive")
+    volume = float(BLOCKS * THREADS_PER_BLOCK * BYTES_PER_THREAD) * passes
+    return KernelSpec(
+        name=f"membench-{working_set_bytes / units.MIB:.3g}MiB",
+        flops=0.0,
+        hbm_bytes=volume,
+        working_set_bytes=float(working_set_bytes),
+        issue_bw_factor=MEMBENCH_ISSUE_BW_FACTOR,
+    )
+
+
+@dataclass(frozen=True)
+class MemPoint:
+    """One working-set point of the memory sweep."""
+
+    working_set_bytes: float
+    time_s: float
+    power_w: float
+    energy_j: float
+    gbps: float
+    l2_hit_fraction: float
+    cap_breached: bool
+
+
+@dataclass(frozen=True)
+class MemResult:
+    """A full memory-benchmark sweep on one device configuration."""
+
+    points: List[MemPoint]
+
+    @property
+    def sizes_mib(self) -> np.ndarray:
+        return np.array([p.working_set_bytes / units.MIB for p in self.points])
+
+    def column(self, name: str) -> np.ndarray:
+        return np.array([getattr(p, name) for p in self.points])
+
+    def hbm_region(self, spec) -> "MemResult":
+        """Fully HBM-resident points (the Table III MB region).
+
+        The thrash band just above L2 capacity (working sets up to 2x L2)
+        is excluded: those points are partially cached and belong to
+        neither regime.
+        """
+        return MemResult(
+            [p for p in self.points if p.working_set_bytes > 2 * spec.l2_bytes]
+        )
+
+    def l2_region(self, spec) -> "MemResult":
+        """Points resident in the L2 cache."""
+        return MemResult(
+            [p for p in self.points if p.working_set_bytes <= spec.l2_bytes]
+        )
+
+    def mean(self, name: str) -> float:
+        """Time-weighted mean of a rate/power column across the sweep."""
+        values = self.column(name)
+        weights = self.column("time_s")
+        return float(np.average(values, weights=weights))
+
+
+class MemoryBenchmark:
+    """Run the working-set sweep on a device."""
+
+    def __init__(
+        self,
+        working_sets: Optional[Sequence[float]] = None,
+        *,
+        passes: int = 1,
+    ) -> None:
+        self.working_sets = (
+            list(working_sets) if working_sets is not None else working_set_grid()
+        )
+        self.passes = passes
+
+    def run(self, device: GPUDevice) -> MemResult:
+        points = []
+        for ws in self.working_sets:
+            r = device.run(membench_kernel(ws, passes=self.passes))
+            points.append(
+                MemPoint(
+                    working_set_bytes=float(ws),
+                    time_s=r.time_s,
+                    power_w=r.power_w,
+                    energy_j=r.energy_j,
+                    gbps=units.to_gbps(r.achieved_bw),
+                    l2_hit_fraction=r.profile.traffic.l2_hit_fraction,
+                    cap_breached=r.cap_breached,
+                )
+            )
+        return MemResult(points)
+
+
+def default_benchmark() -> MemoryBenchmark:
+    """The paper's configuration: 384 KB doubling past the L2 capacity."""
+    return MemoryBenchmark()

@@ -1,0 +1,87 @@
+"""Cap-sweep harness.
+
+Runs any benchmark (an object with ``run(device) -> result``) across a
+grid of frequency caps or power caps, always including the uncapped
+baseline, and exposes normalized views — the exact procedure behind the
+paper's Fig 4/5/6 panels and Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence
+
+from .. import constants, units
+from ..errors import CapError
+from ..gpu import GPUDevice
+from ..gpu.specs import MI250XSpec, default_spec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One cap setting and the benchmark result measured under it."""
+
+    knob: str          # "frequency" | "power"
+    cap: float         # MHz for frequency, W for power; 0 = uncapped
+    result: object     # the benchmark's own result type
+
+    @property
+    def uncapped(self) -> bool:
+        return self.cap == 0
+
+
+class CapSweep:
+    """Sweep one benchmark over one management knob.
+
+    Parameters
+    ----------
+    benchmark:
+        Any object with ``run(device)``.
+    spec:
+        Device specification shared by every point of the sweep.
+    """
+
+    def __init__(
+        self,
+        benchmark,
+        spec: Optional[MI250XSpec] = None,
+    ) -> None:
+        self.benchmark = benchmark
+        self.spec = spec if spec is not None else default_spec()
+
+    def _run_at(self, make_device: Callable[[], GPUDevice]) -> object:
+        return self.benchmark.run(make_device())
+
+    def frequency_sweep(
+        self,
+        caps_mhz: Sequence[float] = constants.FREQUENCY_CAPS_MHZ,
+    ) -> Dict[float, SweepPoint]:
+        """Run at each frequency cap plus the uncapped baseline (key 0)."""
+        points: Dict[float, SweepPoint] = {
+            0: SweepPoint("frequency", 0, self._run_at(lambda: GPUDevice(self.spec)))
+        }
+        for cap in caps_mhz:
+            if cap <= 0:
+                raise CapError(f"invalid frequency cap {cap} MHz")
+            result = self._run_at(
+                lambda: GPUDevice(self.spec, frequency_cap_hz=units.mhz(cap))
+            )
+            points[cap] = SweepPoint("frequency", float(cap), result)
+        return points
+
+    def power_sweep(
+        self,
+        caps_w: Sequence[float] = constants.POWER_CAPS_W,
+    ) -> Dict[float, SweepPoint]:
+        """Run at each power cap plus the uncapped baseline (key 0)."""
+        points: Dict[float, SweepPoint] = {
+            0: SweepPoint("power", 0, self._run_at(lambda: GPUDevice(self.spec)))
+        }
+        for cap in caps_w:
+            if cap <= 0:
+                raise CapError(f"invalid power cap {cap} W")
+            result = self._run_at(
+                lambda: GPUDevice(self.spec, power_cap_w=float(cap))
+            )
+            points[cap] = SweepPoint("power", float(cap), result)
+        return points

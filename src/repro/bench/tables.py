@@ -1,0 +1,155 @@
+"""Table III assembly: cap-response percentages of the two benchmarks.
+
+For each cap the table reports, relative to the uncapped run:
+
+* ``vai_*`` — the VAI benchmark averaged across all arithmetic
+  intensities (the compute-intensive characterization, "CI");
+* ``mb_*`` — the memory benchmark over its HBM-resident region
+  (the memory-intensive characterization, "MI").
+
+Following the paper's own arithmetic, the energy column is the product of
+the average-power and average-runtime columns (Table III's printed energy
+values equal power% x runtime% to within rounding).
+
+These percentages are the transfer function from benchmark to fleet: the
+system-scale projection (Tables V and VI) multiplies per-mode fleet energy
+by ``1 - energy_pct/100``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..errors import ProjectionError
+from ..gpu.specs import MI250XSpec, default_spec
+from .membench import MemoryBenchmark
+from .sweep import CapSweep
+from .vai import VAIBenchmark
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One cap setting's response, all values in percent of uncapped."""
+
+    cap: float                # MHz or W; the uncapped row uses the max value
+    vai_power_pct: float
+    vai_runtime_pct: float
+    vai_energy_pct: float
+    mb_power_pct: float
+    mb_runtime_pct: float
+    mb_energy_pct: float
+
+
+@dataclass(frozen=True)
+class Table3:
+    """The full table for one knob ("frequency" or "power")."""
+
+    knob: str
+    rows: List[Table3Row]
+
+    def row_at(self, cap: float) -> Table3Row:
+        for row in self.rows:
+            if row.cap == cap:
+                return row
+        raise ProjectionError(f"no Table III row at cap {cap} ({self.knob})")
+
+    @property
+    def caps(self) -> List[float]:
+        return [row.cap for row in self.rows]
+
+    def energy_factors(self) -> Dict[float, tuple]:
+        """cap -> (CI energy factor, MI energy factor), as fractions."""
+        return {
+            row.cap: (row.vai_energy_pct / 100.0, row.mb_energy_pct / 100.0)
+            for row in self.rows
+        }
+
+    def runtime_factors(self) -> Dict[float, tuple]:
+        """cap -> (CI runtime factor, MI runtime factor), as fractions."""
+        return {
+            row.cap: (row.vai_runtime_pct / 100.0, row.mb_runtime_pct / 100.0)
+            for row in self.rows
+        }
+
+
+def _vai_aggregates(result, baseline) -> tuple:
+    """(avg power %, avg runtime %) across arithmetic intensities."""
+    power = 100.0 * np.mean(result.column("power_w")) / np.mean(
+        baseline.column("power_w")
+    )
+    runtime = 100.0 * np.mean(
+        result.column("time_s") / baseline.column("time_s")
+    )
+    return float(power), float(runtime)
+
+
+def _mb_aggregates(result, baseline, spec) -> tuple:
+    """(power %, runtime %) over the HBM-resident region, time-weighted."""
+    res = result.hbm_region(spec)
+    base = baseline.hbm_region(spec)
+    power = 100.0 * res.mean("power_w") / base.mean("power_w")
+    runtime = 100.0 * np.sum(res.column("time_s")) / np.sum(
+        base.column("time_s")
+    )
+    return float(power), float(runtime)
+
+
+def compute_table3(
+    spec: Optional[MI250XSpec] = None,
+    *,
+    knob: str = "frequency",
+    caps: Optional[Sequence[float]] = None,
+    vai: Optional[VAIBenchmark] = None,
+    mem: Optional[MemoryBenchmark] = None,
+) -> Table3:
+    """Measure Table III for one knob on the simulated device."""
+    spec = spec if spec is not None else default_spec()
+    vai = vai if vai is not None else VAIBenchmark()
+    mem = mem if mem is not None else MemoryBenchmark()
+
+    vai_sweep = CapSweep(vai, spec)
+    mem_sweep = CapSweep(mem, spec)
+    if knob == "frequency":
+        caps = caps if caps is not None else constants.FREQUENCY_CAPS_MHZ
+        caps = [c for c in caps if c < constants.GCD_MAX_FREQUENCY_HZ / 1e6]
+        vai_points = vai_sweep.frequency_sweep(caps)
+        mem_points = mem_sweep.frequency_sweep(caps)
+        baseline_cap = constants.GCD_MAX_FREQUENCY_HZ / 1e6
+    elif knob == "power":
+        caps = caps if caps is not None else constants.POWER_CAPS_W
+        caps = [c for c in caps if c < constants.GCD_MAX_POWER_W]
+        vai_points = vai_sweep.power_sweep(caps)
+        mem_points = mem_sweep.power_sweep(caps)
+        baseline_cap = constants.GCD_MAX_POWER_W
+    else:
+        raise ProjectionError(f"unknown knob {knob!r}")
+
+    vai_base = vai_points[0].result
+    mem_base = mem_points[0].result
+
+    rows = [
+        Table3Row(
+            cap=baseline_cap,
+            vai_power_pct=100.0, vai_runtime_pct=100.0, vai_energy_pct=100.0,
+            mb_power_pct=100.0, mb_runtime_pct=100.0, mb_energy_pct=100.0,
+        )
+    ]
+    for cap in caps:
+        v_pow, v_rt = _vai_aggregates(vai_points[cap].result, vai_base)
+        m_pow, m_rt = _mb_aggregates(mem_points[cap].result, mem_base, spec)
+        rows.append(
+            Table3Row(
+                cap=float(cap),
+                vai_power_pct=v_pow,
+                vai_runtime_pct=v_rt,
+                vai_energy_pct=v_pow * v_rt / 100.0,
+                mb_power_pct=m_pow,
+                mb_runtime_pct=m_rt,
+                mb_energy_pct=m_pow * m_rt / 100.0,
+            )
+        )
+    return Table3(knob=knob, rows=rows)

@@ -1,0 +1,188 @@
+"""The Variable Arithmetic Intensity (VAI) benchmark — Algorithm 1.
+
+The paper's Algorithm 1 allocates three double arrays ``a``, ``b``, ``c``
+of ``globalWIs`` elements and, per element and outer repetition, performs:
+
+* 3 reads + 1 write  → 4 × 8 bytes of contiguous HBM traffic,
+* ``2 * LOOPSIZE`` fused multiply-add flops (the unrolled inner loop).
+
+Arithmetic intensity is therefore ``2 * LOOPSIZE / 32 = LOOPSIZE / 16``
+flops per byte; ``LOOPSIZE = 1`` gives the paper's lowest point (1/16) and
+``LOOPSIZE = 16384`` the highest (1024).  Intensity 0 replaces the loop
+with a stream copy (1 read + 1 write, no flops).
+
+This module reproduces that accounting *exactly* — the flop and byte
+counts are architecture-independent arithmetic — and hands the resulting
+:class:`~repro.gpu.kernel.KernelSpec` to the simulated device.  ``REPEAT``
+extends the runtime until steady-state power can be observed, exactly as
+the paper does for accurate power measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import constants, units
+from ..errors import KernelError
+from ..gpu import GPUDevice, KernelSpec
+from ..gpu.specs import MI250XSpec
+
+#: Bytes per element-iteration of the FMA variant (3 reads + 1 write).
+BYTES_PER_ELEMENT = 4 * 8
+#: Bytes per element-iteration of the stream-copy variant (1 read + 1 write).
+BYTES_PER_ELEMENT_COPY = 2 * 8
+
+#: Issue-boundness of the VAI kernel: the short unrolled FMA body between
+#: contiguous loads leaves little memory-level parallelism, so achievable
+#: bandwidth tracks the core clock almost 1:1 (the paper's observation
+#: that both roofline regions respond to frequency similarly).
+VAI_ISSUE_BW_FACTOR = 1.05
+
+#: Default array length: large enough to spill every cache (the paper
+#: sizes globalWIs to fill GPU memory).
+DEFAULT_GLOBAL_WIS = 2**28  # 256 Mi elements -> 2 GiB per array
+
+#: Minimum runtime for steady-state power measurement (paper: >= 20 s).
+DEFAULT_MIN_RUNTIME_S = 20.0
+
+
+def loopsize_for_intensity(intensity: float) -> int:
+    """The unroll factor realizing a given arithmetic intensity.
+
+    Only multiples of 1/16 are exactly realizable (2 flops per 32-byte
+    element step); the paper's grid (powers of two from 1/16 up) is.
+    """
+    if intensity <= 0:
+        raise KernelError("intensity must be positive for the FMA variant")
+    loopsize = intensity * 16
+    if abs(loopsize - round(loopsize)) > 1e-9 or round(loopsize) < 1:
+        raise KernelError(
+            f"intensity {intensity} is not realizable: LOOPSIZE would be "
+            f"{loopsize}; use multiples of 1/16"
+        )
+    return int(round(loopsize))
+
+
+def vai_kernel(
+    intensity: float,
+    *,
+    global_wis: int = DEFAULT_GLOBAL_WIS,
+    repeat: int = 1,
+    spec: Optional[MI250XSpec] = None,
+) -> KernelSpec:
+    """Build the Algorithm 1 kernel at ``intensity`` flops/byte.
+
+    ``intensity == 0`` yields the stream-copy variant.  The returned
+    kernel's flop/byte counts follow the paper's accounting exactly.
+    """
+    if global_wis <= 0:
+        raise KernelError("global_wis must be positive")
+    if repeat <= 0:
+        raise KernelError("repeat must be positive")
+    if intensity == 0:
+        nbytes = float(global_wis) * BYTES_PER_ELEMENT_COPY * repeat
+        return KernelSpec(
+            name="vai-copy",
+            flops=0.0,
+            hbm_bytes=nbytes,
+            issue_bw_factor=VAI_ISSUE_BW_FACTOR,
+        )
+    loopsize = loopsize_for_intensity(intensity)
+    nbytes = float(global_wis) * BYTES_PER_ELEMENT * repeat
+    flops = float(global_wis) * 2 * loopsize * repeat
+    return KernelSpec(
+        name=f"vai-{intensity:g}",
+        flops=flops,
+        hbm_bytes=nbytes,
+        issue_bw_factor=VAI_ISSUE_BW_FACTOR,
+    )
+
+
+@dataclass(frozen=True)
+class VAIPoint:
+    """One measured point of the VAI sweep."""
+
+    intensity: float
+    time_s: float
+    power_w: float
+    energy_j: float
+    tflops: float
+    gbps: float
+    f_core_mhz: float
+
+
+@dataclass(frozen=True)
+class VAIResult:
+    """A full VAI sweep on one device configuration."""
+
+    points: List[VAIPoint]
+
+    @property
+    def intensities(self) -> np.ndarray:
+        return np.array([p.intensity for p in self.points])
+
+    def column(self, name: str) -> np.ndarray:
+        """Extract a metric column across the sweep as an array."""
+        return np.array([getattr(p, name) for p in self.points])
+
+    def point_at(self, intensity: float) -> VAIPoint:
+        for p in self.points:
+            if p.intensity == intensity:
+                return p
+        raise KeyError(f"no VAI point at intensity {intensity}")
+
+
+class VAIBenchmark:
+    """Run the VAI sweep on a device, sizing REPEAT for steady state."""
+
+    def __init__(
+        self,
+        intensities: Sequence[float] = constants.VAI_INTENSITIES,
+        *,
+        global_wis: int = DEFAULT_GLOBAL_WIS,
+        min_runtime_s: float = DEFAULT_MIN_RUNTIME_S,
+    ) -> None:
+        self.intensities = tuple(intensities)
+        self.global_wis = global_wis
+        self.min_runtime_s = min_runtime_s
+
+    def _sized_kernel(self, intensity: float, device: GPUDevice) -> KernelSpec:
+        """Pick REPEAT so the kernel runs at least ``min_runtime_s``.
+
+        Sizing is done against the *uncapped* device so a given intensity
+        does identical work under every cap — the paper normalizes time to
+        the uncapped run of the same fixed-work kernel.
+        """
+        base = vai_kernel(intensity, global_wis=self.global_wis, repeat=1)
+        probe = GPUDevice(device.spec).run(base)
+        repeat = max(1, int(np.ceil(self.min_runtime_s / probe.time_s)))
+        return vai_kernel(
+            intensity, global_wis=self.global_wis, repeat=repeat
+        )
+
+    def run(self, device: GPUDevice) -> VAIResult:
+        """Execute the sweep under the device's current cap settings."""
+        points = []
+        for intensity in self.intensities:
+            kernel = self._sized_kernel(intensity, device)
+            r = device.run(kernel)
+            points.append(
+                VAIPoint(
+                    intensity=intensity,
+                    time_s=r.time_s,
+                    power_w=r.power_w,
+                    energy_j=r.energy_j,
+                    tflops=units.to_tflops(r.achieved_flops),
+                    gbps=units.to_gbps(r.achieved_bw),
+                    f_core_mhz=units.to_mhz(r.f_core_hz),
+                )
+            )
+        return VAIResult(points)
+
+
+def default_benchmark() -> VAIBenchmark:
+    """The paper's VAI configuration (AI grid 0, 1/16 ... 1024)."""
+    return VAIBenchmark()

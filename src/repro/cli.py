@@ -1,0 +1,221 @@
+"""Command-line interface.
+
+::
+
+    python -m repro list
+    python -m repro run fig4
+    python -m repro run all --nodes 128 --days 7 --out results/
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from .errors import ReproError
+from .experiments import EXPERIMENT_IDS, ExperimentConfig, run
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Exploring the Frontiers of Energy Efficiency "
+            "using Power Management at System Scale' (SC 2024)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument(
+        "experiment",
+        help=f"experiment id ({', '.join(EXPERIMENT_IDS)}) or 'all'",
+    )
+    run_p.add_argument(
+        "--nodes", type=int, default=96,
+        help="simulated fleet size (default 96; Frontier is 9408)",
+    )
+    run_p.add_argument(
+        "--days", type=float, default=4.0,
+        help="campaign length in days (default 4; the paper used 91)",
+    )
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument(
+        "--graph-scale", type=float, default=0.02,
+        help="Fig 7 network sizes relative to the paper (default 0.02)",
+    )
+    run_p.add_argument(
+        "--out", default=None, help="directory for per-experiment .txt files"
+    )
+    run_p.add_argument(
+        "--csv", action="store_true",
+        help="also export numeric series as CSV (requires --out)",
+    )
+
+    advise_p = sub.add_parser(
+        "advise",
+        help=(
+            "recommend per-job frequency caps from real data: a "
+            "sacct-style job log plus CSV power telemetry"
+        ),
+    )
+    advise_p.add_argument("sacct", help="sacct dump (JobID|Account|...)")
+    advise_p.add_argument(
+        "telemetry", help="telemetry CSV (time_s,node_id,gpu0_w..gpu3_w)"
+    )
+    advise_p.add_argument(
+        "--max-slowdown", type=float, default=5.0,
+        help="per-job slowdown budget, percent (default 5)",
+    )
+    advise_p.add_argument(
+        "--top", type=int, default=20,
+        help="how many jobs to print, largest energy first (default 20)",
+    )
+
+    report_p = sub.add_parser(
+        "report",
+        help="run the full pipeline and write a single markdown report",
+    )
+    report_p.add_argument(
+        "--out", default="REPORT.md", help="output path (default REPORT.md)"
+    )
+    report_p.add_argument("--nodes", type=int, default=96)
+    report_p.add_argument("--days", type=float, default=4.0)
+    report_p.add_argument("--seed", type=int, default=0)
+    report_p.add_argument(
+        "--graph-scale", type=float, default=0.02,
+    )
+    report_p.add_argument(
+        "--no-extensions", action="store_true",
+        help="limit the report to the paper's artifacts",
+    )
+    return parser
+
+
+def _advise(args) -> int:
+    from . import units
+    from .core import measured_factors
+    from .policy import CapAdvisor, fingerprint_jobs
+    from .scheduler.sacct import read_sacct
+    from .telemetry.io_csv import read_telemetry_csv_chunks
+
+    log = read_sacct(args.sacct)
+    fingerprints = fingerprint_jobs(
+        read_telemetry_csv_chunks(args.telemetry), log
+    )
+    if not fingerprints:
+        print("no jobs overlap the telemetry window", file=sys.stderr)
+        return 1
+    factors = measured_factors("frequency")
+    advisor = CapAdvisor(factors, max_slowdown_pct=args.max_slowdown)
+
+    total_energy = sum(fp.energy_j for fp in fingerprints.values())
+    total_saving = 0.0
+    rows = []
+    for fp in sorted(
+        fingerprints.values(), key=lambda f: f.energy_j, reverse=True
+    ):
+        rec = advisor.recommend(fp)
+        total_saving += rec.expected_saving_j
+        rows.append((fp, rec))
+
+    print(
+        f"{len(fingerprints)} jobs fingerprinted; "
+        f"{units.to_mwh(total_energy):.2f} MWh of GPU energy; "
+        f"expected saving {units.to_mwh(total_saving):.2f} MWh "
+        f"({100 * total_saving / total_energy:.1f} %) at <= "
+        f"{args.max_slowdown:g} % slowdown per job\n"
+    )
+    header = (
+        f"{'job':>8} {'domain':<8} {'family':<18} {'MWh':>8} "
+        f"{'cap':>9} {'save %':>7} {'dT %':>6}"
+    )
+    print(header)
+    for fp, rec in rows[: args.top]:
+        cap = f"{rec.cap:.0f} MHz" if rec.capped else "-"
+        save_pct = (
+            100 * rec.expected_saving_j / fp.energy_j if fp.energy_j else 0
+        )
+        print(
+            f"{fp.job_id:>8} {fp.domain:<8} {fp.family:<18} "
+            f"{units.to_mwh(fp.energy_j):8.3f} {cap:>9} "
+            f"{save_pct:7.2f} {rec.expected_slowdown_pct:6.2f}"
+        )
+    if len(rows) > args.top:
+        print(f"... and {len(rows) - args.top} more jobs")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "list":
+        for exp_id in EXPERIMENT_IDS:
+            print(exp_id)
+        return 0
+
+    if args.command == "advise":
+        try:
+            return _advise(args)
+        except (ReproError, OSError) as exc:
+            print(f"advise FAILED: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command == "report":
+        from .experiments.bundle import write_report
+
+        config = ExperimentConfig(
+            fleet_nodes=args.nodes,
+            days=args.days,
+            seed=args.seed,
+            graph_scale=args.graph_scale,
+        )
+        try:
+            path = write_report(
+                args.out, config,
+                include_extensions=not args.no_extensions,
+            )
+        except ReproError as exc:
+            print(f"report FAILED: {exc}", file=sys.stderr)
+            return 1
+        print(f"report written to {path}")
+        return 0
+
+    config = ExperimentConfig(
+        fleet_nodes=args.nodes,
+        days=args.days,
+        seed=args.seed,
+        graph_scale=args.graph_scale,
+        out_dir=args.out,
+    )
+    targets = (
+        list(EXPERIMENT_IDS)
+        if args.experiment == "all"
+        else [args.experiment]
+    )
+    status = 0
+    for exp_id in targets:
+        t0 = time.time()
+        try:
+            result = run(exp_id, config)
+        except ReproError as exc:
+            print(f"[{exp_id}] FAILED: {exc}", file=sys.stderr)
+            status = 1
+            continue
+        elapsed = time.time() - t0
+        if getattr(args, "csv", False) and args.out:
+            from .experiments.export import export_csv
+
+            export_csv(result, args.out)
+        print(f"===== {exp_id}: {result.title} ({elapsed:.1f} s) =====")
+        print(result.text)
+        print()
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Frontier system constants.
+
+These mirror Table I (system summary), Table IV (operating-region
+boundaries), Table VII (scheduling policy) and the campaign-level figures
+quoted in the paper (three months of telemetry, 16 820 MWh of GPU energy).
+
+Everything here is a *specification* constant; calibrated model parameters
+(power coefficients, voltage curves) live in :mod:`repro.gpu.specs`.
+"""
+
+from __future__ import annotations
+
+from . import units
+
+# --- Table I: Frontier system summary ---------------------------------------
+
+NUM_COMPUTE_NODES = 9408
+PEAK_PERFORMANCE_EFLOPS = 1.9
+PEAK_POWER_MW = 29.0
+GPUS_PER_NODE = 4           # AMD MI250X modules
+GCDS_PER_GPU = 2            # Graphics Compute Dies per MI250X
+GCDS_PER_NODE = GPUS_PER_NODE * GCDS_PER_GPU
+HBM_PER_GCD_BYTES = units.gib(64)
+GCD_MAX_POWER_W = 560.0     # per-module TDP; the paper reports per-GPU power
+GCD_MAX_FREQUENCY_HZ = units.mhz(1700)
+GCD_MIN_FREQUENCY_HZ = units.mhz(500)
+
+# Idle power of a fully-instantiated MI250X module (paper: 88-90 W).
+GPU_IDLE_POWER_W = 89.0
+
+# --- telemetry cadence (Table II) --------------------------------------------
+
+SENSOR_INTERVAL_S = 2.0       # raw out-of-band sensor cadence
+TELEMETRY_INTERVAL_S = 15.0   # aggregated cadence used for analysis
+ROCM_SMI_INTERVAL_S = 1.0     # in-band ROCm SMI polling cadence (Fig 2a)
+
+# --- campaign ----------------------------------------------------------------
+
+CAMPAIGN_DAYS = 91                      # "three months" of telemetry
+CAMPAIGN_SECONDS = units.days(CAMPAIGN_DAYS)
+CAMPAIGN_GPU_ENERGY_MWH = 16820.0       # total GPU energy over the campaign
+
+# --- Table IV: operating regions ---------------------------------------------
+
+# Boundaries in watts between the four modes of operation.
+REGION_LATENCY_MAX_W = 200.0       # region 1: latency / network / IO bound
+REGION_MEMORY_MAX_W = 420.0        # region 2: memory intensive
+REGION_COMPUTE_MAX_W = 560.0       # region 3: compute intensive
+# region 4: boosted frequency, >= 560 W
+
+# Paper-reported share of GPU hours in each region (%).
+PAPER_REGION_GPU_HOURS_PCT = (29.8, 49.5, 19.5, 1.1)
+
+# --- benchmark sweep grids ----------------------------------------------------
+
+FREQUENCY_CAPS_MHZ = (1700, 1500, 1300, 1100, 900, 700)
+POWER_CAPS_W = (560, 500, 400, 300, 200)
+MEMBENCH_POWER_CAPS_W = (560, 460, 380, 300, 200, 140)
+
+# VAI arithmetic-intensity grid: 0 is a stream copy; then powers of two
+# from 1/16 to 1024 (flops per byte).
+VAI_INTENSITIES = (0.0,) + tuple(2.0**e for e in range(-4, 11))
+
+# --- Table VII: Frontier job scheduling policy --------------------------------
+
+# (class, min nodes, max nodes, max walltime hours)
+SCHEDULING_POLICY = (
+    ("A", 5645, 9408, 12.0),
+    ("B", 1882, 5644, 12.0),
+    ("C", 184, 1881, 12.0),
+    ("D", 92, 183, 6.0),
+    ("E", 1, 91, 2.0),
+)
+
+JOB_SIZE_CLASSES = tuple(row[0] for row in SCHEDULING_POLICY)

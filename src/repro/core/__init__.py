@@ -1,0 +1,48 @@
+"""The paper's core contribution: telemetry-driven savings projection.
+
+Pipeline (Sections III-C/D and V of the paper):
+
+1. :mod:`repro.core.join`      — join telemetry with scheduler logs into a
+   :class:`~repro.core.join.CampaignCube` (energy and GPU-hours indexed by
+   domain x size class x operating region, plus power histograms);
+2. :mod:`repro.core.histogram` — streaming weighted histograms, KDE and
+   peak finding for the Fig 8/9 distributions;
+3. :mod:`repro.core.modes`     — modal decomposition into the four
+   operating regions (Table IV);
+4. :mod:`repro.core.characterization` — benchmark cap-response factors
+   (measured Table III, or the paper's published values);
+5. :mod:`repro.core.projection` — system-scale energy-savings projection
+   (Tables V and VI);
+6. :mod:`repro.core.domains` / :mod:`repro.core.heatmap` — per-domain
+   distributions (Fig 9) and domain x size-class heatmaps (Fig 10);
+7. :mod:`repro.core.report`    — plain-text renderers for every artifact.
+"""
+
+from .histogram import StreamingHistogram, find_power_modes
+from .join import CampaignCube, join_campaign
+from .modes import ModeTable, decompose_modes
+from .characterization import CapFactors, measured_factors, paper_factors
+from .projection import ProjectionRow, ProjectionTable, project_savings
+from .domains import domain_distributions
+from .heatmap import HeatmapPair, compute_heatmaps, select_red_domains
+from . import report
+
+__all__ = [
+    "StreamingHistogram",
+    "find_power_modes",
+    "CampaignCube",
+    "join_campaign",
+    "ModeTable",
+    "decompose_modes",
+    "CapFactors",
+    "measured_factors",
+    "paper_factors",
+    "ProjectionRow",
+    "ProjectionTable",
+    "project_savings",
+    "domain_distributions",
+    "HeatmapPair",
+    "compute_heatmaps",
+    "select_red_domains",
+    "report",
+]

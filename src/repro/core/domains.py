@@ -1,0 +1,68 @@
+"""Per-science-domain power distribution analysis (Fig 9).
+
+The disaggregation of the system-wide distribution into domains is what
+shows that GPU power is a usable proxy for resource utilization: each
+domain's applications cluster into a few modes, and the dominant region
+identifies the domain's workload family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import JoinError
+from .histogram import PowerMode, StreamingHistogram, find_power_modes
+from .join import IDLE_DOMAIN, CampaignCube
+
+
+@dataclass(frozen=True)
+class DomainDistribution:
+    """One Fig 9 panel."""
+
+    domain: str
+    histogram: StreamingHistogram
+    gpu_hours: float
+    energy_pct_of_campaign: float
+    region_pct: np.ndarray          # share of the domain's hours per region
+    modes: List[PowerMode]
+
+    @property
+    def dominant_region(self) -> int:
+        """1-based region holding the most GPU-hours."""
+        return int(np.argmax(self.region_pct)) + 1
+
+    @property
+    def is_multi_zone(self) -> bool:
+        """True when significant mass sits in 3+ regions (Fig 9 g-h)."""
+        return int(np.count_nonzero(self.region_pct >= 10.0)) >= 3
+
+
+def domain_distributions(cube: CampaignCube) -> Dict[str, DomainDistribution]:
+    """Build the Fig 9 panels for every (non-idle) domain."""
+    out: Dict[str, DomainDistribution] = {}
+    total_energy = cube.total_energy_j
+    if total_energy <= 0:
+        raise JoinError("campaign has no energy")
+    for name in cube.domains:
+        if name == IDLE_DOMAIN:
+            continue
+        d = cube.domain_idx(name)
+        hours_by_region = cube.gpu_hours[d].sum(axis=0)
+        hours = float(hours_by_region.sum())
+        if hours == 0:
+            continue
+        hist = cube.domain_histograms[name]
+        out[name] = DomainDistribution(
+            domain=name,
+            histogram=hist,
+            gpu_hours=hours,
+            energy_pct_of_campaign=float(
+                100.0 * cube.energy_j[d].sum() / total_energy
+            ),
+            region_pct=100.0 * hours_by_region / hours,
+            modes=find_power_modes(hist),
+        )
+    return out

@@ -1,0 +1,235 @@
+"""Telemetry x scheduler-log join.
+
+Telemetry alone has no job metadata (paper Section III-A); joining it with
+the SLURM log recovers, for every GPU power sample, the job — and hence
+the science domain and size class — that produced it.  The join output is
+a :class:`CampaignCube`: energy and GPU-hours indexed by
+``(domain, size class, operating region)``, plus the system-wide and
+per-domain power histograms.  Every downstream artifact (Table IV, V, VI,
+Fig 8, 9, 10) is a view of this cube, so the join runs once per campaign
+and streams in O(bins) memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Union
+
+import numpy as np
+
+from .. import constants
+from ..errors import JoinError
+from ..scheduler.log import SchedulerLog
+from ..telemetry.schema import TelemetryChunk
+from ..telemetry.store import TelemetryStore
+from .histogram import StreamingHistogram
+
+#: Pseudo-domain for samples with no running job.
+IDLE_DOMAIN = "_idle"
+#: Pseudo-class used for idle samples.
+IDLE_CLASS = "-"
+
+REGION_BOUNDS = (
+    constants.REGION_LATENCY_MAX_W,
+    constants.REGION_MEMORY_MAX_W,
+    constants.REGION_COMPUTE_MAX_W,
+)
+
+REGION_NAMES = (
+    "latency/network/IO bound",
+    "memory intensive",
+    "compute intensive",
+    "boosted frequency",
+)
+
+
+def region_index(power_w: np.ndarray) -> np.ndarray:
+    """Table IV region (0..3) of each power sample.
+
+    Boundary samples go to the upper region: 200 W is memory-intensive,
+    560 W is boosted (the paper's ">= 560" region 4).
+    """
+    return np.searchsorted(
+        np.asarray(REGION_BOUNDS), np.asarray(power_w), side="right"
+    )
+
+
+@dataclass
+class CampaignCube:
+    """Joined campaign statistics.
+
+    ``energy_j`` and ``gpu_hours`` have shape
+    ``(n_domains, n_classes, 4)`` where the last domain row is the idle
+    pseudo-domain and the last class column the idle pseudo-class.
+    """
+
+    domains: List[str]
+    classes: List[str]
+    energy_j: np.ndarray
+    gpu_hours: np.ndarray
+    histogram: StreamingHistogram
+    domain_histograms: Dict[str, StreamingHistogram]
+    interval_s: float = constants.TELEMETRY_INTERVAL_S
+    cpu_energy_j: float = 0.0
+
+    # -- index helpers -----------------------------------------------------------
+
+    def domain_idx(self, name: str) -> int:
+        try:
+            return self.domains.index(name)
+        except ValueError:
+            raise JoinError(f"unknown domain {name!r}") from None
+
+    def class_idx(self, name: str) -> int:
+        try:
+            return self.classes.index(name)
+        except ValueError:
+            raise JoinError(f"unknown size class {name!r}") from None
+
+    # -- aggregates --------------------------------------------------------------
+
+    @property
+    def total_energy_j(self) -> float:
+        return float(self.energy_j.sum())
+
+    @property
+    def total_gpu_hours(self) -> float:
+        return float(self.gpu_hours.sum())
+
+    def region_energy_j(self) -> np.ndarray:
+        """Energy per operating region, shape (4,)."""
+        return self.energy_j.sum(axis=(0, 1))
+
+    def region_gpu_hours(self) -> np.ndarray:
+        return self.gpu_hours.sum(axis=(0, 1))
+
+    def busy_view(self) -> "CampaignCube":
+        """The cube without the idle pseudo-domain/class rows."""
+        d = [x for x in self.domains if x != IDLE_DOMAIN]
+        c = [x for x in self.classes if x != IDLE_CLASS]
+        d_idx = [self.domains.index(x) for x in d]
+        c_idx = [self.classes.index(x) for x in c]
+        return CampaignCube(
+            domains=d,
+            classes=c,
+            energy_j=self.energy_j[np.ix_(d_idx, c_idx)],
+            gpu_hours=self.gpu_hours[np.ix_(d_idx, c_idx)],
+            histogram=self.histogram,
+            domain_histograms={
+                k: v for k, v in self.domain_histograms.items() if k in d
+            },
+            interval_s=self.interval_s,
+            cpu_energy_j=self.cpu_energy_j,
+        )
+
+    def select(
+        self, domains: Iterable[str], classes: Iterable[str]
+    ) -> "CampaignCube":
+        """Restrict the cube to selected domains and classes (Table VI)."""
+        d = list(domains)
+        c = list(classes)
+        d_idx = [self.domain_idx(x) for x in d]
+        c_idx = [self.class_idx(x) for x in c]
+        return CampaignCube(
+            domains=d,
+            classes=c,
+            energy_j=self.energy_j[np.ix_(d_idx, c_idx)],
+            gpu_hours=self.gpu_hours[np.ix_(d_idx, c_idx)],
+            histogram=self.histogram,
+            domain_histograms={
+                k: v for k, v in self.domain_histograms.items() if k in d
+            },
+            interval_s=self.interval_s,
+            cpu_energy_j=self.cpu_energy_j,
+        )
+
+
+def join_campaign(
+    telemetry: Union[TelemetryStore, Iterable[TelemetryChunk]],
+    log: SchedulerLog,
+) -> CampaignCube:
+    """Join telemetry with the scheduler log into a campaign cube.
+
+    Accepts a materialized store or any iterable of chunks (streaming
+    mode); statistics are identical either way.
+    """
+    jobs = log.job_by_id()
+    domains = sorted({j.domain for j in jobs.values()}) + [IDLE_DOMAIN]
+    classes = list(constants.JOB_SIZE_CLASSES) + [IDLE_CLASS]
+    d_index = {name: i for i, name in enumerate(domains)}
+    c_index = {name: i for i, name in enumerate(classes)}
+
+    energy = np.zeros((len(domains), len(classes), 4))
+    hours = np.zeros_like(energy)
+    hist = StreamingHistogram()
+    domain_hists = {name: StreamingHistogram() for name in domains}
+    cpu_energy = 0.0
+
+    if isinstance(telemetry, TelemetryStore):
+        chunks: Iterable[TelemetryChunk] = [telemetry.chunk]
+        interval = telemetry.interval_s
+    else:
+        chunks = telemetry
+        interval = constants.TELEMETRY_INTERVAL_S
+
+    hours_per_sample = interval / 3600.0
+
+    # Vectorized job-id -> (domain, class) lookup tables.
+    max_jid = max(jobs, default=0)
+    dom_of_job = np.full(max_jid + 1, d_index[IDLE_DOMAIN], dtype=np.int64)
+    cls_of_job = np.full(max_jid + 1, c_index[IDLE_CLASS], dtype=np.int64)
+    for jid, job in jobs.items():
+        dom_of_job[jid] = d_index[job.domain]
+        cls_of_job[jid] = c_index[job.size_class]
+
+    saw_any = False
+    for chunk in chunks:
+        saw_any = True
+        cpu_energy += float(chunk.cpu_power_w.sum(dtype=np.float64)) * interval
+        # Label each row with (domain, class) via the scheduler log.
+        d_row = np.full(len(chunk), d_index[IDLE_DOMAIN], dtype=np.int64)
+        c_row = np.full(len(chunk), c_index[IDLE_CLASS], dtype=np.int64)
+        for node in np.unique(chunk.node_id):
+            mask = chunk.node_id == node
+            jid = log.job_id_grid(chunk.time_s[mask], int(node))
+            rows = np.flatnonzero(mask)
+            d_row[rows] = dom_of_job[jid]
+            c_row[rows] = cls_of_job[jid]
+
+        power = chunk.gpu_power_w  # (n, gpus)
+        reg = region_index(power)
+        # Accumulate the 3-D cube with one bincount over composite keys.
+        n_d, n_c = len(domains), len(classes)
+        key = (
+            (d_row[:, None] * n_c + c_row[:, None]) * 4 + reg
+        ).reshape(-1)
+        flat_p = power.reshape(-1).astype(np.float64)
+        minlength = n_d * n_c * 4
+        energy += (
+            np.bincount(key, weights=flat_p, minlength=minlength).reshape(
+                n_d, n_c, 4
+            )
+            * interval
+        )
+        hours += np.bincount(key, minlength=minlength).reshape(
+            n_d, n_c, 4
+        ) * hours_per_sample
+
+        hist.add(flat_p)
+        for name, i in d_index.items():
+            sel = d_row == i
+            if sel.any():
+                domain_hists[name].add(power[sel].reshape(-1))
+
+    if not saw_any:
+        raise JoinError("no telemetry chunks to join")
+    return CampaignCube(
+        domains=domains,
+        classes=classes,
+        energy_j=energy,
+        gpu_hours=hours,
+        histogram=hist,
+        domain_histograms=domain_hists,
+        interval_s=interval,
+        cpu_energy_j=cpu_energy,
+    )

@@ -1,0 +1,112 @@
+"""Modal decomposition of the power distribution (Table IV).
+
+The paper partitions the GPU power axis into four operating regions using
+the benchmark characterization of Section IV: frequency/power capping only
+showed savings in the memory- and compute-intensive regions, so the
+decomposition is what turns a raw power distribution into projectable
+per-mode energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .. import units
+from ..errors import ProjectionError
+from .join import REGION_BOUNDS, REGION_NAMES, CampaignCube
+
+
+@dataclass(frozen=True)
+class ModeRow:
+    """One row of Table IV."""
+
+    region: int                  # 1-based, as the paper numbers them
+    name: str
+    range_w: Tuple[float, float]
+    gpu_hours: float
+    gpu_hours_pct: float
+    energy_mwh: float
+    energy_pct: float
+
+
+@dataclass(frozen=True)
+class ModeTable:
+    """The full Table IV plus energy columns used by the projection."""
+
+    rows: List[ModeRow]
+
+    def row(self, region: int) -> ModeRow:
+        for r in self.rows:
+            if r.region == region:
+                return r
+        raise ProjectionError(f"no region {region}")
+
+    @property
+    def gpu_hours_pct(self) -> np.ndarray:
+        return np.array([r.gpu_hours_pct for r in self.rows])
+
+    @property
+    def energy_mwh(self) -> np.ndarray:
+        return np.array([r.energy_mwh for r in self.rows])
+
+
+def decompose_modes(
+    cube: CampaignCube,
+    *,
+    boundaries: Sequence[float] = REGION_BOUNDS,
+) -> ModeTable:
+    """Compute Table IV from a joined campaign.
+
+    Custom ``boundaries`` support the ablation study on mode-boundary
+    sensitivity; with non-default boundaries the region masses are
+    recomputed from the campaign histogram rather than the cube (whose
+    region axis is binned at the default boundaries).
+    """
+    boundaries = tuple(boundaries)
+    if list(boundaries) != sorted(boundaries) or len(boundaries) != 3:
+        raise ProjectionError("need three increasing region boundaries")
+
+    if boundaries == tuple(REGION_BOUNDS):
+        hours = cube.region_gpu_hours()
+        energy = cube.region_energy_j()
+    else:
+        hist = cube.histogram
+        lo_edges = (0.0,) + boundaries
+        hi_edges = boundaries + (float("inf"),)
+        fractions = np.array(
+            [hist.range_fraction(lo, hi) for lo, hi in zip(lo_edges, hi_edges)]
+        )
+        weights = np.array(
+            [hist.range_weight(lo, hi) for lo, hi in zip(lo_edges, hi_edges)]
+        )
+        hours = fractions * cube.total_gpu_hours
+        total_w = weights.sum()
+        energy = (
+            weights / total_w * cube.total_energy_j
+            if total_w
+            else np.zeros(4)
+        )
+
+    total_hours = hours.sum()
+    total_energy = energy.sum()
+    if total_hours == 0:
+        raise ProjectionError("campaign has no samples")
+
+    lo_edges = (0.0,) + boundaries
+    hi_edges = boundaries + (float("inf"),)
+    rows = [
+        ModeRow(
+            region=i + 1,
+            name=REGION_NAMES[i],
+            range_w=(lo_edges[i], hi_edges[i]),
+            gpu_hours=float(hours[i]),
+            gpu_hours_pct=float(100 * hours[i] / total_hours),
+            energy_mwh=units.to_mwh(float(energy[i])),
+            energy_pct=float(100 * energy[i] / total_energy),
+        )
+        for i in range(4)
+    ]
+    return ModeTable(rows=rows)

@@ -1,0 +1,182 @@
+"""Plain-text renderers for every reproduced table and figure.
+
+Each ``render_*`` function returns a string formatted like the paper's
+artifact so the benchmark harness can print the same rows/series the
+paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..bench.tables import Table3
+from .domains import DomainDistribution
+from .heatmap import HeatmapPair
+from .modes import ModeTable
+from .projection import ProjectionTable
+
+
+def _rule(widths: Sequence[int]) -> str:
+    return "+".join("-" * (w + 2) for w in widths)
+
+
+def format_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Fixed-width ASCII table."""
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        _rule(widths),
+    ]
+    for r in rows:
+        lines.append(" | ".join(r[i].rjust(widths[i]) for i in range(len(r))))
+    return "\n".join(lines)
+
+
+def render_table3(table: Table3) -> str:
+    """Table III: benchmark cap response."""
+    unit = "MHz" if table.knob == "frequency" else "W"
+    headers = [
+        f"cap ({unit})",
+        "VAI power%", "VAI runtime%", "VAI energy%",
+        "MB power%", "MB runtime%", "MB energy%",
+    ]
+    rows = [
+        [
+            f"{r.cap:.0f}",
+            f"{r.vai_power_pct:.1f}", f"{r.vai_runtime_pct:.1f}",
+            f"{r.vai_energy_pct:.1f}",
+            f"{r.mb_power_pct:.1f}", f"{r.mb_runtime_pct:.1f}",
+            f"{r.mb_energy_pct:.1f}",
+        ]
+        for r in table.rows
+    ]
+    return (
+        f"Table III ({table.knob} cap): benchmark response, % of uncapped\n"
+        + format_table(headers, rows)
+    )
+
+
+def render_table4(table: ModeTable) -> str:
+    """Table IV: operating regions."""
+    headers = ["region", "mode", "range (W)", "GPU hrs (%)", "energy (%)"]
+    rows = []
+    for r in table.rows:
+        hi = "inf" if r.range_w[1] == float("inf") else f"{r.range_w[1]:.0f}"
+        rows.append(
+            [
+                str(r.region),
+                r.name,
+                f"{r.range_w[0]:.0f}-{hi}",
+                f"{r.gpu_hours_pct:.1f}",
+                f"{r.energy_pct:.1f}",
+            ]
+        )
+    return "Table IV: GPU modalities and resource utilization\n" + format_table(
+        headers, rows
+    )
+
+
+def render_table5(table: ProjectionTable) -> str:
+    """Table V (or VI): projected savings."""
+    unit = "MHz" if table.knob == "frequency" else "W"
+    headers = [
+        f"cap ({unit})", "C.I. (MWh)", "M.I. (MWh)", "T.S. (MWh)",
+        "savings (%)", "dT (%)", "savings dT=0 (%)",
+    ]
+    rows = [
+        [
+            f"{r.cap:.0f}",
+            f"{r.ci_mwh:.1f}", f"{r.mi_mwh:.1f}", f"{r.total_mwh:.1f}",
+            f"{r.savings_pct:.2f}", f"{r.runtime_increase_pct:.2f}",
+            f"{r.savings_no_slowdown_pct:.2f}",
+        ]
+        for r in table.rows
+        if r.total_mwh != 0.0 or r.cap not in (1700.0, 560.0)
+    ]
+    return (
+        f"Projected savings ({table.knob} cap), total campaign "
+        f"{table.total_energy_mwh:.0f} MWh\n" + format_table(headers, rows)
+    )
+
+
+def render_fig8(hist) -> str:
+    """Fig 8 series: the system-wide power distribution."""
+    dens = hist.smoothed_density()
+    lines = ["Fig 8: system-wide GPU power distribution (W, density)"]
+    step = max(1, hist.n_bins // 64)
+    for i in range(0, hist.n_bins, step):
+        bar = "#" * int(60 * dens[i] / dens.max()) if dens.max() else ""
+        lines.append(f"{hist.centers[i]:7.1f} {dens[i]:.3e} {bar}")
+    return "\n".join(lines)
+
+
+def render_fig9(distributions: Dict[str, DomainDistribution]) -> str:
+    """Fig 9 summary: per-domain modality."""
+    headers = [
+        "domain", "GPU hrs", "energy %", "r1 %", "r2 %", "r3 %", "r4 %",
+        "dominant", "modes (W)",
+    ]
+    rows = []
+    for name in sorted(distributions):
+        d = distributions[name]
+        rows.append(
+            [
+                name,
+                f"{d.gpu_hours:.0f}",
+                f"{d.energy_pct_of_campaign:.1f}",
+                *(f"{x:.1f}" for x in d.region_pct),
+                str(d.dominant_region) + ("*" if d.is_multi_zone else ""),
+                ",".join(f"{m.power_w:.0f}" for m in d.modes[:5]),
+            ]
+        )
+    return (
+        "Fig 9: science-domain characterization (* = multi-zone)\n"
+        + format_table(headers, rows)
+    )
+
+
+def render_fig10(heatmaps: HeatmapPair) -> str:
+    """Fig 10: energy and savings heatmaps."""
+    out = [
+        f"Fig 10(a): total GPU energy (MWh) by domain x size class",
+    ]
+    headers = ["domain"] + list(heatmaps.classes)
+    rows = [
+        [d] + [f"{heatmaps.energy_mwh[i, j]:.0f}" for j in range(len(heatmaps.classes))]
+        for i, d in enumerate(heatmaps.domains)
+    ]
+    out.append(format_table(headers, rows))
+    out.append(
+        f"\nFig 10(b): projected savings (MWh) at {heatmaps.cap:.0f} MHz"
+    )
+    red = heatmaps.savings_threshold()
+    rows = []
+    for i, d in enumerate(heatmaps.domains):
+        row = [d]
+        for j in range(len(heatmaps.classes)):
+            v = heatmaps.savings_mwh[i, j]
+            mark = "*" if v >= red else " "
+            row.append(f"{v:.1f}{mark}")
+        rows.append(row)
+    out.append(format_table(headers, rows))
+    out.append("(* = red cell: top-quantile savings)")
+    return "\n".join(out)
+
+
+def render_series(
+    title: str, x_label: str, x: Sequence, columns: Dict[str, Sequence]
+) -> str:
+    """Generic figure-series renderer (Figs 2, 4, 5, 6, 7)."""
+    headers = [x_label] + list(columns)
+    rows = []
+    for i in range(len(x)):
+        rows.append(
+            [f"{x[i]:g}"]
+            + [f"{np.asarray(col)[i]:.4g}" for col in columns.values()]
+        )
+    return f"{title}\n" + format_table(headers, rows)

@@ -1,0 +1,122 @@
+"""Time-resolved fleet power.
+
+Aggregates telemetry into a fleet power time series — the view a
+facility operator watches: total GPU draw in megawatts, its peaks, and
+the load-duration curve.  Streaming like everything else: chunks
+accumulate into per-time-bin sums, so fleet size never matters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Union
+
+import numpy as np
+
+from .. import constants, units
+from ..errors import TelemetryError
+from ..telemetry.schema import TelemetryChunk
+from ..telemetry.store import TelemetryStore
+
+
+@dataclass(frozen=True)
+class FleetTimeline:
+    """Fleet GPU power over time."""
+
+    times_s: np.ndarray        # bin start times
+    gpu_power_w: np.ndarray    # fleet GPU power per bin
+    cpu_power_w: np.ndarray    # fleet CPU power per bin
+    interval_s: float
+
+    def __post_init__(self) -> None:
+        if len(self.times_s) != len(self.gpu_power_w):
+            raise TelemetryError("timeline columns must align")
+
+    @property
+    def peak_w(self) -> float:
+        return float(self.gpu_power_w.max())
+
+    @property
+    def mean_w(self) -> float:
+        return float(self.gpu_power_w.mean())
+
+    @property
+    def peak_time_s(self) -> float:
+        return float(self.times_s[int(np.argmax(self.gpu_power_w))])
+
+    @property
+    def peak_to_mean(self) -> float:
+        """The provisioning headroom a flat power budget must cover."""
+        return self.peak_w / self.mean_w if self.mean_w else 0.0
+
+    def energy_mwh(self) -> float:
+        return units.to_mwh(
+            float(self.gpu_power_w.sum(dtype=np.float64)) * self.interval_s
+        )
+
+    def duration_curve(self, n_points: int = 100) -> np.ndarray:
+        """Load-duration curve: power exceeded for each time fraction.
+
+        ``curve[i]`` is the fleet power exceeded during fraction
+        ``i / (n_points - 1)`` of the campaign — the standard utility
+        view of how peaky a load is.
+        """
+        if n_points < 2:
+            raise TelemetryError("need at least 2 curve points")
+        sorted_desc = np.sort(self.gpu_power_w)[::-1]
+        idx = np.minimum(
+            (np.linspace(0, 1, n_points) * (len(sorted_desc) - 1)).astype(int),
+            len(sorted_desc) - 1,
+        )
+        return sorted_desc[idx]
+
+    def exceedance_fraction(self, threshold_w: float) -> float:
+        """Fraction of the campaign the fleet draws above ``threshold_w``."""
+        if len(self.gpu_power_w) == 0:
+            return 0.0
+        return float((self.gpu_power_w > threshold_w).mean())
+
+
+def fleet_timeline(
+    telemetry: Union[TelemetryStore, Iterable[TelemetryChunk]],
+    *,
+    horizon_s: float,
+    interval_s: float = constants.TELEMETRY_INTERVAL_S,
+) -> FleetTimeline:
+    """Build the fleet timeline from telemetry (streaming)."""
+    if horizon_s <= 0 or interval_s <= 0:
+        raise TelemetryError("horizon and interval must be positive")
+    n_bins = int(np.ceil(horizon_s / interval_s))
+    gpu = np.zeros(n_bins)
+    cpu = np.zeros(n_bins)
+
+    if isinstance(telemetry, TelemetryStore):
+        chunks: Iterable[TelemetryChunk] = [telemetry.chunk]
+    else:
+        chunks = telemetry
+
+    saw_any = False
+    for chunk in chunks:
+        saw_any = True
+        idx = (chunk.time_s / interval_s).astype(np.int64)
+        if len(idx) and (idx.min() < 0 or idx.max() >= n_bins):
+            raise TelemetryError("sample outside the declared horizon")
+        gpu += np.bincount(
+            idx,
+            weights=chunk.gpu_power_w.sum(axis=1, dtype=np.float64),
+            minlength=n_bins,
+        )
+        cpu += np.bincount(
+            idx,
+            weights=chunk.cpu_power_w.astype(np.float64),
+            minlength=n_bins,
+        )
+    if not saw_any:
+        raise TelemetryError("no telemetry chunks for the timeline")
+
+    return FleetTimeline(
+        times_s=np.arange(n_bins) * interval_s,
+        gpu_power_w=gpu,
+        cpu_power_w=cpu,
+        interval_s=interval_s,
+    )

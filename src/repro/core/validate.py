@@ -1,0 +1,127 @@
+"""Validation of the power-proxy method: how diffuse are the regions?
+
+The paper concedes that "boundary regions may be diffused into one
+another": a 15-second power sample near 200 W or 420 W could belong to
+either neighbouring mode.  Because the simulated fleet knows the ground
+truth — every sample is drawn from a known profile phase — the diffusion
+can be *quantified*: this module computes, per profile phase, the
+probability that sampling noise pushes a sample across a region boundary,
+and aggregates that into a region-level confusion matrix.
+
+The computation is analytic (Gaussian tail mass per phase), so it is
+exact up to the phase model rather than Monte Carlo noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+from scipy import stats
+
+from .. import constants
+from ..errors import ProjectionError
+from ..telemetry.profiles import PROFILES, PowerProfile
+from .join import REGION_BOUNDS
+
+#: Effective noise on an aggregated 15 s sample (sensor noise shrinks by
+#: sqrt(samples per window)).
+_AGGREGATED_NOISE_W = 2.5 / np.sqrt(
+    constants.TELEMETRY_INTERVAL_S / constants.SENSOR_INTERVAL_S
+)
+
+
+@dataclass(frozen=True)
+class RegionConfusion:
+    """Region-level confusion of the power-proxy classification."""
+
+    matrix: np.ndarray          # (4, 4): true region -> observed region
+    accuracy: float             # trace / total
+    per_region_accuracy: np.ndarray
+
+    def misclassified_fraction(self) -> float:
+        return 1.0 - self.accuracy
+
+
+def phase_region_mass(
+    mean_w: float,
+    std_w: float,
+    boundaries: Sequence[float] = REGION_BOUNDS,
+) -> np.ndarray:
+    """Probability mass of N(mean, std) in each region."""
+    if std_w < 0:
+        raise ProjectionError("negative standard deviation")
+    sigma = float(np.hypot(std_w, _AGGREGATED_NOISE_W))
+    edges = np.concatenate([[-np.inf], np.asarray(boundaries), [np.inf]])
+    cdf = stats.norm.cdf(edges, loc=mean_w, scale=sigma)
+    return np.diff(cdf)
+
+
+def profile_confusion(
+    profile: PowerProfile,
+    boundaries: Sequence[float] = REGION_BOUNDS,
+) -> np.ndarray:
+    """(4, 4) matrix: true region of each phase -> observed region mass."""
+    bounds = np.asarray(boundaries)
+    matrix = np.zeros((4, 4))
+    for phase, weight in zip(profile.phases, profile.weights):
+        true_region = int(np.searchsorted(bounds, phase.mean_w, side="right"))
+        matrix[true_region] += weight * phase_region_mass(
+            phase.mean_w, phase.std_w, boundaries
+        )
+    return matrix
+
+
+def fleet_confusion(
+    profile_weights: Optional[Dict[str, float]] = None,
+    boundaries: Sequence[float] = REGION_BOUNDS,
+) -> RegionConfusion:
+    """Aggregate confusion over a mix of profiles.
+
+    ``profile_weights`` maps profile names to fleet weights (defaults to
+    a uniform mix over the library).
+    """
+    if profile_weights is None:
+        profile_weights = {name: 1.0 for name in PROFILES}
+    total = sum(profile_weights.values())
+    if total <= 0:
+        raise ProjectionError("profile weights must have positive mass")
+
+    matrix = np.zeros((4, 4))
+    for name, weight in profile_weights.items():
+        if name not in PROFILES:
+            raise ProjectionError(f"unknown profile {name!r}")
+        matrix += (weight / total) * profile_confusion(
+            PROFILES[name], boundaries
+        )
+
+    row_sums = matrix.sum(axis=1)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        per_region = np.where(
+            row_sums > 0, np.diag(matrix) / row_sums, 1.0
+        )
+    return RegionConfusion(
+        matrix=matrix,
+        accuracy=float(np.trace(matrix) / matrix.sum()),
+        per_region_accuracy=per_region,
+    )
+
+
+def render_confusion(confusion: RegionConfusion) -> str:
+    """Readable confusion report."""
+    lines = [
+        "power-proxy region classification (rows = true, cols = observed)",
+        "        r1      r2      r3      r4",
+    ]
+    for i in range(4):
+        cells = " ".join(f"{confusion.matrix[i, j]:7.4f}" for j in range(4))
+        lines.append(f"r{i + 1}  {cells}")
+    lines.append(
+        f"overall accuracy {100 * confusion.accuracy:.2f} %; per-region "
+        + ", ".join(
+            f"r{i + 1}={100 * a:.1f}%"
+            for i, a in enumerate(confusion.per_region_accuracy)
+        )
+    )
+    return "\n".join(lines)

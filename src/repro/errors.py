@@ -1,0 +1,47 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SpecError(ReproError):
+    """A hardware specification is inconsistent or out of range."""
+
+
+class KernelError(ReproError):
+    """A kernel descriptor is malformed (negative flops, bad locality, ...)."""
+
+
+class CapError(ReproError):
+    """A frequency or power cap request is outside the device's range."""
+
+
+class GraphError(ReproError):
+    """A graph structure is invalid (bad CSR, dangling edge, ...)."""
+
+
+class ScheduleError(ReproError):
+    """The scheduler was asked to do something impossible (job too large...)."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry data is malformed or inconsistent with its schema."""
+
+
+class JoinError(ReproError):
+    """Telemetry and scheduler records cannot be joined."""
+
+
+class ProjectionError(ReproError):
+    """The savings projection was given inconsistent inputs."""
+
+
+class ExperimentError(ReproError):
+    """An experiment id is unknown or an experiment failed to run."""

@@ -1,0 +1,22 @@
+"""Experiment runners: one module per paper table/figure.
+
+Each experiment regenerates the rows/series of one published artifact on
+the simulated substrate.  Use :func:`repro.experiments.registry.run` or
+the CLI (``python -m repro run fig4``).
+"""
+
+from .registry import (
+    EXPERIMENT_IDS,
+    ExperimentConfig,
+    ExperimentResult,
+    get_experiment,
+    run,
+)
+
+__all__ = [
+    "EXPERIMENT_IDS",
+    "ExperimentConfig",
+    "ExperimentResult",
+    "get_experiment",
+    "run",
+]

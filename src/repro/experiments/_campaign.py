@@ -1,0 +1,40 @@
+"""Shared campaign construction for the telemetry-driven experiments.
+
+Fig 8/9/10 and Tables IV/V/VI all consume the same joined campaign; this
+module builds it once per configuration and caches it for the process
+lifetime, so ``repro run all`` does not regenerate the fleet per artifact.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from .. import units
+from ..core import CampaignCube, join_campaign
+from ..scheduler import SlurmSimulator, default_mix
+from ..scheduler.log import SchedulerLog
+from ..telemetry import FleetTelemetryGenerator
+
+
+@lru_cache(maxsize=4)
+def build_campaign(
+    fleet_nodes: int, days: float, seed: int
+) -> tuple:
+    """(SchedulerLog, CampaignCube) for one configuration (cached)."""
+    mix = default_mix(fleet_nodes=fleet_nodes)
+    log = SlurmSimulator(mix).run(units.days(days), rng=seed)
+    gen = FleetTelemetryGenerator(log, mix, seed=seed + 1000)
+    # Stream in node blocks: memory stays bounded at any fleet size.
+    cube = join_campaign(gen.chunks(nodes_per_chunk=16), log)
+    return log, cube
+
+
+def campaign_cube(config) -> CampaignCube:
+    """The joined campaign for an :class:`ExperimentConfig`."""
+    _log, cube = build_campaign(config.fleet_nodes, config.days, config.seed)
+    return cube
+
+
+def campaign_log(config) -> SchedulerLog:
+    log, _cube = build_campaign(config.fleet_nodes, config.days, config.seed)
+    return log

@@ -1,0 +1,73 @@
+"""CSV export of experiment data.
+
+Each experiment returns a ``data`` dict alongside its rendered text; this
+module flattens the array-valued entries into CSV files so the regenerated
+series can be re-plotted with any tool.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+from .registry import ExperimentResult
+
+
+def _flatten(prefix: str, value, out: Dict[str, np.ndarray]) -> None:
+    """Collect 1-D numeric arrays (and scalars) under dotted keys."""
+    if isinstance(value, dict):
+        for k, v in value.items():
+            _flatten(f"{prefix}.{k}" if prefix else str(k), v, out)
+        return
+    if isinstance(value, (int, float, np.floating, np.integer)):
+        out[prefix] = np.array([value])
+        return
+    if isinstance(value, (list, tuple)):
+        arr = np.asarray(value)
+        if arr.dtype.kind in "if" and arr.ndim == 1:
+            out[prefix] = arr
+        return
+    if isinstance(value, np.ndarray):
+        if value.dtype.kind in "if":
+            if value.ndim == 1:
+                out[prefix] = value
+            elif value.ndim == 2:
+                for i in range(value.shape[0]):
+                    out[f"{prefix}[{i}]"] = value[i]
+        return
+    # Non-numeric payloads (strings, result objects) are not exportable.
+
+
+def export_csv(result: ExperimentResult, out_dir: str) -> List[Path]:
+    """Write the numeric content of an experiment to CSV.
+
+    Columns of equal length are grouped into one file per length so
+    related series (e.g. an x-axis and its y-columns) stay together.
+    Returns the written paths (empty if nothing was exportable).
+    """
+    flat: Dict[str, np.ndarray] = {}
+    _flatten("", result.data, flat)
+    if not flat:
+        return []
+
+    by_length: Dict[int, Dict[str, np.ndarray]] = {}
+    for key, arr in flat.items():
+        by_length.setdefault(len(arr), {})[key] = arr
+
+    path = Path(out_dir)
+    path.mkdir(parents=True, exist_ok=True)
+    written: List[Path] = []
+    for length, columns in sorted(by_length.items()):
+        suffix = "" if len(by_length) == 1 else f"_{length}"
+        out = path / f"{result.exp_id}{suffix}.csv"
+        with out.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            names = sorted(columns)
+            writer.writerow(names)
+            for i in range(length):
+                writer.writerow([f"{columns[n][i]:.10g}" for n in names])
+        written.append(out)
+    return written

@@ -1,0 +1,69 @@
+"""Extension: per-kernel governor vs static capping.
+
+Compares the idealized sensitivity-aware DVFS governor against the
+paper's static caps on a mixed kernel stream (memory streams + compute
+kernels at comparable energy weight): the governor banks the
+memory-side savings of a deep static cap at none of its runtime cost.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from ..bench.membench import membench_kernel
+from ..bench.vai import vai_kernel
+from ..gpu.governor import SensitivityGovernor, governor_vs_static
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def _mixed_stream():
+    stream = membench_kernel(units.gib(1), passes=5)
+    return [stream, stream, stream, vai_kernel(16.0), vai_kernel(256.0)]
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    kernels = _mixed_stream()
+    lines = ["per-kernel decisions (2 % slowdown tolerance):"]
+    governor = SensitivityGovernor()
+    for kernel in {k.name: k for k in kernels}.values():
+        d = governor.decide(kernel)
+        state = f"{d.f_mhz:.0f} MHz cap" if d.capped else "uncapped"
+        lines.append(
+            f"  {kernel.name:<22} -> {state:<14} "
+            f"(predicted {d.predicted_power_w:.0f} W, "
+            f"slowdown x{d.predicted_slowdown:.3f})"
+        )
+
+    results = {}
+    lines.append("")
+    lines.append(
+        f"{'strategy':<10} {'saving %':>9} {'slowdown %':>11}"
+    )
+    for cap in (1300.0, 900.0):
+        cmp = governor_vs_static(kernels, static_cap_mhz=cap)
+        results[cap] = cmp
+        lines.append(
+            f"static{cap:5.0f} {cmp['static']['saving_pct']:9.2f} "
+            f"{cmp['static']['slowdown_pct']:11.2f}"
+        )
+    gov = results[900.0]["governor"]
+    lines.append(
+        f"{'governor':<10} {gov['saving_pct']:9.2f} "
+        f"{gov['slowdown_pct']:11.2f}"
+    )
+    lines.append(
+        "\nthe governor banks the *free* share of the static caps' "
+        "savings (the memory-side energy) at ~zero runtime cost; the "
+        "remainder is fundamentally a runtime trade that only a deeper "
+        "slowdown tolerance can buy — the kernel-granularity endpoint of "
+        "the paper's sensitivity-aware future work."
+    )
+    return ExperimentResult(
+        exp_id="ext_governor",
+        title="",
+        text="\n".join(lines),
+        data={
+            "governor": gov,
+            "static_900": results[900.0]["static"],
+            "static_1300": results[1300.0]["static"],
+        },
+    )

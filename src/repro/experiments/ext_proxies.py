@@ -1,0 +1,65 @@
+"""Extension: proxy-application cap response.
+
+Runs the three proxy applications (dense solver, stencil, checkpoint-
+bound) under the frequency-cap grid and reports per-application slowdown
+and savings — the application-level face of the Table IV regions, and
+the workload diversity a per-job policy exploits.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from ..apps.proxies import ALL_PROXIES
+from ..core import report
+from ..gpu import GPUDevice
+from .registry import ExperimentConfig, ExperimentResult
+
+CAPS_MHZ = (1700, 1500, 1300, 1100, 900, 700)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    sections = []
+    data = {}
+    for key, factory in ALL_PROXIES.items():
+        app = factory()
+        base = app.run(GPUDevice())
+        rows = {"runtime_x": [], "saving_pct": [], "avg_power_w": []}
+        for mhz in CAPS_MHZ:
+            device = (
+                GPUDevice()
+                if mhz == 1700
+                else GPUDevice(frequency_cap_hz=units.mhz(mhz))
+            )
+            r = app.run(device)
+            rows["runtime_x"].append(r.total_time_s / base.total_time_s)
+            rows["saving_pct"].append(
+                100.0 * (1.0 - r.energy_j / base.energy_j)
+            )
+            rows["avg_power_w"].append(r.avg_power_w)
+        sections.append(
+            f"{app.name}: avg {base.avg_power_w:.0f} W, max "
+            f"{base.max_power_w:.0f} W, GPU busy "
+            f"{100 * base.gpu_time_s / base.total_time_s:.0f} % of wall"
+        )
+        sections.append(
+            report.render_series("  frequency sweep", "MHz",
+                                 list(CAPS_MHZ), rows)
+        )
+        sections.append("")
+        data[key] = {
+            "base_avg_power_w": base.avg_power_w,
+            **{k: list(v) for k, v in rows.items()},
+        }
+
+    sections.append(
+        "the stencil proxy saves double digits for free, the solver pays "
+        "~30-85 % runtime for single digits, and the checkpoint-bound app "
+        "barely moves — the per-application spread behind the per-job "
+        "policy (ext_policy)."
+    )
+    return ExperimentResult(
+        exp_id="ext_proxies",
+        title="",
+        text="\n".join(sections),
+        data=data,
+    )

@@ -1,0 +1,49 @@
+"""Extension: quantifying region-boundary diffusion.
+
+The paper: "boundary regions may be diffused into one another [but] the
+order of the zone classification is accurate".  With known ground truth,
+the diffusion is measurable: this experiment reports the analytic
+confusion matrix of the power-proxy classification under the fleet's
+profile mix, plus its sensitivity to boundary placement.
+"""
+
+from __future__ import annotations
+
+from ..core.validate import fleet_confusion, render_confusion
+from ..scheduler import default_mix
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    mix = default_mix(fleet_nodes=config.fleet_nodes)
+    weights = {d.profile: 0.0 for d in mix.domains}
+    for d in mix.domains:
+        weights[d.profile] += d.share
+
+    nominal = fleet_confusion(weights)
+    shifted = fleet_confusion(weights, boundaries=(220.0, 440.0, 560.0))
+
+    lines = [
+        render_confusion(nominal),
+        "",
+        "with boundaries shifted +20 W (220/440/560):",
+        f"  overall accuracy {100 * shifted.accuracy:.2f} % "
+        f"(nominal {100 * nominal.accuracy:.2f} %)",
+        "",
+        "conclusion: the 15 s power proxy assigns "
+        f"{100 * nominal.accuracy:.1f} % of busy samples to the correct "
+        "region; the diffusion the paper worries about is a "
+        f"{100 * nominal.misclassified_fraction():.1f} % effect and does "
+        "not disturb the zone ordering.",
+    ]
+    return ExperimentResult(
+        exp_id="ext_validation",
+        title="",
+        text="\n".join(lines),
+        data={
+            "matrix": nominal.matrix,
+            "accuracy": nominal.accuracy,
+            "per_region_accuracy": nominal.per_region_accuracy,
+            "shifted_accuracy": shifted.accuracy,
+        },
+    )

@@ -1,0 +1,59 @@
+"""Fig 1: schematic of a Frontier compute node and its MI250X GPUs.
+
+The paper's Fig 1 is an architecture diagram; the reproduction renders
+it from the simulated node's actual specification, so the picture and
+the model cannot drift apart.
+"""
+
+from __future__ import annotations
+
+from .. import constants, units
+from ..gpu.specs import NodeSpec
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    node = NodeSpec()
+    gpu = node.gpu
+    hbm_gib = constants.HBM_PER_GCD_BYTES / 2**30
+    cpu_label = f"CPU {node.cpu_idle_w:.0f}-{node.cpu_max_w:.0f} W"
+    gcd = f"| GCD {hbm_gib:.0f}GB HBM2e |"
+    rule = f"  +{'-' * (len(gcd) - 2)}+{'-' * (len(gcd) - 2)}+"
+    lines = [
+        "Fig 1: one Frontier compute node (simulated specification)",
+        "",
+        "  +--------------------------------------------+",
+        f"  | compute node: {cpu_label:<15} + 4x MI250X |",
+        "  +--------------------------------------------+",
+        "",
+    ]
+    for i in range(constants.GPUS_PER_NODE):
+        lines.append(f"  MI250X #{i}:")
+        lines.append(rule)
+        lines.append(f"  {gcd}{gcd[1:]}")
+        lines.append(rule)
+    lines += [
+        "",
+        f"per module : TDP {gpu.tdp_w:.0f} W, idle {gpu.idle_w:.0f} W, "
+        f"{units.to_mhz(gpu.f_min_hz):.0f}-"
+        f"{units.to_mhz(gpu.f_max_hz):.0f} MHz",
+        f"achievable : {units.to_tflops(gpu.achievable_flops):.0f} TFLOP/s "
+        f"(simple kernels), {units.to_gbps(gpu.achievable_hbm_bw):.0f} GB/s "
+        f"HBM, {units.to_mib(gpu.l2_bytes):.0f} MiB L2",
+        f"node       : {constants.GPUS_PER_NODE} modules = "
+        f"{constants.GCDS_PER_NODE} user-visible GCDs; "
+        f"{constants.NUM_COMPUTE_NODES} nodes in the fleet",
+        "(each GCD appears to users as one GPU; power telemetry and the "
+        "region boundaries are module-level)",
+    ]
+    return ExperimentResult(
+        exp_id="fig1",
+        title="",
+        text="\n".join(lines),
+        data={
+            "gpus_per_node": constants.GPUS_PER_NODE,
+            "gcds_per_node": constants.GCDS_PER_NODE,
+            "tdp_w": gpu.tdp_w,
+            "idle_w": gpu.idle_w,
+        },
+    )

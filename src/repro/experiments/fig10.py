@@ -1,0 +1,43 @@
+"""Fig 10: energy and projected-savings heatmaps (domain x size class)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core import compute_heatmaps, measured_factors, report
+from ._campaign import campaign_cube
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    cube = campaign_cube(config)
+    factors = measured_factors("frequency")
+    heatmaps = compute_heatmaps(
+        cube,
+        factors,
+        cap=1100.0,
+        campaign_energy_mwh=config.campaign_energy_mwh,
+    )
+    by_class = heatmaps.energy_mwh.sum(axis=0)
+    large_share = by_class[:3].sum() / by_class.sum()
+    lines = [
+        report.render_fig10(heatmaps),
+        "",
+        f"classes A-C hold {100 * large_share:.1f} % of GPU energy "
+        "(paper: most energy in large jobs)",
+    ]
+    return ExperimentResult(
+        exp_id="fig10",
+        title="",
+        text="\n".join(lines),
+        data={
+            "domains": heatmaps.domains,
+            "classes": heatmaps.classes,
+            "energy_mwh": heatmaps.energy_mwh,
+            "savings_mwh": heatmaps.savings_mwh,
+            "large_class_energy_share": float(large_share),
+            "top_domain": heatmaps.domains[
+                int(np.argmax(heatmaps.savings_mwh.max(axis=1)))
+            ],
+        },
+    )

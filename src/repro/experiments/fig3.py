@@ -1,0 +1,76 @@
+"""Fig 3: the L2 chunk-cycling access pattern, and the hit model it implies.
+
+The paper's Fig 3 is a schematic of the GPU-benches access pattern
+(every block streams chunk ``block_id % n_chunks``).  This experiment
+renders the pattern and — beyond the paper — validates the analytic L2
+hit model the memory benchmark rests on, by simulating the same cyclic
+reference stream against a real set-associative cache under strict-LRU
+and random replacement.
+"""
+
+from __future__ import annotations
+
+from ..core import report
+from ..gpu.cache import l2_hit_fraction
+from ..gpu.cachesim import CacheGeometry, cyclic_hit_rate
+from ..gpu.specs import default_spec
+from .registry import ExperimentConfig, ExperimentResult
+
+#: Scaled cache (full L2 simulation would take minutes for no extra
+#: information: hit behaviour depends only on the ws/capacity ratio).
+SIM_CAPACITY_BYTES = 512 * 1024
+
+RATIOS = (0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 1.75, 2.0, 3.0)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    geometry = CacheGeometry(capacity_bytes=SIM_CAPACITY_BYTES)
+    spec = default_spec().with_overrides(
+        l2_bytes=float(SIM_CAPACITY_BYTES)
+    )
+
+    pattern = [
+        "Fig 3 pattern: kernel of B blocks over n memory chunks;",
+        "block i streams chunk (i mod n), so every chunk is re-read",
+        "cyclically by many blocks:",
+        "",
+        "  chunk:   0   1   2   0   1   2   0   1   2  ...",
+        "  block:   0   1   2   3   4   5   6   7   8  ...",
+        "",
+    ]
+
+    lru, rnd, model = [], [], []
+    for ratio in RATIOS:
+        ws = int(ratio * geometry.capacity_bytes)
+        lru.append(cyclic_hit_rate(geometry, ws, policy="lru"))
+        rnd.append(
+            cyclic_hit_rate(geometry, ws, policy="random", rng=config.seed)
+        )
+        model.append(l2_hit_fraction(spec, ws))
+
+    table = report.render_series(
+        "steady-state hit rate vs working-set / capacity",
+        "ws/C",
+        list(RATIOS),
+        {
+            "strict LRU (sim)": lru,
+            "random repl. (sim)": rnd,
+            "analytic model": model,
+        },
+    )
+    conclusion = (
+        "\nthe analytic model (hold, linear collapse over one capacity, "
+        "zero beyond 2x) brackets between strict LRU's cliff and random "
+        "replacement's tail — the basis of the 16 MB knee in Fig 6."
+    )
+    return ExperimentResult(
+        exp_id="fig3",
+        title="",
+        text="\n".join(pattern) + table + conclusion,
+        data={
+            "ratios": list(RATIOS),
+            "lru": lru,
+            "random": rnd,
+            "model": model,
+        },
+    )

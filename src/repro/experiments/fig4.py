@@ -1,0 +1,80 @@
+"""Fig 4: the roofline under frequency caps (left) and power caps (right).
+
+For each arithmetic intensity, four panels: achieved TFLOP/s, achieved
+GB/s, steady power, and time-to-solution normalized to the uncapped run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants
+from ..bench import CapSweep, VAIBenchmark
+from ..core import report
+from .registry import ExperimentConfig, ExperimentResult
+
+FREQ_CAPS = constants.FREQUENCY_CAPS_MHZ[1:]       # 1500 ... 700
+POWER_CAPS = (500, 400, 300, 200, 100)
+
+
+def _panel(points, base, metric) -> dict:
+    """Series per cap for one metric across the intensity grid."""
+    out = {}
+    for cap, point in sorted(points.items(), reverse=True):
+        label = "uncapped" if cap == 0 else f"{cap:g}"
+        col = point.result.column(metric)
+        if metric == "time_s":
+            col = col / base.column("time_s")
+        out[label] = col
+    return out
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    bench = VAIBenchmark()
+    sweep = CapSweep(bench)
+    freq_points = sweep.frequency_sweep(FREQ_CAPS)
+    power_points = sweep.power_sweep(
+        [c for c in POWER_CAPS if c >= 100]
+    )
+    intensities = freq_points[0].result.intensities
+    base = freq_points[0].result
+
+    sections = []
+    for knob, points in (("frequency (MHz)", freq_points),
+                         ("power cap (W)", power_points)):
+        for metric, label in (
+            ("tflops", "a) TFLOP/s"),
+            ("gbps", "b) GB/s"),
+            ("power_w", "c) power (W)"),
+            ("time_s", "d) normalized time"),
+        ):
+            sections.append(
+                report.render_series(
+                    f"Fig 4 [{knob}] {label}",
+                    "AI",
+                    intensities.tolist(),
+                    _panel(points, base, metric),
+                )
+            )
+            sections.append("")
+
+    peak_power = max(p.power_w for p in base.points)
+    peak_at = base.points[
+        int(np.argmax([p.power_w for p in base.points]))
+    ].intensity
+    sections.append(
+        f"peak uncapped power {peak_power:.0f} W at AI={peak_at:g} "
+        f"(paper: 540 W at AI=4)"
+    )
+    return ExperimentResult(
+        exp_id="fig4",
+        title="",
+        text="\n".join(sections),
+        data={
+            "intensities": intensities,
+            "uncapped_power_w": base.column("power_w"),
+            "uncapped_tflops": base.column("tflops"),
+            "peak_power_w": peak_power,
+            "peak_intensity": peak_at,
+        },
+    )

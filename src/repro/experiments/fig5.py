@@ -1,0 +1,64 @@
+"""Fig 5: VAI runtime/power/energy normalized to the uncapped run.
+
+One line per arithmetic intensity, swept over frequency caps (left) and
+power caps (right); values are relative to 1700 MHz / 560 W.
+"""
+
+from __future__ import annotations
+
+from .. import constants
+from ..bench import CapSweep, VAIBenchmark
+from ..core import report
+from .registry import ExperimentConfig, ExperimentResult
+
+#: A reduced intensity set keeps the printed figure readable; the full
+#: grid is in the returned data.
+SHOWN_INTENSITIES = (0.0, 1 / 16, 1.0, 4.0, 64.0, 1024.0)
+
+
+def _normalized(points, metric):
+    base = points[0].result
+    caps = sorted((c for c in points if c != 0), reverse=True)
+    series = {}
+    for ai in SHOWN_INTENSITIES:
+        base_point = base.point_at(ai)
+        series[f"AI={ai:g}"] = [
+            getattr(points[c].result.point_at(ai), metric)
+            / getattr(base_point, metric)
+            for c in caps
+        ]
+    return caps, series
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    bench = VAIBenchmark()
+    sweep = CapSweep(bench)
+    freq_points = sweep.frequency_sweep(constants.FREQUENCY_CAPS_MHZ[1:])
+    power_points = sweep.power_sweep((500, 400, 300, 200, 100))
+
+    sections = []
+    data = {}
+    for knob, points in (("frequency (MHz)", freq_points),
+                         ("power (W)", power_points)):
+        for metric, label in (
+            ("time_s", "runtime"),
+            ("power_w", "power"),
+            ("energy_j", "energy to solution"),
+        ):
+            caps, series = _normalized(points, metric)
+            sections.append(
+                report.render_series(
+                    f"Fig 5 [{knob}] normalized {label}",
+                    "cap",
+                    caps,
+                    series,
+                )
+            )
+            sections.append("")
+            data[f"{knob.split()[0]}_{metric}"] = series
+    data["freq_caps"] = sorted(
+        (c for c in freq_points if c != 0), reverse=True
+    )
+    return ExperimentResult(
+        exp_id="fig5", title="", text="\n".join(sections), data=data
+    )

@@ -1,0 +1,71 @@
+"""Fig 6: the memory benchmark across working-set sizes.
+
+Average power, bandwidth, and completion time per working-set size, under
+frequency caps (left column) and power caps (right column).  The knee at
+the 16 MB L2 capacity and the cap breaches of the 140/200 W curves are
+the paper's key observations.
+"""
+
+from __future__ import annotations
+
+from .. import constants, units
+from ..bench import CapSweep, MemoryBenchmark
+from ..core import report
+from ..gpu.specs import default_spec
+from .registry import ExperimentConfig, ExperimentResult
+
+FREQ_CAPS = (1500, 1300, 1100, 900, 700)
+POWER_CAPS = constants.MEMBENCH_POWER_CAPS_W[1:]   # 460 ... 140
+
+
+def _series(points, metric):
+    out = {}
+    for cap, point in sorted(points.items(), reverse=True):
+        label = "uncapped" if cap == 0 else f"{cap:g}"
+        out[label] = point.result.column(metric)
+    return out
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    bench = MemoryBenchmark()
+    sweep = CapSweep(bench)
+    freq_points = sweep.frequency_sweep(FREQ_CAPS)
+    power_points = sweep.power_sweep(POWER_CAPS)
+    sizes = freq_points[0].result.sizes_mib
+
+    sections = []
+    for knob, points in (("frequency (MHz)", freq_points),
+                         ("power cap (W)", power_points)):
+        for metric, label in (
+            ("power_w", "avg power (W)"),
+            ("gbps", "bandwidth (GB/s)"),
+            ("time_s", "time (s)"),
+        ):
+            sections.append(
+                report.render_series(
+                    f"Fig 6 [{knob}] {label}",
+                    "MiB",
+                    [round(s, 3) for s in sizes],
+                    _series(points, metric),
+                )
+            )
+            sections.append("")
+
+    spec = default_spec()
+    breach = power_points[140].result
+    breached = breach.hbm_region(spec).column("cap_breached")
+    sections.append(
+        f"L2 knee at {units.to_mib(spec.l2_bytes):.0f} MiB; 140 W cap "
+        f"breached on {int(breached.sum())}/{len(breached)} HBM-resident "
+        f"sizes (paper Fig 6d)."
+    )
+    return ExperimentResult(
+        exp_id="fig6",
+        title="",
+        text="\n".join(sections),
+        data={
+            "sizes_mib": sizes,
+            "uncapped_gbps": freq_points[0].result.column("gbps"),
+            "breached_140w": breached,
+        },
+    )

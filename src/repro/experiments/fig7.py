@@ -1,0 +1,92 @@
+"""Fig 7: the Louvain application under frequency and power caps.
+
+Runs real Louvain community detection on the paper's network suite (road
+vs social, 3 K - 8 M edges scaled by ``config.graph_scale``), executes the
+GPU pass stream on the simulated device per cap, and reports runtime,
+average/maximum power, energy savings, and the detected modularity.
+"""
+
+from __future__ import annotations
+
+from .. import units
+from ..core import report
+from ..graph import GPULouvainRunner, degree_stats, louvain
+from ..graph.generators import paper_suite
+from ..gpu import GPUDevice
+from .registry import ExperimentConfig, ExperimentResult
+
+FREQ_CAPS_MHZ = (1700, 1300, 1100, 900, 700, 500)
+ROAD_POWER_CAPS_W = (220, 180, 140)
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    suite = paper_suite(scale=config.graph_scale, rng=config.seed)
+    sections = []
+    data = {}
+
+    for named in suite:
+        g = named.graph
+        stats = degree_stats(g)
+        lv = louvain(g)
+        base = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+
+        rows = {"runtime_x": [], "avg_power_w": [], "saving_pct": []}
+        for mhz in FREQ_CAPS_MHZ:
+            device = (
+                GPUDevice()
+                if mhz == 1700
+                else GPUDevice(frequency_cap_hz=units.mhz(mhz))
+            )
+            r = GPULouvainRunner(device).run(g, precomputed=lv)
+            rows["runtime_x"].append(r.total_time_s / base.total_time_s)
+            rows["avg_power_w"].append(r.avg_power_w)
+            rows["saving_pct"].append(
+                100.0 * (1.0 - r.energy_j / base.energy_j)
+            )
+
+        sections.append(
+            f"{named.name} ({named.kind}): {g.n_edges} edges, "
+            f"d_max={stats.d_max}, d_avg={stats.d_avg:.1f}, "
+            f"Q={lv.modularity:.3f}, {lv.n_communities} communities, "
+            f"max power {base.max_power_w:.0f} W"
+        )
+        sections.append(
+            report.render_series(
+                "  frequency sweep",
+                "MHz",
+                list(FREQ_CAPS_MHZ),
+                rows,
+            )
+        )
+        data[named.name] = {
+            "edges": g.n_edges,
+            "modularity": lv.modularity,
+            "max_power_w": base.max_power_w,
+            **{k: list(v) for k, v in rows.items()},
+        }
+
+        if named.kind == "road":
+            prow = {"runtime_x": [], "saving_pct": [], "max_power_w": []}
+            for cap in ROAD_POWER_CAPS_W:
+                r = GPULouvainRunner(GPUDevice(power_cap_w=cap)).run(
+                    g, precomputed=lv
+                )
+                prow["runtime_x"].append(r.total_time_s / base.total_time_s)
+                prow["saving_pct"].append(
+                    100.0 * (1.0 - r.energy_j / base.energy_j)
+                )
+                prow["max_power_w"].append(r.max_power_w)
+            sections.append(
+                report.render_series(
+                    "  power-cap sweep (paper: 205 W peak network)",
+                    "W",
+                    list(ROAD_POWER_CAPS_W),
+                    prow,
+                )
+            )
+            data[named.name]["power_caps"] = prow
+        sections.append("")
+
+    return ExperimentResult(
+        exp_id="fig7", title="", text="\n".join(sections), data=data
+    )

@@ -1,0 +1,32 @@
+"""Fig 8: the system-wide distribution of GPU power utilization."""
+
+from __future__ import annotations
+
+from ..core import find_power_modes, report
+from ._campaign import campaign_cube
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    cube = campaign_cube(config)
+    hist = cube.histogram
+    modes = find_power_modes(hist)
+    lines = [
+        report.render_fig8(hist),
+        "",
+        "detected modes (W): "
+        + ", ".join(f"{m.power_w:.0f}" for m in modes),
+        f"idle mode expected at 88-90 W; "
+        f"{hist.range_fraction(560, 1e9) * 100:.1f} % of samples in the "
+        "boost region",
+    ]
+    return ExperimentResult(
+        exp_id="fig8",
+        title="",
+        text="\n".join(lines),
+        data={
+            "centers": hist.centers,
+            "density": hist.smoothed_density(),
+            "mode_powers_w": [m.power_w for m in modes],
+        },
+    )

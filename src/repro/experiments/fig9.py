@@ -1,0 +1,45 @@
+"""Fig 9: per-science-domain GPU power distributions."""
+
+from __future__ import annotations
+
+from ..core import domain_distributions, report
+from ._campaign import campaign_cube
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    cube = campaign_cube(config)
+    dists = domain_distributions(cube)
+    families = {
+        "compute intensive (Fig 9 a-b)": [
+            d for d in dists.values() if d.dominant_region == 3
+        ],
+        "latency/IO bound (Fig 9 c-d)": [
+            d for d in dists.values() if d.dominant_region == 1
+        ],
+        "memory intensive (Fig 9 e-f)": [
+            d
+            for d in dists.values()
+            if d.dominant_region == 2 and not d.is_multi_zone
+        ],
+        "multi-zone (Fig 9 g-h)": [
+            d for d in dists.values() if d.is_multi_zone
+        ],
+    }
+    lines = [report.render_fig9(dists), ""]
+    for family, members in families.items():
+        names = ", ".join(sorted(m.domain for m in members)) or "(none)"
+        lines.append(f"{family}: {names}")
+    return ExperimentResult(
+        exp_id="fig9",
+        title="",
+        text="\n".join(lines),
+        data={
+            name: {
+                "region_pct": d.region_pct,
+                "modes_w": [m.power_w for m in d.modes],
+                "gpu_hours": d.gpu_hours,
+            }
+            for name, d in dists.items()
+        },
+    )

@@ -1,0 +1,142 @@
+"""Experiment registry and runner."""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from ..errors import ExperimentError
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Shared knobs for all experiments.
+
+    Defaults are sized for a laptop-scale run (minutes, not hours); the
+    distributions and projections are scale-invariant by design, and MWh
+    columns are normalized to the paper's 16 820 MWh campaign.
+    """
+
+    fleet_nodes: int = 96       # scaled stand-in for 9408 nodes
+    days: float = 4.0           # scaled stand-in for 91 days
+    seed: int = 0
+    graph_scale: float = 0.02   # Fig 7 network sizes relative to the paper
+    campaign_energy_mwh: float = 16820.0
+    out_dir: Optional[str] = None
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """One regenerated artifact."""
+
+    exp_id: str
+    title: str
+    text: str                       # the printed rows/series
+    data: dict = field(default_factory=dict)
+
+    def save(self, out_dir: str) -> Path:
+        path = Path(out_dir)
+        path.mkdir(parents=True, exist_ok=True)
+        out = path / f"{self.exp_id}.txt"
+        out.write_text(self.text + "\n")
+        return out
+
+
+#: id -> (title, module, function name)
+_TABLE: Dict[str, tuple] = {
+    "fig1": ("Frontier node schematic from the simulated spec",
+             "repro.experiments.fig1", "run"),
+    "fig2": ("Telemetry vs ROCm SMI + GPU/CPU energy split",
+             "repro.experiments.fig2", "run"),
+    "fig3": ("L2 access pattern and the cyclic hit model",
+             "repro.experiments.fig3", "run"),
+    "fig4": ("Roofline under frequency and power caps",
+             "repro.experiments.fig4", "run"),
+    "fig5": ("VAI normalized runtime/power/energy",
+             "repro.experiments.fig5", "run"),
+    "fig6": ("Memory benchmark vs working-set size",
+             "repro.experiments.fig6", "run"),
+    "fig7": ("Louvain application under caps",
+             "repro.experiments.fig7", "run"),
+    "fig8": ("System-wide GPU power distribution",
+             "repro.experiments.fig8", "run"),
+    "fig9": ("Per-science-domain distributions",
+             "repro.experiments.fig9", "run"),
+    "fig10": ("Energy/savings heatmaps by domain and size",
+              "repro.experiments.fig10", "run"),
+    "table1": ("Frontier system summary",
+               "repro.experiments.tables_static", "run_table1"),
+    "table2": ("Telemetry dataset summary",
+               "repro.experiments.tables_static", "run_table2"),
+    "table3": ("Benchmark cap response",
+               "repro.experiments.table3", "run"),
+    "table4": ("Operating-region decomposition",
+               "repro.experiments.table4", "run"),
+    "table5": ("System-wide savings projection",
+               "repro.experiments.table5", "run"),
+    "table6": ("Savings for selected domains and large jobs",
+               "repro.experiments.table6", "run"),
+    "table7": ("Scheduling policy",
+               "repro.experiments.tables_static", "run_table7"),
+    # Extensions beyond the paper's artifacts (its discussion section's
+    # future work): per-job policy evaluation and proxy validation.
+    "ext_policy": ("Per-job cap advisor vs uniform capping vs oracle",
+                   "repro.experiments.ext_policy", "run"),
+    "ext_validation": ("Region-boundary diffusion of the power proxy",
+                       "repro.experiments.ext_validation", "run"),
+    "ext_robustness": ("Headline stability across seeds and fleet scale",
+                       "repro.experiments.ext_robustness", "run"),
+    "ext_replay": ("Phase-level replay vs region-level projection",
+                   "repro.experiments.ext_replay", "run"),
+    "ext_proxies": ("Proxy-application cap response",
+                    "repro.experiments.ext_proxies", "run"),
+    "ext_budget": ("Fleet power-budget enforcement",
+                   "repro.experiments.ext_budget", "run"),
+    "ext_governor": ("Per-kernel governor vs static capping",
+                     "repro.experiments.ext_governor", "run"),
+    "ext_boost": ("Bounding the uncharacterized boost region",
+                  "repro.experiments.ext_boost", "run"),
+    "ext_sensitivity": ("Headline sensitivity to model calibration",
+                        "repro.experiments.ext_sensitivity", "run"),
+}
+
+EXPERIMENT_IDS = tuple(_TABLE)
+
+
+def get_experiment(exp_id: str) -> Callable:
+    """Resolve an experiment id to its runner."""
+    try:
+        _title, module_name, fn_name = _TABLE[exp_id]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown experiment {exp_id!r}; known: {', '.join(_TABLE)}"
+        ) from None
+    module = importlib.import_module(module_name)
+    return getattr(module, fn_name)
+
+
+def run(
+    exp_id: str, config: Optional[ExperimentConfig] = None
+) -> ExperimentResult:
+    """Run one experiment and (optionally) persist its text output."""
+    config = config if config is not None else ExperimentConfig()
+    title = _TABLE[exp_id][0] if exp_id in _TABLE else ""
+    fn = get_experiment(exp_id)
+    result = fn(config)
+    if result.exp_id != exp_id:
+        raise ExperimentError(
+            f"runner for {exp_id} returned result id {result.exp_id}"
+        )
+    if not result.title:
+        result = ExperimentResult(
+            exp_id=result.exp_id, title=title, text=result.text,
+            data=result.data,
+        )
+    if config.out_dir:
+        result.save(config.out_dir)
+    return result

@@ -1,0 +1,36 @@
+"""Table III: average power/runtime/energy of both benchmarks per cap."""
+
+from __future__ import annotations
+
+from ..bench import compute_table3
+from ..core import report
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    freq = compute_table3(knob="frequency")
+    power = compute_table3(knob="power")
+    text = "\n\n".join(
+        [report.render_table3(freq), report.render_table3(power)]
+    )
+    return ExperimentResult(
+        exp_id="table3",
+        title="",
+        text=text,
+        data={
+            "frequency": {
+                r.cap: (
+                    r.vai_power_pct, r.vai_runtime_pct, r.vai_energy_pct,
+                    r.mb_power_pct, r.mb_runtime_pct, r.mb_energy_pct,
+                )
+                for r in freq.rows
+            },
+            "power": {
+                r.cap: (
+                    r.vai_power_pct, r.vai_runtime_pct, r.vai_energy_pct,
+                    r.mb_power_pct, r.mb_runtime_pct, r.mb_energy_pct,
+                )
+                for r in power.rows
+            },
+        },
+    )

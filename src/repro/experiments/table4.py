@@ -1,0 +1,34 @@
+"""Table IV: modal decomposition of the campaign power distribution."""
+
+from __future__ import annotations
+
+from .. import constants
+from ..core import decompose_modes, report
+from ._campaign import campaign_cube
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    cube = campaign_cube(config)
+    table = decompose_modes(cube)
+    paper = constants.PAPER_REGION_GPU_HOURS_PCT
+    lines = [
+        report.render_table4(table),
+        "",
+        "paper GPU-hours shares: "
+        + " / ".join(f"{p:.1f}" for p in paper)
+        + " %",
+        "ours:                   "
+        + " / ".join(f"{p:.1f}" for p in table.gpu_hours_pct)
+        + " %",
+    ]
+    return ExperimentResult(
+        exp_id="table4",
+        title="",
+        text="\n".join(lines),
+        data={
+            "gpu_hours_pct": table.gpu_hours_pct,
+            "energy_mwh": table.energy_mwh,
+            "paper_pct": paper,
+        },
+    )

@@ -1,0 +1,60 @@
+"""Tables I, II and VII: configuration tables.
+
+These are specification tables rather than measurements; reproducing them
+verifies the simulated system is parameterized like the published one.
+"""
+
+from __future__ import annotations
+
+from .. import constants, units
+from ..core.report import format_table
+from ..gpu.specs import default_spec
+from .registry import ExperimentConfig, ExperimentResult
+
+
+def run_table1(config: ExperimentConfig) -> ExperimentResult:
+    spec = default_spec()
+    rows = [
+        ["Compute nodes", f"{constants.NUM_COMPUTE_NODES}"],
+        ["Peak performance", f"{constants.PEAK_PERFORMANCE_EFLOPS} EF"],
+        ["Peak power", f"{constants.PEAK_POWER_MW} MW"],
+        ["GPUs per node", f"{constants.GPUS_PER_NODE} x AMD MI250X"],
+        ["GCDs per GPU", f"{constants.GCDS_PER_GPU}"],
+        ["HBM per GCD", f"{units.to_mib(constants.HBM_PER_GCD_BYTES) / 1024:.0f} GB"],
+        ["GPU max power", f"{spec.tdp_w:.0f} W"],
+        ["GPU max frequency", f"{units.to_mhz(spec.f_max_hz):.0f} MHz"],
+        ["GPU idle power", f"{spec.idle_w:.0f} W"],
+        ["Achievable HBM bandwidth", f"{units.to_gbps(spec.achievable_hbm_bw):.0f} GB/s"],
+    ]
+    text = "Table I: Frontier system summary (simulated)\n" + format_table(
+        ["item", "value"], rows
+    )
+    return ExperimentResult(exp_id="table1", title="", text=text)
+
+
+def run_table2(config: ExperimentConfig) -> ExperimentResult:
+    rows = [
+        ["(a)", "Power telemetry data",
+         f"{constants.TELEMETRY_INTERVAL_S:.0f} s",
+         "out-of-band per-node GPU/CPU power (aggregated from "
+         f"{constants.SENSOR_INTERVAL_S:.0f} s sensors)"],
+        ["(b)", "Job scheduler log", "per-job",
+         "job id, project id, num nodes, begin/end time"],
+        ["(c)", "Per-node scheduler data", "per-node-per-job",
+         "which jobs ran on each compute node"],
+    ]
+    text = "Table II: telemetry dataset summary\n" + format_table(
+        ["id", "name", "resolution", "description"], rows
+    )
+    return ExperimentResult(exp_id="table2", title="", text=text)
+
+
+def run_table7(config: ExperimentConfig) -> ExperimentResult:
+    rows = [
+        [name, f"{lo} - {hi}", f"{wall:.0f}"]
+        for name, lo, hi, wall in constants.SCHEDULING_POLICY
+    ]
+    text = "Table VII: Frontier job scheduling policy\n" + format_table(
+        ["job size", "num nodes", "max walltime (h)"], rows
+    )
+    return ExperimentResult(exp_id="table7", title="", text=text)

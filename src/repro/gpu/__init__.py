@@ -1,0 +1,35 @@
+"""MI250X GPU power/performance simulator.
+
+This subpackage is the hardware substrate the paper's benchmarks ran on.
+The unit of modeling is one MI250X *module* (two GCDs), because the paper's
+power figures (idle 88-90 W, TDP 560 W, peak observed 540 W) and the fleet
+telemetry are reported per module.
+
+Layers, bottom-up:
+
+* :mod:`repro.gpu.specs`    — device specification dataclasses
+* :mod:`repro.gpu.voltage`  — DVFS frequency/voltage curve and scale factors
+* :mod:`repro.gpu.kernel`   — kernel descriptors (flops, bytes, locality...)
+* :mod:`repro.gpu.cache`    — L2/HBM hierarchy and effective bandwidth
+* :mod:`repro.gpu.perf`     — roofline execution-time model
+* :mod:`repro.gpu.power`    — steady-state power model
+* :mod:`repro.gpu.dvfs`     — frequency-cap governor
+* :mod:`repro.gpu.powercap` — power-cap feedback controller
+* :mod:`repro.gpu.device`   — :class:`GPUDevice`, the public entry point
+* :mod:`repro.gpu.node`     — a Frontier compute node (4 GPUs + CPU)
+"""
+
+from .specs import MI250XSpec, NodeSpec, default_spec
+from .kernel import KernelSpec
+from .device import GPUDevice, KernelResult
+from .node import FrontierNode
+
+__all__ = [
+    "MI250XSpec",
+    "NodeSpec",
+    "default_spec",
+    "KernelSpec",
+    "GPUDevice",
+    "KernelResult",
+    "FrontierNode",
+]

@@ -1,0 +1,112 @@
+"""Memory hierarchy model: L2 cache and HBM.
+
+The model answers two questions for a kernel at a core frequency ``f``:
+
+1. *Where does the traffic land?*  If the kernel pins an explicit
+   ``hbm_bytes``/``l2_bytes`` split, that is used directly.  If it instead
+   declares a ``working_set_bytes`` (the GPU-benches chunk-cycling pattern,
+   Fig 3 of the paper), the L2 hit fraction is ``min(1, L2 / ws)`` — the
+   resident prefix of the working set hits, the remainder streams from HBM.
+
+2. *How fast can it move?*  L2 bandwidth scales with the core clock; HBM
+   bandwidth does not (down to the issue limit).  Traffic through both
+   levels composes *serially* (a miss costs the HBM trip), so effective
+   bandwidth is the weighted harmonic mean, further capped by the kernel's
+   issue ceiling ``issue_bw_factor * (f/f_max) * B_hbm``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import KernelError
+from .kernel import KernelSpec
+from .specs import MI250XSpec
+
+
+@dataclass(frozen=True)
+class TrafficSplit:
+    """Bytes served by each level and the composed effective bandwidth."""
+
+    l2_bytes: float
+    hbm_bytes: float
+    l2_hit_fraction: float
+    effective_bw: float          # bytes/s over all traffic
+    l2_bw: float                 # level bandwidth used for power accounting
+    hbm_bw: float
+    issue_limited: bool
+
+
+def l2_hit_fraction(spec: MI250XSpec, working_set_bytes: float) -> float:
+    """L2 hit fraction for a chunk-cycling sweep over ``working_set_bytes``.
+
+    Cyclic streaming through a working set is the LRU worst case: once the
+    set exceeds capacity, each line is evicted before its next reuse and
+    the hit rate collapses rather than degrading as ``capacity / size``.
+    The model is exact residency below capacity, a linear collapse over
+    one additional capacity (partial retention from the cache's high
+    associativity and non-strict replacement), and zero beyond twice the
+    capacity — producing the sharp 16 MB knee of the paper's Fig 6.
+    """
+    if working_set_bytes <= 0:
+        raise KernelError("working set must be positive")
+    ratio = working_set_bytes / spec.l2_bytes
+    if ratio <= 1.0:
+        return 1.0
+    return max(0.0, 2.0 - ratio)
+
+
+def l2_bandwidth(spec: MI250XSpec, f_hz: float) -> float:
+    """L2 bandwidth at core frequency ``f_hz`` (scales with the clock)."""
+    return spec.l2_bw_max * (f_hz / spec.f_max_hz)
+
+
+def issue_ceiling(spec: MI250XSpec, kernel: KernelSpec, f_hz: float) -> float:
+    """Peak request rate the kernel can issue at ``f_hz`` (bytes/s)."""
+    return kernel.issue_bw_factor * (f_hz / spec.f_max_hz) * spec.achievable_hbm_bw
+
+
+def resolve_traffic(
+    spec: MI250XSpec, kernel: KernelSpec, f_hz: float
+) -> TrafficSplit:
+    """Resolve a kernel's memory traffic and effective bandwidth at ``f_hz``.
+
+    Occupancy scales both the issue ceiling and the reachable level
+    bandwidths: a kernel that cannot fill the device cannot saturate its
+    memory system either.
+    """
+    occ = kernel.occupancy
+    if kernel.working_set_bytes is not None:
+        hit = l2_hit_fraction(spec, kernel.working_set_bytes)
+        total = kernel.total_bytes
+        l2_b = total * hit
+        hbm_b = total * (1.0 - hit)
+    else:
+        l2_b = kernel.l2_bytes
+        hbm_b = kernel.hbm_bytes
+        total = l2_b + hbm_b
+        hit = l2_b / total if total > 0 else 0.0
+
+    bw_l2 = l2_bandwidth(spec, f_hz) * occ
+    bw_hbm = spec.achievable_hbm_bw * occ
+    ceiling = issue_ceiling(spec, kernel, f_hz) * occ
+
+    if total <= 0:
+        return TrafficSplit(0.0, 0.0, 0.0, float("inf"), bw_l2, bw_hbm, False)
+
+    # Serial composition: time per byte is the hit-weighted sum of level
+    # costs; the harmonic form below is exactly total / (t_l2 + t_hbm).
+    denom = (hit / bw_l2 if hit > 0 else 0.0) + (
+        (1.0 - hit) / bw_hbm if hit < 1 else 0.0
+    )
+    composed = 1.0 / denom if denom > 0 else float("inf")
+    effective = min(composed, ceiling)
+    return TrafficSplit(
+        l2_bytes=l2_b,
+        hbm_bytes=hbm_b,
+        l2_hit_fraction=hit,
+        effective_bw=effective,
+        l2_bw=bw_l2,
+        hbm_bw=bw_hbm,
+        issue_limited=ceiling < composed,
+    )

@@ -1,0 +1,131 @@
+"""A small set-associative cache simulator.
+
+The analytic L2 hit model in :mod:`repro.gpu.cache` claims that cyclic
+chunk streaming (the paper's Fig 3 pattern) hits fully while resident,
+collapses over one extra capacity, and misses entirely beyond.  This
+module validates that claim by *actually simulating* the reference
+stream against a set-associative cache under two replacement policies:
+
+* strict LRU — the textbook cyclic pathology: hit rate drops to ~0 the
+  moment the working set exceeds capacity;
+* random replacement — closer to GPU L2 behaviour (pseudo-random /
+  not-recently-used): hits decay smoothly past capacity.
+
+The analytic model's linear collapse sits between the two, which is the
+justification `repro.gpu.cache.l2_hit_fraction` documents.  This is a
+validation tool, not a hot path: it walks the address stream one access
+at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecError
+from ..rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Capacity / line / associativity of one cache level."""
+
+    capacity_bytes: int
+    line_bytes: int = 128
+    ways: int = 16
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise SpecError("cache geometry must be positive")
+        if self.capacity_bytes % (self.line_bytes * self.ways):
+            raise SpecError(
+                "capacity must be a multiple of line_bytes * ways"
+            )
+
+    @property
+    def n_sets(self) -> int:
+        return self.capacity_bytes // (self.line_bytes * self.ways)
+
+    @property
+    def n_lines(self) -> int:
+        return self.capacity_bytes // self.line_bytes
+
+
+class SetAssociativeCache:
+    """Simulate one cache level over a line-address stream."""
+
+    def __init__(
+        self,
+        geometry: CacheGeometry,
+        *,
+        policy: str = "lru",
+        rng: RngLike = None,
+    ) -> None:
+        if policy not in ("lru", "random"):
+            raise SpecError(f"unknown replacement policy {policy!r}")
+        self.geometry = geometry
+        self.policy = policy
+        self._rng = ensure_rng(rng)
+        n_sets, ways = geometry.n_sets, geometry.ways
+        self._tags = np.full((n_sets, ways), -1, dtype=np.int64)
+        self._stamp = np.zeros((n_sets, ways), dtype=np.int64)
+        self._clock = 0
+
+    def access_lines(self, line_addresses: np.ndarray) -> int:
+        """Run a line-address stream; returns the number of hits."""
+        tags = self._tags
+        stamps = self._stamp
+        n_sets = self.geometry.n_sets
+        use_lru = self.policy == "lru"
+        rng = self._rng
+        hits = 0
+        clock = self._clock
+        for line in np.asarray(line_addresses, dtype=np.int64):
+            s = line % n_sets
+            row = tags[s]
+            clock += 1
+            hit_ways = np.flatnonzero(row == line)
+            if hit_ways.size:
+                hits += 1
+                stamps[s, hit_ways[0]] = clock
+                continue
+            if use_lru:
+                victim = int(np.argmin(stamps[s]))
+            else:
+                victim = int(rng.integers(self.geometry.ways))
+            row[victim] = line
+            stamps[s, victim] = clock
+        self._clock = clock
+        return hits
+
+
+def cyclic_stream(
+    working_set_bytes: int, line_bytes: int, rounds: int
+) -> np.ndarray:
+    """The Fig 3 reference pattern: stream the working set repeatedly."""
+    n_lines = max(1, working_set_bytes // line_bytes)
+    return np.tile(np.arange(n_lines, dtype=np.int64), rounds)
+
+
+def cyclic_hit_rate(
+    geometry: CacheGeometry,
+    working_set_bytes: int,
+    *,
+    policy: str = "lru",
+    rounds: int = 8,
+    warmup_rounds: int = 2,
+    rng: RngLike = None,
+) -> float:
+    """Steady-state hit rate of cyclic streaming over a working set."""
+    if rounds <= warmup_rounds:
+        raise SpecError("need more rounds than warmup")
+    cache = SetAssociativeCache(geometry, policy=policy, rng=rng)
+    n_lines = max(1, working_set_bytes // geometry.line_bytes)
+    cache.access_lines(cyclic_stream(working_set_bytes, geometry.line_bytes,
+                                     warmup_rounds))
+    measured = rounds - warmup_rounds
+    hits = cache.access_lines(
+        cyclic_stream(working_set_bytes, geometry.line_bytes, measured)
+    )
+    return hits / (n_lines * measured)

@@ -1,0 +1,217 @@
+"""The simulated GPU device.
+
+:class:`GPUDevice` ties the layers together: it holds a specification and
+the current management settings (frequency cap, power cap), executes
+:class:`~repro.gpu.kernel.KernelSpec` objects, and returns
+:class:`KernelResult` records with runtime, steady power, and energy.
+
+For telemetry-facing use, :meth:`GPUDevice.power_trace` renders a kernel
+run into a time series at sensor cadence, including a short boost transient
+at kernel start (uncapped runs only) and Gaussian sensor noise — the raw
+material for the out-of-band pipeline in :mod:`repro.telemetry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .. import constants
+from ..errors import CapError
+from ..rng import RngLike, ensure_rng
+from .dvfs import boost_frequency, resolve_frequency_cap
+from .kernel import KernelSpec
+from .perf import ExecutionProfile, execute
+from .power import steady_power
+from .powercap import enforce_power_cap
+from .specs import MI250XSpec, default_spec
+from .thermal import ThermalModel
+
+
+@dataclass(frozen=True)
+class KernelResult:
+    """Outcome of running one kernel on a device."""
+
+    kernel: KernelSpec
+    time_s: float
+    power_w: float               # steady-state module power
+    energy_j: float
+    f_core_hz: float             # effective core clock after caps
+    achieved_flops: float
+    achieved_bw: float
+    bound: str
+    cap_breached: bool           # power cap unreachable (HBM floor)
+    profile: ExecutionProfile
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.kernel.arithmetic_intensity
+
+
+class GPUDevice:
+    """One MI250X module under simulation.
+
+    Parameters
+    ----------
+    spec:
+        Device specification; defaults to the calibrated MI250X.
+    frequency_cap_hz:
+        Optional DVFS ceiling (both core and uncore domains follow it).
+    power_cap_w:
+        Optional module power cap (throttles the core domain only).
+
+    Only one knob is typically set at a time, matching the paper's sweeps,
+    but both may be active; the more restrictive one wins.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[MI250XSpec] = None,
+        *,
+        frequency_cap_hz: Optional[float] = None,
+        power_cap_w: Optional[float] = None,
+    ) -> None:
+        self.spec = spec if spec is not None else default_spec()
+        self.thermal = ThermalModel()
+        self.set_frequency_cap(frequency_cap_hz)
+        self.set_power_cap(power_cap_w)
+
+    # -- management knobs -------------------------------------------------------
+
+    def set_frequency_cap(self, cap_hz: Optional[float]) -> None:
+        """Set or clear (None) the DVFS frequency ceiling."""
+        # Validate eagerly so misconfiguration fails at set time.
+        resolve_frequency_cap(self.spec, cap_hz)
+        self._frequency_cap_hz = cap_hz
+
+    def set_power_cap(self, cap_w: Optional[float]) -> None:
+        """Set or clear (None) the module power cap."""
+        if cap_w is not None:
+            if cap_w <= 0 or cap_w < self.spec.idle_w:
+                raise CapError(f"unrealizable power cap {cap_w} W")
+        self._power_cap_w = cap_w
+
+    @property
+    def frequency_cap_hz(self) -> Optional[float]:
+        return self._frequency_cap_hz
+
+    @property
+    def power_cap_w(self) -> Optional[float]:
+        return self._power_cap_w
+
+    @property
+    def uncapped(self) -> bool:
+        """True when neither management knob is engaged."""
+        return self._frequency_cap_hz is None and (
+            self._power_cap_w is None or self._power_cap_w >= self.spec.tdp_w
+        )
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, kernel: KernelSpec) -> KernelResult:
+        """Execute ``kernel`` under the current management settings."""
+        f_ceiling = resolve_frequency_cap(self.spec, self._frequency_cap_hz)
+        freq_capped = self._frequency_cap_hz is not None
+
+        if self._power_cap_w is not None:
+            solution = enforce_power_cap(self.spec, kernel, self._power_cap_w)
+            f_core = min(solution.f_core_hz, f_ceiling)
+            profile = execute(self.spec, kernel, f_core)
+            # A power cap alone never engages the low uncore P-state; a
+            # frequency cap (if also set) does.
+            p = steady_power(
+                self.spec, profile, f_core_hz=f_core, uncore_capped=freq_capped
+            )
+            breached = p > self._power_cap_w + 2.0
+        else:
+            f_core = f_ceiling
+            profile = execute(self.spec, kernel, f_core)
+            p = steady_power(
+                self.spec, profile, f_core_hz=f_core, uncore_capped=freq_capped
+            )
+            breached = False
+
+        return KernelResult(
+            kernel=kernel,
+            time_s=profile.time_s,
+            power_w=p,
+            energy_j=p * profile.time_s,
+            f_core_hz=f_core,
+            achieved_flops=profile.achieved_flops,
+            achieved_bw=profile.achieved_bw,
+            bound=profile.bound,
+            cap_breached=breached,
+            profile=profile,
+        )
+
+    def idle_result(self, duration_s: float) -> KernelResult:
+        """A pseudo-result for an idle period (used by node accounting)."""
+        idle_kernel = KernelSpec(
+            name="idle", flops=0.0, hbm_bytes=1.0, issue_bw_factor=1e-9
+        )
+        p = self.spec.idle_w
+        profile = execute(self.spec, idle_kernel, self.spec.f_min_hz)
+        return KernelResult(
+            kernel=idle_kernel,
+            time_s=duration_s,
+            power_w=p,
+            energy_j=p * duration_s,
+            f_core_hz=self.spec.f_min_hz,
+            achieved_flops=0.0,
+            achieved_bw=0.0,
+            bound="idle",
+            cap_breached=False,
+            profile=profile,
+        )
+
+    # -- telemetry-facing --------------------------------------------------------
+
+    def power_trace(
+        self,
+        result: KernelResult,
+        *,
+        interval_s: float = constants.SENSOR_INTERVAL_S,
+        rng: RngLike = None,
+        ramp_s: float = 1.0,
+        boost: bool = True,
+    ) -> np.ndarray:
+        """Render a kernel result into a sensor-cadence power series.
+
+        The trace ramps from idle to steady power over ``ramp_s``, holds at
+        steady power with Gaussian sensor noise, and — when the device is
+        uncapped and the steady power is near TDP — includes a boost
+        transient above TDP at the start, which is how the fleet telemetry
+        acquires its >=560 W samples (Table IV region 4).  The transient's
+        duration comes from the RC thermal model: boost holds until the
+        die (starting cool after the launch ramp) reaches the throttle
+        limit.
+        """
+        gen = ensure_rng(rng)
+        n = max(1, int(np.ceil(result.time_s / interval_s)))
+        t = np.arange(n) * interval_s
+        trace = np.full(n, result.power_w)
+        ramp = t < ramp_s
+        if ramp.any():
+            trace[ramp] = self.spec.idle_w + (
+                result.power_w - self.spec.idle_w
+            ) * (t[ramp] / ramp_s)
+        if (
+            boost
+            and self.uncapped
+            and result.power_w > 0.9 * self.spec.tdp_w
+        ):
+            boost_f = boost_frequency(self.spec)
+            boost_p = min(
+                self.spec.boost_power_max_w,
+                result.power_w * (boost_f / self.spec.f_max_hz),
+            )
+            t0 = self.thermal.steady_temp_c(self.spec.idle_w)
+            window_s = min(
+                self.thermal.boost_window_s(t0, boost_p), 60.0
+            )
+            boost_n = max(1, int(round(window_s / interval_s)))
+            trace[:boost_n] = np.maximum(trace[:boost_n], boost_p)
+        trace += gen.normal(0.0, self.spec.sensor_noise_w, size=n)
+        return np.maximum(trace, 0.0)

@@ -1,0 +1,51 @@
+"""Frequency-cap governor.
+
+Models the behaviour of ``rocm-smi --setsclk``-style frequency capping: the
+requested ceiling is clamped into the DVFS range and optionally quantized
+to the device's discrete operating points.  A frequency cap lowers the
+*uncore* domain along with the core (see :mod:`repro.gpu.power`), which is
+what distinguishes it from a power cap in this simulator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import CapError
+from .specs import MI250XSpec
+
+#: Spacing of discrete DVFS operating points (Hz) when quantization is on.
+DVFS_STEP_HZ = 50e6
+
+
+def resolve_frequency_cap(
+    spec: MI250XSpec,
+    cap_hz: float | None,
+    *,
+    quantize: bool = False,
+) -> float:
+    """Resolve a user frequency-cap request to an operating frequency.
+
+    ``None`` means uncapped (run at f_max).  Requests outside the DVFS
+    range raise :class:`~repro.errors.CapError` rather than silently
+    clamping, because a cap below f_min is not realizable on the device.
+    """
+    if cap_hz is None:
+        return spec.f_max_hz
+    if cap_hz <= 0:
+        raise CapError(f"frequency cap must be positive, got {cap_hz}")
+    if cap_hz < spec.f_min_hz:
+        raise CapError(
+            f"frequency cap {cap_hz / 1e6:.0f} MHz below device minimum "
+            f"{spec.f_min_hz / 1e6:.0f} MHz"
+        )
+    f = min(cap_hz, spec.f_max_hz)
+    if quantize:
+        f = float(np.floor(f / DVFS_STEP_HZ) * DVFS_STEP_HZ)
+        f = max(f, spec.f_min_hz)
+    return f
+
+
+def boost_frequency(spec: MI250XSpec) -> float:
+    """Short-excursion boost frequency above f_max."""
+    return spec.f_max_hz * spec.boost_f_factor

@@ -1,0 +1,145 @@
+"""Per-kernel DVFS governor.
+
+Static caps (the paper's knob) trade one frequency against a whole
+workload; a *governor* re-decides per kernel.  This module implements the
+idealized sensitivity-aware governor the DVFS literature aims for (cf.
+the paper's ref [5], "Predict; don't react"): for each kernel it picks
+the lowest clock whose predicted slowdown stays within a tolerance, which
+is optimal for memory-bound kernels (deep downclock, free) and
+conservative for compute-bound ones (stay near f_max).
+
+The governor is an oracle in the sense that it sees the kernel's true
+roofline position before choosing — it bounds what any reactive/predictive
+hardware governor could achieve on this substrate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..errors import CapError
+from .device import GPUDevice, KernelResult
+from .kernel import KernelSpec
+from .perf import execute
+from .power import steady_power
+from .specs import MI250XSpec, default_spec
+
+#: Default DVFS menu a governor can pick from (MHz).
+DEFAULT_MENU_MHZ = (1700, 1500, 1300, 1100, 900, 700, 500)
+
+
+@dataclass(frozen=True)
+class GovernorDecision:
+    """The governor's pick for one kernel.
+
+    ``capped`` distinguishes a ceiling *at f_max* (which still engages
+    the low uncore P-state — free power for memory traffic) from leaving
+    the device unmanaged.
+    """
+
+    f_mhz: float
+    capped: bool
+    predicted_slowdown: float
+    predicted_power_w: float
+
+
+class SensitivityGovernor:
+    """Pick the lowest clock within a per-kernel slowdown tolerance."""
+
+    def __init__(
+        self,
+        spec: Optional[MI250XSpec] = None,
+        *,
+        slowdown_tolerance: float = 0.02,
+        menu_mhz: Sequence[float] = DEFAULT_MENU_MHZ,
+    ) -> None:
+        if slowdown_tolerance < 0:
+            raise CapError("slowdown tolerance must be >= 0")
+        if not menu_mhz:
+            raise CapError("governor needs a non-empty frequency menu")
+        self.spec = spec if spec is not None else default_spec()
+        self.slowdown_tolerance = slowdown_tolerance
+        self.menu_hz = sorted(
+            (self.spec.clamp_frequency(m * 1e6) for m in menu_mhz),
+            reverse=True,
+        )
+
+    def decide(self, kernel: KernelSpec) -> GovernorDecision:
+        """Choose the frequency for one kernel."""
+        base = execute(self.spec, kernel, self.spec.f_max_hz)
+        best = GovernorDecision(
+            f_mhz=self.spec.f_max_hz / 1e6,
+            capped=False,
+            predicted_slowdown=1.0,
+            predicted_power_w=steady_power(
+                self.spec, base, uncore_capped=False
+            ),
+        )
+        best_energy = best.predicted_power_w * base.time_s
+        for f_hz in self.menu_hz:
+            profile = execute(self.spec, kernel, f_hz)
+            slowdown = profile.time_s / base.time_s
+            if slowdown > 1.0 + self.slowdown_tolerance:
+                continue
+            power = steady_power(
+                self.spec, profile, f_core_hz=f_hz, uncore_capped=True
+            )
+            energy = power * profile.time_s
+            if energy < best_energy:
+                best_energy = energy
+                best = GovernorDecision(
+                    f_mhz=f_hz / 1e6,
+                    capped=True,
+                    predicted_slowdown=slowdown,
+                    predicted_power_w=power,
+                )
+        return best
+
+    def run(self, kernel: KernelSpec) -> KernelResult:
+        """Execute a kernel at the governor's chosen frequency."""
+        decision = self.decide(kernel)
+        cap = decision.f_mhz * 1e6 if decision.capped else None
+        device = GPUDevice(self.spec, frequency_cap_hz=cap)
+        return device.run(kernel)
+
+
+def governor_vs_static(
+    kernels: Sequence[KernelSpec],
+    *,
+    static_cap_mhz: float = 900.0,
+    spec: Optional[MI250XSpec] = None,
+    slowdown_tolerance: float = 0.02,
+) -> dict:
+    """Compare the governor against uncapped and a static cap.
+
+    Returns total energy and time for the three strategies over a kernel
+    stream — the per-kernel analogue of the per-job policy comparison.
+    """
+    spec = spec if spec is not None else default_spec()
+    uncapped = GPUDevice(spec)
+    static = GPUDevice(spec, frequency_cap_hz=static_cap_mhz * 1e6)
+    governor = SensitivityGovernor(
+        spec, slowdown_tolerance=slowdown_tolerance
+    )
+
+    out = {
+        name: {"energy_j": 0.0, "time_s": 0.0}
+        for name in ("uncapped", "static", "governor")
+    }
+    for kernel in kernels:
+        for name, result in (
+            ("uncapped", uncapped.run(kernel)),
+            ("static", static.run(kernel)),
+            ("governor", governor.run(kernel)),
+        ):
+            out[name]["energy_j"] += result.energy_j
+            out[name]["time_s"] += result.time_s
+    for name in ("static", "governor"):
+        out[name]["saving_pct"] = 100.0 * (
+            1.0 - out[name]["energy_j"] / out["uncapped"]["energy_j"]
+        )
+        out[name]["slowdown_pct"] = 100.0 * (
+            out[name]["time_s"] / out["uncapped"]["time_s"] - 1.0
+        )
+    return out

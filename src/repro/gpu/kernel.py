@@ -1,0 +1,105 @@
+"""Kernel descriptors.
+
+A :class:`KernelSpec` captures everything the simulator needs to know about
+one GPU kernel launch: total work (flops, bytes), where the bytes live
+(working-set size → L2 hit fraction), and three *character* parameters that
+distinguish kernel families:
+
+``issue_bw_factor``
+    How much memory-level parallelism the kernel exposes.  Achievable
+    memory bandwidth is capped at ``issue_bw_factor * (f/f_max) * B_hbm``,
+    modeling address-generation/issue boundness.  The paper's VAI kernel
+    (short unrolled FMA bodies between loads) slows down under DVFS even in
+    its memory-bound region, so it has a factor barely above 1; the
+    GPU-benches load kernel (deep batched loads) has a larger factor and
+    stays HBM-bound down to low clocks.
+
+``compute_efficiency``
+    Fraction of the device's achievable FLOP roof this kernel can reach.
+
+``occupancy``
+    Fraction of the device the grid can keep busy; low-occupancy
+    (latency-bound) kernels scale both roofs down and their runtime becomes
+    clock-sensitive, which is how sparse-graph workloads behave in Fig 7.
+
+``divergence``
+    Wavefront divergence penalty in [0, 1); reduces effective compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from ..errors import KernelError
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """One GPU kernel launch, as seen by the simulator."""
+
+    name: str
+    flops: float                   # total floating-point operations
+    hbm_bytes: float               # bytes that must move to/from HBM
+    l2_bytes: float = 0.0          # bytes served from L2
+    working_set_bytes: Optional[float] = None  # if set, overrides l2 split
+    issue_bw_factor: float = 2.0
+    compute_efficiency: float = 1.0
+    occupancy: float = 1.0
+    divergence: float = 0.0
+    launch_overhead_s: float = 0.0  # fixed host-side overhead per launch
+    # Core power burned by resident-but-stalled wavefronts (latency-bound
+    # kernels keep the clock tree and schedulers busy without retiring
+    # flops).  Fraction of full-ALU core power, additive to the flop
+    # activity, clamped at 1 by the power model.
+    stall_power_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.hbm_bytes < 0 or self.l2_bytes < 0:
+            raise KernelError(f"{self.name}: work quantities must be >= 0")
+        if self.flops == 0 and self.hbm_bytes == 0 and self.l2_bytes == 0:
+            raise KernelError(f"{self.name}: kernel performs no work")
+        if self.issue_bw_factor <= 0:
+            raise KernelError(f"{self.name}: issue_bw_factor must be > 0")
+        if not (0 < self.compute_efficiency <= 1):
+            raise KernelError(f"{self.name}: compute_efficiency in (0, 1]")
+        if not (0 < self.occupancy <= 1):
+            raise KernelError(f"{self.name}: occupancy in (0, 1]")
+        if not (0 <= self.divergence < 1):
+            raise KernelError(f"{self.name}: divergence in [0, 1)")
+        if self.launch_overhead_s < 0:
+            raise KernelError(f"{self.name}: launch_overhead_s must be >= 0")
+        if not (0 <= self.stall_power_fraction < 1):
+            raise KernelError(f"{self.name}: stall_power_fraction in [0, 1)")
+
+    # -- derived ---------------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> float:
+        """All bytes moved, regardless of level."""
+        return self.hbm_bytes + self.l2_bytes
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """Flops per byte of *total* traffic (the paper's AI axis)."""
+        total = self.total_bytes
+        return self.flops / total if total > 0 else float("inf")
+
+    def scaled(self, factor: float) -> "KernelSpec":
+        """Return a copy with flops and bytes multiplied by ``factor``.
+
+        Used to extend runtime for steady-state measurement exactly the way
+        Algorithm 1's REPEAT constant does.
+        """
+        if factor <= 0:
+            raise KernelError(f"{self.name}: scale factor must be > 0")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            hbm_bytes=self.hbm_bytes * factor,
+            l2_bytes=self.l2_bytes * factor,
+        )
+
+    def with_overrides(self, **kwargs) -> "KernelSpec":
+        """Return a copy with selected fields replaced."""
+        return replace(self, **kwargs)

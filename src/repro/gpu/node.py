@@ -1,0 +1,85 @@
+"""A Frontier compute node: four MI250X modules plus a CPU.
+
+The node model exists for two reasons:
+
+* Fig 2(b) of the paper compares GPU vs CPU energy at the node level, so
+  the node must account for CPU package power alongside the GPUs;
+* the fleet telemetry generator emits per-node records (node input power,
+  per-GPU power), matching the out-of-band sensor layout on Frontier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .device import GPUDevice, KernelResult
+from .kernel import KernelSpec
+from .specs import NodeSpec
+
+
+@dataclass(frozen=True)
+class NodePowerSample:
+    """One node-level power observation."""
+
+    gpu_power_w: np.ndarray   # per-GPU module power, shape (gpus_per_node,)
+    cpu_power_w: float
+    overhead_w: float
+
+    @property
+    def node_input_w(self) -> float:
+        return float(self.gpu_power_w.sum() + self.cpu_power_w + self.overhead_w)
+
+    @property
+    def gpu_fraction(self) -> float:
+        """Fraction of node input power drawn by the GPUs."""
+        return float(self.gpu_power_w.sum() / self.node_input_w)
+
+
+class FrontierNode:
+    """One compute node: 4 GPUs (8 GCDs) + 1 CPU + board overhead."""
+
+    def __init__(self, spec: Optional[NodeSpec] = None) -> None:
+        self.spec = spec if spec is not None else NodeSpec()
+        self.gpus: List[GPUDevice] = [
+            GPUDevice(self.spec.gpu) for _ in range(self.spec.gpus_per_node)
+        ]
+
+    def set_frequency_cap(self, cap_hz: Optional[float]) -> None:
+        """Apply a frequency cap to every GPU on the node."""
+        for gpu in self.gpus:
+            gpu.set_frequency_cap(cap_hz)
+
+    def set_power_cap(self, cap_w: Optional[float]) -> None:
+        """Apply a power cap to every GPU on the node."""
+        for gpu in self.gpus:
+            gpu.set_power_cap(cap_w)
+
+    def run_replicated(self, kernel: KernelSpec) -> List[KernelResult]:
+        """Run the same kernel on every GPU (the paper's MPI launch style).
+
+        The VAI benchmark runs embarrassingly parallel with one rank per
+        GCD operating on its own copy of the data, so each module sees an
+        identical workload.
+        """
+        return [gpu.run(kernel) for gpu in self.gpus]
+
+    def sample(
+        self,
+        gpu_power_w: Sequence[float],
+        cpu_load: float,
+    ) -> NodePowerSample:
+        """Assemble a node-level sample from component observations."""
+        arr = np.asarray(gpu_power_w, dtype=float)
+        if arr.shape != (self.spec.gpus_per_node,):
+            raise ValueError(
+                f"expected {self.spec.gpus_per_node} GPU power values, "
+                f"got shape {arr.shape}"
+            )
+        return NodePowerSample(
+            gpu_power_w=arr,
+            cpu_power_w=self.spec.cpu_power_w(cpu_load),
+            overhead_w=self.spec.overhead_w,
+        )

@@ -1,0 +1,152 @@
+"""Device specification dataclasses.
+
+Two kinds of constants live here:
+
+* *datasheet* values (frequencies, TDP, HBM capacity) taken from Table I of
+  the paper;
+* *calibrated* values (achievable rates, power coefficients, voltage-curve
+  shape) fitted so the simulator reproduces the paper's measured anchors:
+  540 W peak at arithmetic intensity 4, 380 W for memory-bound streams,
+  ~420 W for the compute-bound tail, runtime flat under DVFS for
+  HBM-resident sweeps, and the Table III cap-response percentages.
+
+The calibrated compute roof (``achievable_flops``) is deliberately below
+the FP64 datasheet peak: the paper's VAI kernel is a portable OpenMP-target
+FMA loop whose empirical ridge sits at 4 flops/byte, which pins the
+achievable compute-to-bandwidth ratio the simulator must exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from .. import constants, units
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class MI250XSpec:
+    """Specification + calibration of one MI250X module (two GCDs)."""
+
+    name: str = "MI250X"
+
+    # --- datasheet -----------------------------------------------------------
+    f_max_hz: float = constants.GCD_MAX_FREQUENCY_HZ
+    f_min_hz: float = constants.GCD_MIN_FREQUENCY_HZ
+    tdp_w: float = constants.GCD_MAX_POWER_W
+    idle_w: float = constants.GPU_IDLE_POWER_W
+    hbm_bytes: float = 2 * constants.HBM_PER_GCD_BYTES
+    peak_flops: float = units.tflops(47.9)       # FP64 vector, both GCDs
+    peak_hbm_bw: float = units.tbps(3.2768)      # datasheet HBM2e bandwidth
+
+    # --- boost ---------------------------------------------------------------
+    boost_f_factor: float = 1.06       # short excursions above f_max
+    boost_power_max_w: float = 600.0   # ceiling of boost transients
+
+    # --- calibrated performance roofs ---------------------------------------
+    achievable_flops: float = units.tflops(12.0)   # simple-kernel FMA roof
+    achievable_hbm_bw: float = units.tbps(3.0)     # ~92 % of datasheet
+    l2_bytes: float = units.mib(16)                # paper's L2 threshold
+    l2_bw_max: float = units.tbps(9.0)             # L2 roof at f_max
+
+    # --- calibrated power model ----------------------------------------------
+    # P = idle + core*a_c*phi(f) + hbm*a_m*psi(f) + l2*a_l2*phi(f)
+    #       - cross*a_c*a_m*phi(f)
+    core_power_w: float = 330.0     # full-ALU-activity core power at f_max
+    hbm_power_w: float = 285.0      # full-bandwidth HBM+uncore power at f_max
+    l2_power_w: float = 45.0        # full-bandwidth L2 power at f_max
+    cross_power_w: float = 165.0    # sub-additive compute+memory overlap
+
+    # voltage curve v(x) = v0 + v1*x with x = f/f_max, volts
+    v0: float = 0.60
+    v1: float = 0.50
+
+    # HBM/uncore power frequency response.  When the device is uncapped the
+    # uncore runs its full P-state (scale 1.0).  Setting *any* frequency
+    # ceiling lets the firmware engage a lower fclk/df P-state, after which
+    # the uncore scale follows psi_cap(x) = psi_cap0 + psi_cap1 * x — this
+    # step-plus-weak-slope response is what Table III's MB column measures
+    # (a ~13 % drop at the first cap, then nearly flat).  A *power* cap
+    # does not engage the low uncore P-state (see repro.gpu.powercap).
+    psi_cap0: float = 0.70
+    psi_cap1: float = 0.13
+
+    # Fraction of the HBM/uncore power term visible to the power-cap
+    # controller's meter.  The firmware regulates only the managed domain,
+    # which is why low caps are breached by HBM-saturated kernels and a
+    # 300 W cap leaves a 374 W memory stream untouched (Fig 6d).
+    cap_metered_hbm_fraction: float = 0.75
+
+    sensor_noise_w: float = 2.5     # 1-sigma Gaussian noise on power sensors
+
+    def __post_init__(self) -> None:
+        if not (0 < self.f_min_hz < self.f_max_hz):
+            raise SpecError("frequency range must satisfy 0 < f_min < f_max")
+        if self.idle_w <= 0 or self.tdp_w <= self.idle_w:
+            raise SpecError("need 0 < idle_w < tdp_w")
+        if self.achievable_flops > self.peak_flops:
+            raise SpecError("achievable flops cannot exceed datasheet peak")
+        if self.achievable_hbm_bw > self.peak_hbm_bw:
+            raise SpecError("achievable bandwidth cannot exceed datasheet peak")
+        if min(self.core_power_w, self.hbm_power_w, self.l2_power_w) < 0:
+            raise SpecError("power coefficients must be non-negative")
+        # Monotonicity of the power surface in each activity requires the
+        # cross term to stay below both single-engine coefficients.
+        if self.cross_power_w >= min(self.core_power_w, self.hbm_power_w):
+            raise SpecError("cross term must be < min(core, hbm) coefficients")
+
+    # -- derived --------------------------------------------------------------
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Roofline ridge (flops/byte) of the achievable roofs at f_max."""
+        return self.achievable_flops / self.achievable_hbm_bw
+
+    @property
+    def max_steady_power_w(self) -> float:
+        """Steady power with compute and memory both saturated at f_max."""
+        return (
+            self.idle_w
+            + self.core_power_w
+            + self.hbm_power_w
+            - self.cross_power_w
+        )
+
+    def clamp_frequency(self, f_hz: float) -> float:
+        """Clamp a frequency request into the supported DVFS range."""
+        return min(max(f_hz, self.f_min_hz), self.f_max_hz)
+
+    def with_overrides(self, **kwargs) -> "MI250XSpec":
+        """Return a copy with selected fields replaced (for ablations)."""
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Specification of one Frontier compute node."""
+
+    gpus_per_node: int = constants.GPUS_PER_NODE
+    gpu: MI250XSpec = field(default_factory=MI250XSpec)
+
+    # Simple CPU (1x AMD "Trento") power model: idle..full-load range.
+    cpu_idle_w: float = 90.0
+    cpu_max_w: float = 280.0
+
+    # Residual node power: NICs, fans, board losses.
+    overhead_w: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.gpus_per_node <= 0:
+            raise SpecError("gpus_per_node must be positive")
+        if not (0 <= self.cpu_idle_w <= self.cpu_max_w):
+            raise SpecError("need 0 <= cpu_idle_w <= cpu_max_w")
+
+    def cpu_power_w(self, load: float) -> float:
+        """CPU package power at a utilization in [0, 1]."""
+        load = min(max(load, 0.0), 1.0)
+        return self.cpu_idle_w + (self.cpu_max_w - self.cpu_idle_w) * load
+
+
+def default_spec() -> MI250XSpec:
+    """The calibrated MI250X module specification used throughout."""
+    return MI250XSpec()

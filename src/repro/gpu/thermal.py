@@ -1,0 +1,108 @@
+"""First-order thermal model: why boost is transient.
+
+Frontier is direct-liquid-cooled with medium-temperature water (paper
+Section II-A); a module's die temperature follows a first-order RC
+response to its power draw:
+
+    C_th * dT/dt = P - (T - T_coolant) / R_th
+
+Boost (power above TDP) is allowed while the die stays below the
+throttle limit; because the boost steady-state temperature sits above
+the limit, boost can only be held for a finite window — which is why
+Table IV's region 4 holds just 1.1 % of GPU-hours and why the paper's
+telemetry sees boost only as short excursions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SpecError
+
+
+@dataclass(frozen=True)
+class ThermalParams:
+    """RC thermal parameters of one MI250X module under liquid cooling."""
+
+    coolant_c: float = 32.0       # facility water temperature
+    r_th_k_per_w: float = 0.13    # junction-to-coolant resistance
+    tau_s: float = 15.0           # RC time constant (die + cold plate)
+    throttle_c: float = 105.0     # boost throttle limit
+
+    def __post_init__(self) -> None:
+        if self.r_th_k_per_w <= 0 or self.tau_s <= 0:
+            raise SpecError("thermal resistance and tau must be positive")
+        if self.throttle_c <= self.coolant_c:
+            raise SpecError("throttle limit must exceed coolant temperature")
+
+    @property
+    def c_th_j_per_k(self) -> float:
+        return self.tau_s / self.r_th_k_per_w
+
+
+class ThermalModel:
+    """Evaluate the RC response analytically (no time stepping needed)."""
+
+    def __init__(self, params: ThermalParams | None = None) -> None:
+        self.params = params if params is not None else ThermalParams()
+
+    def steady_temp_c(self, power_w: float) -> float:
+        """Equilibrium die temperature at a constant power."""
+        p = self.params
+        return p.coolant_c + power_w * p.r_th_k_per_w
+
+    def temp_after(self, t0_c: float, power_w: float, dt_s: float) -> float:
+        """Temperature after holding ``power_w`` for ``dt_s`` from ``t0_c``."""
+        if dt_s < 0:
+            raise SpecError("dt must be >= 0")
+        p = self.params
+        t_inf = self.steady_temp_c(power_w)
+        return t_inf + (t0_c - t_inf) * float(np.exp(-dt_s / p.tau_s))
+
+    def boost_window_s(self, t0_c: float, boost_power_w: float) -> float:
+        """How long boost power can be held before the throttle trips.
+
+        Returns ``inf`` when the boost steady state sits below the limit
+        (sustainable), ``0`` when the die is already at/over the limit.
+        """
+        p = self.params
+        t_inf = self.steady_temp_c(boost_power_w)
+        if t0_c >= p.throttle_c:
+            return 0.0
+        if t_inf <= p.throttle_c:
+            return float("inf")
+        # Solve T(t) = throttle for the exponential approach to t_inf.
+        return p.tau_s * float(
+            np.log((t_inf - t0_c) / (t_inf - p.throttle_c))
+        )
+
+    def sustainable_power_w(self) -> float:
+        """The largest constant power the cooling can hold under the limit."""
+        p = self.params
+        return (p.throttle_c - p.coolant_c) / p.r_th_k_per_w
+
+    def duty_cycle(self, boost_power_w: float, base_power_w: float) -> float:
+        """Long-run fraction of time boost can be held, alternating with
+        recovery at ``base_power_w``.
+
+        The classic RC duty cycle: boost until the limit, recover until
+        the boost window reopens to its steady alternation; computed from
+        the equilibrium of the two exponentials.
+        """
+        p = self.params
+        t_boost_inf = self.steady_temp_c(boost_power_w)
+        t_base_inf = self.steady_temp_c(base_power_w)
+        if t_boost_inf <= p.throttle_c:
+            return 1.0
+        # Alternating between the limit and a recovery temperature T_r:
+        # equal log-ratios give the steady cycle; a single-degree
+        # hysteresis band approximates firmware behaviour.  A base that
+        # cannot cool below the recovery point never re-arms boost.
+        t_rec = p.throttle_c - 1.0
+        if t_base_inf >= t_rec:
+            return 0.0
+        up = p.tau_s * np.log((t_boost_inf - t_rec) / (t_boost_inf - p.throttle_c))
+        down = p.tau_s * np.log((p.throttle_c - t_base_inf) / (t_rec - t_base_inf))
+        return float(up / (up + down))

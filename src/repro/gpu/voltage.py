@@ -1,0 +1,63 @@
+"""DVFS frequency/voltage curve and power scale factors.
+
+Dynamic CMOS power scales as ``f * v(f)^2``.  The simulator uses a linear
+frequency/voltage curve ``v(x) = v0 + v1 * x`` (``x = f / f_max``), which is
+a good approximation of the reported MI250X operating points over the
+500-1700 MHz range.
+
+Two scale factors are derived:
+
+* :func:`core_scale` (phi) — applies to the core/ALU and L2 power terms and
+  follows the classic ``f * v^2`` law;
+* :func:`uncore_scale` (psi) — applies to the HBM/uncore power term, which
+  only partially follows the core clock (``psi0`` floor).  Frequency caps
+  drag the uncore domain down with the core; power caps do not (they
+  throttle the core domain alone), which is how the simulator reproduces
+  the paper's observation that power caps are breached by memory-heavy
+  workloads while frequency caps still reduce their power draw.
+
+All functions accept scalars or NumPy arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .specs import MI250XSpec
+
+
+def voltage(spec: MI250XSpec, f_hz):
+    """Core voltage (volts) at frequency ``f_hz``."""
+    x = np.asarray(f_hz, dtype=float) / spec.f_max_hz
+    return spec.v0 + spec.v1 * x
+
+
+def core_scale(spec: MI250XSpec, f_hz):
+    """phi(f): core dynamic-power scale relative to f_max (=1 at f_max)."""
+    x = np.asarray(f_hz, dtype=float) / spec.f_max_hz
+    v_ratio = voltage(spec, f_hz) / voltage(spec, spec.f_max_hz)
+    out = x * v_ratio**2
+    return float(out) if np.isscalar(f_hz) else out
+
+
+def uncore_scale(spec: MI250XSpec, f_hz, *, capped: bool):
+    """psi(f): HBM/uncore power scale.
+
+    ``capped=False`` — no frequency ceiling set: the uncore runs its full
+    P-state (scale 1.0 regardless of the instantaneous core clock).
+
+    ``capped=True`` — a DVFS ceiling is in force: the firmware engages a
+    lower uncore P-state and the scale follows the calibrated
+    ``psi_cap0 + psi_cap1 * (f / f_max)`` response.
+    """
+    x = np.asarray(f_hz, dtype=float) / spec.f_max_hz
+    if capped:
+        out = spec.psi_cap0 + spec.psi_cap1 * x
+    else:
+        out = np.ones_like(x)
+    return float(out) if np.isscalar(f_hz) else out
+
+
+def frequency_grid(spec: MI250XSpec, n: int = 64) -> np.ndarray:
+    """A dense frequency grid across the DVFS range, in Hz."""
+    return np.linspace(spec.f_min_hz, spec.f_max_hz, n)

@@ -1,0 +1,34 @@
+"""Graph substrate: CSR graphs, generators, and Louvain community detection.
+
+This is the "real HPC application" of the paper's Section III-B-c: a
+GPU-based Louvain community detection code run on networks spanning road
+(bounded-degree) and social (power-law) topologies.  The Louvain algorithm
+itself runs for real (communities, modularity, per-pass workloads are
+genuine); only the time/power of each GPU pass comes from the simulator
+via :mod:`repro.graph.gpu_louvain`.
+"""
+
+from .csr import CSRGraph
+from .generators import (
+    rmat_graph,
+    road_network,
+    social_network,
+    paper_suite,
+)
+from .louvain import LouvainResult, louvain
+from .metrics import degree_stats, modularity
+from .gpu_louvain import GPULouvainRunner, GPULouvainResult
+
+__all__ = [
+    "CSRGraph",
+    "rmat_graph",
+    "road_network",
+    "social_network",
+    "paper_suite",
+    "louvain",
+    "LouvainResult",
+    "modularity",
+    "degree_stats",
+    "GPULouvainRunner",
+    "GPULouvainResult",
+]

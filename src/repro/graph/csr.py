@@ -1,0 +1,149 @@
+"""Compressed Sparse Row graph structure.
+
+The paper's GPU Louvain processes input graphs in CSR format "for more
+regular memory access"; this class is that structure: an undirected,
+optionally weighted graph stored as ``indptr``/``indices``/``weights``
+arrays with both edge directions materialized (each undirected edge
+appears twice), which is what GPU kernels iterate over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..errors import GraphError
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An undirected graph in CSR form.
+
+    ``indptr`` has length ``n + 1``; ``indices[indptr[u]:indptr[u+1]]`` are
+    the neighbours of ``u``; ``weights`` aligns with ``indices``.  Both
+    directions of every edge are stored, so ``indices`` has ``2 m``
+    entries for ``m`` undirected edges.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
+    weights: np.ndarray
+
+    def __post_init__(self) -> None:
+        indptr = np.asarray(self.indptr)
+        indices = np.asarray(self.indices)
+        weights = np.asarray(self.weights)
+        if indptr.ndim != 1 or indices.ndim != 1 or weights.ndim != 1:
+            raise GraphError("CSR arrays must be one-dimensional")
+        if len(indptr) < 1 or indptr[0] != 0:
+            raise GraphError("indptr must start at 0")
+        if not np.all(np.diff(indptr) >= 0):
+            raise GraphError("indptr must be non-decreasing")
+        if indptr[-1] != len(indices):
+            raise GraphError("indptr[-1] must equal len(indices)")
+        if len(weights) != len(indices):
+            raise GraphError("weights must align with indices")
+        n = len(indptr) - 1
+        if len(indices) and (indices.min() < 0 or indices.max() >= n):
+            raise GraphError("edge endpoint out of range")
+        if len(weights) and weights.min() <= 0:
+            raise GraphError("edge weights must be positive")
+
+    # -- constructors -----------------------------------------------------------
+
+    @staticmethod
+    def from_edges(
+        n_vertices: int,
+        sources: np.ndarray,
+        targets: np.ndarray,
+        weights: Optional[np.ndarray] = None,
+    ) -> "CSRGraph":
+        """Build from an undirected edge list.
+
+        Self-loops are dropped, duplicate edges are merged (weights
+        summed), and both directions are materialized.
+        """
+        if n_vertices <= 0:
+            raise GraphError("graph needs at least one vertex")
+        src = np.asarray(sources, dtype=np.int64)
+        dst = np.asarray(targets, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise GraphError("sources/targets length mismatch")
+        if len(src) and (
+            min(src.min(), dst.min()) < 0
+            or max(src.max(), dst.max()) >= n_vertices
+        ):
+            raise GraphError("edge endpoint out of range")
+        w = (
+            np.ones(len(src), dtype=np.float64)
+            if weights is None
+            else np.asarray(weights, dtype=np.float64)
+        )
+        if len(w) != len(src):
+            raise GraphError("weights length mismatch")
+
+        keep = src != dst
+        src, dst, w = src[keep], dst[keep], w[keep]
+
+        # Canonicalize (lo, hi), merge duplicates by summing weights.
+        lo = np.minimum(src, dst)
+        hi = np.maximum(src, dst)
+        key = lo * np.int64(n_vertices) + hi
+        order = np.argsort(key, kind="stable")
+        key, lo, hi, w = key[order], lo[order], hi[order], w[order]
+        if len(key):
+            uniq_mask = np.empty(len(key), dtype=bool)
+            uniq_mask[0] = True
+            np.not_equal(key[1:], key[:-1], out=uniq_mask[1:])
+            group = np.cumsum(uniq_mask) - 1
+            lo, hi = lo[uniq_mask], hi[uniq_mask]
+            w = np.bincount(group, weights=w)
+
+        # Materialize both directions and sort into CSR.
+        all_src = np.concatenate([lo, hi])
+        all_dst = np.concatenate([hi, lo])
+        all_w = np.concatenate([w, w])
+        order = np.argsort(all_src, kind="stable")
+        all_src, all_dst, all_w = all_src[order], all_dst[order], all_w[order]
+        indptr = np.zeros(n_vertices + 1, dtype=np.int64)
+        np.cumsum(np.bincount(all_src, minlength=n_vertices), out=indptr[1:])
+        return CSRGraph(indptr=indptr, indices=all_dst, weights=all_w)
+
+    # -- properties -------------------------------------------------------------
+
+    @property
+    def n_vertices(self) -> int:
+        return len(self.indptr) - 1
+
+    @property
+    def n_edges(self) -> int:
+        """Number of *undirected* edges."""
+        return len(self.indices) // 2
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Unweighted degree of each vertex."""
+        return np.diff(self.indptr)
+
+    @property
+    def weighted_degrees(self) -> np.ndarray:
+        """Sum of incident edge weights per vertex."""
+        n = self.n_vertices
+        seg = np.repeat(np.arange(n), self.degrees)
+        return np.bincount(seg, weights=self.weights, minlength=n)
+
+    @property
+    def total_weight(self) -> float:
+        """Total undirected edge weight (each edge counted once)."""
+        return float(self.weights.sum()) / 2.0
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(sources, targets, weights) over all *directed* entries."""
+        src = np.repeat(np.arange(self.n_vertices), self.degrees)
+        return src, self.indices, self.weights
+
+    def neighbors(self, u: int) -> np.ndarray:
+        """Neighbour ids of vertex ``u``."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]

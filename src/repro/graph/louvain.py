@@ -1,0 +1,245 @@
+"""Louvain community detection (vectorized parallel-heuristic variant).
+
+This is a real implementation of the Louvain method [Blondel et al. 2008]
+in the synchronous, parallel-local-moving style of the GPU codes the paper
+builds on (Lu, Halappanavar, Kalyanaraman 2015): every vertex evaluates
+its best neighbouring community against a frozen snapshot, and moves are
+applied in two parity phases per sweep to break symmetric oscillations —
+the same trick GPU implementations use in place of sequential scans.
+
+All hot paths are NumPy-vectorized (lexsort + reduceat group-by over the
+directed edge arrays); no Python loop touches edges.  Each local-moving
+pass is followed by graph aggregation, exactly as in classic Louvain, and
+the per-pass workload statistics (edges touched, sweeps) are recorded for
+the GPU execution mapping in :mod:`repro.graph.gpu_louvain`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import GraphError
+from .csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class PassStats:
+    """Workload of one Louvain pass (local moving + aggregation)."""
+
+    level: int
+    n_vertices: int
+    n_directed_edges: int
+    sweeps: int
+    modularity: float   # level modularity after the pass
+
+
+@dataclass(frozen=True)
+class LouvainResult:
+    """Outcome of Louvain community detection."""
+
+    communities: np.ndarray      # original-vertex -> community id (compact)
+    modularity: float
+    passes: List[PassStats]
+
+    @property
+    def n_communities(self) -> int:
+        return int(self.communities.max()) + 1 if len(self.communities) else 0
+
+
+def _compact(labels: np.ndarray) -> np.ndarray:
+    """Relabel community ids to 0..k-1 preserving order of first use."""
+    _, compact = np.unique(labels, return_inverse=True)
+    return compact
+
+
+def _level_modularity(
+    internal_w: float, sigma: np.ndarray, two_m: float, resolution: float
+) -> float:
+    return internal_w / two_m - resolution * float(
+        np.sum((sigma / two_m) ** 2)
+    )
+
+
+def _local_move(
+    src: np.ndarray,
+    dst: np.ndarray,
+    w: np.ndarray,
+    k: np.ndarray,
+    self_w: np.ndarray,
+    two_m: float,
+    *,
+    max_sweeps: int,
+    tol: float,
+    resolution: float,
+):
+    """Parallel local-moving phase at one level.
+
+    Returns (labels, sweeps_used, level_modularity).
+    """
+    n = len(k)
+    c = np.arange(n)
+    sigma = k.copy().astype(float)
+
+    def internal_weight(labels):
+        return float(w[labels[src] == labels[dst]].sum()) + 2.0 * float(
+            self_w.sum()
+        )
+
+    q = _level_modularity(internal_weight(c), sigma, two_m, resolution)
+    best_q = q
+    best_c = c.copy()
+    sweeps = 0
+    for _ in range(max_sweeps):
+        moved_any = False
+        for phase in (0, 1):
+            # Group directed edges by (source, neighbour community).
+            dc = c[dst]
+            order = np.lexsort((dc, src))
+            s_src = src[order]
+            s_comm = dc[order]
+            s_w = w[order]
+            if len(s_src) == 0:
+                break
+            new_group = np.empty(len(s_src), dtype=bool)
+            new_group[0] = True
+            new_group[1:] = (s_src[1:] != s_src[:-1]) | (
+                s_comm[1:] != s_comm[:-1]
+            )
+            starts = np.flatnonzero(new_group)
+            w_pair = np.add.reduceat(s_w, starts)
+            u_pair = s_src[starts]
+            d_pair = s_comm[starts]
+
+            # Score of placing u in community D (sigma without u's own k).
+            sigma_adj = sigma[d_pair] - np.where(
+                d_pair == c[u_pair], k[u_pair], 0.0
+            )
+            score = w_pair - resolution * k[u_pair] * sigma_adj / two_m
+
+            # Append explicit "stay" options so isolated-in-community
+            # vertices compare against the correct baseline.
+            stay_u = np.arange(n)
+            stay_d = c
+            stay_score = -resolution * k * (sigma[c] - k) / two_m
+            # Vertices that do have links into their own community get the
+            # real stay score from the grouped pairs; duplicates are fine
+            # because the max below picks the larger (identical) one.
+            all_u = np.concatenate([u_pair, stay_u])
+            all_d = np.concatenate([d_pair, stay_d])
+            all_s = np.concatenate([score, stay_score])
+
+            # Per-vertex argmax with deterministic tie-break on community
+            # id: sort by (u, -score, d) and take each group's first row.
+            order2 = np.lexsort((all_d, -all_s, all_u))
+            all_u = all_u[order2]
+            all_d = all_d[order2]
+            first = np.empty(len(all_u), dtype=bool)
+            first[0] = True
+            first[1:] = all_u[1:] != all_u[:-1]
+            best_d = all_d[first]           # indexed by vertex id (sorted)
+            best_u = all_u[first]
+            target = np.empty(n, dtype=np.int64)
+            target[best_u] = best_d
+
+            move = (target != c) & ((np.arange(n) % 2) == phase)
+            if not move.any():
+                continue
+            moved_any = True
+            movers = np.flatnonzero(move)
+            np.subtract.at(sigma, c[movers], k[movers])
+            np.add.at(sigma, target[movers], k[movers])
+            c[movers] = target[movers]
+
+        sweeps += 1
+        q_new = _level_modularity(internal_weight(c), sigma, two_m, resolution)
+        if q_new > best_q:
+            best_q = q_new
+            best_c = c.copy()
+        if q_new - q < tol or not moved_any:
+            break
+        q = q_new
+    # Synchronous sweeps evaluate moves against a frozen snapshot, so a
+    # sweep can occasionally overshoot; returning the best partition seen
+    # keeps the per-level modularity monotone across passes.
+    return best_c, sweeps, best_q
+
+
+def _aggregate(src, dst, w, k, self_w, labels):
+    """Contract a level by its community labels."""
+    labels = _compact(labels)
+    n_new = int(labels.max()) + 1
+    cu = labels[src]
+    cv = labels[dst]
+    off_diag = cu != cv
+    key = cu[off_diag] * np.int64(n_new) + cv[off_diag]
+    uniq, inv = np.unique(key, return_inverse=True)
+    new_w = np.bincount(inv, weights=w[off_diag])
+    new_src = (uniq // n_new).astype(np.int64)
+    new_dst = (uniq % n_new).astype(np.int64)
+    internal_directed = np.bincount(
+        cu[~off_diag], weights=w[~off_diag], minlength=n_new
+    )
+    new_self = internal_directed / 2.0 + np.bincount(
+        labels, weights=self_w, minlength=n_new
+    )
+    new_k = np.bincount(labels, weights=k, minlength=n_new)
+    return new_src, new_dst, new_w, new_k, new_self, labels
+
+
+def louvain(
+    graph: CSRGraph,
+    *,
+    max_passes: int = 10,
+    max_sweeps: int = 16,
+    tol: float = 1e-6,
+    resolution: float = 1.0,
+) -> LouvainResult:
+    """Run Louvain community detection on ``graph``.
+
+    Returns the community assignment of the *original* vertices, the final
+    modularity (computed on the original graph), and per-pass workload
+    statistics for the GPU execution mapping.
+    """
+    if graph.n_edges == 0:
+        raise GraphError("Louvain needs at least one edge")
+    two_m = float(graph.weights.sum())
+
+    src, dst, w = graph.edge_arrays()
+    k = graph.weighted_degrees.astype(float)
+    self_w = np.zeros(graph.n_vertices)
+    overall = np.arange(graph.n_vertices)
+
+    passes: List[PassStats] = []
+    prev_q = -1.0
+    for level in range(max_passes):
+        labels, sweeps, q = _local_move(
+            src, dst, w, k, self_w, two_m,
+            max_sweeps=max_sweeps, tol=tol, resolution=resolution,
+        )
+        passes.append(
+            PassStats(
+                level=level,
+                n_vertices=len(k),
+                n_directed_edges=len(src),
+                sweeps=sweeps,
+                modularity=q,
+            )
+        )
+        src, dst, w, k, self_w, labels = _aggregate(
+            src, dst, w, k, self_w, labels
+        )
+        overall = labels[overall]
+        if q - prev_q < tol or len(src) == 0:
+            break
+        prev_q = q
+
+    communities = _compact(overall)
+    from .metrics import modularity as graph_modularity
+
+    final_q = graph_modularity(graph, communities, resolution=resolution)
+    return LouvainResult(
+        communities=communities, modularity=final_q, passes=passes
+    )

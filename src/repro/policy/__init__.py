@@ -1,0 +1,35 @@
+"""Power-management policy extension.
+
+The paper bounds the *best-case* savings of fleet-wide caps and, in its
+discussion, points at the next step: "more precise application
+fingerprinting, with more precise sensitivity prediction regarding power
+management".  This subpackage builds that step on top of the
+reproduction:
+
+* :mod:`repro.policy.fingerprint` — per-job fingerprints from telemetry
+  (region dwell, mean power, workload family);
+* :mod:`repro.policy.advisor`     — per-job cap recommendation that
+  maximizes expected savings under a slowdown budget, using the
+  Table III characterization as the sensitivity model;
+* :mod:`repro.policy.evaluate`    — campaign replay comparing the
+  per-job policy against uniform capping and against the paper's
+  oracle upper bound;
+* :mod:`repro.policy.budget`      — fleet power-budget planning: which
+  jobs to cap how when the center's power envelope shrinks.
+"""
+
+from .fingerprint import JobFingerprint, fingerprint_jobs
+from .advisor import CapAdvisor, Recommendation
+from .evaluate import PolicyOutcome, evaluate_policies
+from .budget import BudgetPlan, PowerBudgetPlanner
+
+__all__ = [
+    "JobFingerprint",
+    "fingerprint_jobs",
+    "CapAdvisor",
+    "Recommendation",
+    "PolicyOutcome",
+    "evaluate_policies",
+    "BudgetPlan",
+    "PowerBudgetPlanner",
+]

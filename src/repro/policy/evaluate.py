@@ -1,0 +1,132 @@
+"""Campaign replay: per-job policy vs uniform capping vs the oracle.
+
+Three strategies over the same fingerprinted campaign:
+
+* **per-job advisor** — each job gets its own recommended cap;
+* **uniform cap** — one fleet-wide cap (what Table V projects);
+* **oracle** — the paper's upper bound: every job gets its individually
+  best cap with no slowdown budget.
+
+Realized savings/slowdowns are evaluated with the same sensitivity model
+the advisor used, so the comparison isolates the *policy* question (who
+should be capped how) from the model question.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .. import units
+from ..errors import ProjectionError
+from ..core.characterization import CapFactors
+from .advisor import CapAdvisor
+from .fingerprint import JobFingerprint
+
+
+@dataclass(frozen=True)
+class PolicyOutcome:
+    """Fleet-level outcome of one capping strategy."""
+
+    name: str
+    saving_j: float
+    total_energy_j: float
+    capped_jobs: int
+    total_jobs: int
+    max_job_slowdown_pct: float
+    mean_weighted_slowdown_pct: float
+
+    @property
+    def saving_pct(self) -> float:
+        return 100.0 * self.saving_j / self.total_energy_j
+
+    @property
+    def saving_mwh(self) -> float:
+        return units.to_mwh(self.saving_j)
+
+
+def _aggregate(
+    name: str,
+    fingerprints: Dict[int, JobFingerprint],
+    caps: Dict[int, Optional[float]],
+    advisor: CapAdvisor,
+) -> PolicyOutcome:
+    total = sum(fp.energy_j for fp in fingerprints.values())
+    if total <= 0:
+        raise ProjectionError("campaign has no fingerprinted energy")
+    saving = 0.0
+    slowdowns: List[float] = []
+    weighted = 0.0
+    capped = 0
+    for jid, fp in fingerprints.items():
+        cap = caps.get(jid)
+        if cap is None:
+            slowdowns.append(0.0)
+            continue
+        s, dt = advisor.expected_outcome(fp, cap)
+        saving += s
+        weighted += dt * fp.energy_j
+        slowdowns.append(dt)
+        capped += 1
+    return PolicyOutcome(
+        name=name,
+        saving_j=saving,
+        total_energy_j=total,
+        capped_jobs=capped,
+        total_jobs=len(fingerprints),
+        max_job_slowdown_pct=max(slowdowns) if slowdowns else 0.0,
+        mean_weighted_slowdown_pct=weighted / total,
+    )
+
+
+def evaluate_policies(
+    fingerprints: Dict[int, JobFingerprint],
+    factors: CapFactors,
+    *,
+    max_slowdown_pct: float = 5.0,
+    uniform_cap: float = 900.0,
+) -> Dict[str, PolicyOutcome]:
+    """Compare the three strategies on one fingerprinted campaign."""
+    advisor = CapAdvisor(factors, max_slowdown_pct=max_slowdown_pct)
+
+    per_job = {
+        jid: rec.cap
+        for jid, rec in advisor.recommend_all(fingerprints).items()
+    }
+
+    uniform = {jid: uniform_cap for jid in fingerprints}
+
+    oracle_advisor = CapAdvisor(factors, max_slowdown_pct=float("inf"))
+    oracle = {
+        jid: rec.cap
+        for jid, rec in oracle_advisor.recommend_all(fingerprints).items()
+    }
+
+    return {
+        "per_job": _aggregate(
+            f"per-job advisor (<= {max_slowdown_pct:g} % slowdown)",
+            fingerprints, per_job, advisor,
+        ),
+        "uniform": _aggregate(
+            f"uniform {uniform_cap:g} cap", fingerprints, uniform, advisor
+        ),
+        "oracle": _aggregate(
+            "oracle upper bound", fingerprints, oracle, oracle_advisor
+        ),
+    }
+
+
+def format_outcomes(outcomes: Dict[str, PolicyOutcome]) -> str:
+    """Human-readable comparison table."""
+    lines = [
+        f"{'strategy':<38} {'saving %':>9} {'saving MWh':>11} "
+        f"{'capped':>12} {'max dT %':>9} {'mean dT %':>10}"
+    ]
+    for o in outcomes.values():
+        lines.append(
+            f"{o.name:<38} {o.saving_pct:9.2f} {o.saving_mwh:11.2f} "
+            f"{o.capped_jobs:5d}/{o.total_jobs:<6d} "
+            f"{o.max_job_slowdown_pct:9.2f} "
+            f"{o.mean_weighted_slowdown_pct:10.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,124 @@
+"""Per-job fingerprints from power telemetry.
+
+A fingerprint is the per-job analogue of the paper's modal decomposition:
+how much of the job's GPU time and energy sits in each operating region.
+It is computed from the same join as the campaign cube, but keyed by job
+id, and classifies each job into a workload family — the "application
+fingerprinting" the paper's discussion section asks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Union
+
+import numpy as np
+
+from .. import constants
+from ..errors import JoinError
+from ..scheduler.log import SchedulerLog
+from ..core.join import region_index
+from ..telemetry.schema import TelemetryChunk
+from ..telemetry.store import TelemetryStore
+
+#: Workload families, in the paper's Fig 9 vocabulary.
+FAMILIES = ("latency_bound", "memory_intensive", "compute_intensive",
+            "multi_zone")
+
+
+@dataclass(frozen=True)
+class JobFingerprint:
+    """Observed power behaviour of one job."""
+
+    job_id: int
+    domain: str
+    size_class: str
+    num_nodes: int
+    gpu_hours: float
+    energy_j: float
+    region_hours: np.ndarray     # shape (4,)
+    region_energy_j: np.ndarray  # shape (4,)
+
+    @property
+    def mean_power_w(self) -> float:
+        return self.energy_j / (self.gpu_hours * 3600.0)
+
+    @property
+    def region_fractions(self) -> np.ndarray:
+        total = self.region_hours.sum()
+        return self.region_hours / total if total else self.region_hours
+
+    @property
+    def family(self) -> str:
+        """Workload family from region dwell (Fig 9 panel vocabulary).
+
+        Boost dwell counts toward the compute-intensive family — a job
+        spending time above 560 W is running flat out.
+        """
+        frac = self.region_fractions
+        if np.count_nonzero(frac >= 0.10) >= 3:
+            return "multi_zone"
+        merged = np.array([frac[0], frac[1], frac[2] + frac[3]])
+        return FAMILIES[int(np.argmax(merged))]
+
+
+def fingerprint_jobs(
+    telemetry: Union[TelemetryStore, Iterable[TelemetryChunk]],
+    log: SchedulerLog,
+) -> Dict[int, JobFingerprint]:
+    """Fingerprint every job in a campaign (streaming, O(jobs) memory)."""
+    jobs = log.job_by_id()
+    if not jobs:
+        raise JoinError("scheduler log has no jobs")
+    max_jid = max(jobs)
+    hours = np.zeros((max_jid + 1, 4))
+    energy = np.zeros((max_jid + 1, 4))
+
+    if isinstance(telemetry, TelemetryStore):
+        chunks: Iterable[TelemetryChunk] = [telemetry.chunk]
+        interval = telemetry.interval_s
+    else:
+        chunks = telemetry
+        interval = constants.TELEMETRY_INTERVAL_S
+    hours_per_sample = interval / 3600.0
+
+    saw_any = False
+    for chunk in chunks:
+        saw_any = True
+        jid_row = np.zeros(len(chunk), dtype=np.int64)
+        for node in np.unique(chunk.node_id):
+            mask = chunk.node_id == node
+            jid_row[mask] = log.job_id_grid(chunk.time_s[mask], int(node))
+        power = chunk.gpu_power_w
+        reg = region_index(power)
+        key = (jid_row[:, None] * 4 + reg).reshape(-1)
+        flat_p = power.reshape(-1).astype(np.float64)
+        minlength = (max_jid + 1) * 4
+        energy += (
+            np.bincount(key, weights=flat_p, minlength=minlength)
+            .reshape(max_jid + 1, 4)
+            * interval
+        )
+        hours += (
+            np.bincount(key, minlength=minlength).reshape(max_jid + 1, 4)
+            * hours_per_sample
+        )
+    if not saw_any:
+        raise JoinError("no telemetry chunks to fingerprint")
+
+    out: Dict[int, JobFingerprint] = {}
+    for jid, job in jobs.items():
+        h = hours[jid]
+        if h.sum() == 0:
+            continue  # job too short to be sampled
+        out[jid] = JobFingerprint(
+            job_id=jid,
+            domain=job.domain,
+            size_class=job.size_class,
+            num_nodes=job.num_nodes,
+            gpu_hours=float(h.sum()),
+            energy_j=float(energy[jid].sum()),
+            region_hours=h.copy(),
+            region_energy_j=energy[jid].copy(),
+        )
+    return out

@@ -1,0 +1,30 @@
+"""SLURM-like scheduler substrate.
+
+Generates the two job-metadata artifacts the paper's analysis joins with
+telemetry (Table II rows b and c): the job-scheduler log (per-job metadata:
+job id, project id, node count, begin/end time) and the per-node-per-job
+allocation table.
+
+* :mod:`repro.scheduler.policy`   — Table VII size classes and walltimes
+* :mod:`repro.scheduler.jobs`     — job records and science domains
+* :mod:`repro.scheduler.workload` — the synthetic science-domain job mix
+* :mod:`repro.scheduler.slurm`    — FIFO + backfill placement
+* :mod:`repro.scheduler.log`      — the resulting log tables
+"""
+
+from .policy import job_size_class, max_walltime_s
+from .jobs import Job, ScienceDomain
+from .workload import WorkloadMix, default_mix
+from .slurm import SlurmSimulator
+from .log import SchedulerLog
+
+__all__ = [
+    "job_size_class",
+    "max_walltime_s",
+    "Job",
+    "ScienceDomain",
+    "WorkloadMix",
+    "default_mix",
+    "SlurmSimulator",
+    "SchedulerLog",
+]

@@ -1,0 +1,96 @@
+"""Job records and science domains.
+
+A :class:`ScienceDomain` is the unit of workload characterization: the
+paper derives it from the ``project_id`` prefix in the SLURM log and shows
+(Fig 9) that jobs within a domain share a GPU power profile.  A
+:class:`Job` is one scheduled execution; its ``project_id`` is formed from
+the domain prefix exactly the way the paper's join recovers it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ScheduleError
+from .policy import job_size_class
+
+
+@dataclass(frozen=True)
+class ScienceDomain:
+    """One science domain and its workload character.
+
+    ``profile``
+        Name of the GPU power profile in :mod:`repro.telemetry.profiles`.
+    ``size_class_weights``
+        Probability of a job landing in each Table VII class (A..E).
+    ``duration_range_s``
+        (min, max) of job durations, uniform in log space.
+    ``share``
+        Relative share of submitted node-hours attributed to the domain.
+    """
+
+    name: str
+    profile: str
+    share: float
+    size_class_weights: Tuple[float, float, float, float, float]
+    duration_range_s: Tuple[float, float]
+
+    def __post_init__(self) -> None:
+        if self.share <= 0:
+            raise ScheduleError(f"{self.name}: share must be positive")
+        if len(self.size_class_weights) != 5:
+            raise ScheduleError(f"{self.name}: need 5 size-class weights")
+        if abs(sum(self.size_class_weights) - 1.0) > 1e-6:
+            raise ScheduleError(f"{self.name}: size weights must sum to 1")
+        lo, hi = self.duration_range_s
+        if not (0 < lo <= hi):
+            raise ScheduleError(f"{self.name}: bad duration range")
+
+    def project_id(self, index: int) -> str:
+        """A project id whose prefix encodes the domain (paper join rule)."""
+        return f"{self.name}{100 + index}"
+
+
+@dataclass(frozen=True)
+class Job:
+    """One scheduled job (a row of the job-scheduler log, Table II b).
+
+    ``size_class`` is stored rather than derived because scaled-down
+    fleets keep the *full-scale* class label of each job (a class-B job on
+    a 128-node simulation occupies the same machine fraction as on 9408
+    nodes); when omitted, it is derived from ``num_nodes``.
+    """
+
+    job_id: int
+    project_id: str
+    domain: str
+    num_nodes: int
+    submit_time_s: float
+    start_time_s: float
+    end_time_s: float
+    size_class: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ScheduleError(f"job {self.job_id}: needs >= 1 node")
+        if not (
+            self.submit_time_s <= self.start_time_s < self.end_time_s
+        ):
+            raise ScheduleError(
+                f"job {self.job_id}: inconsistent times "
+                f"({self.submit_time_s}, {self.start_time_s}, "
+                f"{self.end_time_s})"
+            )
+        if not self.size_class:
+            object.__setattr__(
+                self, "size_class", job_size_class(self.num_nodes)
+            )
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_time_s - self.start_time_s
+
+    @property
+    def node_hours(self) -> float:
+        return self.num_nodes * self.duration_s / 3600.0

@@ -1,0 +1,40 @@
+"""Frontier scheduling policy (Table VII).
+
+Five job-size classes A-E partition the node-count range 1..9408; larger
+classes get longer maximum walltimes.  These classes are also the columns
+of the Fig 10 heatmaps and the selection axis of Table VI.
+"""
+
+from __future__ import annotations
+
+from .. import constants, units
+from ..errors import ScheduleError
+
+
+def job_size_class(num_nodes: int) -> str:
+    """The Table VII class ("A".."E") for a job of ``num_nodes`` nodes."""
+    if num_nodes < 1 or num_nodes > constants.NUM_COMPUTE_NODES:
+        raise ScheduleError(
+            f"num_nodes must be in 1..{constants.NUM_COMPUTE_NODES}, "
+            f"got {num_nodes}"
+        )
+    for name, lo, hi, _walltime in constants.SCHEDULING_POLICY:
+        if lo <= num_nodes <= hi:
+            return name
+    raise ScheduleError(f"no size class covers {num_nodes} nodes")
+
+
+def max_walltime_s(size_class: str) -> float:
+    """Maximum walltime (seconds) of a Table VII size class."""
+    for name, _lo, _hi, walltime_h in constants.SCHEDULING_POLICY:
+        if name == size_class:
+            return units.hours(walltime_h)
+    raise ScheduleError(f"unknown size class {size_class!r}")
+
+
+def class_node_range(size_class: str) -> tuple:
+    """(min_nodes, max_nodes) of a Table VII size class."""
+    for name, lo, hi, _walltime_h in constants.SCHEDULING_POLICY:
+        if name == size_class:
+            return lo, hi
+    raise ScheduleError(f"unknown size class {size_class!r}")

@@ -1,0 +1,136 @@
+"""The synthetic science-domain workload mix.
+
+The paper's Fig 9 shows that science domains have characteristic GPU power
+modalities: some run compute-intensive (panels a-b), some latency/IO-bound
+(c-d), some memory-intensive (e-f), and some span multiple zones (g-h).
+This module defines a fleet mix of twelve domains over those profile
+families, with shares calibrated (see ``tests/telemetry/test_fleet_calibration.py``)
+so the generated three-month distribution reproduces Table IV's GPU-hour
+shares: 29.8 / 49.5 / 19.5 / 1.1 % across the four operating regions.
+
+Size-class weights skew large (A-C) because Frontier is operated as a
+leadership-class system (the paper's Fig 10: most energy sits in classes
+A-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..errors import ScheduleError
+from ..rng import RngLike, ensure_rng
+from .jobs import ScienceDomain
+from .policy import class_node_range, max_walltime_s
+
+#: The default domain mix.  Profile names refer to
+#: :data:`repro.telemetry.profiles.PROFILES`.
+DEFAULT_DOMAINS: List[ScienceDomain] = [
+    ScienceDomain("CHM", "compute_heavy", 0.07,
+                  (0.18, 0.32, 0.30, 0.12, 0.08), (1800.0, 38000.0)),
+    ScienceDomain("MAT", "compute_heavy_alt", 0.08,
+                  (0.12, 0.33, 0.35, 0.12, 0.08), (1800.0, 38000.0)),
+    ScienceDomain("NUC", "compute_heavy", 0.04,
+                  (0.10, 0.25, 0.40, 0.15, 0.10), (1800.0, 30000.0)),
+    ScienceDomain("BIO", "latency_bound", 0.06,
+                  (0.03, 0.12, 0.35, 0.28, 0.22), (900.0, 20000.0)),
+    ScienceDomain("CSC", "latency_bound_alt", 0.05,
+                  (0.02, 0.10, 0.38, 0.28, 0.22), (900.0, 20000.0)),
+    ScienceDomain("GEO", "latency_bound", 0.04,
+                  (0.05, 0.15, 0.35, 0.25, 0.20), (900.0, 20000.0)),
+    ScienceDomain("CLI", "memory_bound", 0.14,
+                  (0.15, 0.30, 0.32, 0.13, 0.10), (3600.0, 40000.0)),
+    ScienceDomain("CFD", "memory_bound_alt", 0.14,
+                  (0.12, 0.30, 0.35, 0.13, 0.10), (3600.0, 40000.0)),
+    ScienceDomain("FUS", "memory_bound", 0.09,
+                  (0.18, 0.30, 0.30, 0.12, 0.10), (3600.0, 40000.0)),
+    ScienceDomain("PHY", "multi_zone", 0.13,
+                  (0.15, 0.30, 0.32, 0.13, 0.10), (1800.0, 40000.0)),
+    ScienceDomain("AST", "multi_zone_alt", 0.10,
+                  (0.12, 0.28, 0.35, 0.15, 0.10), (1800.0, 40000.0)),
+    ScienceDomain("ENG", "mixed_low", 0.06,
+                  (0.05, 0.15, 0.35, 0.25, 0.20), (900.0, 25000.0)),
+]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job the workload generator wants scheduled."""
+
+    domain: ScienceDomain
+    project_id: str
+    num_nodes: int
+    size_class: str
+    duration_s: float
+    submit_time_s: float
+
+
+class WorkloadMix:
+    """Samples job requests from the domain mix.
+
+    ``fleet_nodes`` lets scaled-down fleets keep the full-scale class
+    structure: a class-B job on a 128-node fleet occupies the same
+    *fraction* of the machine as on 9408 nodes, and keeps its class-B
+    label for the Fig 10 / Table VI analyses.
+    """
+
+    def __init__(
+        self,
+        domains: Sequence[ScienceDomain] = tuple(DEFAULT_DOMAINS),
+        *,
+        fleet_nodes: int = constants.NUM_COMPUTE_NODES,
+    ) -> None:
+        if not domains:
+            raise ScheduleError("workload mix needs at least one domain")
+        if fleet_nodes < 1:
+            raise ScheduleError("fleet_nodes must be >= 1")
+        self.domains = list(domains)
+        self.fleet_nodes = fleet_nodes
+        total = sum(d.share for d in self.domains)
+        self._domain_p = np.array([d.share / total for d in self.domains])
+        self._scale = fleet_nodes / constants.NUM_COMPUTE_NODES
+        # Node-seconds booked per domain so far: domain selection is
+        # low-discrepancy (largest share deficit first) rather than iid,
+        # which keeps realized domain shares close to their targets even
+        # when a handful of leadership-size jobs dominate the campaign.
+        self._booked = np.zeros(len(self.domains))
+
+    def by_name(self) -> Dict[str, ScienceDomain]:
+        return {d.name: d for d in self.domains}
+
+    def _sample_nodes(self, size_class: str, rng) -> int:
+        lo, hi = class_node_range(size_class)
+        nodes_full = int(rng.integers(lo, hi + 1))
+        scaled = max(1, int(round(nodes_full * self._scale)))
+        return min(scaled, self.fleet_nodes)
+
+    def sample_request(self, submit_time_s: float, rng: RngLike, index: int = 0) -> JobRequest:
+        """Draw one job request at a submission time."""
+        gen = ensure_rng(rng)
+        deficit = self._domain_p * (self._booked.sum() + 1.0) - self._booked
+        d_idx = int(np.argmax(deficit))
+        domain = self.domains[d_idx]
+        size_class = constants.JOB_SIZE_CLASSES[
+            int(gen.choice(5, p=np.array(domain.size_class_weights)))
+        ]
+        num_nodes = self._sample_nodes(size_class, gen)
+        lo, hi = domain.duration_range_s
+        duration = float(np.exp(gen.uniform(np.log(lo), np.log(hi))))
+        duration = min(duration, max_walltime_s(size_class))
+        self._booked[d_idx] += num_nodes * duration
+        return JobRequest(
+            domain=domain,
+            project_id=domain.project_id(int(gen.integers(0, 40))),
+            num_nodes=num_nodes,
+            size_class=size_class,
+            duration_s=duration,
+            submit_time_s=submit_time_s,
+        )
+
+
+def default_mix(fleet_nodes: int = constants.NUM_COMPUTE_NODES) -> WorkloadMix:
+    """The calibrated Frontier-like workload mix."""
+    return WorkloadMix(fleet_nodes=fleet_nodes)

@@ -1,0 +1,31 @@
+"""Telemetry substrate: out-of-band power data for the simulated fleet.
+
+Reproduces the paper's Table II data products: per-node, per-GPU power
+samples collected out-of-band at 2 s and aggregated to 15 s, plus the
+in-band ROCm SMI comparison path of Fig 2(a).
+
+* :mod:`repro.telemetry.profiles`  — per-domain modal GPU power profiles
+* :mod:`repro.telemetry.schema`    — sample schema and field registry
+* :mod:`repro.telemetry.sampler`   — 2 s sensing -> 15 s aggregation
+* :mod:`repro.telemetry.generator` — fleet-scale chunked generation
+* :mod:`repro.telemetry.store`     — columnar store with npz persistence
+* :mod:`repro.telemetry.rocm_smi`  — simulated in-band SMI counters
+"""
+
+from .profiles import PROFILES, PowerProfile, ProfilePhase
+from .schema import TelemetryChunk
+from .sampler import aggregate_sensor_trace
+from .generator import FleetTelemetryGenerator
+from .store import TelemetryStore
+from .rocm_smi import rocm_smi_trace
+
+__all__ = [
+    "PROFILES",
+    "PowerProfile",
+    "ProfilePhase",
+    "TelemetryChunk",
+    "aggregate_sensor_trace",
+    "FleetTelemetryGenerator",
+    "TelemetryStore",
+    "rocm_smi_trace",
+]

@@ -1,0 +1,71 @@
+"""GCD-level views of module telemetry.
+
+Frontier exposes each MI250X as two GCDs ("to the end-users, each GCD
+appears as a GPU"), but the power sensors — and this library's region
+boundaries — are module-level.  This module converts between the views:
+splitting a module series into two GCD series (workload imbalance makes
+the halves unequal) and recombining them exactly.
+
+Use the GCD view when comparing against per-GCD tooling (ROCm SMI
+reports per-GCD on real systems); all analysis stays module-level.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..errors import TelemetryError
+from ..rng import RngLike, ensure_rng
+
+#: Typical GCD-to-GCD imbalance of a module's power draw (fraction of
+#: module power, 1 sigma): even replicated work lands slightly unevenly.
+DEFAULT_IMBALANCE = 0.03
+
+
+def split_module_power(
+    module_power_w: np.ndarray,
+    *,
+    imbalance: float = DEFAULT_IMBALANCE,
+    rng: RngLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Split a module power series into two GCD series.
+
+    The halves sum exactly to the module power; the imbalance is a
+    slowly-wandering share (AR(1)) rather than white noise, because the
+    asymmetry comes from work placement, not sensors.
+    """
+    module_power_w = np.asarray(module_power_w, dtype=float)
+    if module_power_w.ndim != 1:
+        raise TelemetryError("module power must be one-dimensional")
+    if (module_power_w < 0).any():
+        raise TelemetryError("negative module power")
+    if not (0 <= imbalance < 0.5):
+        raise TelemetryError("imbalance must be in [0, 0.5)")
+    gen = ensure_rng(rng)
+    n = len(module_power_w)
+    # AR(1) share deviation around 0 with stationary sigma = imbalance.
+    rho = 0.95
+    innov = gen.normal(0.0, imbalance * np.sqrt(1 - rho**2), size=n)
+    dev = np.empty(n)
+    prev = gen.normal(0.0, imbalance)
+    for i in range(n):
+        prev = rho * prev + innov[i]
+        dev[i] = prev
+    share = np.clip(0.5 + dev, 0.05, 0.95)
+    gcd0 = module_power_w * share
+    return gcd0, module_power_w - gcd0
+
+
+def combine_gcd_power(
+    gcd0_w: np.ndarray, gcd1_w: np.ndarray
+) -> np.ndarray:
+    """Recombine two GCD series into the module series (exact inverse)."""
+    gcd0_w = np.asarray(gcd0_w, dtype=float)
+    gcd1_w = np.asarray(gcd1_w, dtype=float)
+    if gcd0_w.shape != gcd1_w.shape:
+        raise TelemetryError("GCD series must have equal length")
+    if (gcd0_w < 0).any() or (gcd1_w < 0).any():
+        raise TelemetryError("negative GCD power")
+    return gcd0_w + gcd1_w

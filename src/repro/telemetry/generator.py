@@ -1,0 +1,168 @@
+"""Fleet telemetry generation.
+
+Renders a scheduler log into out-of-band power telemetry: for every node
+and every 15-second sample, the four GPU module powers (driven by the
+running job's domain profile, or idle power when unallocated) and the CPU
+package power.
+
+Phase dwell times (minutes) are long against the 15 s cadence, so the
+generator samples profiles directly at the aggregated cadence and scales
+the sensor noise by ``1/sqrt(samples per window)`` — numerically identical
+to generating 2 s raw data and mean-aggregating it, at 7.5x less work.
+The raw-cadence path still exists (:mod:`repro.telemetry.sampler`) and is
+exercised by the Fig 2(a) comparison.
+
+Generation is deterministic per (job, node): every stream gets its own
+seed derived from ids, so chunked, parallel, and serial generation all
+produce identical data (the mpi4py rank-decomposition idiom).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..errors import TelemetryError
+from ..gpu.specs import NodeSpec
+from ..parallel import partition
+from ..rng import derive_seed
+from ..scheduler.log import SchedulerLog
+from ..scheduler.workload import WorkloadMix
+from .profiles import PROFILES, PowerProfile
+from .schema import TelemetryChunk
+from .store import TelemetryStore
+
+#: Raw sensor samples folded into one aggregated record (15 s / 2 s).
+_SAMPLES_PER_WINDOW = (
+    constants.TELEMETRY_INTERVAL_S / constants.SENSOR_INTERVAL_S
+)
+
+
+class FleetTelemetryGenerator:
+    """Generate telemetry for a scheduled campaign."""
+
+    def __init__(
+        self,
+        log: SchedulerLog,
+        mix: WorkloadMix,
+        *,
+        node_spec: Optional[NodeSpec] = None,
+        seed: int = 0,
+        interval_s: float = constants.TELEMETRY_INTERVAL_S,
+    ) -> None:
+        if interval_s <= 0:
+            raise TelemetryError("interval must be positive")
+        self.log = log
+        self.node_spec = node_spec if node_spec is not None else NodeSpec()
+        self.seed = seed
+        self.interval_s = interval_s
+        self._jobs = log.job_by_id()
+        domains = mix.by_name()
+        self._profiles: Dict[str, PowerProfile] = {}
+        for job in log.jobs:
+            if job.domain not in self._profiles:
+                domain = domains.get(job.domain)
+                if domain is None:
+                    raise TelemetryError(
+                        f"job {job.job_id} references unknown domain "
+                        f"{job.domain!r}"
+                    )
+                if domain.profile not in PROFILES:
+                    raise TelemetryError(
+                        f"domain {domain.name} references unknown profile "
+                        f"{domain.profile!r}"
+                    )
+                self._profiles[job.domain] = PROFILES[domain.profile]
+
+    # -- per-node rendering --------------------------------------------------------
+
+    @property
+    def n_samples(self) -> int:
+        return int(np.floor(self.log.horizon_s / self.interval_s))
+
+    def _sample_times(self) -> np.ndarray:
+        return np.arange(self.n_samples) * self.interval_s
+
+    def node_chunk(self, node_id: int) -> TelemetryChunk:
+        """Render the full-horizon telemetry of one node."""
+        times = self._sample_times()
+        n = len(times)
+        gpu_spec = self.node_spec.gpu
+        noise = gpu_spec.sensor_noise_w / np.sqrt(_SAMPLES_PER_WINDOW)
+
+        idle_rng = np.random.default_rng(
+            derive_seed(self.seed, "idle", node_id)
+        )
+        gpu = np.full(
+            (n, constants.GPUS_PER_NODE), gpu_spec.idle_w, dtype=np.float64
+        )
+        gpu += idle_rng.normal(0.0, noise, size=gpu.shape)
+        cpu_load = np.full(n, 0.05)
+
+        for alloc in self.log.allocations_for_node(node_id):
+            job = self._jobs[alloc.job_id]
+            profile = self._profiles[job.domain]
+            lo = int(np.ceil(alloc.start_time_s / self.interval_s))
+            hi = int(np.ceil(alloc.end_time_s / self.interval_s))
+            hi = min(hi, n)
+            if hi <= lo:
+                continue
+            rng = np.random.default_rng(
+                derive_seed(self.seed, "job", alloc.job_id, "node", node_id)
+            )
+            trace = profile.sample_trace(
+                hi - lo,
+                self.interval_s,
+                rng=rng,
+                n_streams=constants.GPUS_PER_NODE,
+            )
+            trace += rng.normal(0.0, noise, size=trace.shape)
+            gpu[lo:hi] = np.maximum(trace.T, 0.0)
+            cpu_load[lo:hi] = rng.uniform(0.2, 0.55)
+
+        cpu = self.node_spec.cpu_idle_w + (
+            self.node_spec.cpu_max_w - self.node_spec.cpu_idle_w
+        ) * cpu_load
+        return TelemetryChunk(
+            time_s=times,
+            node_id=np.full(n, node_id, dtype=np.int32),
+            gpu_power_w=gpu.astype(np.float32),
+            cpu_power_w=cpu.astype(np.float32),
+        )
+
+    # -- fleet-scale iteration -------------------------------------------------------
+
+    def chunks(
+        self, *, nodes_per_chunk: int = 16
+    ) -> Iterator[TelemetryChunk]:
+        """Yield telemetry in node blocks (streaming mode).
+
+        Memory is bounded by one block regardless of fleet size, which is
+        how full-scale (9408-node) statistics are accumulated without
+        materializing the campaign.
+        """
+        if nodes_per_chunk <= 0:
+            raise TelemetryError("nodes_per_chunk must be positive")
+        for lo, hi in partition(
+            self.log.n_nodes,
+            max(1, -(-self.log.n_nodes // nodes_per_chunk)),
+        ):
+            yield TelemetryChunk.concatenate(
+                [self.node_chunk(nid) for nid in range(lo, hi)]
+            )
+
+    def generate(
+        self, node_ids: Optional[Sequence[int]] = None
+    ) -> TelemetryStore:
+        """Materialize telemetry for selected nodes (default: all)."""
+        ids: List[int] = (
+            list(node_ids)
+            if node_ids is not None
+            else list(range(self.log.n_nodes))
+        )
+        chunk = TelemetryChunk.concatenate(
+            [self.node_chunk(nid) for nid in ids]
+        )
+        return TelemetryStore(chunk, interval_s=self.interval_s)

@@ -1,0 +1,107 @@
+"""CSV ingest/export for telemetry.
+
+The analysis pipeline is simulator-fed in this repository, but the method
+is meant for real clusters: this module reads out-of-band power telemetry
+from CSV — one row per (timestamp, node) with per-GPU power columns — so
+production data can flow into the same join/decomposition/projection
+path.  The format:
+
+    time_s,node_id,gpu0_w,gpu1_w,gpu2_w,gpu3_w,cpu_w
+    0,17,372.1,380.4,91.2,367.9,145.0
+    ...
+
+``cpu_w`` is optional (defaults to 0: GPU-only telemetry still supports
+every GPU artifact).  Rows may arrive in any order; chunked reading keeps
+memory bounded for large files.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterator, List
+
+import numpy as np
+
+from .. import constants
+from ..errors import TelemetryError
+from .schema import TelemetryChunk
+from .store import TelemetryStore
+
+GPU_COLUMNS = [f"gpu{i}_w" for i in range(constants.GPUS_PER_NODE)]
+REQUIRED_COLUMNS = ["time_s", "node_id"] + GPU_COLUMNS
+
+
+def _parse_rows(rows: List[dict], has_cpu: bool) -> TelemetryChunk:
+    n = len(rows)
+    time_s = np.empty(n)
+    node_id = np.empty(n, dtype=np.int32)
+    gpu = np.empty((n, constants.GPUS_PER_NODE), dtype=np.float32)
+    cpu = np.zeros(n, dtype=np.float32)
+    for i, row in enumerate(rows):
+        try:
+            time_s[i] = float(row["time_s"])
+            node_id[i] = int(row["node_id"])
+            for g, col in enumerate(GPU_COLUMNS):
+                gpu[i, g] = float(row[col])
+            if has_cpu:
+                cpu[i] = float(row["cpu_w"])
+        except (KeyError, ValueError) as exc:
+            raise TelemetryError(f"bad telemetry row {i}: {exc}") from exc
+    return TelemetryChunk(
+        time_s=time_s, node_id=node_id, gpu_power_w=gpu, cpu_power_w=cpu
+    )
+
+
+def read_telemetry_csv_chunks(
+    path, *, rows_per_chunk: int = 100_000
+) -> Iterator[TelemetryChunk]:
+    """Stream a telemetry CSV as chunks (bounded memory)."""
+    if rows_per_chunk <= 0:
+        raise TelemetryError("rows_per_chunk must be positive")
+    path = Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        if reader.fieldnames is None:
+            raise TelemetryError(f"{path}: empty file")
+        missing = [c for c in REQUIRED_COLUMNS if c not in reader.fieldnames]
+        if missing:
+            raise TelemetryError(
+                f"{path}: missing columns {', '.join(missing)}"
+            )
+        has_cpu = "cpu_w" in reader.fieldnames
+        buffer: List[dict] = []
+        for row in reader:
+            buffer.append(row)
+            if len(buffer) >= rows_per_chunk:
+                yield _parse_rows(buffer, has_cpu)
+                buffer = []
+        if buffer:
+            yield _parse_rows(buffer, has_cpu)
+
+
+def read_telemetry_csv(
+    path, *, interval_s: float = constants.TELEMETRY_INTERVAL_S
+) -> TelemetryStore:
+    """Materialize a telemetry CSV into a store."""
+    chunks = list(read_telemetry_csv_chunks(path))
+    if not chunks:
+        raise TelemetryError(f"{path}: no telemetry rows")
+    return TelemetryStore(
+        TelemetryChunk.concatenate(chunks), interval_s=interval_s
+    )
+
+
+def write_telemetry_csv(store: TelemetryStore, path) -> None:
+    """Export a store to the CSV format this module reads."""
+    path = Path(path)
+    c = store.chunk
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(REQUIRED_COLUMNS + ["cpu_w"])
+        for i in range(len(c)):
+            writer.writerow(
+                [f"{c.time_s[i]:.6g}", int(c.node_id[i])]
+                + [f"{c.gpu_power_w[i, g]:.4f}" for g in range(4)]
+                + [f"{c.cpu_power_w[i]:.4f}"]
+            )

@@ -1,0 +1,97 @@
+"""Simulated in-band ROCm SMI counter path (Fig 2a).
+
+The paper validates its out-of-band telemetry by comparing it against
+ROCm SMI readings for a sample application run.  This module produces the
+in-band view of the same underlying power signal: SMI polls at its own
+(1 s) cadence, reads the firmware's instantaneous power estimate (slightly
+noisier and with a small sensor-calibration offset), and is then averaged
+onto the telemetry cadence for comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..errors import TelemetryError
+from ..rng import RngLike, ensure_rng
+from .sampler import aggregate_sensor_trace
+
+#: In-band readings carry a small calibration offset vs the node sensors.
+SMI_OFFSET_W = 3.0
+SMI_NOISE_W = 4.0
+
+
+def rocm_smi_trace(
+    true_power_w: np.ndarray,
+    *,
+    true_interval_s: float = constants.SENSOR_INTERVAL_S,
+    smi_interval_s: float = constants.ROCM_SMI_INTERVAL_S,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Sample an underlying power signal the way ROCm SMI sees it.
+
+    ``true_power_w`` is the ground-truth signal at ``true_interval_s``
+    cadence; the SMI polls at ``smi_interval_s`` with nearest-sample
+    semantics plus offset and read noise.
+    """
+    true_power_w = np.asarray(true_power_w, dtype=float)
+    if true_power_w.ndim != 1 or len(true_power_w) == 0:
+        raise TelemetryError("need a non-empty 1-D power signal")
+    gen = ensure_rng(rng)
+    duration = len(true_power_w) * true_interval_s
+    t = np.arange(0.0, duration, smi_interval_s)
+    idx = np.minimum(
+        (t / true_interval_s).astype(np.int64), len(true_power_w) - 1
+    )
+    readings = true_power_w[idx] + SMI_OFFSET_W
+    readings = readings + gen.normal(0.0, SMI_NOISE_W, size=len(readings))
+    return np.maximum(readings, 0.0)
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Fig 2(a): out-of-band telemetry vs in-band SMI, common cadence."""
+
+    telemetry_w: np.ndarray
+    smi_w: np.ndarray
+
+    @property
+    def correlation(self) -> float:
+        if len(self.telemetry_w) < 2:
+            raise TelemetryError("need >= 2 samples to correlate")
+        return float(np.corrcoef(self.telemetry_w, self.smi_w)[0, 1])
+
+    @property
+    def mean_abs_error_w(self) -> float:
+        return float(np.mean(np.abs(self.telemetry_w - self.smi_w)))
+
+    @property
+    def mean_relative_error(self) -> float:
+        return float(
+            np.mean(
+                np.abs(self.telemetry_w - self.smi_w)
+                / np.maximum(self.telemetry_w, 1.0)
+            )
+        )
+
+
+def compare_telemetry_vs_smi(
+    true_power_w: np.ndarray,
+    *,
+    rng: RngLike = None,
+) -> ComparisonResult:
+    """Produce both views of one signal on the 15 s analysis cadence."""
+    gen = ensure_rng(rng)
+    noisy_oob = np.asarray(true_power_w, dtype=float) + gen.normal(
+        0.0, 2.5, size=len(true_power_w)
+    )
+    telemetry = aggregate_sensor_trace(noisy_oob)
+    smi_raw = rocm_smi_trace(true_power_w, rng=gen)
+    smi = aggregate_sensor_trace(
+        smi_raw, raw_interval_s=constants.ROCM_SMI_INTERVAL_S
+    )
+    n = min(len(telemetry), len(smi))
+    return ComparisonResult(telemetry_w=telemetry[:n], smi_w=smi[:n])

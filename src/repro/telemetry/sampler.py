@@ -1,0 +1,45 @@
+"""Sensor-cadence aggregation.
+
+The Frontier pipeline samples out-of-band sensors every 2 seconds and
+aggregates to 15-second records in pre-processing (Table II).  15 is not
+a multiple of 2, so aggregation windows alternate between 7 and 8 raw
+samples — this module reproduces that windowing exactly rather than
+assuming a clean divisor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants
+from ..errors import TelemetryError
+
+
+def aggregate_sensor_trace(
+    raw: np.ndarray,
+    *,
+    raw_interval_s: float = constants.SENSOR_INTERVAL_S,
+    out_interval_s: float = constants.TELEMETRY_INTERVAL_S,
+) -> np.ndarray:
+    """Mean-aggregate a raw sensor trace onto the telemetry cadence.
+
+    ``raw[i]`` is the sample at time ``i * raw_interval_s``; the output's
+    ``k``-th entry is the mean of raw samples whose timestamps fall in
+    ``[k * out, (k+1) * out)``.  Trailing partial windows are emitted
+    (they are real data, just averaged over fewer samples).
+    """
+    raw = np.asarray(raw, dtype=float)
+    if raw.ndim != 1:
+        raise TelemetryError("raw trace must be one-dimensional")
+    if raw_interval_s <= 0 or out_interval_s <= 0:
+        raise TelemetryError("intervals must be positive")
+    if out_interval_s < raw_interval_s:
+        raise TelemetryError("output cadence must be coarser than input")
+    if len(raw) == 0:
+        return raw.copy()
+    times = np.arange(len(raw)) * raw_interval_s
+    window = np.floor(times / out_interval_s).astype(np.int64)
+    n_windows = int(window[-1]) + 1
+    sums = np.bincount(window, weights=raw, minlength=n_windows)
+    counts = np.bincount(window, minlength=n_windows)
+    return sums / counts

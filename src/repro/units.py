@@ -1,0 +1,160 @@
+"""Unit helpers.
+
+The library stores all quantities in SI base units internally:
+
+* power in watts (W)
+* energy in joules (J)
+* time in seconds (s)
+* frequency in hertz (Hz)
+* data sizes in bytes (B)
+* rates in bytes per second (B/s) and FLOP/s
+
+These helpers convert between base units and the "paper units" (MHz caps,
+MWh campaign energies, GiB working sets, TFLOP/s roofs) used at the API
+boundary and in reports.  They accept scalars or NumPy arrays and always
+return the same shape they were given.
+"""
+
+from __future__ import annotations
+
+# -- scale factors -----------------------------------------------------------
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+TERA = 1e12
+
+KIB = 1024
+MIB = 1024**2
+GIB = 1024**3
+
+SECONDS_PER_HOUR = 3600.0
+SECONDS_PER_DAY = 86400.0
+JOULES_PER_WH = 3600.0
+JOULES_PER_KWH = 3.6e6
+JOULES_PER_MWH = 3.6e9
+
+
+# -- frequency ---------------------------------------------------------------
+
+def mhz(value):
+    """Convert MHz to Hz."""
+    return value * MEGA
+
+
+def to_mhz(hz):
+    """Convert Hz to MHz."""
+    return hz / MEGA
+
+
+# -- rates -------------------------------------------------------------------
+
+def tflops(value):
+    """Convert TFLOP/s to FLOP/s."""
+    return value * TERA
+
+
+def to_tflops(flops):
+    """Convert FLOP/s to TFLOP/s."""
+    return flops / TERA
+
+
+def gbps(value):
+    """Convert GB/s (decimal) to B/s."""
+    return value * GIGA
+
+
+def to_gbps(bps):
+    """Convert B/s to GB/s (decimal)."""
+    return bps / GIGA
+
+
+def tbps(value):
+    """Convert TB/s (decimal) to B/s."""
+    return value * TERA
+
+
+# -- sizes -------------------------------------------------------------------
+
+def kib(value):
+    """Convert KiB to bytes."""
+    return value * KIB
+
+
+def mib(value):
+    """Convert MiB to bytes."""
+    return value * MIB
+
+
+def gib(value):
+    """Convert GiB to bytes."""
+    return value * GIB
+
+
+def to_mib(nbytes):
+    """Convert bytes to MiB."""
+    return nbytes / MIB
+
+
+# -- energy ------------------------------------------------------------------
+
+def wh(value):
+    """Convert watt-hours to joules."""
+    return value * JOULES_PER_WH
+
+
+def mwh(value):
+    """Convert megawatt-hours to joules."""
+    return value * JOULES_PER_MWH
+
+
+def to_wh(joules):
+    """Convert joules to watt-hours."""
+    return joules / JOULES_PER_WH
+
+
+def to_kwh(joules):
+    """Convert joules to kilowatt-hours."""
+    return joules / JOULES_PER_KWH
+
+
+def to_mwh(joules):
+    """Convert joules to megawatt-hours."""
+    return joules / JOULES_PER_MWH
+
+
+# -- time --------------------------------------------------------------------
+
+def hours(value):
+    """Convert hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def days(value):
+    """Convert days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def to_hours(seconds):
+    """Convert seconds to hours."""
+    return seconds / SECONDS_PER_HOUR
+
+
+def to_days(seconds):
+    """Convert seconds to days."""
+    return seconds / SECONDS_PER_DAY
+
+
+# -- formatting --------------------------------------------------------------
+
+def fmt_si(value: float, unit: str, digits: int = 3) -> str:
+    """Format ``value`` with an SI prefix, e.g. ``fmt_si(1.2e12, 'B/s')``.
+
+    Only positive-exponent prefixes are used; values below 1 are printed
+    bare.  This is a reporting helper, not a parser.
+    """
+    prefixes = [(1e15, "P"), (1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")]
+    for scale, prefix in prefixes:
+        if abs(value) >= scale:
+            return f"{value / scale:.{digits}g} {prefix}{unit}"
+    return f"{value:.{digits}g} {unit}"

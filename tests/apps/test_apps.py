@@ -1,0 +1,133 @@
+"""Tests for the proxy-application layer."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.apps import (
+    Application,
+    HostPhase,
+    KernelPhase,
+    checkpoint_proxy,
+    gemm_proxy,
+    stencil_proxy,
+)
+from repro.errors import KernelError
+from repro.gpu import GPUDevice, KernelSpec
+
+
+def tiny_kernel():
+    return KernelSpec("k", flops=1e12, hbm_bytes=1e12)
+
+
+class TestPhases:
+    def test_validation(self):
+        with pytest.raises(KernelError):
+            KernelPhase("k", tiny_kernel(), repeats=0)
+        with pytest.raises(KernelError):
+            HostPhase("h", 0.0)
+        with pytest.raises(KernelError):
+            Application("empty", [])
+
+
+class TestApplication:
+    @pytest.fixture
+    def app(self):
+        return Application(
+            "demo",
+            [
+                KernelPhase("work", tiny_kernel(), repeats=3),
+                HostPhase("io", 5.0),
+            ],
+        )
+
+    def test_accounting(self, app, device):
+        run = app.run(device)
+        assert run.total_time_s == pytest.approx(
+            run.gpu_time_s + run.host_time_s
+        )
+        assert run.host_time_s == pytest.approx(5.0)
+        assert run.energy_j == pytest.approx(
+            sum(p.energy_j for p in run.phases)
+        )
+        assert run.avg_power_w * run.total_time_s == pytest.approx(
+            run.energy_j
+        )
+
+    def test_repeats_scale_time(self, device):
+        once = Application("a", [KernelPhase("k", tiny_kernel())]).run(device)
+        thrice = Application(
+            "b", [KernelPhase("k", tiny_kernel(), repeats=3)]
+        ).run(device)
+        assert thrice.gpu_time_s == pytest.approx(3 * once.gpu_time_s)
+
+    def test_host_phase_at_idle_power(self, app, device):
+        run = app.run(device)
+        host = [p for p in run.phases if p.kind == "host"][0]
+        assert host.power_w == device.spec.idle_w
+
+    def test_power_trace_matches_phases(self, app, device):
+        run = app.run(device)
+        trace = run.power_trace(interval_s=1.0)
+        assert len(trace) == int(np.ceil(run.total_time_s))
+        # The tail of the trace is the host phase at idle power.
+        assert trace[-1] == pytest.approx(device.spec.idle_w)
+        assert trace.max() == pytest.approx(run.max_power_w, rel=0.01)
+
+    def test_gpu_fraction(self, app, device):
+        frac = app.gpu_fraction(device)
+        run = app.run(device)
+        assert frac == pytest.approx(run.gpu_time_s / run.total_time_s)
+
+
+class TestProxies:
+    def test_families_by_power(self, device):
+        # Each proxy lands in its designed Table IV region (by avg power
+        # while the GPU is busy / overall character).
+        gemm = gemm_proxy().run(device)
+        stencil = stencil_proxy().run(device)
+        ckpt = checkpoint_proxy().run(device)
+        assert gemm.avg_power_w > 400            # compute intensive
+        assert 200 < stencil.avg_power_w <= 420  # memory intensive
+        assert ckpt.avg_power_w < 200            # latency/IO bound
+
+    def test_cap_sensitivity_ordering(self, spec):
+        # Paper shape: frequency caps cost the compute proxy runtime,
+        # are free for the stencil, and are mild for the IO-bound app.
+        capped = GPUDevice(spec, frequency_cap_hz=units.mhz(900))
+        base = GPUDevice(spec)
+
+        def slowdown(factory):
+            b = factory().run(base)
+            c = factory().run(capped)
+            return c.total_time_s / b.total_time_s
+
+        assert slowdown(gemm_proxy) > 1.5
+        assert slowdown(stencil_proxy) < 1.02
+        assert slowdown(checkpoint_proxy) < 1.05
+
+    def test_stencil_saves_energy_for_free(self, spec):
+        base = stencil_proxy().run(GPUDevice(spec))
+        capped = stencil_proxy().run(
+            GPUDevice(spec, frequency_cap_hz=units.mhz(900))
+        )
+        saving = 1 - capped.energy_j / base.energy_j
+        assert saving > 0.10
+        assert capped.total_time_s == pytest.approx(
+            base.total_time_s, rel=0.02
+        )
+
+    def test_scale_parameter(self, device):
+        small = stencil_proxy(scale=0.5).run(device)
+        large = stencil_proxy(scale=1.0).run(device)
+        assert large.total_time_s == pytest.approx(
+            2 * small.total_time_s, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(KernelError):
+            gemm_proxy(steps=0)
+        with pytest.raises(KernelError):
+            stencil_proxy(scale=-1.0)
+        with pytest.raises(KernelError):
+            checkpoint_proxy(steps=0)

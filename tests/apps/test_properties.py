@@ -1,0 +1,115 @@
+"""Property-based tests for applications and the thermal model."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.apps import Application, HostPhase, KernelPhase
+from repro.gpu import GPUDevice, KernelSpec
+from repro.gpu.thermal import ThermalModel
+
+DEVICE = GPUDevice()
+CAPPED = GPUDevice(frequency_cap_hz=units.mhz(900))
+THERMAL = ThermalModel()
+
+flops = st.floats(min_value=1e9, max_value=1e14)
+volumes = st.floats(min_value=1e9, max_value=1e13)
+host_s = st.floats(min_value=0.1, max_value=100.0)
+powers = st.floats(min_value=0.0, max_value=700.0)
+temps = st.floats(min_value=32.0, max_value=104.0)
+
+
+@st.composite
+def applications(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    phases = []
+    for i in range(n):
+        if draw(st.booleans()):
+            phases.append(
+                KernelPhase(
+                    f"k{i}",
+                    KernelSpec(
+                        f"k{i}",
+                        flops=draw(flops),
+                        hbm_bytes=draw(volumes),
+                        issue_bw_factor=draw(
+                            st.floats(min_value=1.0, max_value=3.0)
+                        ),
+                    ),
+                    repeats=draw(st.integers(min_value=1, max_value=3)),
+                )
+            )
+        else:
+            phases.append(HostPhase(f"h{i}", draw(host_s)))
+    if not any(isinstance(p, KernelPhase) for p in phases):
+        phases.append(
+            KernelPhase("pad", KernelSpec("pad", flops=1e10, hbm_bytes=1e10))
+        )
+    return Application("hyp-app", phases)
+
+
+@given(applications())
+@settings(max_examples=40, deadline=None)
+def test_app_accounting_closes(app):
+    run = app.run(DEVICE)
+    assert run.total_time_s > 0
+    assert abs(run.total_time_s - (run.gpu_time_s + run.host_time_s)) < 1e-9
+    assert abs(run.energy_j - sum(p.energy_j for p in run.phases)) < 1e-6
+    assert DEVICE.spec.idle_w <= run.max_power_w <= DEVICE.spec.tdp_w
+
+
+@given(applications())
+@settings(max_examples=40, deadline=None)
+def test_caps_never_speed_up_apps(app):
+    base = app.run(DEVICE)
+    capped = app.run(CAPPED)
+    assert capped.total_time_s >= base.total_time_s - 1e-9
+    assert capped.host_time_s == base.host_time_s
+
+
+@given(applications())
+@settings(max_examples=30, deadline=None)
+def test_power_trace_bounded_by_phase_powers(app):
+    run = app.run(DEVICE)
+    trace = run.power_trace(interval_s=1.0)
+    assert trace.max() <= run.max_power_w + 1e-6
+    assert trace.min() >= min(p.power_w for p in run.phases) - 1e-6
+
+
+@given(temps, powers, st.floats(min_value=0.0, max_value=600.0))
+@settings(max_examples=80, deadline=None)
+def test_thermal_stays_between_start_and_steady(t0, power, dt):
+    t_inf = THERMAL.steady_temp_c(power)
+    t1 = THERMAL.temp_after(t0, power, dt)
+    lo, hi = sorted([t0, t_inf])
+    assert lo - 1e-9 <= t1 <= hi + 1e-9
+
+
+@given(temps, st.floats(min_value=560.0, max_value=700.0))
+@settings(max_examples=60, deadline=None)
+def test_boost_window_nonnegative_and_monotone_in_power(t0, p_boost):
+    w1 = THERMAL.boost_window_s(t0, p_boost)
+    w2 = THERMAL.boost_window_s(t0, p_boost + 50.0)
+    assert w1 >= 0.0
+    assert w2 <= w1 + 1e-9  # hotter boost trips sooner
+
+
+@given(powers, powers)
+@settings(max_examples=60, deadline=None)
+def test_duty_cycle_is_a_fraction(p_boost, p_base):
+    duty = THERMAL.duty_cycle(max(p_boost, p_base), min(p_boost, p_base))
+    assert 0.0 <= duty <= 1.0
+
+
+def test_trace_total_samples():
+    app = Application(
+        "t",
+        [
+            KernelPhase("k", KernelSpec("k", flops=1e12, hbm_bytes=3e12)),
+            HostPhase("h", 10.0),
+        ],
+    )
+    run = app.run(DEVICE)
+    trace = run.power_trace(interval_s=0.5)
+    assert len(trace) == int(np.ceil(run.total_time_s / 0.5))

@@ -1,0 +1,56 @@
+"""Unit tests for the empirical roofline probes."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.bench.ert import EmpiricalRoofline, measure_roofline
+from repro.gpu import GPUDevice
+
+
+class TestMeasureRoofline:
+    def test_recovers_calibrated_roofs(self, spec):
+        ert = measure_roofline(GPUDevice(spec))
+        assert ert.peak_tflops == pytest.approx(
+            units.to_tflops(spec.achievable_flops), rel=0.02
+        )
+        assert ert.peak_gbps == pytest.approx(
+            units.to_gbps(spec.achievable_hbm_bw), rel=0.02
+        )
+
+    def test_ridge_at_four(self, spec):
+        ert = measure_roofline(GPUDevice(spec))
+        assert ert.ridge_intensity == pytest.approx(4.0, rel=0.05)
+
+    def test_frequency_cap_lowers_compute_roof_only(self, spec):
+        base = measure_roofline(GPUDevice(spec))
+        capped = measure_roofline(
+            GPUDevice(spec, frequency_cap_hz=units.mhz(850))
+        )
+        assert capped.peak_tflops == pytest.approx(
+            base.peak_tflops / 2, rel=0.02
+        )
+        assert capped.peak_gbps == pytest.approx(base.peak_gbps, rel=0.02)
+        # Consequently the ridge moves left, enlarging the compute-bound
+        # (DVFS-sensitive) region.
+        assert capped.ridge_intensity < base.ridge_intensity
+
+
+class TestAttainable:
+    def test_memory_bound_side_linear(self):
+        ert = EmpiricalRoofline(peak_tflops=12.0, peak_gbps=3000.0)
+        ai = np.array([0.5, 1.0, 2.0])
+        np.testing.assert_allclose(
+            ert.attainable_tflops(ai), [1.5, 3.0, 6.0]
+        )
+
+    def test_compute_bound_side_flat(self):
+        ert = EmpiricalRoofline(peak_tflops=12.0, peak_gbps=3000.0)
+        assert ert.attainable_tflops(100.0) == pytest.approx(12.0)
+
+    def test_ridge_consistency(self):
+        ert = EmpiricalRoofline(peak_tflops=12.0, peak_gbps=3000.0)
+        assert ert.attainable_tflops(ert.ridge_intensity) == pytest.approx(
+            12.0
+        )
+        assert ert.ridge_intensity == pytest.approx(4.0)

@@ -1,0 +1,105 @@
+"""Unit tests for the L2/HBM memory benchmark."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.bench.membench import (
+    FIRST_WORKING_SET_BYTES,
+    MemoryBenchmark,
+    membench_kernel,
+    working_set_grid,
+)
+from repro.errors import KernelError
+from repro.gpu import GPUDevice
+
+
+class TestGrid:
+    def test_starts_at_384kb_and_doubles(self):
+        grid = working_set_grid(4)
+        assert grid[0] == FIRST_WORKING_SET_BYTES == 384 * 1024
+        assert grid == [grid[0], 2 * grid[0], 4 * grid[0], 8 * grid[0]]
+
+    def test_default_grid_crosses_l2(self, spec):
+        grid = working_set_grid()
+        assert grid[0] < spec.l2_bytes < grid[-1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(KernelError):
+            working_set_grid(0)
+
+
+class TestKernel:
+    def test_volume_independent_of_working_set(self):
+        a = membench_kernel(1e6)
+        b = membench_kernel(1e9)
+        assert a.hbm_bytes == b.hbm_bytes
+
+    def test_passes_scale_volume(self):
+        assert membench_kernel(1e6, passes=3).hbm_bytes == pytest.approx(
+            3 * membench_kernel(1e6).hbm_bytes
+        )
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(KernelError):
+            membench_kernel(0.0)
+        with pytest.raises(KernelError):
+            membench_kernel(1e6, passes=0)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return MemoryBenchmark().run(GPUDevice())
+
+    def test_bandwidth_knee_at_l2_capacity(self, result, spec):
+        # Fig 6: high bandwidth while resident, HBM plateau beyond.
+        l2 = result.l2_region(spec)
+        hbm = result.hbm_region(spec)
+        assert l2.column("gbps").min() > 1.5 * hbm.column("gbps").max()
+        assert hbm.column("gbps").max() == pytest.approx(
+            units.to_gbps(spec.achievable_hbm_bw), rel=0.02
+        )
+
+    def test_l2_region_low_power(self, result, spec):
+        # Fig 6(d): while the data fits in cache, power stays low (below
+        # even the 140 W cap the paper tested).
+        assert result.l2_region(spec).column("power_w").max() < 140.0
+
+    def test_hbm_region_heavy_power(self, result, spec):
+        assert result.hbm_region(spec).column("power_w").min() > 350.0
+
+    def test_hit_fraction_monotone_nonincreasing(self, result):
+        hits = result.column("l2_hit_fraction")
+        assert np.all(np.diff(hits) <= 1e-12)
+
+    def test_freq_cap_hits_l2_region_only(self, spec):
+        # Fig 6 left column: below 16 MB lower clocks mean lower bandwidth;
+        # above 16 MB the curves collapse onto the HBM roof.
+        base = MemoryBenchmark().run(GPUDevice(spec))
+        capped = MemoryBenchmark().run(
+            GPUDevice(spec, frequency_cap_hz=units.mhz(700))
+        )
+        b_l2 = base.l2_region(spec).column("time_s")
+        c_l2 = capped.l2_region(spec).column("time_s")
+        assert (c_l2 > 1.5 * b_l2).all()
+        b_hbm = base.hbm_region(spec).column("time_s")
+        c_hbm = capped.hbm_region(spec).column("time_s")
+        assert np.allclose(c_hbm, b_hbm, rtol=0.02)
+
+    def test_low_power_cap_breaches_in_hbm_region(self, spec):
+        # Fig 6(d): 140/200 W caps hold in the L2 region but are breached
+        # once the benchmark streams from HBM.
+        capped = MemoryBenchmark().run(GPUDevice(spec, power_cap_w=140.0))
+        l2 = capped.l2_region(spec)
+        hbm = capped.hbm_region(spec)
+        assert not l2.column("cap_breached").any()
+        assert hbm.column("cap_breached").all()
+        assert (hbm.column("power_w") > 140.0).all()
+
+    def test_time_weighted_mean(self, result):
+        untimed = result.column("power_w").mean()
+        weighted = result.mean("power_w")
+        assert weighted != pytest.approx(untimed)  # weights matter
+        lo, hi = result.column("power_w").min(), result.column("power_w").max()
+        assert lo <= weighted <= hi

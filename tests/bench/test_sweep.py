@@ -1,0 +1,51 @@
+"""Unit tests for the cap-sweep harness."""
+
+import pytest
+
+from repro.bench.membench import MemoryBenchmark
+from repro.bench.sweep import CapSweep
+from repro.errors import CapError
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    # A tiny working-set grid keeps this fast.
+    return CapSweep(MemoryBenchmark(working_sets=[1 << 20, 1 << 28]))
+
+
+class TestFrequencySweep:
+    def test_includes_uncapped_baseline(self, sweep):
+        points = sweep.frequency_sweep([1300, 900])
+        assert set(points) == {0, 1300, 900}
+        assert points[0].uncapped
+        assert not points[900].uncapped
+
+    def test_points_carry_knob_and_cap(self, sweep):
+        points = sweep.frequency_sweep([900])
+        assert points[900].knob == "frequency"
+        assert points[900].cap == 900.0
+
+    def test_rejects_invalid_cap(self, sweep):
+        with pytest.raises(CapError):
+            sweep.frequency_sweep([0])
+        with pytest.raises(CapError):
+            sweep.frequency_sweep([400])  # below f_min
+
+
+class TestPowerSweep:
+    def test_includes_uncapped_baseline(self, sweep):
+        points = sweep.power_sweep([400, 200])
+        assert set(points) == {0, 400, 200}
+
+    def test_rejects_invalid_cap(self, sweep):
+        with pytest.raises(CapError):
+            sweep.power_sweep([-5])
+
+    def test_capped_energy_never_less_work(self, sweep):
+        points = sweep.power_sweep([200])
+        base = points[0].result
+        capped = points[200].result
+        # Same benchmark, same work: capped runtime >= baseline runtime.
+        assert (
+            capped.column("time_s").sum() >= base.column("time_s").sum()
+        )

@@ -1,0 +1,92 @@
+"""Tests for Table III assembly — including paper-shape assertions."""
+
+import pytest
+
+from repro.bench.tables import compute_table3
+from repro.errors import ProjectionError
+
+
+@pytest.fixture(scope="module")
+def freq_table():
+    return compute_table3(knob="frequency")
+
+
+@pytest.fixture(scope="module")
+def power_table():
+    return compute_table3(knob="power")
+
+
+class TestStructure:
+    def test_baseline_row_is_100(self, freq_table):
+        base = freq_table.row_at(1700)
+        assert base.vai_power_pct == 100.0
+        assert base.mb_energy_pct == 100.0
+
+    def test_caps_listed(self, freq_table, power_table):
+        assert freq_table.caps == [1700, 1500, 1300, 1100, 900, 700]
+        assert power_table.caps == [560, 500, 400, 300, 200]
+
+    def test_missing_row_raises(self, freq_table):
+        with pytest.raises(ProjectionError):
+            freq_table.row_at(1234)
+
+    def test_unknown_knob_raises(self):
+        with pytest.raises(ProjectionError):
+            compute_table3(knob="thermal")
+
+    def test_energy_is_power_times_runtime(self, freq_table):
+        for row in freq_table.rows:
+            assert row.vai_energy_pct == pytest.approx(
+                row.vai_power_pct * row.vai_runtime_pct / 100.0
+            )
+
+    def test_factor_views(self, freq_table):
+        factors = freq_table.energy_factors()
+        ci, mi = factors[900]
+        row = freq_table.row_at(900)
+        assert ci == pytest.approx(row.vai_energy_pct / 100)
+        assert mi == pytest.approx(row.mb_energy_pct / 100)
+        runtimes = freq_table.runtime_factors()
+        assert runtimes[900][0] == pytest.approx(row.vai_runtime_pct / 100)
+
+
+class TestPaperShape:
+    """Orderings and crossovers that Table III must exhibit."""
+
+    def test_vai_power_decreases_with_cap(self, freq_table):
+        col = [r.vai_power_pct for r in freq_table.rows]
+        assert col == sorted(col, reverse=True)
+
+    def test_vai_runtime_increases_with_cap(self, freq_table):
+        col = [r.vai_runtime_pct for r in freq_table.rows]
+        assert col == sorted(col)
+
+    def test_mb_runtime_flat_under_frequency_caps(self, freq_table):
+        for row in freq_table.rows:
+            assert row.mb_runtime_pct == pytest.approx(100.0, abs=2.0)
+
+    def test_mb_saves_energy_at_every_frequency_cap(self, freq_table):
+        for row in freq_table.rows[1:]:
+            assert row.mb_energy_pct < 90.0
+
+    def test_vai_energy_penalty_at_700(self, freq_table):
+        # Paper: 700 MHz costs more energy than it saves for VAI.
+        assert freq_table.row_at(700).vai_energy_pct > 100.0
+
+    def test_moderate_power_caps_do_nothing_to_mb(self, power_table):
+        for cap in (500, 400, 300):
+            assert power_table.row_at(cap).mb_energy_pct == pytest.approx(
+                100.0, abs=1.5
+            )
+
+    def test_frequency_beats_power_capping_for_memory(self, freq_table, power_table):
+        # The asymmetry driving the paper's headline: frequency caps save
+        # on memory-intensive work, power caps don't.
+        best_freq = min(r.mb_energy_pct for r in freq_table.rows)
+        best_power = min(r.mb_energy_pct for r in power_table.rows)
+        assert best_freq < best_power - 5.0
+
+    def test_200w_cap_counterproductive(self, power_table):
+        row = power_table.row_at(200)
+        assert row.vai_energy_pct > 100.0
+        assert row.mb_energy_pct > 100.0

@@ -1,0 +1,102 @@
+"""Unit tests for the VAI benchmark (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro import constants, units
+from repro.bench.vai import (
+    VAIBenchmark,
+    loopsize_for_intensity,
+    vai_kernel,
+)
+from repro.errors import KernelError
+from repro.gpu import GPUDevice
+
+
+class TestAlgorithmAccounting:
+    def test_loopsize_matches_paper_grid(self):
+        # AI = LOOPSIZE / 16, so 1/16 -> 1 and 1024 -> 16384.
+        assert loopsize_for_intensity(1 / 16) == 1
+        assert loopsize_for_intensity(1.0) == 16
+        assert loopsize_for_intensity(1024.0) == 16384
+
+    def test_unrealizable_intensity_rejected(self):
+        with pytest.raises(KernelError):
+            loopsize_for_intensity(0.01)
+        with pytest.raises(KernelError):
+            loopsize_for_intensity(1 / 32)
+
+    def test_kernel_intensity_exact(self):
+        for ai in (1 / 16, 0.5, 4.0, 64.0):
+            k = vai_kernel(ai, global_wis=1024)
+            assert k.arithmetic_intensity == pytest.approx(ai)
+
+    def test_fma_variant_traffic(self):
+        k = vai_kernel(1 / 16, global_wis=1000, repeat=3)
+        # 4 accesses x 8 bytes x elements x repeats.
+        assert k.hbm_bytes == pytest.approx(4 * 8 * 1000 * 3)
+        # 2 flops per element (LOOPSIZE = 1) x repeats.
+        assert k.flops == pytest.approx(2 * 1000 * 3)
+
+    def test_copy_variant_traffic(self):
+        k = vai_kernel(0, global_wis=1000)
+        assert k.flops == 0.0
+        assert k.hbm_bytes == pytest.approx(2 * 8 * 1000)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(KernelError):
+            vai_kernel(1.0, global_wis=0)
+        with pytest.raises(KernelError):
+            vai_kernel(1.0, repeat=0)
+
+
+class TestVAIBenchmark:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return VAIBenchmark().run(GPUDevice())
+
+    def test_covers_paper_grid(self, result):
+        assert tuple(result.intensities) == constants.VAI_INTENSITIES
+
+    def test_runtime_extended_for_steady_state(self, result):
+        assert (result.column("time_s") >= 20.0 - 1e-9).all()
+
+    def test_tflops_rises_then_saturates(self, result, spec):
+        tflops = result.column("tflops")[1:]  # skip the copy point
+        # Memory-bound region climbs; compute-bound region is flat at the
+        # achievable roof.
+        roof = units.to_tflops(spec.achievable_flops)
+        assert tflops[-1] == pytest.approx(roof, rel=0.02)
+        assert np.all(np.diff(tflops) >= -0.2)
+
+    def test_bandwidth_flat_then_falls(self, result, spec):
+        gbps = result.column("gbps")[1:]
+        roof = units.to_gbps(spec.achievable_hbm_bw)
+        assert gbps[0] == pytest.approx(roof, rel=0.02)
+        assert gbps[-1] < roof / 100
+
+    def test_power_peaks_at_ridge(self, result, spec):
+        powers = result.column("power_w")
+        peak_idx = int(np.argmax(powers))
+        assert result.points[peak_idx].intensity == pytest.approx(
+            spec.ridge_intensity
+        )
+
+    def test_point_at_lookup(self, result):
+        p = result.point_at(4.0)
+        assert p.intensity == 4.0
+        with pytest.raises(KeyError):
+            result.point_at(3.0)
+
+    def test_fixed_work_under_caps(self, spec):
+        # The capped sweep must execute the same kernels as the baseline
+        # (time normalization requires identical work).
+        bench = VAIBenchmark(intensities=(1 / 16, 4.0))
+        base = bench.run(GPUDevice(spec))
+        capped = bench.run(GPUDevice(spec, frequency_cap_hz=units.mhz(900)))
+        for b, c in zip(base.points, capped.points):
+            assert c.time_s >= b.time_s  # never faster under a cap
+            # Energy ratio equals (power x time) ratio: same work.
+            assert c.energy_j / b.energy_j == pytest.approx(
+                (c.power_w * c.time_s) / (b.power_w * b.time_s)
+            )

@@ -1,0 +1,66 @@
+"""Shared fixtures for the repro test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.gpu import GPUDevice, KernelSpec, MI250XSpec, default_spec
+
+
+@pytest.fixture
+def spec() -> MI250XSpec:
+    return default_spec()
+
+
+@pytest.fixture
+def device(spec) -> GPUDevice:
+    return GPUDevice(spec)
+
+
+def make_vai_kernel(intensity: float, volume_bytes: float = 64e9) -> KernelSpec:
+    """A VAI-style HBM-resident kernel at a given arithmetic intensity."""
+    if intensity == 0:
+        return KernelSpec(
+            "stream-copy", flops=0.0, hbm_bytes=volume_bytes, issue_bw_factor=1.05
+        )
+    return KernelSpec(
+        f"vai-{intensity:g}",
+        flops=intensity * volume_bytes,
+        hbm_bytes=volume_bytes,
+        issue_bw_factor=1.05,
+    )
+
+
+def make_membench_kernel(
+    working_set_bytes: float, volume_bytes: float = 64e9
+) -> KernelSpec:
+    """A GPU-benches-style pure-load kernel cycling a working set."""
+    return KernelSpec(
+        "membench",
+        flops=0.0,
+        hbm_bytes=volume_bytes,
+        working_set_bytes=working_set_bytes,
+        issue_bw_factor=2.7,
+    )
+
+
+@pytest.fixture
+def vai_kernel():
+    return make_vai_kernel
+
+
+@pytest.fixture
+def membench_kernel():
+    return make_membench_kernel
+
+
+@pytest.fixture
+def freq_caps_hz():
+    return [units.mhz(m) for m in (1500, 1300, 1100, 900, 700)]
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)

@@ -1,0 +1,36 @@
+"""Shared campaign fixtures for the core-analysis tests.
+
+One small fleet is generated once per test session and joined once; all
+Table IV/V/VI and Fig 8/9/10 tests read the same cube.
+"""
+
+import pytest
+
+from repro import units
+from repro.core import join_campaign, measured_factors
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.telemetry import FleetTelemetryGenerator
+
+
+@pytest.fixture(scope="package")
+def campaign():
+    mix = default_mix(fleet_nodes=48)
+    log = SlurmSimulator(mix).run(units.days(3), rng=0)
+    store = FleetTelemetryGenerator(log, mix, seed=100).generate()
+    return log, store
+
+
+@pytest.fixture(scope="package")
+def cube(campaign):
+    log, store = campaign
+    return join_campaign(store, log)
+
+
+@pytest.fixture(scope="package")
+def freq_factors():
+    return measured_factors("frequency")
+
+
+@pytest.fixture(scope="package")
+def power_factors():
+    return measured_factors("power")

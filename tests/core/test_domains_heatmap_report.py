@@ -1,0 +1,144 @@
+"""Tests for domain analysis (Fig 9), heatmaps (Fig 10), and rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    compute_heatmaps,
+    domain_distributions,
+    report,
+    select_red_domains,
+)
+from repro.core.characterization import paper_factors
+from repro.core.join import IDLE_DOMAIN
+from repro.errors import ProjectionError
+
+
+class TestDomainDistributions:
+    def test_all_busy_domains_present(self, cube):
+        dists = domain_distributions(cube)
+        assert IDLE_DOMAIN not in dists
+        assert len(dists) >= 8
+
+    def test_region_pct_sums_to_100(self, cube):
+        for d in domain_distributions(cube).values():
+            assert d.region_pct.sum() == pytest.approx(100.0)
+
+    def test_families_have_expected_dominant_region(self, cube):
+        dists = domain_distributions(cube)
+        # Fig 9: compute-heavy domains dominate region 3, latency-bound
+        # region 1, memory-bound region 2.
+        if "CHM" in dists:
+            assert dists["CHM"].dominant_region == 3
+        if "BIO" in dists:
+            assert dists["BIO"].dominant_region == 1
+        if "CLI" in dists:
+            assert dists["CLI"].dominant_region == 2
+
+    def test_multi_zone_flag(self, cube):
+        dists = domain_distributions(cube)
+        if "PHY" in dists:
+            assert dists["PHY"].is_multi_zone
+
+    def test_each_domain_is_modal(self, cube):
+        # Fig 9's point: within a domain, power clusters into a few modes.
+        for d in domain_distributions(cube).values():
+            assert 1 <= len(d.modes) <= 8
+
+
+class TestHeatmaps:
+    def test_shapes(self, cube, freq_factors):
+        hm = compute_heatmaps(cube, freq_factors, cap=1100.0)
+        assert hm.energy_mwh.shape == (len(hm.domains), 5)
+        assert hm.savings_mwh.shape == hm.energy_mwh.shape
+
+    def test_energy_concentrated_in_large_classes(self, cube, freq_factors):
+        # Fig 10(a): most energy sits in classes A-C.
+        hm = compute_heatmaps(cube, freq_factors)
+        by_class = hm.energy_mwh.sum(axis=0)
+        assert by_class[:3].sum() > 0.8 * by_class.sum()
+
+    def test_savings_below_energy(self, cube, freq_factors):
+        hm = compute_heatmaps(cube, freq_factors)
+        assert (hm.savings_mwh <= hm.energy_mwh + 1e-9).all()
+
+    def test_campaign_scaling(self, cube, freq_factors):
+        raw = compute_heatmaps(cube, freq_factors)
+        scaled = compute_heatmaps(
+            cube, freq_factors, campaign_energy_mwh=16820.0
+        )
+        ratio = scaled.energy_mwh.sum() / raw.energy_mwh.sum()
+        np.testing.assert_allclose(
+            scaled.savings_mwh, raw.savings_mwh * ratio, rtol=1e-9
+        )
+
+    def test_red_domain_selection(self, cube, freq_factors):
+        hm = compute_heatmaps(cube, freq_factors)
+        picked = select_red_domains(hm, n_domains=3)
+        assert len(picked) == 3
+        # The picked domains hold the largest best-cell savings.
+        best = hm.savings_mwh.max(axis=1)
+        floor = min(best[hm.domains.index(d)] for d in picked)
+        others = [
+            best[i] for i, d in enumerate(hm.domains) if d not in picked
+        ]
+        assert all(floor >= o for o in others)
+
+    def test_validation(self, cube, freq_factors):
+        with pytest.raises(ProjectionError):
+            compute_heatmaps(cube, freq_factors, campaign_energy_mwh=0.0)
+        hm = compute_heatmaps(cube, freq_factors)
+        with pytest.raises(ProjectionError):
+            select_red_domains(hm, n_domains=0)
+
+
+class TestReport:
+    def test_render_table4(self, cube):
+        from repro.core import decompose_modes
+
+        text = report.render_table4(decompose_modes(cube))
+        assert "memory intensive" in text
+        assert "GPU hrs (%)" in text
+
+    def test_render_table5(self, cube, freq_factors):
+        from repro.core import project_savings
+
+        text = report.render_table5(
+            project_savings(cube, freq_factors, campaign_energy_mwh=16820.0)
+        )
+        assert "16820 MWh" in text
+        assert "900" in text
+
+    def test_render_table3(self):
+        from repro.bench.tables import compute_table3
+
+        text = report.render_table3(compute_table3(knob="power"))
+        assert "power cap" in text
+        assert "MB energy%" in text
+
+    def test_render_fig9_and_10(self, cube, freq_factors):
+        text9 = report.render_fig9(domain_distributions(cube))
+        assert "dominant" in text9
+        text10 = report.render_fig10(
+            compute_heatmaps(cube, freq_factors, campaign_energy_mwh=16820.0)
+        )
+        assert "Fig 10(a)" in text10 and "Fig 10(b)" in text10
+
+    def test_render_fig8(self, cube):
+        text = report.render_fig8(cube.histogram)
+        assert "Fig 8" in text
+        assert "#" in text
+
+    def test_render_series(self):
+        text = report.render_series(
+            "Fig X", "x", [1, 2], {"y": [3.0, 4.0], "z": [5.0, 6.0]}
+        )
+        assert "Fig X" in text and "y" in text and "6" in text
+
+    def test_paper_factors_table_shapes(self):
+        f = paper_factors("frequency")
+        assert set(f.caps()) == {1700, 1500, 1300, 1100, 900, 700}
+        p = paper_factors("power")
+        assert 200 in p.caps()
+        with pytest.raises(ProjectionError):
+            paper_factors("thermal")

@@ -1,0 +1,102 @@
+"""Unit tests for streaming histograms and peak finding."""
+
+import numpy as np
+import pytest
+
+from repro.core.histogram import StreamingHistogram, find_power_modes
+from repro.errors import TelemetryError
+
+
+class TestStreamingHistogram:
+    def test_counts_and_weights(self):
+        h = StreamingHistogram(0, 10, 1.0)
+        h.add(np.array([0.5, 1.5, 1.6, 9.5]))
+        assert h.total_count == 4
+        assert h.counts[0] == 1 and h.counts[1] == 2
+        # Default weights are the values themselves (energy accumulation).
+        assert h.weight_sums[1] == pytest.approx(3.1)
+
+    def test_explicit_weights(self):
+        h = StreamingHistogram(0, 10, 1.0)
+        h.add(np.array([2.5, 2.6]), weights=np.array([10.0, 20.0]))
+        assert h.weight_sums[2] == pytest.approx(30.0)
+
+    def test_clipping_counted(self):
+        h = StreamingHistogram(0, 10, 1.0)
+        h.add(np.array([-5.0, 3.0, 15.0]))
+        assert h.n_clipped == 2
+        assert h.total_count == 3  # clipped samples land in edge bins
+
+    def test_chunked_equals_single_shot(self):
+        rng = np.random.default_rng(0)
+        data = rng.uniform(0, 650, size=10_000)
+        a = StreamingHistogram()
+        a.add(data)
+        b = StreamingHistogram()
+        for part in np.array_split(data, 7):
+            b.add(part)
+        np.testing.assert_array_equal(a.counts, b.counts)
+        np.testing.assert_allclose(a.weight_sums, b.weight_sums)
+
+    def test_merge(self):
+        a, b = StreamingHistogram(), StreamingHistogram()
+        a.add(np.array([100.0]))
+        b.add(np.array([300.0]))
+        a.merge(b)
+        assert a.total_count == 2
+
+    def test_merge_rejects_unlike_bins(self):
+        a = StreamingHistogram(0, 10, 1.0)
+        b = StreamingHistogram(0, 20, 1.0)
+        with pytest.raises(TelemetryError):
+            a.merge(b)
+
+    def test_density_normalized(self):
+        h = StreamingHistogram(0, 100, 2.0)
+        h.add(np.random.default_rng(1).uniform(0, 100, 5000))
+        assert np.sum(h.density() * h.bin_width) == pytest.approx(1.0)
+
+    def test_density_of_empty_raises(self):
+        with pytest.raises(TelemetryError):
+            StreamingHistogram().density()
+
+    def test_range_fraction(self):
+        h = StreamingHistogram(0, 100, 1.0)
+        h.add(np.array([10.0, 20.0, 30.0, 80.0]))
+        assert h.range_fraction(0, 50) == pytest.approx(0.75)
+        assert h.range_weight(0, 50) == pytest.approx(60.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(TelemetryError):
+            StreamingHistogram(10, 5)
+        with pytest.raises(TelemetryError):
+            StreamingHistogram(0, 10, 0.0)
+
+    def test_weights_shape_mismatch(self):
+        h = StreamingHistogram()
+        with pytest.raises(TelemetryError):
+            h.add(np.array([1.0, 2.0]), weights=np.array([1.0]))
+
+
+class TestFindPowerModes:
+    def _bimodal(self):
+        rng = np.random.default_rng(2)
+        data = np.concatenate(
+            [rng.normal(150, 10, 5000), rng.normal(480, 15, 3000)]
+        )
+        h = StreamingHistogram()
+        h.add(data)
+        return h
+
+    def test_finds_both_modes(self):
+        modes = find_power_modes(self._bimodal())
+        assert len(modes) == 2
+        powers = sorted(m.power_w for m in modes)
+        assert powers[0] == pytest.approx(150, abs=10)
+        assert powers[1] == pytest.approx(480, abs=10)
+
+    def test_prominence_filters_noise(self):
+        modes = find_power_modes(
+            self._bimodal(), min_prominence_frac=0.9
+        )
+        assert len(modes) <= 1

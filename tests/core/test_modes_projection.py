@@ -1,0 +1,142 @@
+"""Tests for modal decomposition (Table IV) and projection (Tables V/VI)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.core import decompose_modes, paper_factors, project_savings
+from repro.core.heatmap import table6_selection
+from repro.errors import ProjectionError
+
+
+class TestDecomposeModes:
+    def test_shares_sum_to_100(self, cube):
+        table = decompose_modes(cube)
+        assert table.gpu_hours_pct.sum() == pytest.approx(100.0)
+
+    def test_shares_near_table4(self, cube):
+        table = decompose_modes(cube)
+        for ours, paper in zip(
+            table.gpu_hours_pct, constants.PAPER_REGION_GPU_HOURS_PCT
+        ):
+            assert ours == pytest.approx(paper, abs=5.0)
+
+    def test_energy_consistent_with_cube(self, cube):
+        table = decompose_modes(cube)
+        assert table.energy_mwh.sum() * 3.6e9 == pytest.approx(
+            cube.total_energy_j, rel=1e-6
+        )
+
+    def test_custom_boundaries(self, cube):
+        wide = decompose_modes(cube, boundaries=(240.0, 460.0, 560.0))
+        default = decompose_modes(cube)
+        # Widening region 1 moves hours out of region 2.
+        assert wide.rows[0].gpu_hours > default.rows[0].gpu_hours
+        assert wide.gpu_hours_pct.sum() == pytest.approx(100.0)
+
+    def test_bad_boundaries(self, cube):
+        with pytest.raises(ProjectionError):
+            decompose_modes(cube, boundaries=(400.0, 300.0, 560.0))
+        with pytest.raises(ProjectionError):
+            decompose_modes(cube, boundaries=(200.0, 420.0))
+
+
+class TestProjection:
+    def test_baseline_cap_saves_nothing(self, cube, freq_factors):
+        table = project_savings(cube, freq_factors)
+        assert table.row_at(1700).total_mwh == pytest.approx(0.0)
+        assert table.row_at(1700).runtime_increase_pct == pytest.approx(0.0)
+
+    def test_campaign_scaling_preserves_percentages(self, cube, freq_factors):
+        raw = project_savings(cube, freq_factors)
+        scaled = project_savings(
+            cube, freq_factors, campaign_energy_mwh=16820.0
+        )
+        assert scaled.total_energy_mwh == pytest.approx(16820.0)
+        for a, b in zip(raw.rows, scaled.rows):
+            assert a.savings_pct == pytest.approx(b.savings_pct)
+            assert a.runtime_increase_pct == pytest.approx(
+                b.runtime_increase_pct
+            )
+
+    def test_headline_shape(self, cube, freq_factors):
+        # Paper: several percent savings at mid-frequency caps, with the
+        # no-slowdown column carried almost entirely by the MI region.
+        table = project_savings(
+            cube, freq_factors, campaign_energy_mwh=16820.0
+        )
+        best = table.best_row
+        assert 900 <= best.cap <= 1300
+        assert 5.0 < best.savings_pct < 15.0
+        r900 = table.row_at(900)
+        assert r900.savings_no_slowdown_pct == pytest.approx(
+            100 * r900.mi_mwh / 16820.0, abs=0.01
+        )
+
+    def test_frequency_beats_power(self, cube, freq_factors, power_factors):
+        t_f = project_savings(cube, freq_factors)
+        t_p = project_savings(cube, power_factors)
+        assert t_f.best_row.savings_pct > t_p.best_row.savings_pct + 2.0
+
+    def test_paper_factors_projection(self, cube):
+        # Projecting with the paper's own Table III lands near the paper's
+        # headline: best no-slowdown savings ~8.5 % at 900 MHz.
+        table = project_savings(
+            cube, paper_factors("frequency"), campaign_energy_mwh=16820.0
+        )
+        best = table.best_no_slowdown_row
+        assert best.cap == 900
+        assert best.savings_no_slowdown_pct == pytest.approx(8.5, abs=3.5)
+
+    def test_dt_weighting_knob(self, cube, freq_factors):
+        by_energy = project_savings(cube, freq_factors, dt_weighting="energy")
+        by_hours = project_savings(
+            cube, freq_factors, dt_weighting="gpu_hours"
+        )
+        # Hour weighting dilutes runtime impact (CI hours < CI energy share).
+        assert (
+            by_hours.row_at(900).runtime_increase_pct
+            < by_energy.row_at(900).runtime_increase_pct
+        )
+
+    def test_validation(self, cube, freq_factors):
+        with pytest.raises(ProjectionError):
+            project_savings(cube, freq_factors, dt_weighting="magic")
+        with pytest.raises(ProjectionError):
+            project_savings(cube, freq_factors, campaign_energy_mwh=-1.0)
+        with pytest.raises(ProjectionError):
+            project_savings(cube, freq_factors).row_at(1234)
+
+
+class TestTable6:
+    def test_selected_subset_carries_most_savings(self, cube, freq_factors):
+        selected, domains = table6_selection(cube, freq_factors)
+        assert 1 <= len(domains) <= 6
+        full = project_savings(cube, freq_factors, campaign_energy_mwh=16820.0)
+        part = project_savings(
+            selected,
+            freq_factors,
+            campaign_energy_mwh=16820.0,
+            reference_cube=cube,
+        )
+        # Paper: the red-cell domains x classes A-C retain the bulk of the
+        # system-wide savings.
+        r_full = full.row_at(1100).total_mwh
+        r_part = part.row_at(1100).total_mwh
+        assert 0.5 * r_full < r_part < r_full
+
+    def test_selected_percentages_relative_to_full_campaign(
+        self, cube, freq_factors
+    ):
+        selected, _ = table6_selection(cube, freq_factors)
+        part = project_savings(
+            selected,
+            freq_factors,
+            campaign_energy_mwh=16820.0,
+            reference_cube=cube,
+        )
+        assert part.total_energy_mwh == pytest.approx(16820.0)
+        row = part.row_at(1100)
+        assert row.savings_pct == pytest.approx(
+            100 * row.total_mwh / 16820.0, abs=0.01
+        )

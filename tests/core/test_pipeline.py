@@ -1,0 +1,77 @@
+"""Tests for the parallel campaign pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import (
+    memory_footprint_estimate,
+    merge_cubes,
+    run_campaign,
+)
+from repro.errors import JoinError
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_campaign(fleet_nodes=24, days=0.5, seed=3, workers=1)
+
+
+class TestRunCampaign:
+    def test_parallel_identical_to_serial(self, serial_run):
+        parallel = run_campaign(
+            fleet_nodes=24, days=0.5, seed=3, workers=3
+        )
+        np.testing.assert_allclose(
+            parallel.cube.energy_j, serial_run.cube.energy_j
+        )
+        np.testing.assert_array_equal(
+            parallel.cube.histogram.counts,
+            serial_run.cube.histogram.counts,
+        )
+
+    def test_block_size_irrelevant(self, serial_run):
+        other = run_campaign(
+            fleet_nodes=24, days=0.5, seed=3, workers=1, nodes_per_block=5
+        )
+        np.testing.assert_allclose(
+            other.cube.energy_j, serial_run.cube.energy_j
+        )
+
+    def test_reuses_provided_log(self, serial_run):
+        again = run_campaign(
+            fleet_nodes=24, days=0.5, seed=3, log=serial_run.log
+        )
+        assert again.log is serial_run.log
+        np.testing.assert_allclose(
+            again.cube.energy_j, serial_run.cube.energy_j
+        )
+
+    def test_cube_consistency(self, serial_run):
+        cube = serial_run.cube
+        assert cube.total_energy_j > 0
+        assert cube.total_gpu_hours == pytest.approx(
+            cube.histogram.total_count * 15.0 / 3600.0
+        )
+
+
+class TestMergeCubes:
+    def test_merge_rejects_mismatched_axes(self, serial_run):
+        other = run_campaign(fleet_nodes=24, days=0.5, seed=99)
+        a, b = serial_run.cube, other.cube
+        if a.domains == b.domains:
+            pytest.skip("same domain set; nothing to reject")
+        with pytest.raises(JoinError):
+            merge_cubes(a, b)
+
+
+class TestFootprint:
+    def test_full_scale_needs_streaming(self):
+        est = memory_footprint_estimate(9408, 91)
+        assert est["materialized_bytes"] > 1e11     # ~150 GB
+        assert est["streamed_bytes"] < 1e9          # < 1 GB
+        assert est["ratio"] > 100
+        assert est["samples"] > 1e10
+
+    def test_small_scale_fits(self):
+        est = memory_footprint_estimate(16, 1.0)
+        assert est["materialized_bytes"] < 1e8

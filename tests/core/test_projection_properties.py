@@ -1,0 +1,94 @@
+"""Property-based tests for the savings projection."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.characterization import CapFactors
+from repro.core.histogram import StreamingHistogram
+from repro.core.join import CampaignCube
+from repro.core.projection import project_savings
+
+
+def cube_from_region_energy(e1, e2, e3, e4):
+    """A minimal single-domain cube with prescribed region energies."""
+    energy = np.zeros((2, 2, 4))
+    energy[0, 0] = [e1, e2, e3, e4]
+    hours = energy / 3.6e5  # arbitrary consistent hours
+    hist = StreamingHistogram()
+    hist.add(np.array([100.0]))
+    return CampaignCube(
+        domains=["X", "_idle"],
+        classes=["A", "-"],
+        energy_j=energy,
+        gpu_hours=hours,
+        histogram=hist,
+        domain_histograms={"X": hist, "_idle": hist},
+    )
+
+
+def factors_of(f_ci, f_mi, rt_ci, rt_mi):
+    return CapFactors(
+        knob="frequency",
+        energy={900.0: (f_ci, f_mi), 1700.0: (1.0, 1.0)},
+        runtime={900.0: (rt_ci, rt_mi), 1700.0: (1.0, 1.0)},
+    )
+
+
+energies = st.floats(min_value=1e6, max_value=1e12)
+fractions = st.floats(min_value=0.5, max_value=1.2)
+runtimes = st.floats(min_value=1.0, max_value=3.0)
+
+
+@given(energies, energies, energies, energies, fractions, fractions,
+       runtimes, runtimes)
+@settings(max_examples=100, deadline=None)
+def test_projection_identities(e1, e2, e3, e4, f_ci, f_mi, rt_ci, rt_mi):
+    cube = cube_from_region_energy(e1, e2, e3, e4)
+    table = project_savings(cube, factors_of(f_ci, f_mi, rt_ci, rt_mi))
+    row = table.row_at(900.0)
+    total = e1 + e2 + e3 + e4
+
+    # Savings decompose exactly into the region terms.
+    expected = e2 * (1 - f_mi) + e3 * (1 - f_ci)
+    assert abs(row.total_mwh * 3.6e9 - expected) < 1e-3 * max(abs(expected), 1)
+    assert abs(row.savings_pct - 100 * expected / total) < 1e-9 * 100
+
+    # Runtime increase is non-negative and bounded by the worst factor.
+    assert 0.0 <= row.runtime_increase_pct <= 100 * (max(rt_ci, rt_mi) - 1)
+
+    # Regions 1 and 4 never contribute.
+    cube_no14 = cube_from_region_energy(0.0, e2, e3, 0.0)
+    row_no14 = project_savings(
+        cube_no14, factors_of(f_ci, f_mi, rt_ci, rt_mi)
+    ).row_at(900.0)
+    assert abs(row_no14.total_mwh - row.total_mwh) < 1e-9 + 1e-12 * abs(row.total_mwh)
+
+
+@given(energies, energies, fractions, fractions)
+@settings(max_examples=60, deadline=None)
+def test_savings_monotone_in_factors(e2, e3, f_a, f_b):
+    cube = cube_from_region_energy(1e9, e2, e3, 1e7)
+    lo, hi = sorted([f_a, f_b])
+    better = project_savings(cube, factors_of(lo, lo, 1.1, 1.0)).row_at(900.0)
+    worse = project_savings(cube, factors_of(hi, hi, 1.1, 1.0)).row_at(900.0)
+    # Lower energy factors (more saving per joule) never save less.
+    assert better.total_mwh >= worse.total_mwh - 1e-12
+
+
+@given(energies, energies, runtimes)
+@settings(max_examples=60, deadline=None)
+def test_no_slowdown_column_requires_flat_runtime(e2, e3, rt):
+    cube = cube_from_region_energy(1e9, e2, e3, 0.0)
+    row = project_savings(
+        cube, factors_of(0.9, 0.85, rt, 1.0)
+    ).row_at(900.0)
+    # MI runtime is flat -> its savings count; CI counts only if rt ~ 1.
+    expected_floor = e2 * 0.15
+    assert row.savings_no_slowdown_pct * cube.total_energy_j / 100 >= (
+        expected_floor - 1e-6 * expected_floor
+    )
+    if rt > 1.01:
+        ci_saving = e3 * 0.10
+        no_slowdown_j = row.savings_no_slowdown_pct * cube.total_energy_j / 100
+        assert no_slowdown_j < expected_floor + 0.5 * ci_saving + 1e-3

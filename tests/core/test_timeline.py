@@ -1,0 +1,79 @@
+"""Tests for the fleet power timeline."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.timeline import FleetTimeline, fleet_timeline
+from repro.errors import TelemetryError
+
+
+@pytest.fixture(scope="module")
+def timeline(campaign):
+    log, store = campaign
+    return fleet_timeline(store, horizon_s=log.horizon_s)
+
+
+class TestFleetTimeline:
+    def test_energy_matches_store(self, campaign, timeline):
+        _log, store = campaign
+        assert timeline.energy_mwh() == pytest.approx(
+            store.gpu_energy_mwh(), rel=1e-6
+        )
+
+    def test_streaming_matches_materialized(self, campaign, timeline):
+        log, store = campaign
+        from repro.scheduler import default_mix
+        from repro.telemetry import FleetTelemetryGenerator
+
+        mix = default_mix(fleet_nodes=log.n_nodes)
+        gen = FleetTelemetryGenerator(log, mix, seed=100)
+        streamed = fleet_timeline(
+            gen.chunks(nodes_per_chunk=7), horizon_s=log.horizon_s
+        )
+        np.testing.assert_allclose(
+            streamed.gpu_power_w, timeline.gpu_power_w, rtol=1e-9
+        )
+
+    def test_peak_and_mean_sane(self, campaign, timeline):
+        log, _store = campaign
+        # Fleet power per bin sits between all-idle and all-boost.
+        n_gpus = log.n_nodes * 4
+        assert timeline.mean_w > 80.0 * n_gpus
+        assert timeline.peak_w < 620.0 * n_gpus
+        assert 1.0 <= timeline.peak_to_mean < 3.0
+        assert 0.0 <= timeline.peak_time_s < log.horizon_s
+
+    def test_duration_curve_monotone(self, timeline):
+        curve = timeline.duration_curve(50)
+        assert np.all(np.diff(curve) <= 1e-9)
+        assert curve[0] == pytest.approx(timeline.peak_w)
+        assert curve[-1] == pytest.approx(timeline.gpu_power_w.min())
+
+    def test_exceedance(self, timeline):
+        assert timeline.exceedance_fraction(0.0) == 1.0
+        assert timeline.exceedance_fraction(timeline.peak_w) == 0.0
+        mid = timeline.exceedance_fraction(timeline.mean_w)
+        assert 0.0 < mid < 1.0
+
+    def test_validation(self, campaign):
+        log, store = campaign
+        with pytest.raises(TelemetryError):
+            fleet_timeline(store, horizon_s=0.0)
+        with pytest.raises(TelemetryError):
+            fleet_timeline(iter([]), horizon_s=units.hours(1))
+        with pytest.raises(TelemetryError):
+            # Samples beyond the declared horizon are an error, not a clip.
+            fleet_timeline(store, horizon_s=units.hours(0.5))
+        with pytest.raises(TelemetryError):
+            timeline = fleet_timeline(store, horizon_s=log.horizon_s)
+            timeline.duration_curve(1)
+
+    def test_misaligned_columns_rejected(self):
+        with pytest.raises(TelemetryError):
+            FleetTimeline(
+                times_s=np.zeros(3),
+                gpu_power_w=np.zeros(2),
+                cpu_power_w=np.zeros(3),
+                interval_s=15.0,
+            )

@@ -1,0 +1,88 @@
+"""Tests for the power-proxy validation (region-boundary diffusion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.validate import (
+    fleet_confusion,
+    phase_region_mass,
+    profile_confusion,
+    render_confusion,
+)
+from repro.errors import ProjectionError
+from repro.telemetry.profiles import PROFILES
+
+
+class TestPhaseRegionMass:
+    def test_sums_to_one(self):
+        mass = phase_region_mass(300.0, 20.0)
+        assert mass.sum() == pytest.approx(1.0)
+
+    def test_mid_region_phase_is_unambiguous(self):
+        mass = phase_region_mass(300.0, 10.0)
+        assert mass[1] > 0.999
+
+    def test_boundary_phase_splits(self):
+        mass = phase_region_mass(200.0, 10.0)
+        assert 0.3 < mass[0] < 0.7
+        assert 0.3 < mass[1] < 0.7
+
+    def test_noise_widens_diffusion(self):
+        tight = phase_region_mass(210.0, 1.0)
+        wide = phase_region_mass(210.0, 30.0)
+        assert wide[0] > tight[0]  # more mass leaks below 200 W
+
+    def test_rejects_negative_std(self):
+        with pytest.raises(ProjectionError):
+            phase_region_mass(300.0, -1.0)
+
+
+class TestProfileConfusion:
+    def test_rows_hold_phase_weights(self):
+        m = profile_confusion(PROFILES["memory_bound"])
+        assert m.sum() == pytest.approx(1.0)
+        # memory_bound's phases are regions 1 and 2 only.
+        assert m[3].sum() == pytest.approx(0.0, abs=1e-12)
+
+    def test_diagonal_dominates(self):
+        # mixed_low sits deliberately close to the 200 W boundary (its
+        # 190 W phase), so its diagonal is weakest (~0.90); everything
+        # else is near-perfect.
+        for name, profile in PROFILES.items():
+            m = profile_confusion(profile)
+            assert np.trace(m) > (0.85 if name == "mixed_low" else 0.95)
+
+
+class TestFleetConfusion:
+    def test_default_uniform_mix(self):
+        c = fleet_confusion()
+        assert c.matrix.sum() == pytest.approx(1.0)
+        assert c.accuracy > 0.95
+        assert (c.per_region_accuracy > 0.8).all()
+
+    def test_accuracy_plus_misclassified_is_one(self):
+        c = fleet_confusion()
+        assert c.accuracy + c.misclassified_fraction() == pytest.approx(1.0)
+
+    def test_off_diagonal_only_adjacent(self):
+        # Diffusion crosses one boundary, never two: r1 mass never lands
+        # in r3 or r4.
+        c = fleet_confusion()
+        assert c.matrix[0, 2] == pytest.approx(0.0, abs=1e-6)
+        assert c.matrix[0, 3] == pytest.approx(0.0, abs=1e-9)
+        assert c.matrix[3, 0] == pytest.approx(0.0, abs=1e-9)
+
+    def test_custom_weights(self):
+        only_compute = fleet_confusion({"compute_heavy": 1.0})
+        assert only_compute.matrix[2].sum() > 0.5
+
+    def test_validation(self):
+        with pytest.raises(ProjectionError):
+            fleet_confusion({"compute_heavy": 0.0})
+        with pytest.raises(ProjectionError):
+            fleet_confusion({"nope": 1.0})
+
+    def test_render(self):
+        text = render_confusion(fleet_confusion())
+        assert "overall accuracy" in text
+        assert "r4" in text

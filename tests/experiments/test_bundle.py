@@ -1,0 +1,64 @@
+"""Tests for the one-file campaign report."""
+
+import pytest
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.bundle import (
+    REPORT_SECTIONS,
+    build_report,
+    write_report,
+)
+from repro.cli import main
+
+TINY = ExperimentConfig(
+    fleet_nodes=12, days=0.4, seed=0, graph_scale=0.002
+)
+
+
+@pytest.fixture(scope="module")
+def report_text():
+    return build_report(TINY, include_extensions=False)
+
+
+class TestBuildReport:
+    def test_all_paper_sections_present(self, report_text):
+        for section, _ids in REPORT_SECTIONS:
+            if section == "Extensions":
+                continue
+            assert f"## {section}" in report_text
+
+    def test_config_recorded(self, report_text):
+        assert "12 nodes" in report_text
+        assert "16,820 MWh" in report_text
+
+    def test_headline_artifacts_included(self, report_text):
+        assert "### table5" in report_text
+        assert "### table4" in report_text
+        assert "### fig7" in report_text
+
+    def test_extensions_toggle(self, report_text):
+        assert "ext_policy" not in report_text
+
+    def test_write_report(self, tmp_path):
+        out = write_report(
+            tmp_path / "sub" / "REPORT.md",
+            TINY,
+            include_extensions=False,
+        )
+        assert out.exists()
+        assert out.read_text().startswith("# Campaign report")
+
+
+class TestCLIReport:
+    def test_report_command(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        code = main(
+            [
+                "report", "--out", str(out),
+                "--nodes", "12", "--days", "0.4",
+                "--graph-scale", "0.002", "--no-extensions",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,54 @@
+"""End-to-end test of the `repro advise` operator command."""
+
+import pytest
+
+from repro import units
+from repro.cli import main
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.scheduler.sacct import write_sacct
+from repro.telemetry import FleetTelemetryGenerator
+from repro.telemetry.io_csv import write_telemetry_csv
+
+
+@pytest.fixture(scope="module")
+def real_format_files(tmp_path_factory):
+    """Simulated data exported through the real-data adapters."""
+    tmp = tmp_path_factory.mktemp("advise")
+    mix = default_mix(fleet_nodes=12)
+    log = SlurmSimulator(mix).run(units.hours(6), rng=2)
+    sacct = tmp / "sacct.txt"
+    write_sacct(log, sacct)
+    store = FleetTelemetryGenerator(log, mix, seed=3).generate()
+    csv = tmp / "telemetry.csv"
+    write_telemetry_csv(store, csv)
+    return str(sacct), str(csv)
+
+
+class TestAdvise:
+    def test_prints_recommendations(self, real_format_files, capsys):
+        sacct, csv = real_format_files
+        assert main(["advise", sacct, csv, "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "jobs fingerprinted" in out
+        assert "expected saving" in out
+        assert "cap" in out
+
+    def test_budget_flag_respected(self, real_format_files, capsys):
+        sacct, csv = real_format_files
+        assert main(
+            ["advise", sacct, csv, "--max-slowdown", "0.0"]
+        ) == 0
+        out = capsys.readouterr().out
+        # Zero tolerance: every printed per-job dT is 0.00.
+        for line in out.splitlines():
+            cols = line.split()
+            if len(cols) == 7 and cols[0].isdigit():
+                assert float(cols[-1]) == 0.0
+
+    def test_missing_file_fails_cleanly(self, real_format_files, capsys):
+        _sacct, csv = real_format_files
+        with pytest.raises(SystemExit):
+            main(["advise"])  # argparse: missing positionals
+        code = main(["advise", "/nonexistent/sacct", csv])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().err

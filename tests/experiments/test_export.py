@@ -1,0 +1,65 @@
+"""Tests for CSV export of experiment data."""
+
+import csv
+
+import numpy as np
+import pytest
+
+from repro.experiments.export import export_csv
+from repro.experiments.registry import ExperimentResult
+
+
+def result_with(data):
+    return ExperimentResult(exp_id="demo", title="t", text="x", data=data)
+
+
+class TestExportCsv:
+    def test_groups_by_length(self, tmp_path):
+        written = export_csv(
+            result_with(
+                {
+                    "x": np.arange(4.0),
+                    "y": np.arange(4.0) ** 2,
+                    "scalar": 3.5,
+                }
+            ),
+            tmp_path,
+        )
+        assert len(written) == 2
+        by_name = {p.name: p for p in written}
+        with by_name["demo_4.csv"].open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["x", "y"]
+        assert rows[2] == ["1", "1"]
+        with by_name["demo_1.csv"].open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["scalar"]
+        assert float(rows[1][0]) == pytest.approx(3.5)
+
+    def test_nested_dicts_get_dotted_names(self, tmp_path):
+        written = export_csv(
+            result_with({"outer": {"inner": [1.0, 2.0]}}), tmp_path
+        )
+        with written[0].open() as fh:
+            header = fh.readline().strip()
+        assert header == "outer.inner"
+
+    def test_2d_arrays_become_rows(self, tmp_path):
+        written = export_csv(
+            result_with({"m": np.arange(6.0).reshape(2, 3)}), tmp_path
+        )
+        with written[0].open() as fh:
+            header = fh.readline().strip().split(",")
+        assert header == ["m[0]", "m[1]"]
+
+    def test_non_numeric_skipped(self, tmp_path):
+        written = export_csv(
+            result_with({"names": ["a", "b"], "obj": object()}), tmp_path
+        )
+        assert written == []
+
+    def test_roundtrip_values(self, tmp_path):
+        data = {"v": np.array([1.5, 2.25, 1e-7])}
+        written = export_csv(result_with(data), tmp_path)
+        loaded = np.loadtxt(written[0], delimiter=",", skiprows=1)
+        np.testing.assert_allclose(loaded, data["v"])

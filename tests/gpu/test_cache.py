@@ -1,0 +1,107 @@
+"""Unit tests for the L2/HBM hierarchy model."""
+
+import pytest
+
+from repro import units
+from repro.errors import KernelError
+from repro.gpu import KernelSpec
+from repro.gpu.cache import (
+    issue_ceiling,
+    l2_bandwidth,
+    l2_hit_fraction,
+    resolve_traffic,
+)
+
+
+class TestHitFraction:
+    def test_fully_resident(self, spec):
+        assert l2_hit_fraction(spec, spec.l2_bytes / 2) == 1.0
+        assert l2_hit_fraction(spec, spec.l2_bytes) == 1.0
+
+    def test_thrash_band_partial_residency(self, spec):
+        assert l2_hit_fraction(spec, 1.5 * spec.l2_bytes) == pytest.approx(0.5)
+
+    def test_cyclic_thrash_collapses_beyond_twice_capacity(self, spec):
+        # LRU worst case: cyclic streaming misses everything once the
+        # working set clears the thrash band.
+        assert l2_hit_fraction(spec, 2 * spec.l2_bytes) == 0.0
+        assert l2_hit_fraction(spec, units.gib(8)) == 0.0
+
+    def test_rejects_nonpositive_working_set(self, spec):
+        with pytest.raises(KernelError):
+            l2_hit_fraction(spec, 0.0)
+
+
+class TestBandwidths:
+    def test_l2_scales_with_clock(self, spec):
+        full = l2_bandwidth(spec, spec.f_max_hz)
+        half = l2_bandwidth(spec, spec.f_max_hz / 2)
+        assert full == pytest.approx(spec.l2_bw_max)
+        assert half == pytest.approx(spec.l2_bw_max / 2)
+
+    def test_issue_ceiling_scales_with_clock_and_factor(self, spec):
+        k = KernelSpec("k", flops=0.0, hbm_bytes=1.0, issue_bw_factor=2.0)
+        at_max = issue_ceiling(spec, k, spec.f_max_hz)
+        assert at_max == pytest.approx(2.0 * spec.achievable_hbm_bw)
+        at_half = issue_ceiling(spec, k, spec.f_max_hz / 2)
+        assert at_half == pytest.approx(at_max / 2)
+
+
+class TestResolveTraffic:
+    def test_explicit_split_respected(self, spec):
+        k = KernelSpec("k", flops=0.0, hbm_bytes=75.0, l2_bytes=25.0)
+        t = resolve_traffic(spec, k, spec.f_max_hz)
+        assert t.hbm_bytes == 75.0
+        assert t.l2_bytes == 25.0
+        assert t.l2_hit_fraction == pytest.approx(0.25)
+
+    def test_working_set_derives_split(self, spec):
+        k = KernelSpec(
+            "k",
+            flops=0.0,
+            hbm_bytes=100.0,
+            working_set_bytes=int(1.5 * spec.l2_bytes),
+        )
+        t = resolve_traffic(spec, k, spec.f_max_hz)
+        assert t.l2_hit_fraction == pytest.approx(0.5)
+        assert t.l2_bytes == pytest.approx(50.0)
+        assert t.hbm_bytes == pytest.approx(50.0)
+
+    def test_l2_resident_is_faster_than_hbm(self, spec):
+        small = KernelSpec(
+            "small", flops=0.0, hbm_bytes=1e9,
+            working_set_bytes=spec.l2_bytes / 2, issue_bw_factor=5.0,
+        )
+        large = KernelSpec(
+            "large", flops=0.0, hbm_bytes=1e9,
+            working_set_bytes=units.gib(4), issue_bw_factor=5.0,
+        )
+        bw_small = resolve_traffic(spec, small, spec.f_max_hz).effective_bw
+        bw_large = resolve_traffic(spec, large, spec.f_max_hz).effective_bw
+        assert bw_small > bw_large
+        assert bw_large == pytest.approx(spec.achievable_hbm_bw, rel=0.05)
+
+    def test_effective_bw_between_levels(self, spec):
+        k = KernelSpec(
+            "mid", flops=0.0, hbm_bytes=1e9,
+            working_set_bytes=int(1.5 * spec.l2_bytes), issue_bw_factor=5.0,
+        )
+        t = resolve_traffic(spec, k, spec.f_max_hz)
+        assert spec.achievable_hbm_bw < t.effective_bw < spec.l2_bw_max
+
+    def test_issue_ceiling_binds_at_low_clock(self, spec):
+        k = KernelSpec("k", flops=0.0, hbm_bytes=1e9, issue_bw_factor=1.05)
+        low = resolve_traffic(spec, k, spec.f_min_hz)
+        assert low.issue_limited
+        assert low.effective_bw < spec.achievable_hbm_bw
+
+    def test_deep_issue_kernel_unaffected_by_clock(self, spec):
+        k = KernelSpec("k", flops=0.0, hbm_bytes=1e9, issue_bw_factor=4.0)
+        low = resolve_traffic(spec, k, units.mhz(900))
+        assert not low.issue_limited
+        assert low.effective_bw == pytest.approx(spec.achievable_hbm_bw)
+
+    def test_occupancy_scales_bandwidth(self, spec):
+        k = KernelSpec("k", flops=0.0, hbm_bytes=1e9, occupancy=0.25)
+        t = resolve_traffic(spec, k, spec.f_max_hz)
+        assert t.effective_bw == pytest.approx(0.25 * spec.achievable_hbm_bw)

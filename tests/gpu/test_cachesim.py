@@ -1,0 +1,90 @@
+"""Tests for the cache simulator and the hit-model validation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.gpu.cachesim import (
+    CacheGeometry,
+    SetAssociativeCache,
+    cyclic_hit_rate,
+    cyclic_stream,
+)
+
+GEO = CacheGeometry(capacity_bytes=64 * 1024, line_bytes=128, ways=8)
+
+
+class TestGeometry:
+    def test_derived_counts(self):
+        assert GEO.n_lines == 512
+        assert GEO.n_sets == 64
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            CacheGeometry(capacity_bytes=0)
+        with pytest.raises(SpecError):
+            CacheGeometry(capacity_bytes=1000, line_bytes=128, ways=8)
+
+
+class TestCache:
+    def test_repeated_line_hits(self):
+        cache = SetAssociativeCache(GEO)
+        stream = np.zeros(10, dtype=np.int64)
+        assert cache.access_lines(stream) == 9  # first touch misses
+
+    def test_distinct_lines_all_miss(self):
+        cache = SetAssociativeCache(GEO)
+        stream = np.arange(GEO.n_lines, dtype=np.int64)
+        assert cache.access_lines(stream) == 0
+
+    def test_unknown_policy(self):
+        with pytest.raises(SpecError):
+            SetAssociativeCache(GEO, policy="fifo")
+
+    def test_cyclic_stream_shape(self):
+        s = cyclic_stream(1024, 128, rounds=3)
+        assert len(s) == 8 * 3
+        assert s.max() == 7
+
+
+class TestCyclicHitRates:
+    def test_resident_set_hits_fully(self):
+        assert cyclic_hit_rate(GEO, GEO.capacity_bytes // 2) == 1.0
+
+    def test_lru_cliff_past_capacity(self):
+        # The textbook cyclic pathology, at set granularity: at 1.1x
+        # capacity only the few still-resident sets hit; by 1.25x every
+        # set thrashes and the rate is exactly zero.
+        slightly_over = int(1.1 * GEO.capacity_bytes)
+        assert cyclic_hit_rate(GEO, slightly_over, policy="lru") < 0.3
+        well_over = int(1.25 * GEO.capacity_bytes)
+        assert cyclic_hit_rate(GEO, well_over, policy="lru") == 0.0
+
+    def test_random_replacement_decays_smoothly(self):
+        rates = [
+            cyclic_hit_rate(
+                GEO, int(r * GEO.capacity_bytes), policy="random", rng=0
+            )
+            for r in (1.2, 1.6, 2.5)
+        ]
+        assert rates == sorted(rates, reverse=True)
+        assert 0.0 < rates[0] < 1.0
+
+    def test_analytic_model_brackets_the_policies(self):
+        from repro.gpu.cache import l2_hit_fraction
+        from repro.gpu.specs import default_spec
+
+        spec = default_spec().with_overrides(
+            l2_bytes=float(GEO.capacity_bytes)
+        )
+        for ratio in (1.2, 1.5, 1.8):
+            ws = int(ratio * GEO.capacity_bytes)
+            lru = cyclic_hit_rate(GEO, ws, policy="lru")
+            rnd = cyclic_hit_rate(GEO, ws, policy="random", rng=1)
+            model = l2_hit_fraction(spec, ws)
+            assert lru - 0.05 <= model
+            assert model <= rnd + 0.35
+
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            cyclic_hit_rate(GEO, 1024, rounds=1, warmup_rounds=2)

@@ -1,0 +1,112 @@
+"""Unit tests for the GPUDevice facade."""
+
+import numpy as np
+import pytest
+
+from repro import constants, units
+from repro.errors import CapError
+from repro.gpu import GPUDevice
+from tests.conftest import make_membench_kernel, make_vai_kernel
+
+
+class TestKnobs:
+    def test_defaults_uncapped(self, spec):
+        dev = GPUDevice(spec)
+        assert dev.uncapped
+        assert dev.frequency_cap_hz is None
+        assert dev.power_cap_w is None
+
+    def test_set_and_clear_frequency_cap(self, spec):
+        dev = GPUDevice(spec)
+        dev.set_frequency_cap(units.mhz(900))
+        assert dev.frequency_cap_hz == units.mhz(900)
+        assert not dev.uncapped
+        dev.set_frequency_cap(None)
+        assert dev.uncapped
+
+    def test_invalid_caps_raise_at_set_time(self, spec):
+        dev = GPUDevice(spec)
+        with pytest.raises(CapError):
+            dev.set_frequency_cap(units.mhz(100))
+        with pytest.raises(CapError):
+            dev.set_power_cap(10.0)
+
+    def test_power_cap_at_tdp_counts_as_uncapped(self, spec):
+        dev = GPUDevice(spec, power_cap_w=spec.tdp_w)
+        assert dev.uncapped
+
+
+class TestRun:
+    def test_result_fields_consistent(self, device):
+        r = device.run(make_vai_kernel(4.0))
+        assert r.energy_j == pytest.approx(r.power_w * r.time_s)
+        assert r.f_core_hz == device.spec.f_max_hz
+        assert r.arithmetic_intensity == pytest.approx(4.0)
+        assert not r.cap_breached
+
+    def test_frequency_cap_slows_compute_kernel(self, spec):
+        base = GPUDevice(spec).run(make_vai_kernel(1024.0))
+        capped = GPUDevice(spec, frequency_cap_hz=units.mhz(850)).run(
+            make_vai_kernel(1024.0)
+        )
+        assert capped.time_s == pytest.approx(2 * base.time_s, rel=0.01)
+        assert capped.power_w < base.power_w
+
+    def test_power_cap_breach_flagged(self, spec):
+        dev = GPUDevice(spec, power_cap_w=200.0)
+        r = dev.run(make_membench_kernel(units.gib(1)))
+        assert r.cap_breached
+        assert r.power_w > 200.0
+
+    def test_both_knobs_most_restrictive_wins(self, spec):
+        k = make_vai_kernel(1024.0)
+        dev = GPUDevice(
+            spec, frequency_cap_hz=units.mhz(700), power_cap_w=550.0
+        )
+        r = dev.run(k)
+        # The 550 W cap is a no-op for this kernel; the 700 MHz cap rules.
+        assert r.f_core_hz == pytest.approx(units.mhz(700))
+
+    def test_idle_result(self, device):
+        r = device.idle_result(60.0)
+        assert r.power_w == device.spec.idle_w
+        assert r.energy_j == pytest.approx(60.0 * device.spec.idle_w)
+        assert r.bound == "idle"
+
+
+class TestPowerTrace:
+    def test_trace_length_covers_runtime(self, device, rng):
+        r = device.run(make_vai_kernel(4.0, volume_bytes=1e12))
+        trace = device.power_trace(r, rng=rng)
+        expected = int(np.ceil(r.time_s / constants.SENSOR_INTERVAL_S))
+        assert len(trace) == expected
+
+    def test_trace_steady_state_near_model_power(self, device, rng):
+        r = device.run(make_vai_kernel(1.0, volume_bytes=6e13))
+        trace = device.power_trace(r, rng=rng, boost=False)
+        steady = trace[len(trace) // 2 :]
+        assert np.mean(steady) == pytest.approx(r.power_w, rel=0.02)
+
+    def test_uncapped_near_tdp_run_shows_boost_samples(self, device, rng):
+        # Table IV region 4: the >=560 W samples come from boost transients
+        # at the start of uncapped near-TDP kernels.
+        r = device.run(make_vai_kernel(4.0, volume_bytes=2e12))
+        trace = device.power_trace(r, rng=rng)
+        assert trace.max() > device.spec.tdp_w * 0.98
+
+    def test_capped_run_has_no_boost(self, spec, rng):
+        dev = GPUDevice(spec, frequency_cap_hz=units.mhz(1500))
+        r = dev.run(make_vai_kernel(4.0, volume_bytes=2e12))
+        trace = dev.power_trace(r, rng=rng)
+        assert trace.max() < spec.tdp_w
+
+    def test_trace_nonnegative(self, device, rng):
+        r = device.run(make_vai_kernel(0.0))
+        trace = device.power_trace(r, rng=rng)
+        assert (trace >= 0).all()
+
+    def test_trace_deterministic_given_seed(self, device):
+        r = device.run(make_vai_kernel(2.0, volume_bytes=1e12))
+        t1 = device.power_trace(r, rng=7)
+        t2 = device.power_trace(r, rng=7)
+        assert np.array_equal(t1, t2)

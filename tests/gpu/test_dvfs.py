@@ -1,0 +1,44 @@
+"""Unit tests for the frequency-cap governor."""
+
+import pytest
+
+from repro import units
+from repro.errors import CapError
+from repro.gpu.dvfs import DVFS_STEP_HZ, boost_frequency, resolve_frequency_cap
+
+
+class TestResolveFrequencyCap:
+    def test_none_means_fmax(self, spec):
+        assert resolve_frequency_cap(spec, None) == spec.f_max_hz
+
+    def test_in_range_cap_passes_through(self, spec):
+        assert resolve_frequency_cap(spec, units.mhz(900)) == units.mhz(900)
+
+    def test_above_fmax_clamps(self, spec):
+        assert resolve_frequency_cap(spec, units.mhz(2000)) == spec.f_max_hz
+
+    def test_below_fmin_raises(self, spec):
+        with pytest.raises(CapError):
+            resolve_frequency_cap(spec, units.mhz(400))
+
+    def test_nonpositive_raises(self, spec):
+        with pytest.raises(CapError):
+            resolve_frequency_cap(spec, 0.0)
+        with pytest.raises(CapError):
+            resolve_frequency_cap(spec, -units.mhz(900))
+
+    def test_quantize_floors_to_step(self, spec):
+        f = resolve_frequency_cap(spec, units.mhz(925), quantize=True)
+        assert f == pytest.approx(units.mhz(900))
+        assert f % DVFS_STEP_HZ == pytest.approx(0.0)
+
+    def test_quantize_never_below_fmin(self, spec):
+        f = resolve_frequency_cap(spec, spec.f_min_hz + 1.0, quantize=True)
+        assert f >= spec.f_min_hz
+
+
+def test_boost_frequency_above_fmax(spec):
+    assert boost_frequency(spec) > spec.f_max_hz
+    assert boost_frequency(spec) == pytest.approx(
+        spec.f_max_hz * spec.boost_f_factor
+    )

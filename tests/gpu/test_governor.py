@@ -1,0 +1,86 @@
+"""Tests for the per-kernel sensitivity governor."""
+
+import pytest
+
+from repro import units
+from repro.errors import CapError
+from repro.gpu import GPUDevice
+from repro.gpu.governor import SensitivityGovernor, governor_vs_static
+from tests.conftest import make_membench_kernel, make_vai_kernel
+
+
+@pytest.fixture(scope="module")
+def governor():
+    return SensitivityGovernor()
+
+
+class TestDecide:
+    def test_deep_issue_stream_downclocks_hard(self, governor):
+        d = governor.decide(make_membench_kernel(units.gib(1)))
+        assert d.capped
+        assert d.f_mhz <= 900
+        assert d.predicted_slowdown <= 1.02
+
+    def test_compute_kernel_stays_fast(self, governor):
+        d = governor.decide(make_vai_kernel(1024.0))
+        # 2 % tolerance forbids any real downclock for 1/f kernels...
+        assert d.f_mhz == 1700
+        # ...but engaging the uncore P-state at f_max is free.
+        assert d.predicted_slowdown == pytest.approx(1.0, abs=1e-9)
+
+    def test_tolerance_widens_choices(self):
+        strict = SensitivityGovernor(slowdown_tolerance=0.0)
+        loose = SensitivityGovernor(slowdown_tolerance=0.5)
+        kernel = make_vai_kernel(1024.0)
+        assert loose.decide(kernel).f_mhz <= strict.decide(kernel).f_mhz
+
+    def test_decision_power_consistent_with_run(self, governor):
+        kernel = make_membench_kernel(units.gib(1))
+        decision = governor.decide(kernel)
+        result = governor.run(kernel)
+        assert result.power_w == pytest.approx(
+            decision.predicted_power_w, rel=0.01
+        )
+
+    def test_validation(self):
+        with pytest.raises(CapError):
+            SensitivityGovernor(slowdown_tolerance=-0.1)
+        with pytest.raises(CapError):
+            SensitivityGovernor(menu_mhz=())
+
+
+class TestGovernorVsStatic:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        # Volumes sized so memory streams and compute kernels carry
+        # comparable energy in the stream.
+        kernels = (
+            [make_membench_kernel(units.gib(1), volume_bytes=640e9)] * 3
+            + [make_vai_kernel(16.0), make_vai_kernel(256.0)]
+        )
+        return governor_vs_static(kernels, static_cap_mhz=900.0)
+
+    def test_governor_never_slows_past_tolerance(self, comparison):
+        assert comparison["governor"]["slowdown_pct"] <= 2.0 + 1e-6
+
+    def test_static_cap_pays_runtime(self, comparison):
+        assert comparison["static"]["slowdown_pct"] > 20.0
+
+    def test_governor_saves_energy(self, comparison):
+        assert comparison["governor"]["saving_pct"] > 2.0
+
+    def test_energy_accounting(self, comparison):
+        for row in comparison.values():
+            assert row["energy_j"] > 0
+            assert row["time_s"] > 0
+
+
+def test_governor_dominates_static_on_memory_streams():
+    # On a pure memory stream the governor matches the static cap's
+    # savings with none of its (zero) cost — and beats uncapped.
+    kernels = [make_membench_kernel(units.gib(1))] * 4
+    cmp = governor_vs_static(kernels, static_cap_mhz=900.0)
+    assert cmp["governor"]["saving_pct"] >= cmp["static"]["saving_pct"] - 1.0
+    assert cmp["governor"]["slowdown_pct"] < cmp["static"]["slowdown_pct"] + 1.0
+    baseline = GPUDevice().run(make_membench_kernel(units.gib(1)))
+    assert cmp["governor"]["energy_j"] < 4 * baseline.energy_j

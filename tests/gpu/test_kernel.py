@@ -1,0 +1,72 @@
+"""Unit tests for kernel descriptors."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.gpu import KernelSpec
+
+
+class TestValidation:
+    def test_rejects_negative_flops(self):
+        with pytest.raises(KernelError):
+            KernelSpec("bad", flops=-1.0, hbm_bytes=1.0)
+
+    def test_rejects_no_work(self):
+        with pytest.raises(KernelError):
+            KernelSpec("empty", flops=0.0, hbm_bytes=0.0)
+
+    def test_rejects_bad_issue_factor(self):
+        with pytest.raises(KernelError):
+            KernelSpec("bad", flops=1.0, hbm_bytes=1.0, issue_bw_factor=0.0)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(KernelError):
+            KernelSpec("bad", flops=1.0, hbm_bytes=1.0, compute_efficiency=1.5)
+        with pytest.raises(KernelError):
+            KernelSpec("bad", flops=1.0, hbm_bytes=1.0, compute_efficiency=0.0)
+
+    def test_rejects_bad_occupancy(self):
+        with pytest.raises(KernelError):
+            KernelSpec("bad", flops=1.0, hbm_bytes=1.0, occupancy=0.0)
+
+    def test_rejects_full_divergence(self):
+        with pytest.raises(KernelError):
+            KernelSpec("bad", flops=1.0, hbm_bytes=1.0, divergence=1.0)
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(KernelError):
+            KernelSpec("bad", flops=1.0, hbm_bytes=1.0, launch_overhead_s=-1.0)
+
+
+class TestDerived:
+    def test_arithmetic_intensity(self):
+        k = KernelSpec("k", flops=400.0, hbm_bytes=100.0)
+        assert k.arithmetic_intensity == pytest.approx(4.0)
+
+    def test_arithmetic_intensity_counts_l2_traffic(self):
+        k = KernelSpec("k", flops=400.0, hbm_bytes=50.0, l2_bytes=50.0)
+        assert k.arithmetic_intensity == pytest.approx(4.0)
+        assert k.total_bytes == pytest.approx(100.0)
+
+    def test_compute_only_kernel_has_infinite_intensity(self):
+        k = KernelSpec("k", flops=100.0, hbm_bytes=0.0)
+        assert k.arithmetic_intensity == float("inf")
+
+    def test_scaled_preserves_intensity(self):
+        k = KernelSpec("k", flops=400.0, hbm_bytes=100.0, l2_bytes=10.0)
+        s = k.scaled(7.0)
+        assert s.flops == pytest.approx(2800.0)
+        assert s.hbm_bytes == pytest.approx(700.0)
+        assert s.l2_bytes == pytest.approx(70.0)
+        assert s.arithmetic_intensity == pytest.approx(k.arithmetic_intensity)
+
+    def test_scaled_rejects_nonpositive(self):
+        k = KernelSpec("k", flops=1.0, hbm_bytes=1.0)
+        with pytest.raises(KernelError):
+            k.scaled(0.0)
+
+    def test_with_overrides(self):
+        k = KernelSpec("k", flops=1.0, hbm_bytes=1.0)
+        other = k.with_overrides(occupancy=0.5)
+        assert other.occupancy == 0.5
+        assert k.occupancy == 1.0

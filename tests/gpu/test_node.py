@@ -1,0 +1,61 @@
+"""Unit tests for the Frontier node model."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.gpu import FrontierNode
+from tests.conftest import make_vai_kernel
+
+
+class TestFrontierNode:
+    def test_has_four_gpus(self):
+        node = FrontierNode()
+        assert len(node.gpus) == 4
+
+    def test_replicated_run_identical_results(self):
+        node = FrontierNode()
+        results = node.run_replicated(make_vai_kernel(4.0))
+        assert len(results) == 4
+        assert len({r.power_w for r in results}) == 1
+        assert len({r.time_s for r in results}) == 1
+
+    def test_node_wide_caps_apply_to_all_gpus(self):
+        node = FrontierNode()
+        node.set_frequency_cap(units.mhz(900))
+        assert all(g.frequency_cap_hz == units.mhz(900) for g in node.gpus)
+        node.set_power_cap(400.0)
+        assert all(g.power_cap_w == 400.0 for g in node.gpus)
+
+    def test_sample_totals(self):
+        node = FrontierNode()
+        s = node.sample([400.0, 400.0, 400.0, 400.0], cpu_load=0.5)
+        expected_cpu = node.spec.cpu_power_w(0.5)
+        assert s.node_input_w == pytest.approx(
+            1600.0 + expected_cpu + node.spec.overhead_w
+        )
+
+    def test_gpu_fraction_dominates_under_load(self):
+        # Paper discussion: non-GPU components are dwarfed (<20 %) on a
+        # fully-utilized node.
+        node = FrontierNode()
+        busy = node.sample([540.0] * 4, cpu_load=1.0)
+        assert busy.gpu_fraction > 0.8
+
+    def test_gpu_fraction_lower_when_idle(self):
+        node = FrontierNode()
+        idle_gpu = node.spec.gpu.idle_w
+        idle = node.sample([idle_gpu] * 4, cpu_load=0.0)
+        busy = node.sample([540.0] * 4, cpu_load=0.0)
+        assert idle.gpu_fraction < busy.gpu_fraction
+
+    def test_sample_validates_shape(self):
+        node = FrontierNode()
+        with pytest.raises(ValueError):
+            node.sample([400.0, 400.0], cpu_load=0.5)
+
+    def test_sample_copies_are_independent(self):
+        node = FrontierNode()
+        arr = np.array([100.0, 200.0, 300.0, 400.0])
+        s = node.sample(arr, cpu_load=0.0)
+        assert s.gpu_power_w.sum() == pytest.approx(1000.0)

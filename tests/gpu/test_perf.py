@@ -1,0 +1,106 @@
+"""Unit tests for the roofline execution model."""
+
+import pytest
+
+from repro import units
+from repro.gpu import KernelSpec
+from repro.gpu.perf import compute_roof, execute
+from tests.conftest import make_vai_kernel
+
+
+class TestComputeRoof:
+    def test_full_roof_at_fmax(self, spec):
+        k = KernelSpec("k", flops=1.0, hbm_bytes=0.0)
+        assert compute_roof(spec, k, spec.f_max_hz) == pytest.approx(
+            spec.achievable_flops
+        )
+
+    def test_scales_linearly_with_clock(self, spec):
+        k = KernelSpec("k", flops=1.0, hbm_bytes=0.0)
+        assert compute_roof(spec, k, spec.f_max_hz / 2) == pytest.approx(
+            spec.achievable_flops / 2
+        )
+
+    def test_derated_by_kernel_character(self, spec):
+        k = KernelSpec(
+            "k", flops=1.0, hbm_bytes=0.0,
+            compute_efficiency=0.5, occupancy=0.5, divergence=0.5,
+        )
+        assert compute_roof(spec, k, spec.f_max_hz) == pytest.approx(
+            spec.achievable_flops * 0.5 * 0.5 * 0.5
+        )
+
+
+class TestExecute:
+    def test_memory_bound_below_ridge(self, spec):
+        p = execute(spec, make_vai_kernel(1.0), spec.f_max_hz)
+        assert p.bound == "memory"
+        assert p.achieved_bw == pytest.approx(spec.achievable_hbm_bw, rel=0.01)
+
+    def test_compute_bound_above_ridge(self, spec):
+        p = execute(spec, make_vai_kernel(64.0), spec.f_max_hz)
+        assert p.bound == "compute"
+        assert p.achieved_flops == pytest.approx(spec.achievable_flops, rel=0.01)
+
+    def test_ridge_saturates_both(self, spec):
+        p = execute(spec, make_vai_kernel(spec.ridge_intensity), spec.f_max_hz)
+        assert p.core_activity == pytest.approx(1.0, rel=0.02)
+        assert p.hbm_activity == pytest.approx(1.0, rel=0.02)
+
+    def test_time_monotone_nonincreasing_in_frequency(self, spec):
+        k = make_vai_kernel(8.0)
+        times = [
+            execute(spec, k, units.mhz(m)).time_s
+            for m in (700, 900, 1100, 1300, 1500, 1700)
+        ]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_compute_bound_time_inverse_in_frequency(self, spec):
+        k = make_vai_kernel(1024.0)
+        t_full = execute(spec, k, spec.f_max_hz).time_s
+        t_half = execute(spec, k, spec.f_max_hz / 2).time_s
+        assert t_half == pytest.approx(2 * t_full, rel=0.01)
+
+    def test_deep_issue_memory_kernel_flat_under_dvfs(self, spec, membench_kernel):
+        # The paper's central DVFS observation: HBM-bound work does not
+        # slow down between 1700 and 700 MHz.
+        k = membench_kernel(units.gib(1))
+        t_full = execute(spec, k, units.mhz(1700)).time_s
+        t_low = execute(spec, k, units.mhz(700)).time_s
+        assert t_low == pytest.approx(t_full, rel=0.015)
+
+    def test_vai_memory_kernel_slows_under_dvfs(self, spec):
+        # ... while the VAI kernel (shallow issue) slows even when
+        # memory-bound, as the paper notes for contiguous SIMD access.
+        k = make_vai_kernel(0.25)
+        t_full = execute(spec, k, units.mhz(1700)).time_s
+        t_low = execute(spec, k, units.mhz(700)).time_s
+        assert t_low > 1.5 * t_full
+
+    def test_clamps_out_of_range_frequency(self, spec):
+        k = make_vai_kernel(1.0)
+        p = execute(spec, k, units.mhz(5000))
+        assert p.f_hz == spec.f_max_hz
+
+    def test_launch_overhead_dominates_tiny_kernels(self, spec):
+        k = KernelSpec(
+            "tiny", flops=1e3, hbm_bytes=1e3, launch_overhead_s=1e-3
+        )
+        p = execute(spec, k, spec.f_max_hz)
+        assert p.bound == "overhead"
+        assert p.time_s >= 1e-3
+
+    def test_occupancy_slows_execution(self, spec):
+        full = execute(spec, make_vai_kernel(1.0), spec.f_max_hz)
+        sparse = execute(
+            spec, make_vai_kernel(1.0).with_overrides(occupancy=0.25),
+            spec.f_max_hz,
+        )
+        assert sparse.time_s > 3 * full.time_s
+
+    def test_activities_in_unit_interval(self, spec):
+        for intensity in (0.0, 0.5, 4.0, 128.0):
+            p = execute(spec, make_vai_kernel(intensity), units.mhz(900))
+            assert 0.0 <= p.core_activity <= 1.0
+            assert 0.0 <= p.hbm_activity <= 1.0
+            assert 0.0 <= p.l2_activity <= 1.0

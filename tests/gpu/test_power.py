@@ -1,0 +1,90 @@
+"""Unit tests for the steady-state power model."""
+
+import pytest
+
+from repro import units
+from repro.gpu.perf import execute
+from repro.gpu.power import energy, idle_power, metered_power, steady_power
+from tests.conftest import make_membench_kernel, make_vai_kernel
+
+
+def power_at(spec, intensity, f_hz, *, capped=False):
+    profile = execute(spec, make_vai_kernel(intensity), f_hz)
+    return steady_power(spec, profile, f_core_hz=f_hz, uncore_capped=capped)
+
+
+class TestAnchors:
+    """The paper's measured power anchors at maximum frequency."""
+
+    def test_memory_bound_anchor(self, spec):
+        # Paper: ~380 W at arithmetic intensity 1/16.
+        assert power_at(spec, 1 / 16, spec.f_max_hz) == pytest.approx(380, abs=10)
+
+    def test_ridge_anchor(self, spec):
+        # Paper: 540 W peak at arithmetic intensity 4.
+        assert power_at(spec, 4.0, spec.f_max_hz) == pytest.approx(540, abs=8)
+
+    def test_compute_tail_anchor(self, spec):
+        # Paper: decreases to ~420 W at high intensities.
+        assert power_at(spec, 1024.0, spec.f_max_hz) == pytest.approx(420, abs=10)
+
+    def test_peak_is_at_ridge(self, spec):
+        intensities = [0.0, 0.25, 1.0, 2.0, 4.0, 8.0, 64.0, 1024.0]
+        powers = [power_at(spec, i, spec.f_max_hz) for i in intensities]
+        assert max(powers) == powers[intensities.index(4.0)]
+
+    def test_never_exceeds_tdp(self, spec):
+        for i in (0.0, 1.0, 4.0, 16.0):
+            assert power_at(spec, i, spec.f_max_hz) <= spec.tdp_w
+
+
+class TestScaling:
+    def test_power_monotone_in_frequency(self, spec):
+        for intensity in (0.5, 4.0, 256.0):
+            powers = [
+                power_at(spec, intensity, units.mhz(m), capped=True)
+                for m in (700, 900, 1100, 1300, 1500)
+            ]
+            assert all(a <= b for a, b in zip(powers, powers[1:]))
+
+    def test_frequency_cap_reduces_memory_power(self, spec):
+        # The uncore P-state step: capping drops HBM-stream power even when
+        # bandwidth (and runtime) are unchanged.
+        k = make_membench_kernel(units.gib(1))
+        prof_hi = execute(spec, k, spec.f_max_hz)
+        p_uncapped = steady_power(spec, prof_hi, uncore_capped=False)
+        prof_capped = execute(spec, k, units.mhz(1500))
+        p_capped = steady_power(spec, prof_capped, uncore_capped=True)
+        assert p_capped < 0.92 * p_uncapped
+        assert prof_capped.time_s == pytest.approx(prof_hi.time_s, rel=0.01)
+
+    def test_idle_power(self, spec):
+        assert idle_power(spec) == spec.idle_w
+
+
+class TestMeteredPower:
+    def test_metered_below_actual_for_memory_kernels(self, spec):
+        k = make_membench_kernel(units.gib(1))
+        profile = execute(spec, k, spec.f_max_hz)
+        actual = steady_power(spec, profile, uncore_capped=False)
+        metered = metered_power(spec, profile, spec.f_max_hz)
+        assert metered < actual
+
+    def test_metered_equals_actual_for_pure_compute(self, spec):
+        k = make_vai_kernel(1e6)  # negligible memory traffic
+        profile = execute(spec, k, spec.f_max_hz)
+        actual = steady_power(spec, profile, uncore_capped=False)
+        metered = metered_power(spec, profile, spec.f_max_hz)
+        assert metered == pytest.approx(actual, rel=0.01)
+
+    def test_metered_monotone_in_frequency(self, spec):
+        k = make_vai_kernel(4.0)
+        vals = []
+        for m in (700, 900, 1100, 1300, 1500, 1700):
+            profile = execute(spec, k, units.mhz(m))
+            vals.append(metered_power(spec, profile, units.mhz(m)))
+        assert all(a <= b + 1e-9 for a, b in zip(vals, vals[1:]))
+
+
+def test_energy_is_power_times_time():
+    assert energy(100.0, 60.0) == pytest.approx(6000.0)

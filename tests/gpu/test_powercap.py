@@ -1,0 +1,66 @@
+"""Unit tests for the power-cap feedback controller."""
+
+import pytest
+
+from repro import units
+from repro.errors import CapError
+from repro.gpu.powercap import enforce_power_cap
+from tests.conftest import make_membench_kernel, make_vai_kernel
+
+
+class TestEnforcePowerCap:
+    def test_cap_above_draw_is_noop(self, spec):
+        # Paper: "a power limit only affects codes surpassing the limit".
+        k = make_vai_kernel(1 / 16)  # draws ~380 W actual, less metered
+        sol = enforce_power_cap(spec, k, 550.0)
+        assert sol.f_core_hz == spec.f_max_hz
+        assert not sol.breached
+
+    def test_cap_throttles_compute_kernel(self, spec):
+        k = make_vai_kernel(1024.0)  # ~420 W, almost all metered
+        sol = enforce_power_cap(spec, k, 300.0)
+        assert sol.f_core_hz < spec.f_max_hz
+        assert sol.power_w <= 300.0 + 1.0
+        assert not sol.breached
+
+    def test_tight_cap_meets_metered_target(self, spec):
+        k = make_vai_kernel(4.0)
+        sol = enforce_power_cap(spec, k, 350.0)
+        assert sol.metered_w <= 350.0 + 0.5
+
+    def test_hbm_stream_unaffected_by_300w_cap(self, spec):
+        # Paper Table III(b): a 300 W cap leaves the ~374 W memory stream
+        # untouched because the controller cannot meter most of HBM power.
+        k = make_membench_kernel(units.gib(1))
+        base = enforce_power_cap(spec, k, 560.0)
+        sol = enforce_power_cap(spec, k, 300.0)
+        assert sol.profile.time_s == pytest.approx(base.profile.time_s, rel=0.02)
+        assert sol.power_w == pytest.approx(base.power_w, rel=0.02)
+        assert sol.power_w > 300.0  # actual power exceeds the cap
+
+    def test_hbm_stream_breaches_200w_cap(self, spec):
+        # Paper Fig 6(d): at 200 W the core parks at f_min, runtime grows
+        # ~26 %, and the module still draws far above the cap.
+        k = make_membench_kernel(units.gib(1))
+        sol = enforce_power_cap(spec, k, 200.0)
+        assert sol.f_core_hz == spec.f_min_hz
+        assert sol.breached
+        assert sol.power_w > 200.0
+
+    def test_throttle_monotone_in_cap(self, spec):
+        k = make_vai_kernel(4.0)
+        freqs = [
+            enforce_power_cap(spec, k, cap).f_core_hz
+            for cap in (560.0, 450.0, 350.0, 250.0)
+        ]
+        assert all(a >= b for a, b in zip(freqs, freqs[1:]))
+
+    def test_rejects_nonpositive_cap(self, spec):
+        k = make_vai_kernel(1.0)
+        with pytest.raises(CapError):
+            enforce_power_cap(spec, k, 0.0)
+
+    def test_rejects_cap_below_idle(self, spec):
+        k = make_vai_kernel(1.0)
+        with pytest.raises(CapError):
+            enforce_power_cap(spec, k, spec.idle_w / 2)

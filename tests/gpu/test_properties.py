@@ -1,0 +1,108 @@
+"""Property-based tests (hypothesis) for the GPU simulator invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.gpu import GPUDevice, KernelSpec
+from repro.gpu.perf import execute
+from repro.gpu.power import metered_power, steady_power
+from repro.gpu.specs import default_spec
+
+SPEC = default_spec()
+
+intensities = st.floats(min_value=1e-3, max_value=4096.0)
+frequencies = st.floats(min_value=SPEC.f_min_hz, max_value=SPEC.f_max_hz)
+volumes = st.floats(min_value=1e6, max_value=1e13)
+issue_factors = st.floats(min_value=0.5, max_value=8.0)
+occupancies = st.floats(min_value=0.01, max_value=1.0)
+
+
+def kernel_of(intensity, volume, issue=1.5, occupancy=1.0):
+    return KernelSpec(
+        "hk",
+        flops=intensity * volume,
+        hbm_bytes=volume,
+        issue_bw_factor=issue,
+        occupancy=occupancy,
+    )
+
+
+@given(intensities, frequencies, volumes, issue_factors)
+@settings(max_examples=80, deadline=None)
+def test_power_between_idle_and_tdp(intensity, f_hz, volume, issue):
+    profile = execute(SPEC, kernel_of(intensity, volume, issue), f_hz)
+    p = steady_power(SPEC, profile, f_core_hz=f_hz, uncore_capped=False)
+    assert SPEC.idle_w <= p <= SPEC.tdp_w + 1e-9
+
+
+@given(intensities, frequencies, volumes)
+@settings(max_examples=60, deadline=None)
+def test_capped_power_never_above_uncapped(intensity, f_hz, volume):
+    profile = execute(SPEC, kernel_of(intensity, volume), f_hz)
+    capped = steady_power(SPEC, profile, f_core_hz=f_hz, uncore_capped=True)
+    uncapped = steady_power(SPEC, profile, f_core_hz=f_hz, uncore_capped=False)
+    assert capped <= uncapped + 1e-9
+
+
+@given(intensities, volumes, issue_factors)
+@settings(max_examples=60, deadline=None)
+def test_time_monotone_nonincreasing_in_frequency(intensity, volume, issue):
+    k = kernel_of(intensity, volume, issue)
+    f_grid = [SPEC.f_min_hz, units.mhz(900), units.mhz(1300), SPEC.f_max_hz]
+    times = [execute(SPEC, k, f).time_s for f in f_grid]
+    assert all(a >= b - 1e-12 for a, b in zip(times, times[1:]))
+
+
+@given(intensities, volumes)
+@settings(max_examples=60, deadline=None)
+def test_roofline_never_exceeded(intensity, volume):
+    profile = execute(SPEC, kernel_of(intensity, volume), SPEC.f_max_hz)
+    assert profile.achieved_flops <= SPEC.achievable_flops * (1 + 1e-9)
+    assert profile.achieved_bw <= SPEC.l2_bw_max * (1 + 1e-9)
+
+
+@given(intensities, volumes, occupancies)
+@settings(max_examples=60, deadline=None)
+def test_occupancy_never_speeds_up(intensity, volume, occupancy):
+    full = execute(SPEC, kernel_of(intensity, volume), SPEC.f_max_hz)
+    derated = execute(
+        SPEC, kernel_of(intensity, volume, occupancy=occupancy), SPEC.f_max_hz
+    )
+    assert derated.time_s >= full.time_s - 1e-12
+
+
+@given(intensities, volumes, st.floats(min_value=100.0, max_value=560.0))
+@settings(max_examples=60, deadline=None)
+def test_device_energy_consistent(intensity, volume, cap_w):
+    dev = GPUDevice(power_cap_w=cap_w)
+    r = dev.run(kernel_of(intensity, volume))
+    assert math.isclose(r.energy_j, r.power_w * r.time_s, rel_tol=1e-12)
+    assert r.time_s > 0
+    assert SPEC.f_min_hz <= r.f_core_hz <= SPEC.f_max_hz
+
+
+@given(intensities, volumes)
+@settings(max_examples=60, deadline=None)
+def test_metered_never_above_actual(intensity, volume):
+    profile = execute(SPEC, kernel_of(intensity, volume), SPEC.f_max_hz)
+    actual = steady_power(SPEC, profile, uncore_capped=False)
+    metered = metered_power(SPEC, profile, SPEC.f_max_hz)
+    assert metered <= actual + 1e-9
+
+
+@given(st.floats(min_value=0.0, max_value=4096.0), volumes)
+@settings(max_examples=60, deadline=None)
+def test_scaled_kernel_scales_time_not_power(intensity, volume):
+    dev = GPUDevice()
+    base_kernel = (
+        KernelSpec("s", flops=0.0, hbm_bytes=volume)
+        if intensity == 0
+        else kernel_of(intensity, volume)
+    )
+    base = dev.run(base_kernel)
+    big = dev.run(base_kernel.scaled(3.0))
+    assert math.isclose(big.time_s, 3 * base.time_s, rel_tol=1e-9)
+    assert math.isclose(big.power_w, base.power_w, rel_tol=1e-9)

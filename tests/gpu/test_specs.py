@@ -1,0 +1,91 @@
+"""Unit tests for device specifications."""
+
+import pytest
+
+from repro import constants, units
+from repro.errors import SpecError
+from repro.gpu.specs import MI250XSpec, NodeSpec, default_spec
+
+
+class TestMI250XSpec:
+    def test_default_matches_table1(self, spec):
+        assert spec.f_max_hz == units.mhz(1700)
+        assert spec.f_min_hz == units.mhz(500)
+        assert spec.tdp_w == 560.0
+        assert spec.hbm_bytes == 2 * units.gib(64)
+
+    def test_idle_in_paper_range(self, spec):
+        assert 88.0 <= spec.idle_w <= 90.0
+
+    def test_ridge_intensity_is_four(self, spec):
+        # The paper's VAI sweep peaks at arithmetic intensity 4.
+        assert spec.ridge_intensity == pytest.approx(4.0)
+
+    def test_max_steady_power_near_observed_peak(self, spec):
+        # Paper: maximum observed steady power is 540 W, below the 560 W TDP.
+        assert 530.0 <= spec.max_steady_power_w <= spec.tdp_w
+
+    def test_clamp_frequency(self, spec):
+        assert spec.clamp_frequency(units.mhz(2000)) == spec.f_max_hz
+        assert spec.clamp_frequency(units.mhz(100)) == spec.f_min_hz
+        assert spec.clamp_frequency(units.mhz(900)) == units.mhz(900)
+
+    def test_with_overrides_returns_new_spec(self, spec):
+        other = spec.with_overrides(idle_w=95.0)
+        assert other.idle_w == 95.0
+        assert spec.idle_w != 95.0
+
+    def test_rejects_inverted_frequency_range(self):
+        with pytest.raises(SpecError):
+            MI250XSpec(f_min_hz=units.mhz(1800))
+
+    def test_rejects_idle_above_tdp(self):
+        with pytest.raises(SpecError):
+            MI250XSpec(idle_w=600.0)
+
+    def test_rejects_achievable_above_peak(self):
+        with pytest.raises(SpecError):
+            MI250XSpec(achievable_flops=units.tflops(100))
+        with pytest.raises(SpecError):
+            MI250XSpec(achievable_hbm_bw=units.tbps(10))
+
+    def test_rejects_non_monotone_cross_term(self):
+        with pytest.raises(SpecError):
+            MI250XSpec(cross_power_w=400.0)
+
+    def test_rejects_negative_coefficients(self):
+        with pytest.raises(SpecError):
+            MI250XSpec(l2_power_w=-1.0)
+
+
+class TestNodeSpec:
+    def test_default_gpu_count(self):
+        node = NodeSpec()
+        assert node.gpus_per_node == constants.GPUS_PER_NODE == 4
+
+    def test_cpu_power_bounds(self):
+        node = NodeSpec()
+        assert node.cpu_power_w(0.0) == node.cpu_idle_w
+        assert node.cpu_power_w(1.0) == node.cpu_max_w
+        # Loads outside [0, 1] are clamped, not an error.
+        assert node.cpu_power_w(2.0) == node.cpu_max_w
+        assert node.cpu_power_w(-1.0) == node.cpu_idle_w
+
+    def test_cpu_power_monotone(self):
+        node = NodeSpec()
+        loads = [0.0, 0.25, 0.5, 0.75, 1.0]
+        powers = [node.cpu_power_w(x) for x in loads]
+        assert powers == sorted(powers)
+
+    def test_rejects_zero_gpus(self):
+        with pytest.raises(SpecError):
+            NodeSpec(gpus_per_node=0)
+
+    def test_rejects_inverted_cpu_range(self):
+        with pytest.raises(SpecError):
+            NodeSpec(cpu_idle_w=300.0, cpu_max_w=200.0)
+
+
+def test_default_spec_is_fresh_instance():
+    assert default_spec() == default_spec()
+    assert default_spec() is not None

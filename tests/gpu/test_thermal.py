@@ -1,0 +1,101 @@
+"""Tests for the thermal model (boost transience)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SpecError
+from repro.gpu.thermal import ThermalModel, ThermalParams
+
+
+@pytest.fixture
+def model():
+    return ThermalModel()
+
+
+class TestSteadyState:
+    def test_idle_runs_cool(self, model):
+        assert model.steady_temp_c(89.0) < 50.0
+
+    def test_tdp_sustainable(self, model):
+        # 560 W must be sustainable (it is the spec TDP)...
+        assert model.steady_temp_c(560.0) < model.params.throttle_c
+        assert model.sustainable_power_w() >= 560.0
+
+    def test_boost_not_sustainable(self, model):
+        # ... while boost power is not (region 4 is transient).
+        assert model.steady_temp_c(600.0) > model.params.throttle_c
+
+
+class TestDynamics:
+    def test_exponential_approach(self, model):
+        t_inf = model.steady_temp_c(500.0)
+        t1 = model.temp_after(40.0, 500.0, model.params.tau_s)
+        # One time constant covers ~63 % of the gap.
+        assert t1 == pytest.approx(t_inf - (t_inf - 40.0) * np.exp(-1))
+
+    def test_long_hold_reaches_steady(self, model):
+        assert model.temp_after(40.0, 500.0, 50 * model.params.tau_s) == (
+            pytest.approx(model.steady_temp_c(500.0), abs=1e-6)
+        )
+
+    def test_monotone_in_time_when_heating(self, model):
+        temps = [model.temp_after(40.0, 560.0, dt) for dt in (0, 5, 15, 60)]
+        assert temps == sorted(temps)
+
+    def test_negative_dt_rejected(self, model):
+        with pytest.raises(SpecError):
+            model.temp_after(40.0, 500.0, -1.0)
+
+
+class TestBoostWindow:
+    def test_boost_window_finite_from_hot_start(self, model):
+        # Starting from the steady temperature of a near-TDP workload,
+        # boost holds for seconds-to-a-minute, not indefinitely.
+        t0 = model.steady_temp_c(540.0)
+        window = model.boost_window_s(t0, 600.0)
+        assert 1.0 < window < 120.0
+
+    def test_boost_window_longer_from_cold(self, model):
+        cold = model.boost_window_s(40.0, 600.0)
+        hot = model.boost_window_s(model.steady_temp_c(540.0), 600.0)
+        assert cold > hot
+
+    def test_sustainable_power_gives_infinite_window(self, model):
+        assert model.boost_window_s(40.0, 500.0) == float("inf")
+
+    def test_zero_window_at_limit(self, model):
+        assert model.boost_window_s(model.params.throttle_c, 600.0) == 0.0
+
+
+class TestDutyCycle:
+    def test_boost_residency_bounded_not_free(self, model):
+        # Thermals cap boost residency well below 100 % over a compute
+        # base, but do not by themselves force it to Table IV's 1.1 % —
+        # the fleet's low region-4 share is workload-limited (phases that
+        # can draw 600 W are rare), which ext_boost quantifies.
+        duty = model.duty_cycle(600.0, 505.0)
+        assert 0.05 < duty < 0.8
+
+    def test_extremes(self, model):
+        assert model.duty_cycle(500.0, 400.0) == 1.0   # sustainable
+        assert model.duty_cycle(700.0, 590.0) == 0.0   # no recovery
+
+    def test_duty_monotone_in_base_power(self, model):
+        duties = [
+            model.duty_cycle(600.0, base) for base in (300.0, 450.0, 540.0)
+        ]
+        assert duties == sorted(duties, reverse=True)
+
+
+class TestParams:
+    def test_validation(self):
+        with pytest.raises(SpecError):
+            ThermalParams(r_th_k_per_w=0.0)
+        with pytest.raises(SpecError):
+            ThermalParams(tau_s=-1.0)
+        with pytest.raises(SpecError):
+            ThermalParams(throttle_c=20.0, coolant_c=32.0)
+
+    def test_heat_capacity_derived(self):
+        p = ThermalParams(r_th_k_per_w=0.1, tau_s=20.0)
+        assert p.c_th_j_per_k == pytest.approx(200.0)

@@ -1,0 +1,75 @@
+"""Unit tests for the DVFS voltage curve and power scale factors."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.gpu import voltage
+
+
+class TestVoltage:
+    def test_voltage_at_fmax(self, spec):
+        assert voltage.voltage(spec, spec.f_max_hz) == pytest.approx(
+            spec.v0 + spec.v1
+        )
+
+    def test_voltage_monotone_increasing(self, spec):
+        f = voltage.frequency_grid(spec, 32)
+        v = voltage.voltage(spec, f)
+        assert np.all(np.diff(v) > 0)
+
+
+class TestCoreScale:
+    def test_unity_at_fmax(self, spec):
+        assert voltage.core_scale(spec, spec.f_max_hz) == pytest.approx(1.0)
+
+    def test_monotone_increasing(self, spec):
+        f = voltage.frequency_grid(spec, 64)
+        phi = voltage.core_scale(spec, f)
+        assert np.all(np.diff(phi) > 0)
+
+    def test_superlinear_in_frequency(self, spec):
+        # f * v(f)^2 falls faster than f alone when lowering the clock.
+        f = units.mhz(850)
+        assert voltage.core_scale(spec, f) < f / spec.f_max_hz
+
+    def test_scalar_in_scalar_out(self, spec):
+        out = voltage.core_scale(spec, units.mhz(1000))
+        assert isinstance(out, float)
+
+    def test_array_in_array_out(self, spec):
+        out = voltage.core_scale(spec, np.array([units.mhz(1000)]))
+        assert isinstance(out, np.ndarray)
+
+
+class TestUncoreScale:
+    def test_uncapped_is_unity_everywhere(self, spec):
+        f = voltage.frequency_grid(spec, 16)
+        psi = voltage.uncore_scale(spec, f, capped=False)
+        assert np.allclose(psi, 1.0)
+
+    def test_capped_engages_low_pstate(self, spec):
+        # Any DVFS ceiling drops the uncore scale well below 1 (the step
+        # response measured by Table III's MB column).
+        psi = voltage.uncore_scale(spec, spec.f_max_hz, capped=True)
+        assert psi == pytest.approx(spec.psi_cap0 + spec.psi_cap1)
+        assert psi < 0.9
+
+    def test_capped_weakly_increasing_in_f(self, spec):
+        f = voltage.frequency_grid(spec, 16)
+        psi = voltage.uncore_scale(spec, f, capped=True)
+        assert np.all(np.diff(psi) >= 0)
+
+    def test_capped_below_uncapped(self, spec):
+        f = voltage.frequency_grid(spec, 16)
+        assert np.all(
+            voltage.uncore_scale(spec, f, capped=True)
+            < voltage.uncore_scale(spec, f, capped=False)
+        )
+
+
+def test_frequency_grid_spans_dvfs_range(spec):
+    f = voltage.frequency_grid(spec, 10)
+    assert f[0] == spec.f_min_hz
+    assert f[-1] == spec.f_max_hz
+    assert len(f) == 10

@@ -1,0 +1,105 @@
+"""Unit tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph
+
+
+def triangle():
+    return CSRGraph.from_edges(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+
+class TestFromEdges:
+    def test_triangle_shape(self):
+        g = triangle()
+        assert g.n_vertices == 3
+        assert g.n_edges == 3
+        assert len(g.indices) == 6  # both directions
+
+    def test_degrees(self):
+        g = triangle()
+        np.testing.assert_array_equal(g.degrees, [2, 2, 2])
+
+    def test_self_loops_dropped(self):
+        g = CSRGraph.from_edges(2, np.array([0, 0]), np.array([0, 1]))
+        assert g.n_edges == 1
+
+    def test_duplicate_edges_merged_weights_summed(self):
+        g = CSRGraph.from_edges(
+            2,
+            np.array([0, 1, 0]),
+            np.array([1, 0, 1]),
+            weights=np.array([1.0, 2.0, 3.0]),
+        )
+        assert g.n_edges == 1
+        assert g.total_weight == pytest.approx(6.0)
+
+    def test_weighted_degrees(self):
+        g = CSRGraph.from_edges(
+            3, np.array([0, 1]), np.array([1, 2]), weights=np.array([2.0, 5.0])
+        )
+        np.testing.assert_allclose(g.weighted_degrees, [2.0, 7.0, 5.0])
+
+    def test_neighbors(self):
+        g = triangle()
+        assert set(g.neighbors(0)) == {1, 2}
+
+    def test_edge_arrays_roundtrip(self):
+        g = triangle()
+        src, dst, w = g.edge_arrays()
+        assert len(src) == len(dst) == len(w) == 6
+        # Every directed edge has its reverse.
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert all((b, a) in pairs for a, b in pairs)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(2, np.array([0]), np.array([5]))
+
+    def test_rejects_zero_vertices(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(0, np.array([]), np.array([]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(3, np.array([0, 1]), np.array([1]))
+        with pytest.raises(GraphError):
+            CSRGraph.from_edges(
+                3, np.array([0]), np.array([1]), weights=np.array([1.0, 2.0])
+            )
+
+
+class TestValidation:
+    def test_rejects_bad_indptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                indptr=np.array([1, 2]),
+                indices=np.array([0]),
+                weights=np.array([1.0]),
+            )
+
+    def test_rejects_decreasing_indptr(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                indptr=np.array([0, 2, 1]),
+                indices=np.array([0, 1]),
+                weights=np.array([1.0, 1.0]),
+            )
+
+    def test_rejects_nonpositive_weights(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                indptr=np.array([0, 1, 2]),
+                indices=np.array([1, 0]),
+                weights=np.array([1.0, 0.0]),
+            )
+
+    def test_rejects_indptr_indices_mismatch(self):
+        with pytest.raises(GraphError):
+            CSRGraph(
+                indptr=np.array([0, 2]),
+                indices=np.array([0]),
+                weights=np.array([1.0]),
+            )

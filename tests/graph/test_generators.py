@@ -1,0 +1,131 @@
+"""Unit tests for the graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import degree_stats, road_network, social_network
+from repro.graph.generators import paper_suite, suite_by_name
+
+
+class TestRoadNetwork:
+    def test_bounded_degree(self):
+        g = road_network(50_000, rng=0)
+        stats = degree_stats(g)
+        # Paper's road network: d_max = 9, d_avg = 2.
+        assert stats.d_max <= 9
+        assert stats.d_avg == pytest.approx(2.0, abs=0.5)
+
+    def test_edge_count_near_target(self):
+        g = road_network(50_000, rng=0)
+        assert g.n_edges == pytest.approx(50_000, rel=0.2)
+
+    def test_deterministic_with_seed(self):
+        a = road_network(5_000, rng=42)
+        b = road_network(5_000, rng=42)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(GraphError):
+            road_network(2)
+
+
+class TestSocialNetwork:
+    def test_power_law_shape(self):
+        g = social_network(100_000, rng=0)
+        stats = degree_stats(g)
+        # Heavy tail: max degree far above the mean (paper: up to 343 vs 23).
+        assert stats.d_max > 10 * stats.d_avg
+        assert stats.imbalance > 1.0
+
+    def test_mean_degree_controllable(self):
+        lo = degree_stats(social_network(50_000, mean_degree=6.0, rng=0))
+        hi = degree_stats(social_network(50_000, mean_degree=20.0, rng=0))
+        assert hi.d_avg > lo.d_avg
+
+    def test_paper_degree_range_attainable(self):
+        g = social_network(100_000, mean_degree=20.0, rng=3)
+        stats = degree_stats(g)
+        assert 10.0 <= stats.d_avg <= 25.0
+
+    def test_deterministic_with_seed(self):
+        a = social_network(5_000, rng=7)
+        b = social_network(5_000, rng=7)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_parameter_validation(self):
+        with pytest.raises(GraphError):
+            social_network(1)
+        with pytest.raises(GraphError):
+            social_network(1000, gamma=1.5)
+        with pytest.raises(GraphError):
+            social_network(1000, mean_degree=-1)
+
+
+class TestPaperSuite:
+    def test_names_and_kinds(self):
+        suite = paper_suite(scale=0.001, rng=0)
+        names = [g.name for g in suite]
+        assert "road-8M" in names
+        assert "social-8M" in names
+        kinds = {g.name: g.kind for g in suite}
+        assert kinds["road-8M"] == "road"
+        assert kinds["social-3K"] == "social"
+
+    def test_scale_shrinks_sizes(self):
+        small = suite_by_name(scale=0.001, rng=0)
+        assert small["social-8M"].graph.n_edges < 100_000
+
+    def test_size_ordering_preserved(self):
+        suite = suite_by_name(scale=0.002, rng=0)
+        assert (
+            suite["social-8M"].graph.n_edges
+            > suite["social-6M"].graph.n_edges
+            > suite["social-2M"].graph.n_edges
+        )
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(GraphError):
+            paper_suite(scale=0.0)
+
+
+class TestRmat:
+    def test_heavy_skew(self):
+        from repro.graph.generators import rmat_graph
+
+        g = rmat_graph(100_000, rng=0)
+        stats = degree_stats(g)
+        # R-MAT's recursive quadrants give a far heavier tail than the
+        # Chung-Lu generator at the same mean degree.
+        assert stats.d_max > 30 * stats.d_avg
+        assert stats.imbalance > 2.0
+
+    def test_power_of_two_vertices(self):
+        from repro.graph.generators import rmat_graph
+
+        g = rmat_graph(10_000, scale=10, rng=1)
+        assert g.n_vertices == 1024
+
+    def test_symmetric_parameters_flatten_skew(self):
+        from repro.graph.generators import rmat_graph
+
+        skewed = degree_stats(rmat_graph(50_000, rng=2))
+        flat = degree_stats(
+            rmat_graph(50_000, a=0.25, b=0.25, c=0.25, rng=2)
+        )
+        assert flat.imbalance < skewed.imbalance
+
+    def test_deterministic(self):
+        from repro.graph.generators import rmat_graph
+
+        a = rmat_graph(5_000, rng=7)
+        b = rmat_graph(5_000, rng=7)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_validation(self):
+        from repro.graph.generators import rmat_graph
+
+        with pytest.raises(GraphError):
+            rmat_graph(1)
+        with pytest.raises(GraphError):
+            rmat_graph(1000, a=0.9, b=0.9, c=0.9)

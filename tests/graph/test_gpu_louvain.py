@@ -1,0 +1,139 @@
+"""Tests for the GPU execution mapping of Louvain (Fig 7 behaviour)."""
+
+import pytest
+
+from repro import units
+from repro.graph import (
+    GPULouvainRunner,
+    degree_stats,
+    louvain,
+    road_network,
+    social_network,
+)
+from repro.graph.gpu_louvain import HostModel, kernel_character, sweep_kernel
+from repro.gpu import GPUDevice
+
+ROAD_EDGES = 300_000
+SOCIAL_EDGES = 60_000
+
+
+@pytest.fixture(scope="module")
+def road():
+    g = road_network(ROAD_EDGES, rng=0)
+    return g, louvain(g)
+
+
+@pytest.fixture(scope="module")
+def social():
+    g = social_network(SOCIAL_EDGES, rng=0)
+    return g, louvain(g)
+
+
+class TestKernelCharacter:
+    def test_road_low_occupancy_social_high(self, road, social):
+        c_road = kernel_character(degree_stats(road[0]))
+        c_social = kernel_character(degree_stats(social[0]))
+        assert c_road["occupancy"] < c_social["occupancy"]
+        assert c_road["issue_bw_factor"] < c_social["issue_bw_factor"]
+
+    def test_road_more_stall_power(self, road, social):
+        c_road = kernel_character(degree_stats(road[0]))
+        c_social = kernel_character(degree_stats(social[0]))
+        assert c_road["stall_power_fraction"] > c_social["stall_power_fraction"]
+
+    def test_sweep_kernel_valid(self, road):
+        stats = degree_stats(road[0])
+        k = sweep_kernel(1_000_000, stats, level=0, sweep=0)
+        assert k.flops > 0
+        assert k.hbm_bytes >= 64.0 * 1_000_000
+
+
+class TestRunner:
+    def test_energy_and_time_accounting(self, social):
+        g, lv = social
+        r = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        assert r.total_time_s == pytest.approx(r.gpu_time_s + r.host_time_s)
+        assert r.gpu_time_s > 0 and r.host_time_s > 0
+        assert r.avg_power_w * r.total_time_s == pytest.approx(r.energy_j)
+        assert r.modularity == lv.modularity
+
+    def test_precomputed_reuse_is_deterministic(self, social):
+        g, lv = social
+        a = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        b = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        assert a.energy_j == b.energy_j
+        assert a.total_time_s == b.total_time_s
+
+    def test_host_model_scales_host_time(self, social):
+        g, lv = social
+        slow_host = HostModel(aggregation_s_per_edge=1e-7)
+        fast = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        slow = GPULouvainRunner(
+            GPUDevice(), host_model=slow_host
+        ).run(g, precomputed=lv)
+        assert slow.host_time_s > 2 * fast.host_time_s
+        assert slow.gpu_time_s == pytest.approx(fast.gpu_time_s)
+
+
+class TestFig7Behaviour:
+    """The paper's application-level claims."""
+
+    def test_road_peak_power_near_205w(self, road):
+        g, lv = road
+        r = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        assert r.max_power_w == pytest.approx(205.0, abs=25.0)
+
+    def test_road_more_frequency_sensitive_than_social(self, road, social):
+        def slowdown(pair, mhz):
+            g, lv = pair
+            base = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+            capped = GPULouvainRunner(
+                GPUDevice(frequency_cap_hz=units.mhz(mhz))
+            ).run(g, precomputed=lv)
+            return capped.total_time_s / base.total_time_s
+
+        assert slowdown(road, 700) > slowdown(social, 700) + 0.05
+
+    def test_social_saves_energy_at_900_with_small_slowdown(self, social):
+        g, lv = social
+        base = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        capped = GPULouvainRunner(
+            GPUDevice(frequency_cap_hz=units.mhz(900))
+        ).run(g, precomputed=lv)
+        saving = 1 - capped.energy_j / base.energy_j
+        slowdown = capped.total_time_s / base.total_time_s - 1
+        # Paper: 2.9-5.2 % savings with at most 5 % runtime increase.
+        assert 0.01 < saving < 0.15
+        assert slowdown < 0.05
+
+    def test_lower_frequencies_hurt_road_runtime(self, road):
+        g, lv = road
+        base = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        times = []
+        for mhz in (1300, 900, 500):
+            r = GPULouvainRunner(
+                GPUDevice(frequency_cap_hz=units.mhz(mhz))
+            ).run(g, precomputed=lv)
+            times.append(r.total_time_s)
+        assert times == sorted(times)  # monotonically worse
+        assert times[-1] > 1.2 * base.total_time_s
+
+    def test_moderate_power_cap_mild_for_road(self, road):
+        # Paper: capping near the 205 W peak leaves runtime intact.
+        g, lv = road
+        base = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        capped = GPULouvainRunner(GPUDevice(power_cap_w=220.0)).run(
+            g, precomputed=lv
+        )
+        assert capped.total_time_s == pytest.approx(
+            base.total_time_s, rel=0.02
+        )
+
+    def test_deep_power_cap_slows_road(self, road):
+        g, lv = road
+        base = GPULouvainRunner(GPUDevice()).run(g, precomputed=lv)
+        capped = GPULouvainRunner(GPUDevice(power_cap_w=140.0)).run(
+            g, precomputed=lv
+        )
+        assert capped.total_time_s > 1.05 * base.total_time_s
+        assert capped.max_power_w < base.max_power_w

@@ -1,0 +1,132 @@
+"""Tests for Louvain community detection (with networkx cross-checks)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, louvain, modularity, social_network
+
+
+def clique_chain(n_cliques: int, size: int) -> CSRGraph:
+    """A ring of cliques joined by single edges — known community structure."""
+    edges = []
+    for c in range(n_cliques):
+        base = c * size
+        for i in range(size):
+            for j in range(i + 1, size):
+                edges.append((base + i, base + j))
+        nxt = ((c + 1) % n_cliques) * size
+        edges.append((base, nxt))
+    src, dst = np.array(edges).T
+    return CSRGraph.from_edges(n_cliques * size, src, dst)
+
+
+class TestKnownStructures:
+    def test_two_cliques(self):
+        g = clique_chain(2, 5)
+        res = louvain(g)
+        assert res.n_communities == 2
+        # Both cliques are intact communities.
+        assert len(set(res.communities[:5])) == 1
+        assert len(set(res.communities[5:])) == 1
+
+    def test_ring_of_cliques(self):
+        g = clique_chain(8, 6)
+        res = louvain(g)
+        assert res.n_communities == 8
+        assert res.modularity > 0.7
+
+    def test_modularity_matches_metric(self):
+        g = clique_chain(4, 5)
+        res = louvain(g)
+        assert res.modularity == pytest.approx(
+            modularity(g, res.communities)
+        )
+
+    def test_labels_compact(self):
+        g = clique_chain(5, 4)
+        res = louvain(g)
+        labels = np.unique(res.communities)
+        np.testing.assert_array_equal(labels, np.arange(len(labels)))
+
+    def test_rejects_empty_graph(self):
+        g = CSRGraph(
+            indptr=np.zeros(4, dtype=np.int64),
+            indices=np.array([], dtype=np.int64),
+            weights=np.array([]),
+        )
+        with pytest.raises(GraphError):
+            louvain(g)
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_quality_within_five_percent_of_networkx(self, seed):
+        g = social_network(8_000, rng=seed)
+        ours = louvain(g)
+        G = nx.Graph()
+        src, dst, _ = g.edge_arrays()
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        theirs = nx.community.louvain_communities(G, seed=seed)
+        q_theirs = nx.community.modularity(G, theirs)
+        assert ours.modularity > q_theirs - 0.05
+
+    def test_karate_club(self):
+        G = nx.karate_club_graph()
+        src, dst = np.array(G.edges()).T
+        g = CSRGraph.from_edges(G.number_of_nodes(), src, dst)
+        res = louvain(g)
+        # The canonical benchmark: Louvain finds Q ~= 0.42 on karate.
+        assert res.modularity > 0.36
+        assert 2 <= res.n_communities <= 6
+
+
+class TestPassStats:
+    def test_passes_recorded_and_shrinking(self):
+        g = clique_chain(8, 6)
+        res = louvain(g)
+        assert len(res.passes) >= 1
+        sizes = [p.n_vertices for p in res.passes]
+        assert all(a >= b for a, b in zip(sizes, sizes[1:]))
+        assert res.passes[0].n_directed_edges == 2 * g.n_edges
+
+    def test_level_modularity_nondecreasing(self):
+        g = social_network(5_000, rng=2)
+        res = louvain(g)
+        qs = [p.modularity for p in res.passes]
+        assert all(b >= a - 1e-9 for a, b in zip(qs, qs[1:]))
+
+    def test_weighted_graph(self):
+        # Heavier intra-block weights must dominate community structure.
+        src = np.array([0, 1, 2, 3, 0])
+        dst = np.array([1, 2, 3, 0, 2])
+        w = np.array([10.0, 1.0, 10.0, 1.0, 0.5])
+        g = CSRGraph.from_edges(4, src, dst, weights=w)
+        res = louvain(g)
+        assert res.communities[0] == res.communities[1]
+        assert res.communities[2] == res.communities[3]
+
+
+class TestResolution:
+    def test_higher_resolution_more_communities(self):
+        from repro.graph import social_network
+
+        g = social_network(10_000, rng=3)
+        coarse = louvain(g, resolution=0.5)
+        fine = louvain(g, resolution=3.0)
+        assert fine.n_communities > coarse.n_communities
+
+    def test_resolution_one_is_default(self):
+        g = clique_chain(4, 5)
+        a = louvain(g)
+        b = louvain(g, resolution=1.0)
+        assert a.modularity == b.modularity
+
+    def test_modularity_resolution_validation(self):
+        import pytest as _pytest
+
+        from repro.graph import modularity as mod
+        g = clique_chain(2, 4)
+        with _pytest.raises(GraphError):
+            mod(g, np.zeros(8, dtype=int), resolution=0.0)

@@ -1,0 +1,76 @@
+"""Unit tests for modularity and degree statistics."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph import CSRGraph, degree_stats, modularity
+
+
+def two_triangles():
+    src = np.array([0, 1, 2, 3, 4, 5, 0])
+    dst = np.array([1, 2, 0, 4, 5, 3, 3])
+    return CSRGraph.from_edges(6, src, dst)
+
+
+class TestModularity:
+    def test_single_community_is_zero(self):
+        g = two_triangles()
+        assert modularity(g, np.zeros(6, dtype=int)) == pytest.approx(0.0)
+
+    def test_good_partition_positive(self):
+        g = two_triangles()
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        assert modularity(g, labels) > 0.3
+
+    def test_matches_networkx(self):
+        g = two_triangles()
+        labels = np.array([0, 0, 0, 1, 1, 1])
+        G = nx.Graph()
+        src, dst, _ = g.edge_arrays()
+        G.add_edges_from(zip(src.tolist(), dst.tolist()))
+        expected = nx.community.modularity(G, [{0, 1, 2}, {3, 4, 5}])
+        assert modularity(g, labels) == pytest.approx(expected)
+
+    def test_singletons_negative(self):
+        g = two_triangles()
+        assert modularity(g, np.arange(6)) < 0.0
+
+    def test_weighted_modularity(self):
+        src = np.array([0, 1, 2])
+        dst = np.array([1, 2, 0])
+        g = CSRGraph.from_edges(3, src, dst, weights=np.array([2.0, 2.0, 8.0]))
+        labels = np.array([0, 1, 0])
+        G = nx.Graph()
+        G.add_weighted_edges_from([(0, 1, 2.0), (1, 2, 2.0), (2, 0, 8.0)])
+        expected = nx.community.modularity(G, [{0, 2}, {1}], weight="weight")
+        assert modularity(g, labels) == pytest.approx(expected)
+
+    def test_shape_mismatch_raises(self):
+        g = two_triangles()
+        with pytest.raises(GraphError):
+            modularity(g, np.zeros(4, dtype=int))
+
+
+class TestDegreeStats:
+    def test_regular_graph(self):
+        g = two_triangles()
+        stats = degree_stats(g)
+        assert stats.d_max == 3
+        assert stats.d_avg == pytest.approx(14 / 6)
+
+    def test_imbalance_zero_for_regular(self):
+        src = np.array([0, 1, 2, 3])
+        dst = np.array([1, 2, 3, 0])
+        ring = CSRGraph.from_edges(4, src, dst)
+        assert degree_stats(ring).imbalance == pytest.approx(0.0)
+
+    def test_star_high_imbalance(self):
+        n = 50
+        src = np.zeros(n - 1, dtype=int)
+        dst = np.arange(1, n)
+        star = CSRGraph.from_edges(n, src, dst)
+        stats = degree_stats(star)
+        assert stats.d_max == n - 1
+        assert stats.imbalance > 2.0

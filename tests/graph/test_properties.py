@@ -1,0 +1,84 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, louvain, modularity
+from repro.graph.louvain import _compact
+
+
+@st.composite
+def random_graphs(draw):
+    """Small random connected-ish multigraph edge lists."""
+    n = draw(st.integers(min_value=2, max_value=40))
+    m = draw(st.integers(min_value=1, max_value=150))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    # Guarantee at least one real edge (no self-loop).
+    src[0], dst[0] = 0, 1 % n if n > 1 else 0
+    if n > 1 and src[0] == dst[0]:
+        dst[0] = (src[0] + 1) % n
+    return CSRGraph.from_edges(n, src, dst)
+
+
+@given(random_graphs())
+@settings(max_examples=50, deadline=None)
+def test_csr_symmetry(g):
+    src, dst, w = g.edge_arrays()
+    fwd = set(zip(src.tolist(), dst.tolist()))
+    assert all((b, a) in fwd for a, b in fwd)
+    assert not any(a == b for a, b in fwd)  # no self loops
+
+
+@given(random_graphs())
+@settings(max_examples=50, deadline=None)
+def test_degree_sum_equals_directed_edges(g):
+    assert g.degrees.sum() == len(g.indices) == 2 * g.n_edges
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_modularity_bounds(g):
+    rng = np.random.default_rng(0)
+    labels = rng.integers(0, max(1, g.n_vertices // 2), size=g.n_vertices)
+    q = modularity(g, labels)
+    assert -0.5 - 1e-9 <= q <= 1.0 + 1e-9
+
+
+@given(random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_single_community_modularity_nonpositive(g):
+    # Q(all-in-one) = 1 - sum((sigma/2m)^2) with one community = 0 exactly.
+    q = modularity(g, np.zeros(g.n_vertices, dtype=int))
+    assert abs(q) < 1e-9
+
+
+@given(random_graphs())
+@settings(max_examples=30, deadline=None)
+def test_louvain_beats_singletons_and_stays_bounded(g):
+    res = louvain(g)
+    singleton_q = modularity(g, np.arange(g.n_vertices))
+    assert res.modularity >= singleton_q - 1e-9
+    assert res.modularity <= 1.0
+    # Labels are a compact 0..k-1 range covering all vertices.
+    labels = np.unique(res.communities)
+    np.testing.assert_array_equal(labels, np.arange(len(labels)))
+    assert len(res.communities) == g.n_vertices
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_compact_relabeling(labels):
+    arr = np.array(labels)
+    compact = _compact(arr)
+    # Compactness: ids form 0..k-1.
+    uniq = np.unique(compact)
+    np.testing.assert_array_equal(uniq, np.arange(len(uniq)))
+    # Same partition: equal labels iff equal compact labels.
+    for a in range(min(5, len(arr))):
+        same_orig = arr == arr[a]
+        same_new = compact == compact[a]
+        np.testing.assert_array_equal(same_orig, same_new)

@@ -1,0 +1,136 @@
+"""Tests for the fleet power-budget planner."""
+
+import numpy as np
+import pytest
+
+from repro.core import measured_factors
+from repro.errors import ProjectionError
+from repro.policy import JobFingerprint
+from repro.policy.budget import (
+    PowerBudgetPlanner,
+    capped_job_power_w,
+    capped_mean_power_w,
+    job_slowdown_pct,
+)
+
+
+@pytest.fixture(scope="module")
+def factors():
+    return measured_factors("frequency")
+
+
+def fp(job_id, region_energy, nodes=2, hours=8.0):
+    region_energy = np.asarray(region_energy, dtype=float)
+    frac = region_energy / region_energy.sum()
+    return JobFingerprint(
+        job_id=job_id,
+        domain="SYN",
+        size_class="C",
+        num_nodes=nodes,
+        gpu_hours=hours,
+        energy_j=float(region_energy.sum()),
+        region_hours=hours * frac,
+        region_energy_j=region_energy,
+    )
+
+
+def snapshot():
+    # 1 latency-bound, 2 memory-bound, 1 compute-bound job.
+    scale = 8 * 3600.0  # so mean power per GPU ~= region energy weights
+    return {
+        1: fp(1, np.array([140.0, 5.0, 5.0, 0.0]) * scale),
+        2: fp(2, np.array([10.0, 300.0, 10.0, 0.0]) * scale),
+        3: fp(3, np.array([10.0, 330.0, 20.0, 0.0]) * scale),
+        4: fp(4, np.array([10.0, 30.0, 460.0, 10.0]) * scale),
+    }
+
+
+class TestPowerArithmetic:
+    def test_uncapped_power_matches_fingerprint(self, factors):
+        job = fp(1, [1e9, 2e9, 1e9, 0.0], nodes=3)
+        assert capped_mean_power_w(job, factors, None) == pytest.approx(
+            job.mean_power_w
+        )
+        assert capped_job_power_w(job, factors, None) == pytest.approx(
+            job.mean_power_w * 12
+        )
+
+    def test_capping_reduces_power(self, factors):
+        job = fp(1, [0.0 + 1e6, 3e9, 1e9, 0.0])
+        for cap in (1500, 1100, 900):
+            assert capped_mean_power_w(job, factors, cap) < (
+                capped_mean_power_w(job, factors, None)
+            )
+
+    def test_slowdown_zero_when_uncapped(self, factors):
+        job = fp(1, [1e9, 1e9, 1e9, 0.0])
+        assert job_slowdown_pct(job, factors, None) == 0.0
+
+    def test_slowdown_driven_by_compute_share(self, factors):
+        mem = fp(1, [1e6, 1e9, 1e6, 0.0])
+        comp = fp(2, [1e6, 1e6, 1e9, 0.0])
+        assert job_slowdown_pct(comp, factors, 900) > 10 * job_slowdown_pct(
+            mem, factors, 900
+        )
+
+
+class TestPlanner:
+    def test_trivial_budget_caps_nothing(self, factors):
+        jobs = snapshot()
+        planner = PowerBudgetPlanner(factors)
+        plan = planner.plan(jobs, budget_w=1e9)
+        assert plan.feasible
+        assert all(cap is None for cap in plan.caps.values())
+        assert plan.shed_w == 0.0
+
+    def test_memory_jobs_capped_before_compute(self, factors):
+        jobs = snapshot()
+        planner = PowerBudgetPlanner(factors)
+        baseline = sum(
+            capped_job_power_w(f, factors, None) for f in jobs.values()
+        )
+        plan = planner.plan(jobs, budget_w=0.93 * baseline)
+        assert plan.feasible
+        # The mild trim spares the compute job entirely; the cost is the
+        # small compute fractions inside the memory/latency jobs.
+        assert plan.caps[4] is None        # compute job untouched
+        assert plan.caps[2] is not None or plan.caps[3] is not None
+        assert plan.mean_slowdown_pct(jobs, factors) < 2.5
+
+    def test_deep_budget_reaches_compute_jobs(self, factors):
+        jobs = snapshot()
+        planner = PowerBudgetPlanner(factors)
+        baseline = sum(
+            capped_job_power_w(f, factors, None) for f in jobs.values()
+        )
+        plan = planner.plan(jobs, budget_w=0.72 * baseline)
+        assert plan.feasible
+        assert plan.caps[4] is not None
+        assert plan.mean_slowdown_pct(jobs, factors) > 1.0
+
+    def test_infeasible_budget_flagged(self, factors):
+        jobs = snapshot()
+        planner = PowerBudgetPlanner(factors)
+        plan = planner.plan(jobs, budget_w=1.0)
+        assert not plan.feasible
+        # Everything is at the deepest cap.
+        deepest = min(factors.caps())
+        assert all(cap == deepest for cap in plan.caps.values())
+
+    def test_planned_power_respects_budget_when_feasible(self, factors):
+        jobs = snapshot()
+        planner = PowerBudgetPlanner(factors)
+        baseline = sum(
+            capped_job_power_w(f, factors, None) for f in jobs.values()
+        )
+        for frac in (0.95, 0.9, 0.85, 0.8):
+            plan = planner.plan(jobs, budget_w=frac * baseline)
+            if plan.feasible:
+                assert plan.planned_power_w <= frac * baseline + 1e-6
+
+    def test_validation(self, factors):
+        planner = PowerBudgetPlanner(factors)
+        with pytest.raises(ProjectionError):
+            planner.plan(snapshot(), budget_w=0.0)
+        with pytest.raises(ProjectionError):
+            planner.plan({}, budget_w=100.0)

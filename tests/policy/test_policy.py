@@ -1,0 +1,171 @@
+"""Tests for the power-management policy extension."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import measured_factors
+from repro.errors import JoinError, ProjectionError
+from repro.policy import (
+    CapAdvisor,
+    JobFingerprint,
+    evaluate_policies,
+    fingerprint_jobs,
+)
+from repro.policy.evaluate import format_outcomes
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.telemetry import FleetTelemetryGenerator
+
+
+@pytest.fixture(scope="module")
+def fleet():
+    mix = default_mix(fleet_nodes=24)
+    log = SlurmSimulator(mix).run(units.days(1), rng=4)
+    gen = FleetTelemetryGenerator(log, mix, seed=5)
+    return log, gen
+
+
+@pytest.fixture(scope="module")
+def fingerprints(fleet):
+    log, gen = fleet
+    return fingerprint_jobs(gen.chunks(), log)
+
+
+@pytest.fixture(scope="module")
+def factors():
+    return measured_factors("frequency")
+
+
+def synthetic_fp(job_id, region_energy, hours=10.0):
+    region_energy = np.asarray(region_energy, dtype=float)
+    frac = region_energy / region_energy.sum()
+    return JobFingerprint(
+        job_id=job_id,
+        domain="SYN",
+        size_class="C",
+        num_nodes=4,
+        gpu_hours=hours,
+        energy_j=float(region_energy.sum()),
+        region_hours=hours * frac,
+        region_energy_j=region_energy,
+    )
+
+
+class TestFingerprints:
+    def test_every_sampled_job_fingerprinted(self, fleet, fingerprints):
+        log, _gen = fleet
+        sampled = {
+            j.job_id for j in log.jobs if j.duration_s > 30.0
+        }
+        assert sampled <= set(fingerprints)
+
+    def test_energy_accounting(self, fingerprints):
+        for fp in fingerprints.values():
+            assert fp.energy_j == pytest.approx(
+                fp.region_energy_j.sum(), rel=1e-9
+            )
+            assert fp.gpu_hours == pytest.approx(
+                fp.region_hours.sum(), rel=1e-9
+            )
+            assert 80.0 < fp.mean_power_w < 600.0
+
+    def test_fingerprint_matches_domain_family(self, fingerprints):
+        # Latency-bound domains should mostly fingerprint latency-bound.
+        bio = [fp for fp in fingerprints.values() if fp.domain == "BIO"]
+        if not bio:
+            pytest.skip("no BIO jobs in this campaign")
+        latencyish = sum(fp.family == "latency_bound" for fp in bio)
+        assert latencyish >= len(bio) / 2
+
+    def test_streaming_matches_store(self, fleet, fingerprints):
+        log, gen = fleet
+        store = gen.generate()
+        direct = fingerprint_jobs(store, log)
+        assert set(direct) == set(fingerprints)
+        some = next(iter(direct))
+        np.testing.assert_allclose(
+            direct[some].region_energy_j,
+            fingerprints[some].region_energy_j,
+        )
+
+    def test_empty_inputs_raise(self, fleet):
+        log, _gen = fleet
+        with pytest.raises(JoinError):
+            fingerprint_jobs(iter([]), log)
+
+
+class TestFamilies:
+    def test_family_classification(self):
+        assert synthetic_fp(1, [100, 5, 5, 0]).family == "latency_bound"
+        assert synthetic_fp(2, [5, 100, 5, 0]).family == "memory_intensive"
+        assert synthetic_fp(3, [5, 5, 100, 0]).family == "compute_intensive"
+        assert synthetic_fp(4, [40, 40, 40, 0]).family == "multi_zone"
+
+    def test_boost_counts_as_compute(self):
+        assert synthetic_fp(5, [5, 5, 60, 50]).family == "compute_intensive"
+
+
+class TestAdvisor:
+    def test_latency_bound_left_uncapped(self, factors):
+        fp = synthetic_fp(1, [1e9, 1e6, 1e6, 0])
+        rec = CapAdvisor(factors).recommend(fp)
+        assert not rec.capped
+
+    def test_memory_bound_gets_deep_cap(self, factors):
+        fp = synthetic_fp(2, [1e6, 1e9, 1e6, 0])
+        rec = CapAdvisor(factors, max_slowdown_pct=5.0).recommend(fp)
+        assert rec.capped
+        assert rec.cap <= 1100
+        assert rec.expected_slowdown_pct <= 5.0
+
+    def test_compute_bound_respects_budget(self, factors):
+        fp = synthetic_fp(3, [1e6, 1e6, 1e9, 0])
+        tight = CapAdvisor(factors, max_slowdown_pct=2.0).recommend(fp)
+        loose = CapAdvisor(factors, max_slowdown_pct=50.0).recommend(fp)
+        assert tight.expected_slowdown_pct <= 2.0
+        # A looser budget never saves less.
+        assert loose.expected_saving_j >= tight.expected_saving_j
+
+    def test_validation(self, factors):
+        with pytest.raises(ProjectionError):
+            CapAdvisor(factors, max_slowdown_pct=-1.0)
+        with pytest.raises(ProjectionError):
+            CapAdvisor(factors, min_saving_fraction=1.5)
+
+
+class TestEvaluate:
+    def test_three_strategies(self, fingerprints, factors):
+        outcomes = evaluate_policies(fingerprints, factors)
+        assert set(outcomes) == {"per_job", "uniform", "oracle"}
+
+    def test_oracle_dominates(self, fingerprints, factors):
+        outcomes = evaluate_policies(fingerprints, factors)
+        assert (
+            outcomes["oracle"].saving_j
+            >= outcomes["per_job"].saving_j - 1e-9
+        )
+        assert (
+            outcomes["oracle"].saving_j
+            >= outcomes["uniform"].saving_j - 1e-9
+        )
+
+    def test_advisor_respects_budget_uniform_does_not(
+        self, fingerprints, factors
+    ):
+        outcomes = evaluate_policies(
+            fingerprints, factors, max_slowdown_pct=5.0
+        )
+        assert outcomes["per_job"].max_job_slowdown_pct <= 5.0 + 1e-9
+        # The uniform cap slams compute-bound jobs far past the budget.
+        assert outcomes["uniform"].max_job_slowdown_pct > 20.0
+
+    def test_advisor_captures_most_of_oracle(self, fingerprints, factors):
+        outcomes = evaluate_policies(fingerprints, factors)
+        assert (
+            outcomes["per_job"].saving_j
+            > 0.6 * outcomes["oracle"].saving_j
+        )
+
+    def test_format(self, fingerprints, factors):
+        text = format_outcomes(evaluate_policies(fingerprints, factors))
+        assert "oracle" in text and "saving %" in text

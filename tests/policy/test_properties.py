@@ -1,0 +1,99 @@
+"""Property-based tests for the policy layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import paper_factors
+from repro.policy import CapAdvisor, JobFingerprint
+from repro.policy.budget import (
+    PowerBudgetPlanner,
+    capped_job_power_w,
+    job_slowdown_pct,
+)
+
+FACTORS = paper_factors("frequency")
+
+
+def fp_of(job_id, e1, e2, e3, e4, nodes=2):
+    region = np.array([e1, e2, e3, e4], dtype=float)
+    total = region.sum()
+    hours = 8.0
+    return JobFingerprint(
+        job_id=job_id,
+        domain="SYN",
+        size_class="C",
+        num_nodes=nodes,
+        gpu_hours=hours,
+        energy_j=float(total),
+        region_hours=hours * region / total,
+        region_energy_j=region,
+    )
+
+
+energies = st.floats(min_value=1e3, max_value=1e12)
+budgets = st.floats(min_value=0.0, max_value=60.0)
+
+
+@given(energies, energies, energies, budgets)
+@settings(max_examples=60, deadline=None)
+def test_advisor_never_violates_budget(e1, e2, e3, budget):
+    fp = fp_of(1, e1, e2, e3, 0.0)
+    rec = CapAdvisor(FACTORS, max_slowdown_pct=budget).recommend(fp)
+    assert rec.expected_slowdown_pct <= budget + 1e-9
+    assert rec.expected_saving_j >= 0.0
+
+
+@given(energies, energies, energies)
+@settings(max_examples=60, deadline=None)
+def test_advisor_monotone_in_budget(e1, e2, e3):
+    fp = fp_of(1, e1, e2, e3, 0.0)
+    savings = [
+        CapAdvisor(FACTORS, max_slowdown_pct=b).recommend(fp).expected_saving_j
+        for b in (0.0, 2.0, 10.0, 50.0)
+    ]
+    assert all(a <= b + 1e-9 for a, b in zip(savings, savings[1:]))
+
+
+@given(energies, energies, energies, st.integers(min_value=1, max_value=64))
+@settings(max_examples=60, deadline=None)
+def test_capped_power_never_exceeds_uncapped(e1, e2, e3, nodes):
+    fp = fp_of(1, e1, e2, e3, 0.0, nodes=nodes)
+    base = capped_job_power_w(fp, FACTORS, None)
+    for cap in FACTORS.caps():
+        capped = capped_job_power_w(fp, FACTORS, cap)
+        assert capped <= base * 1.01
+        assert job_slowdown_pct(fp, FACTORS, cap) >= 0.0
+
+
+@given(
+    st.lists(
+        st.tuples(energies, energies, energies),
+        min_size=2,
+        max_size=8,
+    ),
+    st.floats(min_value=0.5, max_value=1.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_planner_invariants(regions, frac):
+    jobs = {
+        i: fp_of(i, e1, e2, e3, 0.0)
+        for i, (e1, e2, e3) in enumerate(regions, start=1)
+    }
+    planner = PowerBudgetPlanner(FACTORS)
+    baseline = sum(
+        capped_job_power_w(f, FACTORS, None) for f in jobs.values()
+    )
+    plan = planner.plan(jobs, budget_w=frac * baseline)
+    # Planned power never exceeds baseline; the feasibility flag is
+    # consistent with the budget.
+    assert plan.planned_power_w <= baseline + 1e-6
+    assert plan.baseline_power_w <= baseline * 1.000001
+    if plan.feasible:
+        assert plan.planned_power_w <= frac * baseline + 1e-6
+    else:
+        deepest = min(FACTORS.caps())
+        assert all(cap == deepest for cap in plan.caps.values())
+    # Every assigned cap is a known characterization point (or None).
+    valid = set(FACTORS.caps()) | {None}
+    assert set(plan.caps.values()) <= valid

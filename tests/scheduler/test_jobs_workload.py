@@ -1,0 +1,95 @@
+"""Unit tests for job records and the workload mix."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.errors import ScheduleError
+from repro.scheduler.jobs import Job, ScienceDomain
+from repro.scheduler.workload import DEFAULT_DOMAINS, WorkloadMix, default_mix
+
+
+class TestJob:
+    def test_derived_fields(self):
+        j = Job(1, "CHM101", "CHM", 200, 0.0, 10.0, 3610.0)
+        assert j.duration_s == 3600.0
+        assert j.size_class == "C"
+        assert j.node_hours == pytest.approx(200.0)
+
+    def test_explicit_size_class_kept(self):
+        j = Job(1, "CHM101", "CHM", 3, 0.0, 0.0, 10.0, size_class="A")
+        assert j.size_class == "A"
+
+    def test_time_validation(self):
+        with pytest.raises(ScheduleError):
+            Job(1, "p", "d", 1, 10.0, 5.0, 20.0)   # start before submit
+        with pytest.raises(ScheduleError):
+            Job(1, "p", "d", 1, 0.0, 5.0, 5.0)     # empty interval
+        with pytest.raises(ScheduleError):
+            Job(1, "p", "d", 0, 0.0, 0.0, 1.0)     # no nodes
+
+
+class TestScienceDomain:
+    def test_project_id_prefix_is_domain(self):
+        d = DEFAULT_DOMAINS[0]
+        pid = d.project_id(7)
+        assert pid.startswith(d.name)
+
+    def test_validation(self):
+        with pytest.raises(ScheduleError):
+            ScienceDomain("X", "p", 0.0, (0.2,) * 5, (1.0, 2.0))
+        with pytest.raises(ScheduleError):
+            ScienceDomain("X", "p", 0.1, (0.5, 0.5, 0.5, 0.0, 0.0), (1.0, 2.0))
+        with pytest.raises(ScheduleError):
+            ScienceDomain("X", "p", 0.1, (0.2,) * 5, (10.0, 2.0))
+
+
+class TestWorkloadMix:
+    def test_default_domains_normalized(self):
+        mix = default_mix()
+        assert abs(mix._domain_p.sum() - 1.0) < 1e-9
+        assert len(mix.domains) == 12
+
+    def test_scaled_fleet_keeps_class_labels(self):
+        mix = default_mix(fleet_nodes=96)
+        rng = np.random.default_rng(0)
+        reqs = [mix.sample_request(0.0, rng) for _ in range(300)]
+        # Class-A requests exist and fit the scaled fleet while keeping
+        # their full-scale label.
+        a_reqs = [r for r in reqs if r.size_class == "A"]
+        assert a_reqs
+        assert all(r.num_nodes <= 96 for r in reqs)
+        assert all(r.num_nodes >= 55 for r in a_reqs)  # ~5645/9408 * 96
+
+    def test_durations_respect_walltime(self):
+        mix = default_mix(fleet_nodes=96)
+        rng = np.random.default_rng(1)
+        from repro.scheduler.policy import max_walltime_s
+
+        for _ in range(200):
+            r = mix.sample_request(0.0, rng)
+            assert r.duration_s <= max_walltime_s(r.size_class) + 1e-9
+
+    def test_low_discrepancy_domain_shares(self):
+        # Realized requested node-seconds per domain track target shares
+        # much more tightly than iid sampling would.
+        mix = default_mix(fleet_nodes=constants.NUM_COMPUTE_NODES)
+        rng = np.random.default_rng(2)
+        booked = {}
+        for _ in range(800):
+            r = mix.sample_request(0.0, rng)
+            booked[r.domain.name] = booked.get(r.domain.name, 0.0) + (
+                r.num_nodes * r.duration_s
+            )
+        total = sum(booked.values())
+        for d in mix.domains:
+            target = d.share / sum(x.share for x in mix.domains)
+            assert booked.get(d.name, 0.0) / total == pytest.approx(
+                target, abs=0.03
+            )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ScheduleError):
+            WorkloadMix([])
+        with pytest.raises(ScheduleError):
+            WorkloadMix(DEFAULT_DOMAINS, fleet_nodes=0)

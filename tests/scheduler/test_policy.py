@@ -1,0 +1,59 @@
+"""Unit tests for the Table VII scheduling policy."""
+
+import pytest
+
+from repro import constants, units
+from repro.errors import ScheduleError
+from repro.scheduler.policy import (
+    class_node_range,
+    job_size_class,
+    max_walltime_s,
+)
+
+
+class TestJobSizeClass:
+    @pytest.mark.parametrize(
+        "nodes,expected",
+        [
+            (9408, "A"), (5645, "A"),
+            (5644, "B"), (1882, "B"),
+            (1881, "C"), (184, "C"),
+            (183, "D"), (92, "D"),
+            (91, "E"), (1, "E"),
+        ],
+    )
+    def test_table7_boundaries(self, nodes, expected):
+        assert job_size_class(nodes) == expected
+
+    def test_out_of_range(self):
+        with pytest.raises(ScheduleError):
+            job_size_class(0)
+        with pytest.raises(ScheduleError):
+            job_size_class(9409)
+
+    def test_classes_partition_node_range(self):
+        # Every node count maps to exactly one class; ranges do not
+        # overlap or leave gaps.
+        covered = set()
+        for name in constants.JOB_SIZE_CLASSES:
+            lo, hi = class_node_range(name)
+            rng = set(range(lo, hi + 1))
+            assert not (covered & rng)
+            covered |= rng
+        assert covered == set(range(1, constants.NUM_COMPUTE_NODES + 1))
+
+
+class TestWalltime:
+    def test_large_jobs_get_12_hours(self):
+        for cls in ("A", "B", "C"):
+            assert max_walltime_s(cls) == units.hours(12)
+
+    def test_small_jobs_capped_shorter(self):
+        assert max_walltime_s("D") == units.hours(6)
+        assert max_walltime_s("E") == units.hours(2)
+
+    def test_unknown_class(self):
+        with pytest.raises(ScheduleError):
+            max_walltime_s("Z")
+        with pytest.raises(ScheduleError):
+            class_node_range("Z")

@@ -1,0 +1,64 @@
+"""Property-based tests for the scheduler substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.scheduler.policy import job_size_class
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    fleet=st.sampled_from([8, 16, 32]),
+    hours=st.floats(min_value=4.0, max_value=24.0),
+)
+@settings(max_examples=15, deadline=None)
+def test_schedule_invariants(seed, fleet, hours):
+    mix = default_mix(fleet_nodes=fleet)
+    log = SlurmSimulator(mix).run(units.hours(hours), rng=seed)
+
+    # No node ever runs two jobs at once.
+    log.validate_no_overlap()
+
+    # Every allocation belongs to a job and respects its interval.
+    jobs = log.job_by_id()
+    for a in log.allocations:
+        job = jobs[a.job_id]
+        assert a.start_time_s == job.start_time_s
+        assert a.end_time_s == job.end_time_s
+        assert 0 <= a.node_id < log.n_nodes
+
+    # Allocation counts match the jobs' node counts.
+    counts = {}
+    for a in log.allocations:
+        counts[a.job_id] = counts.get(a.job_id, 0) + 1
+    for job in log.jobs:
+        assert counts.get(job.job_id, 0) == job.num_nodes
+
+    # Utilization is a valid fraction.
+    assert 0.0 <= log.utilization() <= 1.0
+
+
+@given(nodes=st.integers(min_value=1, max_value=9408))
+@settings(max_examples=200, deadline=None)
+def test_size_class_total_function(nodes):
+    # Every legal node count maps to exactly one class.
+    cls = job_size_class(nodes)
+    assert cls in "ABCDE"
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=10, deadline=None)
+def test_job_id_grid_partitions_time(seed):
+    mix = default_mix(fleet_nodes=8)
+    log = SlurmSimulator(mix).run(units.hours(6), rng=seed)
+    times = np.arange(0.0, log.horizon_s, 120.0)
+    for node in range(log.n_nodes):
+        grid = log.job_id_grid(times, node)
+        # Job ids on the grid are either 0 or real jobs of this node.
+        node_jobs = {a.job_id for a in log.allocations_for_node(node)}
+        assert set(grid.tolist()) <= node_jobs | {0}

@@ -1,0 +1,89 @@
+"""Fleet-level calibration: the generated campaign vs Table IV.
+
+This is the telemetry counterpart of the GPU calibration tests: with the
+default mix and a fixed seed, the region shares of the generated GPU
+power distribution must reproduce the paper's Table IV within a few
+percentage points, and the structural properties of Figs 8/9 must hold.
+"""
+
+import numpy as np
+import pytest
+
+from repro import constants, units
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.telemetry import FleetTelemetryGenerator
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    mix = default_mix(fleet_nodes=96)
+    log = SlurmSimulator(mix).run(units.days(4), rng=0)
+    store = FleetTelemetryGenerator(log, mix, seed=100).generate()
+    return log, store
+
+
+def region_share_pct(power: np.ndarray) -> np.ndarray:
+    bounds = [
+        constants.REGION_LATENCY_MAX_W,
+        constants.REGION_MEMORY_MAX_W,
+        constants.REGION_COMPUTE_MAX_W,
+    ]
+    idx = np.searchsorted(bounds, power, side="left")
+    return np.bincount(idx, minlength=4) / len(power) * 100.0
+
+
+class TestTable4Calibration:
+    def test_region_shares_match_paper(self, campaign):
+        _log, store = campaign
+        shares = region_share_pct(store.gpu_power_flat)
+        paper = constants.PAPER_REGION_GPU_HOURS_PCT
+        for ours, theirs in zip(shares, paper):
+            assert ours == pytest.approx(theirs, abs=4.0)
+
+    def test_region_order(self, campaign):
+        # Memory-intensive is the largest region; boost the smallest.
+        _log, store = campaign
+        shares = region_share_pct(store.gpu_power_flat)
+        assert np.argmax(shares) == 1
+        assert np.argmin(shares) == 3
+
+    def test_boost_region_small_but_present(self, campaign):
+        _log, store = campaign
+        shares = region_share_pct(store.gpu_power_flat)
+        assert 0.2 < shares[3] < 3.0
+
+
+class TestFig8Structure:
+    def test_multi_modal_distribution(self, campaign):
+        # Fig 8: several peaks at low power, fewer at high power.
+        _log, store = campaign
+        p = store.gpu_power_flat
+        hist, edges = np.histogram(p, bins=np.arange(80, 620, 5.0))
+        interior = hist[1:-1]
+        peaks = (
+            (interior > np.roll(hist, 1)[1:-1])
+            & (interior > np.roll(hist, -1)[1:-1])
+            & (interior > 0.2 * hist.max())
+        )
+        assert peaks.sum() >= 3
+
+    def test_idle_peak_in_paper_range(self, campaign):
+        _log, store = campaign
+        p = store.gpu_power_flat
+        idle_region = p[(p > 80) & (p < 100)]
+        assert len(idle_region) > 0
+        # The idle mode sits at 88-90 W (paper Section V-A).
+        assert np.median(idle_region) == pytest.approx(89.0, abs=2.5)
+
+    def test_power_never_above_boost_ceiling(self, campaign):
+        _log, store = campaign
+        assert store.gpu_power_flat.max() < 620.0
+
+
+class TestFig2bStructure:
+    def test_gpu_dominates_node_energy(self, campaign):
+        # Fig 2(b): GPUs are the dominant consumer at the node level.
+        _log, store = campaign
+        gpu = store.gpu_energy_j()
+        cpu = store.cpu_energy_j()
+        assert gpu / (gpu + cpu) > 0.65

@@ -1,0 +1,61 @@
+"""Tests for the GCD-level telemetry view."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.gcd import combine_gcd_power, split_module_power
+
+
+class TestSplit:
+    def test_halves_sum_exactly(self):
+        module = np.full(500, 400.0)
+        a, b = split_module_power(module, rng=0)
+        np.testing.assert_allclose(a + b, module, rtol=0, atol=1e-12)
+
+    def test_roundtrip(self):
+        rng = np.random.default_rng(1)
+        module = rng.uniform(90, 560, size=300)
+        a, b = split_module_power(module, rng=2)
+        np.testing.assert_allclose(combine_gcd_power(a, b), module)
+
+    def test_imbalance_magnitude(self):
+        module = np.full(5000, 500.0)
+        a, _b = split_module_power(module, imbalance=0.03, rng=3)
+        share = a / module
+        assert abs(share.mean() - 0.5) < 0.03
+        assert 0.005 < share.std() < 0.08
+
+    def test_zero_imbalance_is_exact_half(self):
+        module = np.full(10, 300.0)
+        a, b = split_module_power(module, imbalance=0.0, rng=0)
+        np.testing.assert_allclose(a, b)
+
+    def test_share_wanders_slowly(self):
+        # The imbalance is placement-driven: adjacent samples correlate.
+        module = np.full(2000, 500.0)
+        a, _ = split_module_power(module, rng=4)
+        share = a / module
+        corr = np.corrcoef(share[:-1], share[1:])[0, 1]
+        assert corr > 0.8
+
+    def test_nonnegative_everywhere(self):
+        module = np.linspace(0, 600, 50)
+        a, b = split_module_power(module, rng=5)
+        assert (a >= 0).all() and (b >= 0).all()
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            split_module_power(np.zeros((2, 2)))
+        with pytest.raises(TelemetryError):
+            split_module_power(np.array([-1.0]))
+        with pytest.raises(TelemetryError):
+            split_module_power(np.array([1.0]), imbalance=0.6)
+
+
+class TestCombine:
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            combine_gcd_power(np.zeros(3), np.zeros(4))
+        with pytest.raises(TelemetryError):
+            combine_gcd_power(np.array([-1.0]), np.array([1.0]))

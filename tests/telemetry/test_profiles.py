@@ -1,0 +1,88 @@
+"""Unit tests for power profiles."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.profiles import (
+    PROFILES,
+    PowerProfile,
+    ProfilePhase,
+    region_shares,
+)
+
+
+class TestValidation:
+    def test_phase_validation(self):
+        with pytest.raises(TelemetryError):
+            ProfilePhase(-1.0, 1.0, 0.5)
+        with pytest.raises(TelemetryError):
+            ProfilePhase(100.0, 1.0, 0.0)
+        with pytest.raises(TelemetryError):
+            ProfilePhase(100.0, 1.0, 0.5, dwell_mean_s=0.0)
+
+    def test_profile_needs_phases(self):
+        with pytest.raises(TelemetryError):
+            PowerProfile("empty", ())
+
+
+class TestLibrary:
+    def test_all_referenced_profiles_exist(self):
+        from repro.scheduler.workload import DEFAULT_DOMAINS
+
+        for d in DEFAULT_DOMAINS:
+            assert d.profile in PROFILES
+
+    def test_weights_normalized(self):
+        for p in PROFILES.values():
+            assert p.weights.sum() == pytest.approx(1.0)
+
+    def test_profile_families_sit_in_their_regions(self):
+        # Dominant region by family: latency -> 1, memory -> 2,
+        # compute -> 3 (paper Fig 9 panels).
+        assert np.argmax(region_shares(PROFILES["latency_bound"])) == 0
+        assert np.argmax(region_shares(PROFILES["memory_bound"])) == 1
+        assert np.argmax(region_shares(PROFILES["compute_heavy"])) == 2
+
+    def test_compute_profiles_have_boost_mass(self):
+        assert region_shares(PROFILES["compute_heavy"])[3] > 0.01
+        assert region_shares(PROFILES["latency_bound"])[3] == 0.0
+
+    def test_multi_zone_spans_regions(self):
+        shares = region_shares(PROFILES["multi_zone"])
+        assert np.count_nonzero(shares > 0.05) >= 3
+
+
+class TestSampleTrace:
+    def test_shape_and_bounds(self):
+        p = PROFILES["memory_bound"]
+        trace = p.sample_trace(500, 15.0, rng=0, n_streams=3)
+        assert trace.shape == (3, 500)
+        assert (trace >= 0).all()
+
+    def test_stationary_mean_recovered(self):
+        p = PROFILES["compute_heavy"]
+        trace = p.sample_trace(40000, 15.0, rng=1, n_streams=4)
+        assert trace.mean() == pytest.approx(p.mean_power_w, rel=0.05)
+
+    def test_time_shares_match_weights(self):
+        # The dwell-weighted draw must realize `weight` as the *time*
+        # share even though phases have very different dwell times.
+        p = PROFILES["compute_heavy"]
+        trace = p.sample_trace(60000, 15.0, rng=2, n_streams=4)
+        boost_frac = (trace > 560.0).mean()
+        expected = region_shares(p)[3]
+        assert boost_frac == pytest.approx(expected, rel=0.3)
+
+    def test_deterministic(self):
+        p = PROFILES["multi_zone"]
+        a = p.sample_trace(100, 15.0, rng=7)
+        b = p.sample_trace(100, 15.0, rng=7)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_args(self):
+        p = PROFILES["multi_zone"]
+        with pytest.raises(TelemetryError):
+            p.sample_trace(0, 15.0)
+        with pytest.raises(TelemetryError):
+            p.sample_trace(10, 15.0, n_streams=0)

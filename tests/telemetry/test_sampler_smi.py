@@ -1,0 +1,72 @@
+"""Tests for sensor aggregation and the ROCm SMI comparison (Fig 2a)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TelemetryError
+from repro.telemetry.rocm_smi import (
+    compare_telemetry_vs_smi,
+    rocm_smi_trace,
+)
+from repro.telemetry.sampler import aggregate_sensor_trace
+
+
+class TestAggregation:
+    def test_constant_signal_preserved(self):
+        out = aggregate_sensor_trace(np.full(75, 300.0))
+        assert np.allclose(out, 300.0)
+
+    def test_window_boundaries_alternate_7_8(self):
+        # 15 s windows over 2 s samples hold 7 or 8 samples each.
+        raw = np.arange(150, dtype=float)
+        out = aggregate_sensor_trace(raw)
+        times = np.arange(150) * 2.0
+        for k, val in enumerate(out):
+            members = raw[(times >= k * 15.0) & (times < (k + 1) * 15.0)]
+            assert len(members) in (7, 8)
+            assert val == pytest.approx(members.mean())
+
+    def test_mean_energy_preserved_approximately(self):
+        rng = np.random.default_rng(0)
+        raw = 300 + rng.normal(0, 20, size=1000)
+        out = aggregate_sensor_trace(raw)
+        assert out.mean() == pytest.approx(raw.mean(), rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            aggregate_sensor_trace(np.zeros((2, 2)))
+        with pytest.raises(TelemetryError):
+            aggregate_sensor_trace(np.zeros(5), raw_interval_s=0.0)
+        with pytest.raises(TelemetryError):
+            aggregate_sensor_trace(np.zeros(5), out_interval_s=1.0)
+
+    def test_empty_passthrough(self):
+        assert len(aggregate_sensor_trace(np.array([]))) == 0
+
+
+class TestSMI:
+    def _app_signal(self, n=4000):
+        # A step-shaped application power signal at 2 s cadence.
+        steps = np.repeat([380.0, 520.0, 300.0, 480.0], n // 4)
+        return steps
+
+    def test_smi_cadence(self):
+        sig = self._app_signal()
+        smi = rocm_smi_trace(sig, rng=0)
+        assert len(smi) == 2 * len(sig)  # 1 s polling vs 2 s signal
+
+    def test_fig2a_agreement(self):
+        # The paper's point: telemetry is comparable to ROCm SMI data.
+        cmp = compare_telemetry_vs_smi(self._app_signal(), rng=1)
+        assert cmp.correlation > 0.99
+        assert cmp.mean_relative_error < 0.03
+
+    def test_offset_visible_in_mae(self):
+        cmp = compare_telemetry_vs_smi(self._app_signal(), rng=2)
+        assert 0.5 < cmp.mean_abs_error_w < 10.0
+
+    def test_validation(self):
+        with pytest.raises(TelemetryError):
+            rocm_smi_trace(np.array([]))
+        with pytest.raises(TelemetryError):
+            rocm_smi_trace(np.zeros((2, 2)))

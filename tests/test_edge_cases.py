@@ -1,0 +1,131 @@
+"""Edge-case tests across layers (behaviours not covered elsewhere)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core.report import format_table, render_table5
+from repro.core import measured_factors, project_savings
+from repro.gpu import GPUDevice
+from repro.policy import CapAdvisor, JobFingerprint
+from repro.scheduler import SlurmSimulator, default_mix
+from tests.conftest import make_vai_kernel
+
+
+class TestReportEdges:
+    def test_format_table_no_rows(self):
+        text = format_table(["a", "bb"], [])
+        assert "a" in text and "bb" in text
+        assert text.count("\n") == 1  # header + rule only
+
+    def test_render_table5_hides_zero_baseline_row(self, cube=None):
+        from tests.conftest import make_vai_kernel  # noqa: F401
+        from repro.core.projection import ProjectionRow, ProjectionTable
+
+        table = ProjectionTable(
+            knob="frequency",
+            total_energy_mwh=100.0,
+            rows=[
+                ProjectionRow(1700.0, 0, 0, 0, 0, 0, 0),
+                ProjectionRow(900.0, 1, 2, 3, 3.0, 1.0, 2.0),
+            ],
+        )
+        text = render_table5(table)
+        assert "900" in text
+        # The all-zero uncapped baseline row is omitted from the print.
+        assert "\n     1700 " not in text
+
+
+class TestSchedulerEdges:
+    def test_zero_backfill_depth_is_pure_fifo(self):
+        mix = default_mix(fleet_nodes=16)
+        log = SlurmSimulator(mix, backfill_depth=0).run(
+            units.hours(8), rng=1
+        )
+        log.validate_no_overlap()
+        # FIFO without backfill: start order respects submit order.
+        starts = [(j.submit_time_s, j.start_time_s) for j in log.jobs]
+        by_submit = sorted(starts)
+        assert all(
+            a[1] <= b[1] + 1e-6 for a, b in zip(by_submit, by_submit[1:])
+        )
+
+    def test_single_node_fleet(self):
+        mix = default_mix(fleet_nodes=1)
+        log = SlurmSimulator(mix).run(units.hours(6), rng=0)
+        log.validate_no_overlap()
+        assert all(j.num_nodes == 1 for j in log.jobs)
+
+
+class TestDeviceEdges:
+    def test_power_trace_respects_interval(self, device):
+        r = device.run(make_vai_kernel(1.0, volume_bytes=1e13))
+        fine = device.power_trace(r, interval_s=0.5, rng=0)
+        coarse = device.power_trace(r, interval_s=5.0, rng=0)
+        assert len(fine) > len(coarse)
+        assert len(fine) == int(np.ceil(r.time_s / 0.5))
+
+    def test_device_thermal_attached(self, device):
+        # The boost window in traces comes from the device's own thermal
+        # model; it must be present and sane.
+        assert device.thermal.sustainable_power_w() >= device.spec.tdp_w
+
+    def test_repeat_runs_are_stateless(self, device):
+        k = make_vai_kernel(4.0)
+        a = device.run(k)
+        b = device.run(k)
+        assert a.power_w == b.power_w
+        assert a.time_s == b.time_s
+
+
+class TestAdvisorEdges:
+    def _fp(self, region_energy):
+        region_energy = np.asarray(region_energy, dtype=float)
+        return JobFingerprint(
+            job_id=1, domain="X", size_class="C", num_nodes=1,
+            gpu_hours=1.0, energy_j=float(region_energy.sum()),
+            region_hours=region_energy / region_energy.sum(),
+            region_energy_j=region_energy,
+        )
+
+    def test_min_saving_floor_suppresses_marginal_caps(self):
+        factors = measured_factors("frequency")
+        # A job with a tiny MI share: savings exist but are below 5 %.
+        fp = self._fp([1e9, 2e7, 1e6, 0.0])
+        greedy = CapAdvisor(factors, min_saving_fraction=0.0).recommend(fp)
+        strict = CapAdvisor(factors, min_saving_fraction=0.05).recommend(fp)
+        assert greedy.capped
+        assert not strict.capped
+
+    def test_boost_only_job_left_alone(self):
+        factors = measured_factors("frequency")
+        fp = self._fp([1e6, 0.0 + 1e3, 1e3, 1e9])
+        rec = CapAdvisor(factors).recommend(fp)
+        # Region 4 is uncharacterized: nothing to credit, no cap.
+        assert not rec.capped
+
+
+class TestProjectionEdges:
+    def test_idle_only_campaign_projects_zero(self):
+        from repro.core.histogram import StreamingHistogram
+        from repro.core.join import CampaignCube
+
+        hist = StreamingHistogram()
+        hist.add(np.full(100, 89.0))
+        energy = np.zeros((1, 1, 4))
+        energy[0, 0, 0] = 1e9   # all in region 1
+        cube = CampaignCube(
+            domains=["_idle"], classes=["-"],
+            energy_j=energy, gpu_hours=energy / 3.6e5,
+            histogram=hist, domain_histograms={"_idle": hist},
+        )
+        table = project_savings(cube, measured_factors("frequency"))
+        assert all(r.total_mwh == 0.0 for r in table.rows)
+
+    def test_uncapped_device_tdp_cap_equivalence(self):
+        # A power cap at exactly TDP behaves as uncapped for any kernel.
+        k = make_vai_kernel(4.0)
+        base = GPUDevice().run(k)
+        at_tdp = GPUDevice(power_cap_w=560.0).run(k)
+        assert at_tdp.time_s == pytest.approx(base.time_s, rel=1e-6)
+        assert at_tdp.power_w == pytest.approx(base.power_w, rel=1e-6)

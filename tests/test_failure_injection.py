@@ -1,0 +1,149 @@
+"""Failure-injection tests: corrupted inputs fail loudly or degrade safely.
+
+A telemetry pipeline in production sees sensor glitches, clock skew, and
+accounting holes; these tests pin down which failures the library
+rejects at the boundary and which it absorbs with defined semantics.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.core import join_campaign
+from repro.errors import TelemetryError
+from repro.policy import fingerprint_jobs
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.telemetry import FleetTelemetryGenerator, TelemetryStore
+from repro.telemetry.schema import TelemetryChunk
+
+
+@pytest.fixture(scope="module")
+def small_campaign():
+    mix = default_mix(fleet_nodes=8)
+    log = SlurmSimulator(mix).run(units.hours(4), rng=0)
+    store = FleetTelemetryGenerator(log, mix, seed=0).generate()
+    return log, store
+
+
+def chunk_with(gpu_power, time_s=None):
+    n = len(gpu_power)
+    return TelemetryChunk(
+        time_s=np.arange(n, dtype=float) if time_s is None else time_s,
+        node_id=np.zeros(n, dtype=np.int32),
+        gpu_power_w=np.asarray(gpu_power, dtype=np.float32),
+        cpu_power_w=np.zeros(n, dtype=np.float32),
+    )
+
+
+class TestSensorGlitches:
+    def test_nan_power_rejected(self):
+        bad = np.full((3, 4), 300.0)
+        bad[1, 2] = np.nan
+        with pytest.raises(TelemetryError):
+            chunk_with(bad)
+
+    def test_inf_power_rejected(self):
+        bad = np.full((3, 4), 300.0)
+        bad[0, 0] = np.inf
+        with pytest.raises(TelemetryError):
+            chunk_with(bad)
+
+    def test_negative_power_rejected(self):
+        bad = np.full((3, 4), 300.0)
+        bad[2, 3] = -5.0
+        with pytest.raises(TelemetryError):
+            chunk_with(bad)
+
+    def test_nan_timestamp_rejected(self):
+        good = np.full((3, 4), 300.0)
+        t = np.array([0.0, np.nan, 30.0])
+        with pytest.raises(TelemetryError):
+            chunk_with(good, time_s=t)
+
+
+class TestAccountingHoles:
+    def test_unsorted_samples_join_identically(self, small_campaign):
+        # Out-of-order rows (a realistic collector artifact) must not
+        # change any aggregate.
+        log, store = small_campaign
+        rng = np.random.default_rng(0)
+        perm = rng.permutation(len(store))
+        c = store.chunk
+        shuffled = TelemetryStore(
+            TelemetryChunk(
+                time_s=c.time_s[perm],
+                node_id=c.node_id[perm],
+                gpu_power_w=c.gpu_power_w[perm],
+                cpu_power_w=c.cpu_power_w[perm],
+            )
+        )
+        a = join_campaign(store, log)
+        b = join_campaign(shuffled, log)
+        np.testing.assert_allclose(a.energy_j, b.energy_j)
+
+    def test_telemetry_outside_job_windows_counts_as_idle(
+        self, small_campaign
+    ):
+        # Samples after the last job ends are attributed to the idle
+        # pseudo-domain, never silently dropped.
+        log, store = small_campaign
+        tail = store.filter_time(
+            max(j.end_time_s for j in log.jobs), units.hours(400)
+        )
+        if len(tail) == 0:
+            pytest.skip("no post-campaign samples in this draw")
+        cube = join_campaign(tail, log)
+        busy = cube.busy_view()
+        assert busy.total_gpu_hours == 0.0
+        assert cube.total_gpu_hours == pytest.approx(tail.gpu_hours)
+
+    def test_node_missing_from_log_is_idle(self, small_campaign):
+        log, store = small_campaign
+        # Fabricate telemetry for a node id the scheduler never used.
+        c = store.filter_nodes([0]).chunk
+        ghost = TelemetryStore(
+            TelemetryChunk(
+                time_s=c.time_s,
+                node_id=np.full(len(c), log.n_nodes + 5, dtype=np.int32),
+                gpu_power_w=c.gpu_power_w,
+                cpu_power_w=c.cpu_power_w,
+            )
+        )
+        cube = join_campaign(ghost, log)
+        # All of it lands on the idle pseudo-domain.
+        assert cube.busy_view().total_gpu_hours == 0.0
+
+    def test_fingerprints_skip_unsampled_jobs(self, small_campaign):
+        log, store = small_campaign
+        # Telemetry truncated to the first hour: jobs entirely after it
+        # must be absent from fingerprints, not present with zeros.
+        head = store.filter_time(0.0, units.hours(1))
+        fps = fingerprint_jobs(head, log)
+        late = [
+            j.job_id for j in log.jobs if j.start_time_s > units.hours(1)
+        ]
+        assert all(jid not in fps for jid in late)
+        for fp in fps.values():
+            assert fp.gpu_hours > 0
+
+
+class TestNumericalEdges:
+    def test_zero_power_samples_survive(self, small_campaign):
+        # A powered-off module (0 W) is unusual but legal telemetry.
+        log, _store = small_campaign
+        chunk = chunk_with(np.zeros((4, 4)))
+        cube = join_campaign([chunk], log)
+        assert cube.total_energy_j == 0.0
+        assert cube.total_gpu_hours > 0.0
+
+    def test_extreme_power_clips_into_histogram_edge(self, small_campaign):
+        log, _store = small_campaign
+        chunk = chunk_with(np.full((4, 4), 5000.0))
+        cube = join_campaign([chunk], log)
+        # Samples beyond the histogram range are clipped and counted.
+        assert cube.histogram.n_clipped == 16
+        assert cube.histogram.total_count == 16
+        # Region binning still assigns them (to the boost region).
+        assert cube.region_gpu_hours()[3] == pytest.approx(
+            cube.total_gpu_hours
+        )

@@ -1,0 +1,95 @@
+"""Tests for the foundational utility modules."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.parallel import chunked_map, default_workers, partition
+from repro.rng import derive_seed, ensure_rng, spawn
+
+
+class TestUnits:
+    def test_roundtrips(self):
+        assert units.to_mhz(units.mhz(1700)) == 1700
+        assert units.to_tflops(units.tflops(23.9)) == pytest.approx(23.9)
+        assert units.to_gbps(units.gbps(1600)) == pytest.approx(1600)
+        assert units.to_mwh(units.mwh(16820)) == pytest.approx(16820)
+        assert units.to_hours(units.hours(12)) == 12
+        assert units.to_days(units.days(91)) == 91
+        assert units.to_mib(units.mib(16)) == 16
+
+    def test_energy_chain(self):
+        # 1 MWh = 1000 kWh = 1e6 Wh = 3.6e9 J.
+        assert units.mwh(1) == pytest.approx(3.6e9)
+        assert units.to_kwh(units.mwh(1)) == pytest.approx(1000)
+        assert units.to_wh(units.wh(5)) == pytest.approx(5)
+
+    def test_fmt_si(self):
+        assert units.fmt_si(3.0e12, "B/s") == "3 TB/s"
+        assert units.fmt_si(1.5e3, "W") == "1.5 kW"
+        assert units.fmt_si(0.5, "W") == "0.5 W"
+
+
+class TestRng:
+    def test_ensure_rng_is_deterministic_for_none(self):
+        a = ensure_rng(None).integers(0, 1 << 30, 5)
+        b = ensure_rng(None).integers(0, 1 << 30, 5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_ensure_rng_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_spawn_independent_children(self):
+        children = spawn(0, 3)
+        draws = [c.integers(0, 1 << 30, 4) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        # Re-spawning reproduces the same streams.
+        again = spawn(0, 3)
+        np.testing.assert_array_equal(
+            draws[0], again[0].integers(0, 1 << 30, 4)
+        )
+
+    def test_spawn_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+    def test_derive_seed_stable_and_distinct(self):
+        a = derive_seed(7, "job", 10, "node", 3)
+        b = derive_seed(7, "job", 10, "node", 3)
+        c = derive_seed(7, "job", 10, "node", 4)
+        d = derive_seed(8, "job", 10, "node", 3)
+        assert a == b
+        assert a != c and a != d
+        assert 0 <= a < 2**63
+
+
+class TestParallel:
+    def test_partition_balanced(self):
+        bounds = partition(10, 3)
+        assert bounds == [(0, 4), (4, 7), (7, 10)]
+        assert partition(2, 5) == [(0, 1), (1, 2)]
+        assert partition(0, 3) == []
+
+    def test_partition_validation(self):
+        with pytest.raises(ValueError):
+            partition(-1, 2)
+        with pytest.raises(ValueError):
+            partition(5, 0)
+
+    def test_chunked_map_serial(self):
+        out = chunked_map(lambda a, b: a + b, [(1, 2), (3, 4)])
+        assert out == [3, 7]
+
+    def test_chunked_map_parallel_matches_serial(self):
+        chunks = [(i,) for i in range(8)]
+        serial = chunked_map(_square, chunks, workers=1)
+        parallel = chunked_map(_square, chunks, workers=2)
+        assert serial == parallel
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+def _square(x):
+    return x * x
