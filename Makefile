@@ -1,0 +1,24 @@
+# Developer entry points. The python toolchain is assumed to be on PATH.
+
+PYTHON ?= python
+
+.PHONY: test bench-quick bench-record bench
+
+# Tier-1 correctness suite.
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Fast perf gate (CI): re-measures the batched-engine benchmark with few
+# rounds and fails on a >2x regression against benchmarks/BENCH_batch.json
+# or on the batched sweep dropping below its 10x speedup bar.
+bench-quick:
+	$(PYTHON) benchmarks/bench_batch.py --check --quick
+
+# Full-rounds variant of the same gate.
+bench:
+	$(PYTHON) benchmarks/bench_batch.py --check
+
+# Re-measure and rewrite the recorded baseline (run on the reference
+# machine after intentional perf changes).
+bench-record:
+	$(PYTHON) benchmarks/bench_batch.py --record

@@ -8,11 +8,13 @@ built on, so regressions in the vectorized paths show up directly.
 import numpy as np
 import pytest
 
-from repro import units
+from repro import constants, units
 from repro.core import StreamingHistogram, join_campaign
 from repro.graph import louvain, social_network
-from repro.gpu import GPUDevice
-from repro.bench.vai import vai_kernel
+from repro.gpu import GPUDevice, KernelBatch
+from repro.gpu.powercap import clear_powercap_cache
+from repro.bench.sweep import CapSweep
+from repro.bench.vai import VAIBenchmark, vai_kernel
 from repro.scheduler import SlurmSimulator, default_mix
 from repro.telemetry import FleetTelemetryGenerator
 from repro.telemetry.profiles import PROFILES
@@ -58,6 +60,51 @@ def test_profile_trace_throughput(benchmark):
         profile.sample_trace, 50_000, 15.0, 3, 4
     )
     assert trace.shape == (4, 50_000)
+
+
+def test_run_batch_grid_throughput(benchmark):
+    """One Fig 4-sized cap x intensity grid per round, both knobs mixed."""
+    device = GPUDevice()
+    kernels = [
+        vai_kernel(ai, global_wis=2**24)
+        for ai in constants.VAI_INTENSITIES
+    ]
+    n = len(kernels)
+    batch = KernelBatch.from_kernels(kernels).tile(11)
+    fcaps = np.concatenate(
+        [np.full(n, np.nan)]
+        + [np.full(n, units.mhz(c)) for c in constants.FREQUENCY_CAPS_MHZ[1:]]
+        + [np.full(5 * n, np.nan)]
+    )
+    pcaps = np.concatenate(
+        [np.full(6 * n, np.nan)]
+        + [np.full(n, float(c)) for c in (500, 400, 300, 200, 100)]
+    )
+
+    def grid():
+        return device.run_batch(
+            batch, frequency_caps_hz=fcaps, power_caps_w=pcaps
+        )
+
+    result = benchmark(grid)
+    assert len(result) == 11 * n
+    assert result.power_w.min() > 0
+
+
+def test_capsweep_batched_fig4(benchmark):
+    """The whole Fig 4 sweep (both knobs) through the batched harness."""
+    bench = VAIBenchmark()
+
+    def sweep():
+        clear_powercap_cache()
+        harness = CapSweep(bench)
+        return (
+            harness.frequency_sweep(constants.FREQUENCY_CAPS_MHZ[1:]),
+            harness.power_sweep((500, 400, 300, 200, 100)),
+        )
+
+    freq, power = benchmark(sweep)
+    assert len(freq) == 6 and len(power) == 6
 
 
 def test_join_throughput(benchmark, small_fleet):

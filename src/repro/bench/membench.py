@@ -15,13 +15,14 @@ the HBM-region summary consumed by Table III's MB columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from .. import units
 from ..errors import KernelError
 from ..gpu import GPUDevice, KernelSpec
+from ..gpu.device import BatchResult
 
 #: Deep-issue character of the pure-load kernel: calibrated so a 200 W
 #: power cap (which parks the core at f_min) costs ~26 % runtime, matching
@@ -71,9 +72,12 @@ def membench_kernel(
     )
 
 
-@dataclass(frozen=True)
-class MemPoint:
-    """One working-set point of the memory sweep."""
+class MemPoint(NamedTuple):
+    """One working-set point of the memory sweep.
+
+    A NamedTuple rather than a dataclass: the batched sweeps construct
+    hundreds of points per grid and tuple construction is C-speed.
+    """
 
     working_set_bytes: float
     time_s: float
@@ -151,6 +155,27 @@ class MemoryBenchmark:
                 )
             )
         return MemResult(points)
+
+    # -- batch protocol (used by repro.bench.sweep) ------------------------------
+
+    def grid_kernels(self, spec) -> List[KernelSpec]:
+        """The cap-independent kernel axis (one kernel per working set)."""
+        return [
+            membench_kernel(ws, passes=self.passes) for ws in self.working_sets
+        ]
+
+    def package(self, batch: BatchResult) -> MemResult:
+        """Rows of a batched sweep (aligned with ``grid_kernels``) -> result."""
+        cols = zip(
+            (float(ws) for ws in self.working_sets),
+            batch.time_s.tolist(),
+            batch.power_w.tolist(),
+            batch.energy_j.tolist(),
+            units.to_gbps(batch.achieved_bw).tolist(),
+            batch.l2_hit_fraction.tolist(),
+            batch.cap_breached.tolist(),
+        )
+        return MemResult([MemPoint(*row) for row in cols])
 
 
 def default_benchmark() -> MemoryBenchmark:

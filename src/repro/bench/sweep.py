@@ -1,19 +1,34 @@
-"""Cap-sweep harness.
+"""Cap-sweep harnesses.
 
-Runs any benchmark (an object with ``run(device) -> result``) across a
-grid of frequency caps or power caps, always including the uncapped
-baseline, and exposes normalized views — the exact procedure behind the
-paper's Fig 4/5/6 panels and Table III.
+Two ways to run a benchmark across a grid of management-knob settings,
+always including the uncapped baseline — the exact procedure behind the
+paper's Fig 4/5/6 panels and Table III:
+
+* :class:`GridSweep` — the batched engine.  It packs the benchmark's
+  kernels once (struct-of-arrays), tiles them across the cap axis, and
+  evaluates the whole cap x kernel cross-product with **one**
+  :meth:`~repro.gpu.GPUDevice.run_batch` call: single NumPy passes for
+  frequency caps, one lock-stepped vectorized bisection for power caps.
+* :class:`CapSweep` — the original benchmark-facing harness.  For
+  benchmarks that expose the batch protocol (``grid_kernels`` +
+  ``package``) it now delegates to :class:`GridSweep`; any other
+  benchmark object with ``run(device)`` still takes the point-by-point
+  path, which remains the correctness oracle (``batched=False`` forces
+  it).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
 
 from .. import constants, units
 from ..errors import CapError
 from ..gpu import GPUDevice
+from ..gpu.device import BatchResult
+from ..gpu.kernel import KernelBatch, KernelSpec
 from ..gpu.specs import MI250XSpec, default_spec
 
 
@@ -30,33 +45,168 @@ class SweepPoint:
         return self.cap == 0
 
 
+@dataclass(frozen=True)
+class BatchGrid:
+    """A cap x kernel cross-product evaluated in one batched call.
+
+    ``result`` is the flat :class:`~repro.gpu.device.BatchResult` of
+    ``len(caps) * n_kernels`` points, cap-major (all kernels at cap 0,
+    then all kernels at cap 1, ...).
+    """
+
+    knob: str                  # "frequency" | "power"
+    caps: tuple                # cap values as given; 0 = uncapped
+    n_kernels: int
+    result: BatchResult
+
+    def row(self, cap: float) -> BatchResult:
+        """The kernel-axis slice measured under one cap setting."""
+        i = self.caps.index(cap)
+        n = self.n_kernels
+        return self.result[i * n:(i + 1) * n]
+
+    def rows(self) -> Dict[float, BatchResult]:
+        return {cap: self.row(cap) for cap in self.caps}
+
+
+class GridSweep:
+    """Batched sweep of a fixed kernel list over one management knob.
+
+    Parameters
+    ----------
+    kernels:
+        The kernel axis of the grid (e.g. one kernel per arithmetic
+        intensity), shared by every cap.
+    spec:
+        Device specification shared by every point of the grid.
+    """
+
+    def __init__(
+        self,
+        kernels: Sequence[KernelSpec],
+        spec: Optional[MI250XSpec] = None,
+    ) -> None:
+        self.spec = spec if spec is not None else default_spec()
+        self.kernels = list(kernels)
+        self._batch = KernelBatch.from_kernels(self.kernels)
+        # Tiled cross-product batches, keyed by cap count: the frequency
+        # and power sweeps of one grid share the same tiling (and hence
+        # the same memoized traffic split).
+        self._tiles: dict = {}
+
+    def _cross(
+        self, knob: str, caps: Sequence[float], caps_hz_or_w: np.ndarray
+    ) -> BatchGrid:
+        n = len(self._batch)
+        reps = len(caps)
+        tiled = self._tiles.get(reps)
+        if tiled is None:
+            tiled = self._tiles[reps] = self._batch.tile(reps)
+        per_point = np.repeat(caps_hz_or_w, n)
+        device = GPUDevice(self.spec)
+        if knob == "frequency":
+            result = device.run_batch(tiled, frequency_caps_hz=per_point)
+        else:
+            result = device.run_batch(tiled, power_caps_w=per_point)
+        return BatchGrid(
+            knob=knob, caps=tuple(caps), n_kernels=n, result=result
+        )
+
+    def frequency_sweep(
+        self,
+        caps_mhz: Sequence[float] = constants.FREQUENCY_CAPS_MHZ,
+    ) -> BatchGrid:
+        """Every frequency cap plus the uncapped baseline (cap 0)."""
+        for cap in caps_mhz:
+            if cap <= 0:
+                raise CapError(f"invalid frequency cap {cap} MHz")
+        caps = [0.0] + [float(c) for c in caps_mhz]
+        caps_hz = np.array([np.nan] + [units.mhz(c) for c in caps_mhz])
+        return self._cross("frequency", caps, caps_hz)
+
+    def power_sweep(
+        self,
+        caps_w: Sequence[float] = constants.POWER_CAPS_W,
+    ) -> BatchGrid:
+        """Every power cap plus the uncapped baseline (cap 0)."""
+        for cap in caps_w:
+            if cap <= 0:
+                raise CapError(f"invalid power cap {cap} W")
+        caps = [0.0] + [float(c) for c in caps_w]
+        caps_arr = np.array([np.nan] + [float(c) for c in caps_w])
+        return self._cross("power", caps, caps_arr)
+
+
+def _supports_batch(benchmark) -> bool:
+    return hasattr(benchmark, "grid_kernels") and hasattr(benchmark, "package")
+
+
 class CapSweep:
     """Sweep one benchmark over one management knob.
 
     Parameters
     ----------
     benchmark:
-        Any object with ``run(device)``.
+        Any object with ``run(device)``.  Benchmarks that also expose the
+        batch protocol — ``grid_kernels(spec) -> [KernelSpec]`` and
+        ``package(BatchResult) -> result`` — are evaluated through
+        :class:`GridSweep` in one batched call per sweep.
     spec:
         Device specification shared by every point of the sweep.
+    batched:
+        ``None`` (default) auto-detects the batch protocol; ``False``
+        forces the point-by-point scalar path (the correctness oracle
+        used by the equivalence tests and timing baselines).
     """
 
     def __init__(
         self,
         benchmark,
         spec: Optional[MI250XSpec] = None,
+        *,
+        batched: Optional[bool] = None,
     ) -> None:
         self.benchmark = benchmark
         self.spec = spec if spec is not None else default_spec()
+        if batched is None:
+            batched = _supports_batch(benchmark)
+        elif batched and not _supports_batch(benchmark):
+            raise CapError(
+                f"{type(benchmark).__name__} does not expose the batch "
+                "protocol (grid_kernels/package)"
+            )
+        self.batched = batched
+        self._grid: Optional[GridSweep] = None
 
     def _run_at(self, make_device: Callable[[], GPUDevice]) -> object:
         return self.benchmark.run(make_device())
+
+    def _package_grid(self, grid: BatchGrid) -> Dict[float, SweepPoint]:
+        return {
+            (0 if cap == 0 else cap): SweepPoint(
+                grid.knob, float(cap), self.benchmark.package(grid.row(cap))
+            )
+            for cap in grid.caps
+        }
+
+    def _grid_sweep(self) -> GridSweep:
+        # The kernel axis is cap-independent, so one GridSweep (one probe
+        # sizing pass, one packed batch) serves every sweep this harness runs.
+        if self._grid is None:
+            self._grid = GridSweep(
+                self.benchmark.grid_kernels(self.spec), self.spec
+            )
+        return self._grid
 
     def frequency_sweep(
         self,
         caps_mhz: Sequence[float] = constants.FREQUENCY_CAPS_MHZ,
     ) -> Dict[float, SweepPoint]:
         """Run at each frequency cap plus the uncapped baseline (key 0)."""
+        if self.batched:
+            return self._package_grid(
+                self._grid_sweep().frequency_sweep(caps_mhz)
+            )
         points: Dict[float, SweepPoint] = {
             0: SweepPoint("frequency", 0, self._run_at(lambda: GPUDevice(self.spec)))
         }
@@ -74,6 +224,8 @@ class CapSweep:
         caps_w: Sequence[float] = constants.POWER_CAPS_W,
     ) -> Dict[float, SweepPoint]:
         """Run at each power cap plus the uncapped baseline (key 0)."""
+        if self.batched:
+            return self._package_grid(self._grid_sweep().power_sweep(caps_w))
         points: Dict[float, SweepPoint] = {
             0: SweepPoint("power", 0, self._run_at(lambda: GPUDevice(self.spec)))
         }

@@ -21,13 +21,16 @@ the paper does for accurate power measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, NamedTuple, Optional, Sequence
 
 import numpy as np
 
 from .. import constants, units
 from ..errors import KernelError
 from ..gpu import GPUDevice, KernelSpec
+from ..gpu.device import BatchResult
+from ..gpu.kernel import KernelBatch
+from ..gpu.perf import execute_batch
 from ..gpu.specs import MI250XSpec
 
 #: Bytes per element-iteration of the FMA variant (3 reads + 1 write).
@@ -101,9 +104,12 @@ def vai_kernel(
     )
 
 
-@dataclass(frozen=True)
-class VAIPoint:
-    """One measured point of the VAI sweep."""
+class VAIPoint(NamedTuple):
+    """One measured point of the VAI sweep.
+
+    A NamedTuple rather than a dataclass: the batched sweeps construct
+    hundreds of points per grid and tuple construction is C-speed.
+    """
 
     intensity: float
     time_s: float
@@ -148,6 +154,12 @@ class VAIBenchmark:
         self.intensities = tuple(intensities)
         self.global_wis = global_wis
         self.min_runtime_s = min_runtime_s
+        # repeat=1 base kernels are cap- and spec-independent; build once.
+        self._bases = [
+            vai_kernel(ai, global_wis=self.global_wis, repeat=1)
+            for ai in self.intensities
+        ]
+        self._bases_batch = KernelBatch.from_kernels(self._bases)
 
     def _sized_kernel(self, intensity: float, device: GPUDevice) -> KernelSpec:
         """Pick REPEAT so the kernel runs at least ``min_runtime_s``.
@@ -181,6 +193,44 @@ class VAIBenchmark:
                 )
             )
         return VAIResult(points)
+
+    # -- batch protocol (used by repro.bench.sweep) ------------------------------
+
+    def grid_kernels(self, spec: MI250XSpec) -> List[KernelSpec]:
+        """The cap-independent kernel axis, REPEAT-sized in one batched probe.
+
+        Sizing matches :meth:`_sized_kernel` exactly: one uncapped pass
+        over all base kernels replaces the per-intensity probe runs.  The
+        probe goes straight to :func:`~repro.gpu.perf.execute_batch` — an
+        uncapped device runs every kernel at ``f_max``, and only the
+        runtimes matter here.
+        """
+        probe_t = execute_batch(
+            spec,
+            self._bases_batch,
+            np.full(len(self._bases), spec.f_max_hz),
+        ).time_s
+        return [
+            vai_kernel(
+                ai,
+                global_wis=self.global_wis,
+                repeat=max(1, int(np.ceil(self.min_runtime_s / t))),
+            )
+            for ai, t in zip(self.intensities, probe_t)
+        ]
+
+    def package(self, batch: BatchResult) -> VAIResult:
+        """Rows of a batched sweep (aligned with ``grid_kernels``) -> result."""
+        cols = zip(
+            self.intensities,
+            batch.time_s.tolist(),
+            batch.power_w.tolist(),
+            batch.energy_j.tolist(),
+            units.to_tflops(batch.achieved_flops).tolist(),
+            units.to_gbps(batch.achieved_bw).tolist(),
+            units.to_mhz(batch.f_core_hz).tolist(),
+        )
+        return VAIResult([VAIPoint(*row) for row in cols])
 
 
 def default_benchmark() -> VAIBenchmark:

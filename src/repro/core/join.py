@@ -22,7 +22,7 @@ from ..errors import JoinError
 from ..scheduler.log import SchedulerLog
 from ..telemetry.schema import TelemetryChunk
 from ..telemetry.store import TelemetryStore
-from .histogram import StreamingHistogram
+from .histogram import StreamingHistogram, add_grouped
 
 #: Pseudo-domain for samples with no running job.
 IDLE_DOMAIN = "_idle"
@@ -186,15 +186,11 @@ def join_campaign(
     for chunk in chunks:
         saw_any = True
         cpu_energy += float(chunk.cpu_power_w.sum(dtype=np.float64)) * interval
-        # Label each row with (domain, class) via the scheduler log.
-        d_row = np.full(len(chunk), d_index[IDLE_DOMAIN], dtype=np.int64)
-        c_row = np.full(len(chunk), c_index[IDLE_CLASS], dtype=np.int64)
-        for node in np.unique(chunk.node_id):
-            mask = chunk.node_id == node
-            jid = log.job_id_grid(chunk.time_s[mask], int(node))
-            rows = np.flatnonzero(mask)
-            d_row[rows] = dom_of_job[jid]
-            c_row[rows] = cls_of_job[jid]
+        # Label each row with (domain, class) via the scheduler log: one
+        # composite-key searchsorted over the whole chunk (no node loop).
+        jid = log.job_id_table(chunk.time_s, chunk.node_id)
+        d_row = dom_of_job[jid]
+        c_row = cls_of_job[jid]
 
         power = chunk.gpu_power_w  # (n, gpus)
         reg = region_index(power)
@@ -216,10 +212,13 @@ def join_campaign(
         ) * hours_per_sample
 
         hist.add(flat_p)
-        for name, i in d_index.items():
-            sel = d_row == i
-            if sel.any():
-                domain_hists[name].add(power[sel].reshape(-1))
+        # Per-domain histograms in one composite-key bincount pass; the
+        # repeat aligns row labels with the row-major sample flattening.
+        add_grouped(
+            [domain_hists[name] for name in domains],
+            np.repeat(d_row, power.shape[1]),
+            flat_p,
+        )
 
     if not saw_any:
         raise JoinError("no telemetry chunks to join")

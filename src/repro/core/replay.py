@@ -21,10 +21,14 @@ one-factor-per-region binning costs — the quantitative answer to the
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
 
 from ..errors import ProjectionError
-from ..gpu import GPUDevice, KernelSpec
+from ..gpu import GPUDevice, KernelBatch, KernelSpec
+from ..gpu.perf import execute_batch
+from ..gpu.power import steady_power_batch
 from ..gpu.specs import MI250XSpec, default_spec
 from ..telemetry.profiles import PROFILES, PowerProfile
 
@@ -95,6 +99,87 @@ def surrogate_kernel_for_power(
     return _kernel(0.5 * (lo + hi))
 
 
+def _surrogate_batch(ai: np.ndarray, occupancy: np.ndarray) -> KernelBatch:
+    """Columnar surrogate kernels — mirrors :func:`_kernel` field-for-field."""
+    volume = 1e12
+    n = len(ai)
+    return KernelBatch(
+        flops=ai * volume,
+        hbm_bytes=np.full(n, volume),
+        l2_bytes=np.zeros(n),
+        working_set_bytes=np.full(n, np.nan),
+        issue_bw_factor=np.full(n, SURROGATE_ISSUE_BW_FACTOR),
+        compute_efficiency=np.ones(n),
+        occupancy=np.asarray(occupancy, dtype=np.float64),
+        divergence=np.zeros(n),
+        launch_overhead_s=np.zeros(n),
+        stall_power_fraction=np.zeros(n),
+    )
+
+
+def _steady_power_batch(spec: MI250XSpec, batch: KernelBatch) -> np.ndarray:
+    """Uncapped steady power per point — the batched :func:`_steady_power`."""
+    f = np.full(len(batch), spec.f_max_hz)
+    profile = execute_batch(spec, batch, f)
+    return steady_power_batch(spec, profile, f_core_hz=f, uncore_capped=False)
+
+
+def surrogate_kernels_for_powers(
+    powers_w: Sequence[float], spec: Optional[MI250XSpec] = None
+) -> List[KernelSpec]:
+    """Solve :func:`surrogate_kernel_for_power` for many powers at once.
+
+    Both inner searches — occupancy for latency-bound powers, arithmetic
+    intensity on the rising branch — run as lock-stepped vectorized
+    bisections (the scalar loops halve fixed intervals, so every point
+    shares the iteration schedule), giving bitwise-identical kernels to
+    the scalar oracle in 50 whole-array model evaluations per branch.
+    """
+    spec = spec if spec is not None else default_spec()
+    powers = np.asarray(list(powers_w), dtype=np.float64)
+    if np.any(powers < spec.idle_w):
+        bad = powers[powers < spec.idle_w][0]
+        raise ProjectionError(
+            f"no workload draws below idle ({bad:.0f} W)"
+        )
+    floor = _steady_power(spec, _kernel(_AI_LO))
+    ridge = _steady_power(spec, _kernel(_AI_HI))
+
+    n = len(powers)
+    ai = np.full(n, _AI_HI)
+    occ = np.ones(n)
+    at_ridge = powers >= ridge
+    latency = ~at_ridge & (powers <= floor)
+    rising = ~at_ridge & ~latency
+
+    if latency.any():
+        p = powers[latency]
+        lo = np.full(p.size, 0.01)
+        hi = np.ones(p.size)
+        ai_lo = np.full(p.size, _AI_LO)
+        for _ in range(50):
+            mid = 0.5 * (lo + hi)
+            below = _steady_power_batch(spec, _surrogate_batch(ai_lo, mid)) < p
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+        ai[latency] = _AI_LO
+        occ[latency] = 0.5 * (lo + hi)
+
+    if rising.any():
+        p = powers[rising]
+        lo = np.full(p.size, _AI_LO)
+        hi = np.full(p.size, _AI_HI)
+        ones = np.ones(p.size)
+        for _ in range(50):
+            mid = 0.5 * (lo + hi)
+            below = _steady_power_batch(spec, _surrogate_batch(mid, ones)) < p
+            lo = np.where(below, mid, lo)
+            hi = np.where(below, hi, mid)
+        ai[rising] = 0.5 * (lo + hi)
+
+    return [_kernel(float(a), float(o)) for a, o in zip(ai, occ)]
+
+
 @dataclass(frozen=True)
 class PhaseReplay:
     """One phase's behaviour under a cap."""
@@ -126,28 +211,37 @@ def replay_profile(
     frequency_cap_hz: float,
     spec: Optional[MI250XSpec] = None,
 ) -> ProfileReplay:
-    """Replay every phase of a profile under a frequency cap."""
+    """Replay every phase of a profile under a frequency cap.
+
+    All phase surrogates are solved in one vectorized search and both
+    device configurations evaluate the whole phase list in one
+    :meth:`GPUDevice.run_batch` call each; per-phase accumulation stays
+    in profile order so the aggregates match the scalar loop bitwise.
+    """
     spec = spec if spec is not None else default_spec()
     capped_device = GPUDevice(spec, frequency_cap_hz=frequency_cap_hz)
     base_device = GPUDevice(spec)
+
+    kernels = surrogate_kernels_for_powers(
+        [phase.mean_w for phase in profile.phases], spec
+    )
+    base = base_device.run_batch(kernels)
+    capped = capped_device.run_batch(kernels)
 
     phases: Dict[float, PhaseReplay] = {}
     energy_unc = 0.0
     energy_cap = 0.0
     weighted_slowdown = 0.0
-    for phase, weight in zip(profile.phases, profile.weights):
-        kernel = surrogate_kernel_for_power(phase.mean_w, spec)
-        base = base_device.run(kernel)
-        capped = capped_device.run(kernel)
+    for i, (phase, weight) in enumerate(zip(profile.phases, profile.weights)):
         replay = PhaseReplay(
-            uncapped_power_w=base.power_w,
-            capped_power_w=capped.power_w,
-            slowdown=capped.time_s / base.time_s,
+            uncapped_power_w=float(base.power_w[i]),
+            capped_power_w=float(capped.power_w[i]),
+            slowdown=float(capped.time_s[i]) / float(base.time_s[i]),
         )
         phases[phase.mean_w] = replay
-        e_u = weight * base.power_w
+        e_u = weight * replay.uncapped_power_w
         energy_unc += e_u
-        energy_cap += weight * capped.power_w * replay.slowdown
+        energy_cap += weight * replay.capped_power_w * replay.slowdown
         weighted_slowdown += e_u * replay.slowdown
     return ProfileReplay(
         profile=profile.name,

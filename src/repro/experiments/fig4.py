@@ -2,6 +2,11 @@
 
 For each arithmetic intensity, four panels: achieved TFLOP/s, achieved
 GB/s, steady power, and time-to-solution normalized to the uncapped run.
+
+Evaluation is batched: :class:`~repro.bench.sweep.CapSweep` detects the
+VAI batch protocol and solves each knob's whole cap x intensity grid in
+one :meth:`~repro.gpu.GPUDevice.run_batch` call (one vectorized bisection
+for the power panel) instead of point-by-point scalar runs.
 """
 
 from __future__ import annotations

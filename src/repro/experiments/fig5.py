@@ -2,6 +2,10 @@
 
 One line per arithmetic intensity, swept over frequency caps (left) and
 power caps (right); values are relative to 1700 MHz / 560 W.
+
+Like Fig 4, both sweeps run through the batched engine: the full
+cap x intensity grid is a single :meth:`~repro.gpu.GPUDevice.run_batch`
+call per knob.
 """
 
 from __future__ import annotations

@@ -4,6 +4,10 @@ Average power, bandwidth, and completion time per working-set size, under
 frequency caps (left column) and power caps (right column).  The knee at
 the 16 MB L2 capacity and the cap breaches of the 140/200 W curves are
 the paper's key observations.
+
+Both columns run through the batched engine (the memory benchmark
+exposes the batch protocol), so each knob's cap x working-set grid is a
+single :meth:`~repro.gpu.GPUDevice.run_batch` call.
 """
 
 from __future__ import annotations

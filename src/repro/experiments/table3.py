@@ -1,4 +1,10 @@
-"""Table III: average power/runtime/energy of both benchmarks per cap."""
+"""Table III: average power/runtime/energy of both benchmarks per cap.
+
+Both sweeps behind the table (VAI and the memory benchmark, each knob)
+run through the batched engine: :func:`~repro.bench.tables.compute_table3`
+builds :class:`~repro.bench.sweep.CapSweep` harnesses that evaluate each
+knob's whole cap x kernel grid in one batched device call.
+"""
 
 from __future__ import annotations
 

@@ -20,8 +20,8 @@ Layers, bottom-up:
 """
 
 from .specs import MI250XSpec, NodeSpec, default_spec
-from .kernel import KernelSpec
-from .device import GPUDevice, KernelResult
+from .kernel import KernelBatch, KernelSpec
+from .device import BatchResult, GPUDevice, KernelResult
 from .node import FrontierNode
 
 __all__ = [
@@ -29,7 +29,9 @@ __all__ = [
     "NodeSpec",
     "default_spec",
     "KernelSpec",
+    "KernelBatch",
     "GPUDevice",
     "KernelResult",
+    "BatchResult",
     "FrontierNode",
 ]

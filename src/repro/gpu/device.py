@@ -14,18 +14,18 @@ material for the out-of-band pipeline in :mod:`repro.telemetry`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from .. import constants
 from ..errors import CapError
 from ..rng import RngLike, ensure_rng
-from .dvfs import boost_frequency, resolve_frequency_cap
-from .kernel import KernelSpec
-from .perf import ExecutionProfile, execute
-from .power import steady_power
-from .powercap import enforce_power_cap
+from .dvfs import boost_frequency, resolve_frequency_cap, resolve_frequency_caps
+from .kernel import KernelBatch, KernelSpec
+from .perf import ExecutionProfile, execute, execute_batch
+from .power import steady_power, steady_power_batch
+from .powercap import enforce_power_cap, solve_power_cap_frequencies
 from .specs import MI250XSpec, default_spec
 from .thermal import ThermalModel
 
@@ -48,6 +48,69 @@ class KernelResult:
     @property
     def arithmetic_intensity(self) -> float:
         return self.kernel.arithmetic_intensity
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Struct-of-arrays outcome of one :meth:`GPUDevice.run_batch` call.
+
+    One row per grid point; every column is an equal-length array.  The
+    scalar :meth:`GPUDevice.run` path is the correctness oracle: each row
+    equals the :class:`KernelResult` of the matching scalar call.
+    """
+
+    time_s: np.ndarray
+    power_w: np.ndarray
+    energy_j: np.ndarray
+    f_core_hz: np.ndarray
+    bound: np.ndarray            # labels, "compute" | "memory" | ...
+    cap_breached: np.ndarray     # bool
+    achieved_flops: np.ndarray
+    achieved_bw: np.ndarray
+    l2_hit_fraction: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.time_s)
+
+    def __getitem__(self, index) -> "BatchResult":
+        """Slice/fancy-index every column (rows stay aligned)."""
+        return BatchResult(
+            time_s=self.time_s[index],
+            power_w=self.power_w[index],
+            energy_j=self.energy_j[index],
+            f_core_hz=self.f_core_hz[index],
+            bound=self.bound[index],
+            cap_breached=self.cap_breached[index],
+            achieved_flops=self.achieved_flops[index],
+            achieved_bw=self.achieved_bw[index],
+            l2_hit_fraction=self.l2_hit_fraction[index],
+        )
+
+
+def _normalize_caps(
+    caps, n: int, default: Optional[float], what: str
+) -> np.ndarray:
+    """Per-point cap column: NaN = uncapped.  ``None`` -> device default."""
+    if caps is None:
+        value = np.nan if default is None else float(default)
+        return np.full(n, value)
+    if np.isscalar(caps):
+        return np.full(n, float(caps))
+    if isinstance(caps, np.ndarray) and caps.dtype.kind == "f":
+        arr = caps.astype(np.float64, copy=False)
+    else:
+        arr = np.array(
+            [np.nan if c is None else float(c) for c in caps],
+            dtype=np.float64,
+        )
+    if arr.shape == (1,):
+        return np.full(n, arr[0])
+    if arr.shape != (n,):
+        raise CapError(
+            f"{what} must be a scalar or length-{n} sequence, "
+            f"got shape {arr.shape}"
+        )
+    return arr
 
 
 class GPUDevice:
@@ -144,6 +207,76 @@ class GPUDevice:
             bound=profile.bound,
             cap_breached=breached,
             profile=profile,
+        )
+
+    def run_batch(
+        self,
+        kernels: Union[Sequence[KernelSpec], KernelBatch],
+        *,
+        frequency_caps_hz=None,
+        power_caps_w=None,
+    ) -> BatchResult:
+        """Execute a whole grid of kernels in single NumPy passes.
+
+        ``kernels`` is a sequence of kernels (or a pre-packed
+        :class:`KernelBatch`), one per grid point.  The cap arguments give
+        each point its own knob settings: a scalar applies to every point,
+        a sequence (``None`` entries = uncapped) is matched per point, and
+        ``None`` inherits the device's current cap settings — so a cap x
+        kernel cross-product is one call with tiled columns.
+
+        Semantics per point are identical to :meth:`run` (the scalar path
+        remains the correctness oracle): a power cap bisects the core
+        clock against the metered power, a frequency cap ceilings the
+        clock and engages the low uncore P-state, and when both are set
+        the more restrictive knob wins.
+        """
+        batch = (
+            kernels
+            if isinstance(kernels, KernelBatch)
+            else KernelBatch.from_kernels(kernels)
+        )
+        n = len(batch)
+        fcaps = _normalize_caps(
+            frequency_caps_hz, n, self._frequency_cap_hz, "frequency_caps_hz"
+        )
+        pcaps = _normalize_caps(
+            power_caps_w, n, self._power_cap_w, "power_caps_w"
+        )
+        freq_capped = ~np.isnan(fcaps)
+        f_ceiling = resolve_frequency_caps(self.spec, fcaps)
+
+        has_pcap = ~np.isnan(pcaps)
+        f_core = f_ceiling
+        if has_pcap.any():
+            idx = np.flatnonzero(has_pcap)
+            # Only the solved clocks are needed here: the profile, power,
+            # and breach flags are re-derived below with the frequency
+            # ceiling applied, so skip the solver's full final evaluation.
+            _, f_solved = solve_power_cap_frequencies(
+                self.spec, batch.select(idx), pcaps[idx]
+            )
+            f_core = f_ceiling.copy()
+            f_core[idx] = np.minimum(f_solved, f_ceiling[idx])
+
+        profile = execute_batch(self.spec, batch, f_core)
+        # A power cap alone never engages the low uncore P-state; a
+        # frequency cap (if also set at that point) does.
+        p = steady_power_batch(
+            self.spec, profile, f_core_hz=f_core, uncore_capped=freq_capped
+        )
+        with np.errstate(invalid="ignore"):
+            breached = has_pcap & (p > pcaps + 2.0)
+        return BatchResult(
+            time_s=profile.time_s,
+            power_w=p,
+            energy_j=p * profile.time_s,
+            f_core_hz=f_core,
+            bound=profile.bound,
+            cap_breached=breached,
+            achieved_flops=profile.achieved_flops,
+            achieved_bw=profile.achieved_bw,
+            l2_hit_fraction=profile.l2_hit_fraction,
         )
 
     def idle_result(self, duration_s: float) -> KernelResult:

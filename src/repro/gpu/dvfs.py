@@ -46,6 +46,38 @@ def resolve_frequency_cap(
     return f
 
 
+def resolve_frequency_caps(
+    spec: MI250XSpec,
+    caps_hz: np.ndarray,
+    *,
+    quantize: bool = False,
+) -> np.ndarray:
+    """Vectorized :func:`resolve_frequency_cap` over a cap array.
+
+    ``caps_hz`` is a float array where NaN means uncapped (run at f_max).
+    Out-of-range requests raise :class:`~repro.errors.CapError` exactly as
+    the scalar path does.
+    """
+    caps = np.asarray(caps_hz, dtype=np.float64)
+    capped = ~np.isnan(caps)
+    if np.any(capped & (caps <= 0)):
+        bad = caps[capped & (caps <= 0)][0]
+        raise CapError(f"frequency cap must be positive, got {bad}")
+    if np.any(capped & (caps < spec.f_min_hz)):
+        bad = caps[capped & (caps < spec.f_min_hz)][0]
+        raise CapError(
+            f"frequency cap {bad / 1e6:.0f} MHz below device minimum "
+            f"{spec.f_min_hz / 1e6:.0f} MHz"
+        )
+    f = np.where(capped, np.minimum(caps, spec.f_max_hz), spec.f_max_hz)
+    if quantize:
+        q = np.maximum(
+            np.floor(f / DVFS_STEP_HZ) * DVFS_STEP_HZ, spec.f_min_hz
+        )
+        f = np.where(capped, q, f)
+    return f
+
+
 def boost_frequency(spec: MI250XSpec) -> float:
     """Short-excursion boost frequency above f_max."""
     return spec.f_max_hz * spec.boost_f_factor

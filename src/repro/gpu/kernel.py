@@ -28,8 +28,10 @@ distinguish kernel families:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Optional
+from dataclasses import dataclass, fields, replace
+from typing import Optional, Sequence
+
+import numpy as np
 
 from ..errors import KernelError
 
@@ -103,3 +105,129 @@ class KernelSpec:
     def with_overrides(self, **kwargs) -> "KernelSpec":
         """Return a copy with selected fields replaced."""
         return replace(self, **kwargs)
+
+
+#: Numeric KernelSpec fields packed into :class:`KernelBatch` columns, in
+#: declaration order.  ``working_set_bytes`` uses NaN for "not set".
+_BATCH_FIELDS = (
+    "flops",
+    "hbm_bytes",
+    "l2_bytes",
+    "working_set_bytes",
+    "issue_bw_factor",
+    "compute_efficiency",
+    "occupancy",
+    "divergence",
+    "launch_overhead_s",
+    "stall_power_fraction",
+)
+
+
+@dataclass(frozen=True)
+class KernelBatch:
+    """A struct-of-arrays view of ``n`` kernels for batched evaluation.
+
+    Each column is a float64 array of equal length; ``working_set_bytes``
+    is NaN where the kernel pins an explicit L2/HBM split instead.  Built
+    from validated :class:`KernelSpec` objects via :meth:`from_kernels`
+    (the normal path) or directly from arrays by internal solvers that
+    sweep kernel *parameters* (see :mod:`repro.core.replay`).
+    """
+
+    flops: np.ndarray
+    hbm_bytes: np.ndarray
+    l2_bytes: np.ndarray
+    working_set_bytes: np.ndarray   # NaN = explicit split
+    issue_bw_factor: np.ndarray
+    compute_efficiency: np.ndarray
+    occupancy: np.ndarray
+    divergence: np.ndarray
+    launch_overhead_s: np.ndarray
+    stall_power_fraction: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.flops)
+        for name in _BATCH_FIELDS:
+            col = getattr(self, name)
+            if col.shape != (n,):
+                raise KernelError(
+                    f"batch column {name} must have shape ({n},), "
+                    f"got {col.shape}"
+                )
+        ws = self.working_set_bytes
+        if n and np.any(~np.isnan(ws) & (ws <= 0)):
+            raise KernelError("working set must be positive")
+
+    @classmethod
+    def from_kernels(cls, kernels: Sequence[KernelSpec]) -> "KernelBatch":
+        """Pack a sequence of kernels into columnar form."""
+        kernels = list(kernels)
+        cols = {}
+        for name in _BATCH_FIELDS:
+            if name == "working_set_bytes":
+                cols[name] = np.array(
+                    [
+                        np.nan if k.working_set_bytes is None
+                        else float(k.working_set_bytes)
+                        for k in kernels
+                    ],
+                    dtype=np.float64,
+                )
+            else:
+                cols[name] = np.array(
+                    [float(getattr(k, name)) for k in kernels],
+                    dtype=np.float64,
+                )
+        return cls(**cols)
+
+    def __len__(self) -> int:
+        return len(self.flops)
+
+    @property
+    def total_bytes(self) -> np.ndarray:
+        """All bytes moved per kernel, regardless of level."""
+        return self.hbm_bytes + self.l2_bytes
+
+    def select(self, index) -> "KernelBatch":
+        """Rows at ``index`` (any NumPy fancy index) as a new batch."""
+        sub = KernelBatch(
+            **{f.name: getattr(self, f.name)[index] for f in fields(self)}
+        )
+        self._propagate_traffic(sub, lambda col: col[index])
+        return sub
+
+    def tile(self, reps: int) -> "KernelBatch":
+        """The batch repeated ``reps`` times (cap x kernel cross-products)."""
+        if reps <= 0:
+            raise KernelError("tile count must be positive")
+        out = KernelBatch(
+            **{f.name: np.tile(getattr(self, f.name), reps) for f in fields(self)}
+        )
+        self._propagate_traffic(out, lambda col: np.tile(col, reps))
+        return out
+
+    def _propagate_traffic(self, derived: "KernelBatch", op) -> None:
+        """Carry resolved traffic (see ``perf._resolve_traffic_batch``)
+        onto a row-derived batch.
+
+        Every cached column is an elementwise function of its row's
+        inputs, so applying the same row operation to the cache yields
+        bitwise-identical values to re-resolving — and the power-cap
+        bisection selects sub-batches on its hottest path.
+        """
+        memo = getattr(self, "_traffic_memo", None)
+        if not memo:
+            return
+        derived_memo = {
+            key: (
+                spec,
+                type(traffic)(
+                    **{
+                        f.name: op(getattr(traffic, f.name))
+                        for f in fields(traffic)
+                    }
+                ),
+            )
+            for key, (spec, traffic) in memo.items()
+        }
+        object.__setattr__(derived, "_traffic_memo", derived_memo)

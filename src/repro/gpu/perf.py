@@ -16,9 +16,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from .cache import TrafficSplit, resolve_traffic
-from .kernel import KernelSpec
+from .kernel import KernelBatch, KernelSpec
 from .specs import MI250XSpec
+
+#: Bound labels indexed by the integer codes of :class:`BatchProfile`.
+BOUND_LABELS = np.array(["compute", "memory", "issue", "overhead"])
 
 
 @dataclass(frozen=True)
@@ -106,4 +111,297 @@ def execute(spec: MI250XSpec, kernel: KernelSpec, f_hz: float) -> ExecutionProfi
         hbm_activity=hbm_act,
         l2_activity=l2_act,
         stall_activity=kernel.stall_power_fraction,
+    )
+
+
+# -- batched (array-in/array-out) path ------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchProfile:
+    """Struct-of-arrays :class:`ExecutionProfile` for ``n`` grid points.
+
+    One row per (kernel, frequency) point; every column is a float64 (or
+    bool/int) array of equal length.  Arithmetic mirrors the scalar
+    :func:`execute` expression-for-expression so batch results match the
+    scalar oracle bitwise.
+    """
+
+    time_s: np.ndarray
+    f_hz: np.ndarray
+    achieved_flops: np.ndarray
+    achieved_bw: np.ndarray
+    bound_code: np.ndarray       # index into BOUND_LABELS
+    core_activity: np.ndarray
+    hbm_activity: np.ndarray
+    l2_activity: np.ndarray
+    stall_activity: np.ndarray
+    l2_bytes: np.ndarray
+    hbm_bytes: np.ndarray
+    l2_hit_fraction: np.ndarray
+    issue_limited: np.ndarray    # bool
+
+    def __len__(self) -> int:
+        return len(self.time_s)
+
+    @property
+    def bound(self) -> np.ndarray:
+        """Bound labels ("compute" | "memory" | "issue" | "overhead")."""
+        return BOUND_LABELS[self.bound_code]
+
+
+@dataclass(frozen=True)
+class _BatchTraffic:
+    """Frequency-independent traffic columns of a batch (memoized).
+
+    Where the bytes land — the L2 hit fraction and the byte split — does
+    not depend on the clock, so the power-cap bisection (which evaluates
+    the same kernels at ~20 clocks) reuses one resolution.
+    """
+
+    total: np.ndarray
+    hit: np.ndarray
+    l2_bytes: np.ndarray
+    hbm_bytes: np.ndarray
+    no_bytes: np.ndarray     # bool: workless (flops-only) kernels
+    bw_hbm: np.ndarray       # occupancy-derated HBM bandwidth
+    # Frequency-independent subexpressions of the roofline, hoisted so the
+    # power-cap bisection (~20 evaluations of the same batch) skips them.
+    hbm_denom: np.ndarray    # where(hit < 1, (1 - hit) / bw_hbm, 0)
+    hit_pos: np.ndarray      # hit > 0
+    has_flops: np.ndarray    # flops > 0
+    total_pos: np.ndarray    # total > 0
+    hbm_pos: np.ndarray      # hbm_bytes > 0
+    l2_pos: np.ndarray       # l2_bytes > 0
+
+
+def _resolve_traffic_batch(spec: MI250XSpec, batch: KernelBatch) -> _BatchTraffic:
+    memo = getattr(batch, "_traffic_memo", None)
+    if memo is None:
+        memo = {}
+        object.__setattr__(batch, "_traffic_memo", memo)
+    # Keyed by identity: hashing the many-field spec dataclass on every
+    # bisection step costs more than the resolution it guards.  The entry
+    # stores the spec itself so the id cannot be recycled while cached.
+    cached = memo.get(id(spec))
+    if cached is not None:
+        return cached[1]
+    if len(memo) >= 8:
+        # Long-lived batches evaluated under many distinct spec objects
+        # would otherwise accumulate entries without bound.
+        memo.clear()
+    total = batch.hbm_bytes + batch.l2_bytes
+    has_ws = ~np.isnan(batch.working_set_bytes)
+    with np.errstate(invalid="ignore"):
+        ratio = batch.working_set_bytes / spec.l2_bytes
+        hit_ws = np.where(ratio <= 1.0, 1.0, np.maximum(0.0, 2.0 - ratio))
+        hit_split = np.where(
+            total > 0, batch.l2_bytes / np.where(total > 0, total, 1.0), 0.0
+        )
+        hit = np.where(
+            has_ws, np.where(np.isnan(hit_ws), 0.0, hit_ws), hit_split
+        )
+        l2_b = np.where(has_ws, total * hit, batch.l2_bytes)
+        hbm_b = np.where(has_ws, total * (1.0 - hit), batch.hbm_bytes)
+    no_bytes = total <= 0
+    hit = np.where(no_bytes, 0.0, hit)
+    l2_b = np.where(no_bytes, 0.0, l2_b)
+    hbm_b = np.where(no_bytes, 0.0, hbm_b)
+    bw_hbm = spec.achievable_hbm_bw * batch.occupancy
+    with np.errstate(divide="ignore", invalid="ignore"):
+        hbm_denom = np.where(hit < 1, (1.0 - hit) / bw_hbm, 0.0)
+    out = _BatchTraffic(
+        total=total,
+        hit=hit,
+        l2_bytes=l2_b,
+        hbm_bytes=hbm_b,
+        no_bytes=no_bytes,
+        bw_hbm=bw_hbm,
+        hbm_denom=hbm_denom,
+        hit_pos=hit > 0,
+        has_flops=batch.flops > 0,
+        total_pos=total > 0,
+        hbm_pos=hbm_b > 0,
+        l2_pos=l2_b > 0,
+    )
+    memo[id(spec)] = (spec, out)
+    return out
+
+
+def power_activities_batch(spec: MI250XSpec, batch: KernelBatch, f_hz):
+    """Just the activity factors the power models consume, in one pass.
+
+    The power-cap bisection evaluates the same kernels at ~20 clocks and
+    only ever reads the meter, so this lean sibling of
+    :func:`execute_batch` computes the roofline time and the four activity
+    columns with the *same expressions in the same order* (bitwise-equal
+    values) while skipping the bound classification and achieved-rate
+    bookkeeping a full profile carries.
+
+    Unlike :func:`execute_batch` this does not clamp ``f_hz``: the
+    bisection only ever evaluates frequencies inside ``[f_min, f_max]``,
+    where the clamp is an identity.
+
+    The guard ``where``/comparison pairs of the full path are elided where
+    the guarded quantity is provably positive (``f >= f_min > 0`` makes
+    every clock-derived rate positive) or where the guarded branch is
+    overwritten by a later mask (``0 / inf == 0`` on workless rows) —
+    the surviving values are bitwise identical.
+
+    Returns ``(core_activity, hbm_activity, l2_activity, stall_activity)``.
+    """
+    n = len(batch)
+    f = np.asarray(f_hz, dtype=np.float64)
+    if f.shape != (n,):
+        f = np.broadcast_to(f, (n,))
+
+    occ = batch.occupancy
+    traffic = _resolve_traffic_batch(spec, batch)
+    total, hit = traffic.total, traffic.hit
+    l2_b, hbm_b = traffic.l2_bytes, traffic.hbm_bytes
+    no_bytes = traffic.no_bytes
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x = f / spec.f_max_hz
+        bw_l2 = spec.l2_bw_max * x * occ
+        ceiling = (
+            batch.issue_bw_factor * x * spec.achievable_hbm_bw
+        ) * occ
+
+        denom = np.where(traffic.hit_pos, hit / bw_l2, 0.0) + traffic.hbm_denom
+        composed = np.where(denom > 0, 1.0 / denom, np.inf)
+        effective = np.minimum(composed, ceiling)
+        effective = np.where(no_bytes, np.inf, effective)
+
+        roof = (
+            spec.achievable_flops
+            * x
+            * batch.compute_efficiency
+            * occ
+            * (1.0 - batch.divergence)
+        )
+        t_comp = np.where(traffic.has_flops, batch.flops / roof, 0.0)
+        t_mem = np.where(traffic.total_pos, total / effective, 0.0)
+        busy = np.maximum(t_comp, t_mem)
+        time_s = busy + batch.launch_overhead_s
+        time_s = np.where(time_s <= 0, 1e-12, time_s)
+
+        achieved_flops = batch.flops / time_s
+        clock_flops = spec.achievable_flops * x
+        core_act = np.minimum(1.0, achieved_flops / clock_flops)
+        hbm_act = np.where(
+            traffic.hbm_pos,
+            np.minimum(1.0, (hbm_b / time_s) / spec.achievable_hbm_bw),
+            0.0,
+        )
+        l2_full_bw = spec.l2_bw_max * x
+        l2_act = np.where(
+            traffic.l2_pos,
+            np.minimum(1.0, (l2_b / time_s) / l2_full_bw),
+            0.0,
+        )
+    return core_act, hbm_act, l2_act, batch.stall_power_fraction
+
+
+def execute_batch(
+    spec: MI250XSpec, batch: KernelBatch, f_hz: np.ndarray
+) -> BatchProfile:
+    """Run every kernel of ``batch`` at its paired frequency in one pass.
+
+    ``f_hz`` broadcasts against the batch length; the returned profile has
+    one row per point.  Equivalent to ``[execute(spec, k, f) ...]`` but
+    evaluated as whole-array NumPy expressions.
+    """
+    n = len(batch)
+    f = np.broadcast_to(np.asarray(f_hz, dtype=np.float64), (n,))
+    f = np.minimum(np.maximum(f, spec.f_min_hz), spec.f_max_hz)
+
+    # Traffic resolution (vectorized resolve_traffic; split memoized).
+    occ = batch.occupancy
+    traffic = _resolve_traffic_batch(spec, batch)
+    total, hit = traffic.total, traffic.hit
+    l2_b, hbm_b = traffic.l2_bytes, traffic.hbm_bytes
+    no_bytes = traffic.no_bytes
+    with np.errstate(divide="ignore", invalid="ignore"):
+        x = f / spec.f_max_hz
+        bw_l2 = spec.l2_bw_max * x * occ
+        ceiling = (
+            batch.issue_bw_factor * x * spec.achievable_hbm_bw
+        ) * occ
+
+        denom = np.where(traffic.hit_pos, hit / bw_l2, 0.0) + traffic.hbm_denom
+        composed = np.where(denom > 0, 1.0 / np.where(denom > 0, denom, 1.0),
+                            np.inf)
+        effective = np.minimum(composed, ceiling)
+        issue_limited = ceiling < composed
+
+        # Workless kernels: effective bandwidth is infinite and the issue
+        # ceiling never engages (matches the scalar early return).
+        effective = np.where(no_bytes, np.inf, effective)
+        issue_limited = np.where(no_bytes, False, issue_limited)
+
+        # Roofline times.
+        roof = (
+            spec.achievable_flops
+            * x
+            * batch.compute_efficiency
+            * occ
+            * (1.0 - batch.divergence)
+        )
+        t_comp = np.where(traffic.has_flops, batch.flops / roof, 0.0)
+        t_mem = np.where(
+            traffic.total_pos, total / np.where(no_bytes, 1.0, effective), 0.0
+        )
+        busy = np.maximum(t_comp, t_mem)
+        time_s = busy + batch.launch_overhead_s
+        time_s = np.where(time_s <= 0, 1e-12, time_s)
+
+        bound_code = np.where(
+            batch.launch_overhead_s > busy,
+            3,                                       # overhead
+            np.where(
+                t_comp >= t_mem,
+                0,                                   # compute
+                np.where(issue_limited, 2, 1),       # issue | memory
+            ),
+        )
+
+        achieved_flops = batch.flops / time_s
+        achieved_bw = total / time_s
+
+        clock_flops = spec.achievable_flops * x
+        core_act = np.where(
+            clock_flops > 0,
+            np.minimum(1.0, achieved_flops / np.where(clock_flops > 0,
+                                                      clock_flops, 1.0)),
+            0.0,
+        )
+        hbm_act = np.where(
+            traffic.hbm_pos,
+            np.minimum(1.0, (hbm_b / time_s) / spec.achievable_hbm_bw),
+            0.0,
+        )
+        l2_full_bw = spec.l2_bw_max * x
+        l2_act = np.where(
+            traffic.l2_pos & (l2_full_bw > 0),
+            np.minimum(
+                1.0,
+                (l2_b / time_s) / np.where(l2_full_bw > 0, l2_full_bw, 1.0),
+            ),
+            0.0,
+        )
+
+    return BatchProfile(
+        time_s=time_s,
+        f_hz=f,
+        achieved_flops=achieved_flops,
+        achieved_bw=achieved_bw,
+        bound_code=bound_code,
+        core_activity=core_act,
+        hbm_activity=hbm_act,
+        l2_activity=l2_act,
+        stall_activity=batch.stall_power_fraction,
+        l2_bytes=l2_b,
+        hbm_bytes=hbm_b,
+        l2_hit_fraction=hit,
+        issue_limited=issue_limited,
     )

@@ -27,8 +27,12 @@ management knobs:
 
 from __future__ import annotations
 
+from typing import Union
+
+import numpy as np
+
 from . import voltage
-from .perf import ExecutionProfile
+from .perf import BatchProfile, ExecutionProfile
 from .specs import MI250XSpec
 
 
@@ -77,6 +81,69 @@ def metered_power(spec: MI250XSpec, profile: ExecutionProfile, f_core_hz: float)
         + kappa * spec.hbm_power_w * profile.hbm_activity
         - kappa * spec.cross_power_w * core_act
         * profile.hbm_activity * phi
+    )
+
+
+def steady_power_batch(
+    spec: MI250XSpec,
+    profile: BatchProfile,
+    *,
+    f_core_hz: Union[np.ndarray, None] = None,
+    uncore_capped: Union[bool, np.ndarray] = False,
+) -> np.ndarray:
+    """Vectorized :func:`steady_power`: one module power per grid point.
+
+    ``uncore_capped`` may be a per-point boolean array (mixed-knob grids).
+    The expression mirrors the scalar path term-for-term so batch and
+    scalar powers agree bitwise.
+    """
+    f_core = profile.f_hz if f_core_hz is None else np.asarray(f_core_hz, float)
+    phi = voltage.core_scale(spec, f_core)
+    psi = voltage.uncore_scale(spec, f_core, capped=uncore_capped)
+    core_act = np.minimum(1.0, profile.core_activity + profile.stall_activity)
+    p = (
+        spec.idle_w
+        + spec.core_power_w * core_act * phi
+        + spec.l2_power_w * profile.l2_activity * phi
+        + spec.hbm_power_w * profile.hbm_activity * psi
+        - spec.cross_power_w * core_act * profile.hbm_activity * phi
+    )
+    return np.minimum(p, spec.tdp_w)
+
+
+def metered_power_batch(
+    spec: MI250XSpec, profile: BatchProfile, f_core_hz: np.ndarray
+) -> np.ndarray:
+    """Vectorized :func:`metered_power` (the power-cap controller's meter)."""
+    return metered_power_from_activities(
+        spec,
+        f_core_hz,
+        profile.core_activity,
+        profile.hbm_activity,
+        profile.l2_activity,
+        profile.stall_activity,
+    )
+
+
+def metered_power_from_activities(
+    spec: MI250XSpec,
+    f_core_hz: np.ndarray,
+    core_activity: np.ndarray,
+    hbm_activity: np.ndarray,
+    l2_activity: np.ndarray,
+    stall_activity: np.ndarray,
+) -> np.ndarray:
+    """The meter expression on raw activity columns (bisection hot path)."""
+    phi = voltage.core_scale(spec, np.asarray(f_core_hz, float))
+    kappa = spec.cap_metered_hbm_fraction
+    core_act = np.minimum(1.0, core_activity + stall_activity)
+    return (
+        spec.idle_w
+        + spec.core_power_w * core_act * phi
+        + spec.l2_power_w * l2_activity * phi
+        + kappa * spec.hbm_power_w * hbm_activity
+        - kappa * spec.cross_power_w * core_act
+        * hbm_activity * phi
     )
 
 

@@ -20,11 +20,26 @@ paper fall out of this model:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
 
 from ..errors import CapError
-from .kernel import KernelSpec
-from .perf import ExecutionProfile, execute
-from .power import metered_power, steady_power
+from .kernel import KernelBatch, KernelSpec
+from .perf import (
+    BatchProfile,
+    ExecutionProfile,
+    execute,
+    execute_batch,
+    power_activities_batch,
+)
+from .power import (
+    metered_power,
+    metered_power_batch,
+    metered_power_from_activities,
+    steady_power,
+    steady_power_batch,
+)
 from .specs import MI250XSpec
 
 #: Bisection tolerance on frequency, Hz (≈0.1 MHz: far below a DVFS step).
@@ -60,7 +75,24 @@ def enforce_power_cap(
 
     Bisects on the core frequency; the metered power is monotone
     non-decreasing in the clock for every kernel this model can express.
+
+    Solutions are memoized on ``(spec, kernel, cap)`` — both dataclasses
+    are frozen, so the triple is a complete fingerprint — because governor
+    loops and node accounting re-solve identical inputs constantly and
+    each solve costs ~20 model evaluations.
     """
+    return _enforce_power_cap_cached(spec, kernel, float(cap_w))
+
+
+def clear_powercap_cache() -> None:
+    """Drop all memoized power-cap solutions (used by timing harnesses)."""
+    _enforce_power_cap_cached.cache_clear()
+
+
+@lru_cache(maxsize=4096)
+def _enforce_power_cap_cached(
+    spec: MI250XSpec, kernel: KernelSpec, cap_w: float
+) -> CapSolution:
     if cap_w <= 0:
         raise CapError(f"power cap must be positive, got {cap_w} W")
     if cap_w < spec.idle_w:
@@ -91,3 +123,110 @@ def enforce_power_cap(
             hi = mid
     profile, metered, actual = _solve(spec, kernel, lo)
     return CapSolution(lo, profile, actual, metered, breached=actual > cap_w + _BREACH_TOL_W)
+
+
+# -- batched (array-in/array-out) path ------------------------------------------
+
+
+@dataclass(frozen=True)
+class BatchCapSolution:
+    """Outcome of power-cap enforcement for every point of a batch."""
+
+    f_core_hz: np.ndarray
+    profile: BatchProfile
+    power_w: np.ndarray      # actual module power (may exceed the cap)
+    metered_w: np.ndarray    # what the controller's meter reads
+    breached: np.ndarray     # actual power exceeds the cap (bool)
+
+
+def _solve_batch(spec: MI250XSpec, batch: KernelBatch, f_hz: np.ndarray):
+    profile = execute_batch(spec, batch, f_hz)
+    metered = metered_power_batch(spec, profile, f_hz)
+    actual = steady_power_batch(
+        spec, profile, f_core_hz=f_hz, uncore_capped=False
+    )
+    return profile, metered, actual
+
+
+def _metered_batch(
+    spec: MI250XSpec, batch: KernelBatch, f_hz: np.ndarray
+) -> np.ndarray:
+    """Meter reading only — the bisection loop never needs actual power,
+    bound labels, or achieved rates, so it runs the lean activity pass."""
+    core, hbm, l2, stall = power_activities_batch(spec, batch, f_hz)
+    return metered_power_from_activities(spec, f_hz, core, hbm, l2, stall)
+
+
+def enforce_power_cap_batch(
+    spec: MI250XSpec, batch: KernelBatch, caps_w: np.ndarray
+) -> BatchCapSolution:
+    """Solve the power-cap operating point for every grid point at once.
+
+    Wraps :func:`solve_power_cap_frequencies` (the frequency search) with
+    a full profile/power evaluation at the solved clocks — the batched
+    :func:`enforce_power_cap`.
+    """
+    caps, f = solve_power_cap_frequencies(spec, batch, caps_w)
+    profile, metered, actual = _solve_batch(spec, batch, f)
+    return BatchCapSolution(
+        f_core_hz=f,
+        profile=profile,
+        power_w=actual,
+        metered_w=metered,
+        breached=actual > caps + _BREACH_TOL_W,
+    )
+
+
+def solve_power_cap_frequencies(
+    spec: MI250XSpec, batch: KernelBatch, caps_w: np.ndarray
+):
+    """The core-clock each grid point's power cap settles at.
+
+    The scalar bisection halves the same ``[f_min, f_max]`` interval for
+    every point, so all points stay lock-stepped: one ``(n,)`` lo/hi array
+    pair and ~20 whole-array model evaluations replace ~20 scalar
+    evaluations *per point*.  Midpoint arithmetic is identical to the
+    scalar loop, so the solved frequencies match the scalar oracle
+    bitwise.  Returns ``(caps, f_core_hz)``; callers that need powers or
+    profiles evaluate at the returned clocks themselves.
+    """
+    n = len(batch)
+    caps = np.broadcast_to(
+        np.asarray(caps_w, dtype=np.float64), (n,)
+    ).copy()
+    if np.any(caps <= 0):
+        bad = caps[caps <= 0][0]
+        raise CapError(f"power cap must be positive, got {bad} W")
+    if np.any(caps < spec.idle_w):
+        bad = caps[caps < spec.idle_w][0]
+        raise CapError(
+            f"power cap {bad:.0f} W below idle power {spec.idle_w:.0f} W"
+        )
+    f = np.full(n, spec.f_max_hz)
+    if n:
+        m_hi = _metered_batch(spec, batch, f)
+        need = np.flatnonzero(m_hi > caps)
+        if need.size:
+            # Whole-batch endpoint evaluation: the rows outside ``need``
+            # are wasted arithmetic, but a second pass over the same
+            # (traffic-memoized) batch is cheaper than materializing a
+            # sub-batch for it.
+            m_lo_all = _metered_batch(spec, batch, np.full(n, spec.f_min_hz))
+            # Even the slowest clock breaches the metered cap: HBM floor.
+            floor = m_lo_all[need] > caps[need]
+            f[need[floor]] = spec.f_min_hz
+            bis = need[~floor]
+            if bis.size:
+                kb = batch.select(bis)
+                cap_b = caps[bis]
+                lo = np.full(bis.size, spec.f_min_hz)
+                hi = np.full(bis.size, spec.f_max_hz)
+                # hi - lo is the same halved interval at every point, so
+                # the loop count matches the scalar bisection exactly.
+                while (hi - lo).max() > _F_TOL_HZ:
+                    mid = 0.5 * (lo + hi)
+                    fits = _metered_batch(spec, kb, mid) <= cap_b
+                    lo = np.where(fits, mid, lo)
+                    hi = np.where(fits, hi, mid)
+                f[bis] = lo
+    return caps, f

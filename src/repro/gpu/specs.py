@@ -147,6 +147,15 @@ class NodeSpec:
         return self.cpu_idle_w + (self.cpu_max_w - self.cpu_idle_w) * load
 
 
+#: Shared default instance: the spec is frozen, so every caller can hold
+#: the same object — which also lets identity-keyed caches (the batched
+#: traffic memo) hit across independently constructed harnesses.
+_DEFAULT_SPEC: MI250XSpec | None = None
+
+
 def default_spec() -> MI250XSpec:
     """The calibrated MI250X module specification used throughout."""
-    return MI250XSpec()
+    global _DEFAULT_SPEC
+    if _DEFAULT_SPEC is None:
+        _DEFAULT_SPEC = MI250XSpec()
+    return _DEFAULT_SPEC

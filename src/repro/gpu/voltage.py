@@ -35,12 +35,14 @@ def voltage(spec: MI250XSpec, f_hz):
 def core_scale(spec: MI250XSpec, f_hz):
     """phi(f): core dynamic-power scale relative to f_max (=1 at f_max)."""
     x = np.asarray(f_hz, dtype=float) / spec.f_max_hz
-    v_ratio = voltage(spec, f_hz) / voltage(spec, spec.f_max_hz)
+    # voltage(spec, f_max) folds to the exact float v0 + v1 (x there is
+    # exactly 1.0), so skip the array round-trip on the hot meter path.
+    v_ratio = (spec.v0 + spec.v1 * x) / (spec.v0 + spec.v1)
     out = x * v_ratio**2
     return float(out) if np.isscalar(f_hz) else out
 
 
-def uncore_scale(spec: MI250XSpec, f_hz, *, capped: bool):
+def uncore_scale(spec: MI250XSpec, f_hz, *, capped):
     """psi(f): HBM/uncore power scale.
 
     ``capped=False`` — no frequency ceiling set: the uncore runs its full
@@ -49,13 +51,19 @@ def uncore_scale(spec: MI250XSpec, f_hz, *, capped: bool):
     ``capped=True`` — a DVFS ceiling is in force: the firmware engages a
     lower uncore P-state and the scale follows the calibrated
     ``psi_cap0 + psi_cap1 * (f / f_max)`` response.
+
+    ``capped`` may also be a boolean array (one flag per grid point in the
+    batched path); it broadcasts against ``f_hz``.
     """
     x = np.asarray(f_hz, dtype=float) / spec.f_max_hz
-    if capped:
-        out = spec.psi_cap0 + spec.psi_cap1 * x
-    else:
-        out = np.ones_like(x)
-    return float(out) if np.isscalar(f_hz) else out
+    capped_arr = np.asarray(capped)
+    if capped_arr.ndim == 0:
+        if capped_arr:
+            out = spec.psi_cap0 + spec.psi_cap1 * x
+        else:
+            out = np.ones_like(x)
+        return float(out) if np.isscalar(f_hz) else out
+    return np.where(capped_arr, spec.psi_cap0 + spec.psi_cap1 * x, 1.0)
 
 
 def frequency_grid(spec: MI250XSpec, n: int = 64) -> np.ndarray:

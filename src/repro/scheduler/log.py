@@ -90,6 +90,52 @@ class SchedulerLog:
         out[valid] = ids[idx[valid]]
         return out
 
+    def job_id_table(
+        self, times_s: np.ndarray, node_ids: np.ndarray
+    ) -> np.ndarray:
+        """Job id active at each ``(time, node)`` pair (0 = idle).
+
+        The whole-table analogue of :meth:`job_id_grid`: one composite-key
+        ``searchsorted`` over allocations sorted by ``(node, start)``
+        labels every row of a telemetry chunk at once, replacing the
+        per-node lookup loop in the join.  Matches
+        ``[job_id_grid(t, n) ...]`` exactly.
+        """
+        times_s = np.asarray(times_s, dtype=np.float64)
+        node_ids = np.asarray(node_ids, dtype=np.int64)
+        out = np.zeros(len(times_s), dtype=np.int64)
+        if not self.allocations or not len(times_s):
+            return out
+        a_node = np.array([a.node_id for a in self.allocations], dtype=np.int64)
+        a_start = np.array([a.start_time_s for a in self.allocations])
+        a_end = np.array([a.end_time_s for a in self.allocations])
+        a_jid = np.array([a.job_id for a in self.allocations], dtype=np.int64)
+        order = np.lexsort((a_start, a_node))
+        a_node, a_start = a_node[order], a_start[order]
+        a_end, a_jid = a_end[order], a_jid[order]
+
+        # Composite key: node major, start/time minor.  K exceeds every
+        # time coordinate so keys from different nodes never interleave.
+        k = float(max(self.horizon_s, a_end.max(), times_s.max())) + 1.0
+        key_alloc = a_node * k + a_start
+        key_row = node_ids * k + times_s
+        idx = np.searchsorted(key_alloc, key_row, side="right") - 1
+        # Float rounding of the composite sum can tie a time just below a
+        # start with that start's key; step back one allocation there so
+        # the raw-coordinate window test below sees the right candidate.
+        over = (idx >= 0) & (a_node[idx] == node_ids) & (
+            times_s < a_start[idx]
+        )
+        idx = np.where(over, idx - 1, idx)
+        valid = (
+            (idx >= 0)
+            & (a_node[idx] == node_ids)
+            & (times_s >= a_start[idx])
+            & (times_s < a_end[idx])
+        )
+        out[valid] = a_jid[idx[valid]]
+        return out
+
     # -- persistence -------------------------------------------------------------
 
     def to_arrays(self) -> Dict[str, np.ndarray]:

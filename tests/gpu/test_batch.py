@@ -1,0 +1,262 @@
+"""Batch/scalar equivalence: ``run_batch`` against the ``run`` oracle.
+
+The batched engine mirrors the scalar model expression-for-expression, so
+the contract is tight: every column of a :class:`BatchResult` row must
+match the scalar :class:`KernelResult` of the same (kernel, caps) point
+within ``rtol=1e-9`` — in practice the paths agree bitwise — across the
+full Fig 4/5 grid, both knobs, and every edge the cap logic has.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants, units
+from repro.bench.membench import membench_kernel, working_set_grid
+from repro.bench.sweep import CapSweep
+from repro.bench.vai import vai_kernel
+from repro.errors import CapError
+from repro.gpu import GPUDevice, KernelBatch, KernelSpec, default_spec
+from repro.gpu.powercap import clear_powercap_cache
+
+RTOL = 1e-9
+
+#: Columns compared between a BatchResult row and a KernelResult.
+_NUMERIC = (
+    "time_s",
+    "power_w",
+    "energy_j",
+    "f_core_hz",
+    "achieved_flops",
+    "achieved_bw",
+)
+
+
+def assert_rows_match(batch, scalars):
+    """Every batch row equals its scalar oracle result."""
+    assert len(batch) == len(scalars)
+    for i, ref in enumerate(scalars):
+        for col in _NUMERIC:
+            np.testing.assert_allclose(
+                getattr(batch, col)[i],
+                getattr(ref, col),
+                rtol=RTOL,
+                err_msg=f"row {i} ({ref.kernel.name}) column {col}",
+            )
+        assert batch.bound[i] == ref.bound, f"row {i} bound"
+        assert bool(batch.cap_breached[i]) == ref.cap_breached, (
+            f"row {i} cap_breached"
+        )
+
+
+def vai_grid_kernels():
+    return [
+        vai_kernel(ai, global_wis=2**24) for ai in constants.VAI_INTENSITIES
+    ]
+
+
+def membench_grid_kernels():
+    return [membench_kernel(ws) for ws in working_set_grid()]
+
+
+class TestFullGrids:
+    """The paper's Fig 4/5 grid: every cap x intensity point, both knobs."""
+
+    def test_fig4_frequency_grid(self, spec):
+        kernels = vai_grid_kernels()
+        caps_hz = [None] + [
+            units.mhz(c) for c in constants.FREQUENCY_CAPS_MHZ[1:]
+        ]
+        batch_kernels, batch_caps, scalars = [], [], []
+        for cap in caps_hz:
+            device = GPUDevice(spec, frequency_cap_hz=cap)
+            for k in kernels:
+                batch_kernels.append(k)
+                batch_caps.append(cap)
+                scalars.append(device.run(k))
+        result = GPUDevice(spec).run_batch(
+            batch_kernels, frequency_caps_hz=batch_caps
+        )
+        assert_rows_match(result, scalars)
+
+    def test_fig4_power_grid(self, spec):
+        kernels = vai_grid_kernels()
+        caps_w = [None, 500.0, 400.0, 300.0, 200.0, 100.0]
+        batch_kernels, batch_caps, scalars = [], [], []
+        clear_powercap_cache()
+        for cap in caps_w:
+            device = GPUDevice(spec, power_cap_w=cap)
+            for k in kernels:
+                batch_kernels.append(k)
+                batch_caps.append(cap)
+                scalars.append(device.run(k))
+        result = GPUDevice(spec).run_batch(
+            batch_kernels, power_caps_w=batch_caps
+        )
+        assert_rows_match(result, scalars)
+
+    def test_fig6_membench_power_grid(self, spec):
+        """The deep-cap membench grid, including breached HBM-floor rows."""
+        kernels = membench_grid_kernels()
+        caps_w = [None] + [float(c) for c in constants.MEMBENCH_POWER_CAPS_W]
+        batch_kernels, batch_caps, scalars = [], [], []
+        clear_powercap_cache()
+        for cap in caps_w:
+            device = GPUDevice(spec, power_cap_w=cap)
+            for k in kernels:
+                batch_kernels.append(k)
+                batch_caps.append(cap)
+                scalars.append(device.run(k))
+        result = GPUDevice(spec).run_batch(
+            batch_kernels, power_caps_w=batch_caps
+        )
+        assert_rows_match(result, scalars)
+        # The 140 W column must actually exercise the breach path.
+        assert result.cap_breached.any()
+
+    def test_capsweep_batched_equals_scalar(self, spec):
+        """The harness-level contract behind Fig 4: identical sweep output."""
+        from repro.bench.vai import VAIBenchmark
+
+        bench = VAIBenchmark(global_wis=2**24, min_runtime_s=1.0)
+        scalar = CapSweep(bench, spec, batched=False).power_sweep((300.0,))
+        batched = CapSweep(bench, spec).power_sweep((300.0,))
+        for cap in scalar:
+            for a, b in zip(
+                scalar[cap].result.points, batched[cap].result.points
+            ):
+                assert a == b
+
+
+class TestCapEdges:
+    """Boundary caps, mixed knobs, and degenerate grids."""
+
+    def test_power_cap_exactly_idle(self, spec):
+        """cap == idle_w is the lowest legal cap; everything parks/breaches."""
+        kernels = [vai_kernel(4.0, global_wis=2**24), membench_kernel(2**30)]
+        scalars = [
+            GPUDevice(spec, power_cap_w=spec.idle_w).run(k) for k in kernels
+        ]
+        result = GPUDevice(spec).run_batch(kernels, power_caps_w=spec.idle_w)
+        assert_rows_match(result, scalars)
+        assert result.cap_breached.all()
+
+    def test_power_cap_exactly_tdp(self, spec):
+        """cap == tdp_w never throttles (steady power is clamped at TDP)."""
+        kernels = vai_grid_kernels()
+        scalars = [
+            GPUDevice(spec, power_cap_w=spec.tdp_w).run(k) for k in kernels
+        ]
+        result = GPUDevice(spec).run_batch(kernels, power_caps_w=spec.tdp_w)
+        assert_rows_match(result, scalars)
+        assert not result.cap_breached.any()
+        np.testing.assert_array_equal(result.f_core_hz, spec.f_max_hz)
+
+    def test_mixed_knobs_more_restrictive_wins(self, spec):
+        """Frequency and power caps together, each restrictive in turn."""
+        kernels = [
+            vai_kernel(0.0625, global_wis=2**24),
+            vai_kernel(4.0, global_wis=2**24),
+            vai_kernel(1024.0, global_wis=2**24),
+            membench_kernel(2**30),
+        ]
+        cases = [
+            (units.mhz(700), 500.0),    # frequency knob dominates
+            (units.mhz(1500), 200.0),   # power knob dominates
+            (units.mhz(900), 300.0),    # kernel-dependent winner
+        ]
+        for f_cap, p_cap in cases:
+            device = GPUDevice(
+                spec, frequency_cap_hz=f_cap, power_cap_w=p_cap
+            )
+            scalars = [device.run(k) for k in kernels]
+            result = GPUDevice(spec).run_batch(
+                kernels, frequency_caps_hz=f_cap, power_caps_w=p_cap
+            )
+            assert_rows_match(result, scalars)
+            # The winning knob really is the more restrictive one.
+            f_only = GPUDevice(spec).run_batch(
+                kernels, frequency_caps_hz=f_cap
+            )
+            p_only = GPUDevice(spec).run_batch(kernels, power_caps_w=p_cap)
+            np.testing.assert_allclose(
+                result.f_core_hz,
+                np.minimum(f_only.f_core_hz, p_only.f_core_hz),
+                rtol=RTOL,
+            )
+
+    def test_per_point_mixed_cap_columns(self, spec):
+        """Each point carries its own knob settings, None = uncapped."""
+        kernels = [vai_kernel(4.0, global_wis=2**24)] * 4
+        fcaps = [None, units.mhz(900), None, units.mhz(1300)]
+        pcaps = [None, None, 300.0, 250.0]
+        scalars = [
+            GPUDevice(spec, frequency_cap_hz=f, power_cap_w=p).run(k)
+            for k, f, p in zip(kernels, fcaps, pcaps)
+        ]
+        result = GPUDevice(spec).run_batch(
+            kernels, frequency_caps_hz=fcaps, power_caps_w=pcaps
+        )
+        assert_rows_match(result, scalars)
+
+    def test_device_knob_inheritance(self, spec):
+        """run_batch with no cap arguments inherits the device's knobs."""
+        device = GPUDevice(spec, frequency_cap_hz=units.mhz(1100))
+        kernels = vai_grid_kernels()
+        scalars = [device.run(k) for k in kernels]
+        assert_rows_match(device.run_batch(kernels), scalars)
+
+        capped = GPUDevice(spec, power_cap_w=250.0)
+        scalars = [capped.run(k) for k in kernels]
+        assert_rows_match(capped.run_batch(kernels), scalars)
+
+    def test_single_point_grid(self, spec):
+        kernel = membench_kernel(2**31)
+        result = GPUDevice(spec).run_batch([kernel], power_caps_w=[200.0])
+        ref = GPUDevice(spec, power_cap_w=200.0).run(kernel)
+        assert len(result) == 1
+        assert_rows_match(result, [ref])
+
+    def test_empty_grid(self, spec):
+        result = GPUDevice(spec).run_batch([])
+        assert len(result) == 0
+        assert result.time_s.shape == (0,)
+        assert result.cap_breached.shape == (0,)
+
+    def test_prepacked_batch_and_slicing(self, spec):
+        kernels = vai_grid_kernels()
+        batch = KernelBatch.from_kernels(kernels)
+        result = GPUDevice(spec).run_batch(batch, power_caps_w=300.0)
+        head = result[:4]
+        assert len(head) == 4
+        np.testing.assert_array_equal(head.power_w, result.power_w[:4])
+
+
+class TestCapValidation:
+    """CapError parity between scalar and batched paths."""
+
+    def test_zero_power_cap_rejected(self, spec):
+        with pytest.raises(CapError):
+            GPUDevice(spec).run_batch(
+                [vai_kernel(4.0)], power_caps_w=[0.0]
+            )
+
+    def test_sub_idle_power_cap_rejected(self, spec):
+        with pytest.raises(CapError):
+            GPUDevice(spec).run_batch(
+                [vai_kernel(4.0)], power_caps_w=spec.idle_w - 1.0
+            )
+
+    def test_sub_fmin_frequency_cap_rejected(self, spec):
+        with pytest.raises(CapError):
+            GPUDevice(spec).run_batch(
+                [vai_kernel(4.0)], frequency_caps_hz=units.mhz(400)
+            )
+
+    def test_wrong_length_cap_column_rejected(self, spec):
+        with pytest.raises(CapError):
+            GPUDevice(spec).run_batch(
+                [vai_kernel(4.0), vai_kernel(8.0)],
+                power_caps_w=[300.0, 300.0, 300.0],
+            )
