@@ -2,11 +2,15 @@
 
 PYTHON ?= python
 
-.PHONY: test bench-quick bench-record bench
+.PHONY: test lint bench-quick bench-record bench
 
 # Tier-1 correctness suite.
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+# Static checks (configured in pyproject.toml [tool.ruff]).
+lint:
+	$(PYTHON) -m ruff check src
 
 # Fast perf gate (CI): re-measures the batched-engine benchmark with few
 # rounds and fails on a >2x regression against benchmarks/BENCH_batch.json

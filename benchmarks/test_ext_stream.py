@@ -1,0 +1,27 @@
+"""Bench: streaming ingestion vs the batch pipeline (extension)."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_stream(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_stream", bench_config)
+    print(result.text)
+
+    # Every delivery pattern — in order, shuffled, shuffled with
+    # duplicates — drains to the batch join bitwise.
+    assert result.data["bitwise"] == {
+        "in-order": True, "shuffled": True, "shuffled+dup": True,
+    }
+    stats = result.data["stats"]
+    assert stats["shuffled+dup"]["duplicates"] > 0
+    assert all(s["late_dropped"] == 0 for s in stats.values())
+    # Bounded memory: resident state is a small fraction of the stream.
+    assert all(
+        s["peak_resident_samples"] < s["samples_in"] / 4
+        for s in stats.values()
+    )
+    # The live snapshot yields usable fleet advice.
+    assert result.data["recommendation"]["cap"] is not None
+    assert 0.0 < result.data["recommendation"]["savings_pct"] < 30.0

@@ -76,6 +76,78 @@ def _build_parser() -> argparse.ArgumentParser:
         help="how many jobs to print, largest energy first (default 20)",
     )
 
+    stream_p = sub.add_parser(
+        "stream",
+        help=(
+            "run the incremental ingestion engine over a telemetry "
+            "source and print live Table IV/V/VI snapshots"
+        ),
+    )
+    stream_p.add_argument(
+        "--from-file", default=None, metavar="PATH",
+        help=(
+            "ingest telemetry from an .npz store or CSV file "
+            "(requires --sacct for the scheduler log); default is an "
+            "in-process simulated fleet"
+        ),
+    )
+    stream_p.add_argument(
+        "--sacct", default=None,
+        help="sacct-style job log to join against (with --from-file)",
+    )
+    stream_p.add_argument(
+        "--nodes", type=int, default=32,
+        help="simulated fleet size (default 32)",
+    )
+    stream_p.add_argument(
+        "--days", type=float, default=1.0,
+        help="simulated campaign length in days (default 1)",
+    )
+    stream_p.add_argument("--seed", type=int, default=0)
+    stream_p.add_argument(
+        "--window-s", type=float, default=600.0,
+        help="event-time window (seconds, default 600)",
+    )
+    stream_p.add_argument(
+        "--lateness-s", type=float, default=120.0,
+        help="allowed lateness behind the newest event (default 120 s)",
+    )
+    stream_p.add_argument(
+        "--shuffle", action="store_true",
+        help="deliver out of order within the lateness horizon",
+    )
+    stream_p.add_argument(
+        "--dup-fraction", type=float, default=0.0,
+        help="inject this fraction of duplicate records (with --shuffle)",
+    )
+    stream_p.add_argument(
+        "--max-chunks", type=int, default=None,
+        help="stop after N arrival chunks (live snapshot, no drain)",
+    )
+    stream_p.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help="print a live snapshot every N ingested chunks",
+    )
+    stream_p.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="write an npz checkpoint of the final engine state",
+    )
+    stream_p.add_argument(
+        "--resume", default=None, metavar="PATH",
+        help="resume from a checkpoint written by --checkpoint",
+    )
+    stream_p.add_argument(
+        "--max-slowdown", type=float, default=5.0,
+        help="slowdown budget for the fleet cap advice (default 5 %%)",
+    )
+    stream_p.add_argument(
+        "--campaign-energy-mwh", type=float, default=None,
+        help=(
+            "normalize MWh columns to this campaign total (default: "
+            "the paper's 16820 for simulated fleets, raw for files)"
+        ),
+    )
+
     report_p = sub.add_parser(
         "report",
         help="run the full pipeline and write a single markdown report",
@@ -150,6 +222,90 @@ def _advise(args) -> int:
     return 0
 
 
+def _stream(args) -> int:
+    from . import constants
+    from .stream import (
+        StreamEngine,
+        file_source,
+        load_checkpoint,
+        perturb,
+        save_checkpoint,
+        simulated_fleet,
+    )
+
+    if args.from_file is not None:
+        if args.sacct is None:
+            print(
+                "--from-file needs --sacct for the scheduler log",
+                file=sys.stderr,
+            )
+            return 1
+        from .scheduler.sacct import read_sacct
+
+        log = read_sacct(args.sacct)
+        source = file_source(args.from_file)
+        campaign_mwh = args.campaign_energy_mwh
+    else:
+        log, source = simulated_fleet(
+            fleet_nodes=args.nodes, days=args.days, seed=args.seed
+        )
+        campaign_mwh = (
+            args.campaign_energy_mwh
+            if args.campaign_energy_mwh is not None
+            else constants.CAMPAIGN_GPU_ENERGY_MWH
+        )
+
+    if args.shuffle:
+        source = perturb(
+            source,
+            seed=args.seed,
+            lateness_s=args.lateness_s,
+            dup_fraction=args.dup_fraction,
+        )
+    elif args.dup_fraction:
+        print("--dup-fraction needs --shuffle", file=sys.stderr)
+        return 1
+
+    if args.resume is not None:
+        engine = load_checkpoint(args.resume, log)
+    else:
+        engine = StreamEngine(
+            log,
+            interval_s=constants.TELEMETRY_INTERVAL_S,
+            window_s=args.window_s,
+            lateness_s=args.lateness_s,
+        )
+
+    for i, chunk in enumerate(source):
+        if args.max_chunks is not None and i >= args.max_chunks:
+            break
+        engine.ingest(chunk)
+        if args.snapshot_every and (i + 1) % args.snapshot_every == 0:
+            snap = engine.snapshot(
+                max_slowdown_pct=args.max_slowdown,
+                campaign_energy_mwh=campaign_mwh,
+            )
+            print(f"--- snapshot after chunk {i + 1} ---")
+            print(snap.render())
+            print()
+    if args.max_chunks is None:
+        # Completed sources drain: every buffered window seals.
+        engine.drain()
+
+    if args.checkpoint is not None:
+        save_checkpoint(engine, args.checkpoint)
+        print(f"checkpoint written to {args.checkpoint}\n")
+
+    label = "live (stream paused)" if args.max_chunks else "final (drained)"
+    print(f"===== {label} snapshot =====")
+    snap = engine.snapshot(
+        max_slowdown_pct=args.max_slowdown,
+        campaign_energy_mwh=campaign_mwh,
+    )
+    print(snap.render())
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -163,6 +319,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _advise(args)
         except (ReproError, OSError) as exc:
             print(f"advise FAILED: {exc}", file=sys.stderr)
+            return 1
+
+    if args.command == "stream":
+        try:
+            return _stream(args)
+        except (ReproError, OSError) as exc:
+            print(f"stream FAILED: {exc}", file=sys.stderr)
             return 1
 
     if args.command == "report":

@@ -19,7 +19,7 @@ Pipeline (Sections III-C/D and V of the paper):
 """
 
 from .histogram import StreamingHistogram, find_power_modes
-from .join import CampaignCube, join_campaign
+from .join import CampaignAccumulator, CampaignCube, join_campaign
 from .modes import ModeTable, decompose_modes
 from .characterization import CapFactors, measured_factors, paper_factors
 from .projection import ProjectionRow, ProjectionTable, project_savings
@@ -30,6 +30,7 @@ from . import report
 __all__ = [
     "StreamingHistogram",
     "find_power_modes",
+    "CampaignAccumulator",
     "CampaignCube",
     "join_campaign",
     "ModeTable",

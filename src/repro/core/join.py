@@ -144,6 +144,193 @@ class CampaignCube:
         )
 
 
+class CampaignAccumulator:
+    """Incremental telemetry-x-log fold into a :class:`CampaignCube`.
+
+    One instance holds the O(bins) running state of a campaign join:
+    the (domain, class, region) energy/GPU-hour cube, the system and
+    per-domain power histograms, and the CPU energy total.  ``update``
+    absorbs one :class:`TelemetryChunk`; ``cube`` reads the state out.
+    :func:`join_campaign` is a thin driver over this class, and the
+    streaming engine (:mod:`repro.stream`) folds live windows through
+    the very same code path — which is what makes the drained stream
+    bitwise-identical to the batch join over the same chunk sequence.
+    """
+
+    def __init__(
+        self,
+        log: SchedulerLog,
+        *,
+        interval_s: float = constants.TELEMETRY_INTERVAL_S,
+    ) -> None:
+        jobs = log.job_by_id()
+        self.log = log
+        self.interval_s = interval_s
+        self.domains = sorted({j.domain for j in jobs.values()}) + [
+            IDLE_DOMAIN
+        ]
+        self.classes = list(constants.JOB_SIZE_CLASSES) + [IDLE_CLASS]
+        d_index = {name: i for i, name in enumerate(self.domains)}
+        c_index = {name: i for i, name in enumerate(self.classes)}
+
+        self.energy_j = np.zeros((len(self.domains), len(self.classes), 4))
+        self.gpu_hours = np.zeros_like(self.energy_j)
+        self.histogram = StreamingHistogram()
+        self.domain_histograms = {
+            name: StreamingHistogram() for name in self.domains
+        }
+        self.cpu_energy_j = 0.0
+        self.n_chunks = 0
+
+        # Vectorized job-id -> (domain, class) lookup tables.
+        max_jid = max(jobs, default=0)
+        self._dom_of_job = np.full(
+            max_jid + 1, d_index[IDLE_DOMAIN], dtype=np.int64
+        )
+        self._cls_of_job = np.full(
+            max_jid + 1, c_index[IDLE_CLASS], dtype=np.int64
+        )
+        for jid, job in jobs.items():
+            self._dom_of_job[jid] = d_index[job.domain]
+            self._cls_of_job[jid] = c_index[job.size_class]
+
+    def update(self, chunk: TelemetryChunk) -> None:
+        """Fold one chunk into the running campaign state."""
+        interval = self.interval_s
+        self.n_chunks += 1
+        self.cpu_energy_j += (
+            float(chunk.cpu_power_w.sum(dtype=np.float64)) * interval
+        )
+        # Label each row with (domain, class) via the scheduler log: one
+        # composite-key searchsorted over the whole chunk (no node loop).
+        jid = self.log.job_id_table(chunk.time_s, chunk.node_id)
+        d_row = self._dom_of_job[jid]
+        c_row = self._cls_of_job[jid]
+
+        power = chunk.gpu_power_w  # (n, gpus)
+        reg = region_index(power)
+        # Accumulate the 3-D cube with one bincount over composite keys.
+        n_d, n_c = len(self.domains), len(self.classes)
+        key = (
+            (d_row[:, None] * n_c + c_row[:, None]) * 4 + reg
+        ).reshape(-1)
+        flat_p = power.reshape(-1).astype(np.float64)
+        minlength = n_d * n_c * 4
+        self.energy_j += (
+            np.bincount(key, weights=flat_p, minlength=minlength).reshape(
+                n_d, n_c, 4
+            )
+            * interval
+        )
+        self.gpu_hours += np.bincount(key, minlength=minlength).reshape(
+            n_d, n_c, 4
+        ) * (interval / 3600.0)
+
+        self.histogram.add(flat_p)
+        # Per-domain histograms in one composite-key bincount pass; the
+        # repeat aligns row labels with the row-major sample flattening.
+        add_grouped(
+            [self.domain_histograms[name] for name in self.domains],
+            np.repeat(d_row, power.shape[1]),
+            flat_p,
+        )
+
+    def cube(self, *, copy: bool = False) -> CampaignCube:
+        """The campaign cube of everything folded so far.
+
+        With ``copy=True`` the cube owns snapshots of the state arrays,
+        so further ``update`` calls do not mutate it (live queries).
+        """
+        if copy:
+            hist = StreamingHistogram(
+                self.histogram.lo, self.histogram.hi,
+                self.histogram.bin_width,
+            )
+            hist.merge(self.histogram)
+            domain_hists = {}
+            for name, h in self.domain_histograms.items():
+                c = StreamingHistogram(h.lo, h.hi, h.bin_width)
+                c.merge(h)
+                domain_hists[name] = c
+            return CampaignCube(
+                domains=list(self.domains),
+                classes=list(self.classes),
+                energy_j=self.energy_j.copy(),
+                gpu_hours=self.gpu_hours.copy(),
+                histogram=hist,
+                domain_histograms=domain_hists,
+                interval_s=self.interval_s,
+                cpu_energy_j=self.cpu_energy_j,
+            )
+        return CampaignCube(
+            domains=self.domains,
+            classes=self.classes,
+            energy_j=self.energy_j,
+            gpu_hours=self.gpu_hours,
+            histogram=self.histogram,
+            domain_histograms=self.domain_histograms,
+            interval_s=self.interval_s,
+            cpu_energy_j=self.cpu_energy_j,
+        )
+
+    # -- checkpoint support (used by repro.stream.checkpoint) ---------------------
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Columnar form of the accumulator state for npz persistence."""
+        hists = [self.histogram] + [
+            self.domain_histograms[n] for n in self.domains
+        ]
+        return {
+            "acc_domains": np.array(self.domains),
+            "acc_classes": np.array(self.classes),
+            "acc_energy_j": self.energy_j,
+            "acc_gpu_hours": self.gpu_hours,
+            "acc_scalars": np.array(
+                [self.cpu_energy_j, float(self.n_chunks), self.interval_s]
+            ),
+            "acc_hist_bins": np.array(
+                [
+                    self.histogram.lo,
+                    self.histogram.hi,
+                    self.histogram.bin_width,
+                ]
+            ),
+            "acc_hist_counts": np.stack([h.counts for h in hists]),
+            "acc_hist_weights": np.stack([h.weight_sums for h in hists]),
+            "acc_hist_clipped": np.array(
+                [h.n_clipped for h in hists], dtype=np.int64
+            ),
+        }
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_arrays` (same log required)."""
+        if list(arrays["acc_domains"]) != self.domains or list(
+            arrays["acc_classes"]
+        ) != self.classes:
+            raise JoinError(
+                "checkpoint axes do not match this scheduler log"
+            )
+        lo, hi, width = (float(x) for x in arrays["acc_hist_bins"])
+        self.energy_j = np.array(arrays["acc_energy_j"], dtype=np.float64)
+        self.gpu_hours = np.array(arrays["acc_gpu_hours"], dtype=np.float64)
+        self.cpu_energy_j = float(arrays["acc_scalars"][0])
+        self.n_chunks = int(arrays["acc_scalars"][1])
+        self.interval_s = float(arrays["acc_scalars"][2])
+        hists = [StreamingHistogram(lo, hi, width)]
+        for _ in self.domains:
+            hists.append(StreamingHistogram(lo, hi, width))
+        for i, h in enumerate(hists):
+            h.counts = np.array(
+                arrays["acc_hist_counts"][i], dtype=np.float64
+            )
+            h.weight_sums = np.array(
+                arrays["acc_hist_weights"][i], dtype=np.float64
+            )
+            h.n_clipped = int(arrays["acc_hist_clipped"][i])
+        self.histogram = hists[0]
+        self.domain_histograms = dict(zip(self.domains, hists[1:]))
+
+
 def join_campaign(
     telemetry: Union[TelemetryStore, Iterable[TelemetryChunk]],
     log: SchedulerLog,
@@ -153,18 +340,6 @@ def join_campaign(
     Accepts a materialized store or any iterable of chunks (streaming
     mode); statistics are identical either way.
     """
-    jobs = log.job_by_id()
-    domains = sorted({j.domain for j in jobs.values()}) + [IDLE_DOMAIN]
-    classes = list(constants.JOB_SIZE_CLASSES) + [IDLE_CLASS]
-    d_index = {name: i for i, name in enumerate(domains)}
-    c_index = {name: i for i, name in enumerate(classes)}
-
-    energy = np.zeros((len(domains), len(classes), 4))
-    hours = np.zeros_like(energy)
-    hist = StreamingHistogram()
-    domain_hists = {name: StreamingHistogram() for name in domains}
-    cpu_energy = 0.0
-
     if isinstance(telemetry, TelemetryStore):
         chunks: Iterable[TelemetryChunk] = [telemetry.chunk]
         interval = telemetry.interval_s
@@ -172,63 +347,9 @@ def join_campaign(
         chunks = telemetry
         interval = constants.TELEMETRY_INTERVAL_S
 
-    hours_per_sample = interval / 3600.0
-
-    # Vectorized job-id -> (domain, class) lookup tables.
-    max_jid = max(jobs, default=0)
-    dom_of_job = np.full(max_jid + 1, d_index[IDLE_DOMAIN], dtype=np.int64)
-    cls_of_job = np.full(max_jid + 1, c_index[IDLE_CLASS], dtype=np.int64)
-    for jid, job in jobs.items():
-        dom_of_job[jid] = d_index[job.domain]
-        cls_of_job[jid] = c_index[job.size_class]
-
-    saw_any = False
+    acc = CampaignAccumulator(log, interval_s=interval)
     for chunk in chunks:
-        saw_any = True
-        cpu_energy += float(chunk.cpu_power_w.sum(dtype=np.float64)) * interval
-        # Label each row with (domain, class) via the scheduler log: one
-        # composite-key searchsorted over the whole chunk (no node loop).
-        jid = log.job_id_table(chunk.time_s, chunk.node_id)
-        d_row = dom_of_job[jid]
-        c_row = cls_of_job[jid]
-
-        power = chunk.gpu_power_w  # (n, gpus)
-        reg = region_index(power)
-        # Accumulate the 3-D cube with one bincount over composite keys.
-        n_d, n_c = len(domains), len(classes)
-        key = (
-            (d_row[:, None] * n_c + c_row[:, None]) * 4 + reg
-        ).reshape(-1)
-        flat_p = power.reshape(-1).astype(np.float64)
-        minlength = n_d * n_c * 4
-        energy += (
-            np.bincount(key, weights=flat_p, minlength=minlength).reshape(
-                n_d, n_c, 4
-            )
-            * interval
-        )
-        hours += np.bincount(key, minlength=minlength).reshape(
-            n_d, n_c, 4
-        ) * hours_per_sample
-
-        hist.add(flat_p)
-        # Per-domain histograms in one composite-key bincount pass; the
-        # repeat aligns row labels with the row-major sample flattening.
-        add_grouped(
-            [domain_hists[name] for name in domains],
-            np.repeat(d_row, power.shape[1]),
-            flat_p,
-        )
-
-    if not saw_any:
+        acc.update(chunk)
+    if acc.n_chunks == 0:
         raise JoinError("no telemetry chunks to join")
-    return CampaignCube(
-        domains=domains,
-        classes=classes,
-        energy_j=energy,
-        gpu_hours=hours,
-        histogram=hist,
-        domain_histograms=domain_hists,
-        interval_s=interval,
-        cpu_energy_j=cpu_energy,
-    )
+    return acc.cube()

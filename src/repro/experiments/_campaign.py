@@ -16,17 +16,38 @@ from ..scheduler.log import SchedulerLog
 from ..telemetry import FleetTelemetryGenerator
 
 
+def _freeze_cube(cube: CampaignCube) -> CampaignCube:
+    """Make the cube's arrays read-only.
+
+    The cube is shared by every experiment in the process via the
+    ``build_campaign`` cache; an in-place edit by one would silently
+    corrupt all the others.  Read-only arrays turn that aliasing bug
+    into an immediate ``ValueError`` at the write site.
+    """
+    cube.energy_j.setflags(write=False)
+    cube.gpu_hours.setflags(write=False)
+    for hist in [cube.histogram, *cube.domain_histograms.values()]:
+        hist.counts.setflags(write=False)
+        hist.weight_sums.setflags(write=False)
+    return cube
+
+
 @lru_cache(maxsize=4)
 def build_campaign(
     fleet_nodes: int, days: float, seed: int
 ) -> tuple:
-    """(SchedulerLog, CampaignCube) for one configuration (cached)."""
+    """(SchedulerLog, CampaignCube) for one configuration (cached).
+
+    The returned cube's arrays are frozen (``writeable=False``): every
+    caller aliases the same cached object, so consumers must copy
+    before mutating.
+    """
     mix = default_mix(fleet_nodes=fleet_nodes)
     log = SlurmSimulator(mix).run(units.days(days), rng=seed)
     gen = FleetTelemetryGenerator(log, mix, seed=seed + 1000)
     # Stream in node blocks: memory stays bounded at any fleet size.
     cube = join_campaign(gen.chunks(nodes_per_chunk=16), log)
-    return log, cube
+    return log, _freeze_cube(cube)
 
 
 def campaign_cube(config) -> CampaignCube:

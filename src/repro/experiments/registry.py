@@ -103,6 +103,8 @@ _TABLE: Dict[str, tuple] = {
                   "repro.experiments.ext_boost", "run"),
     "ext_sensitivity": ("Headline sensitivity to model calibration",
                         "repro.experiments.ext_sensitivity", "run"),
+    "ext_stream": ("Streaming ingestion vs the batch pipeline",
+                   "repro.experiments.ext_stream", "run"),
 }
 
 EXPERIMENT_IDS = tuple(_TABLE)

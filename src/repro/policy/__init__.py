@@ -15,13 +15,16 @@ reproduction:
   per-job policy against uniform capping and against the paper's
   oracle upper bound;
 * :mod:`repro.policy.budget`      — fleet power-budget planning: which
-  jobs to cap how when the center's power envelope shrinks.
+  jobs to cap how when the center's power envelope shrinks;
+* :mod:`repro.policy.live`        — fleet-wide cap advice from a live
+  (streaming) campaign cube.
 """
 
 from .fingerprint import JobFingerprint, fingerprint_jobs
 from .advisor import CapAdvisor, Recommendation
 from .evaluate import PolicyOutcome, evaluate_policies
 from .budget import BudgetPlan, PowerBudgetPlanner
+from .live import FleetRecommendation, recommend_fleet_cap
 
 __all__ = [
     "JobFingerprint",
@@ -32,4 +35,6 @@ __all__ = [
     "evaluate_policies",
     "BudgetPlan",
     "PowerBudgetPlanner",
+    "FleetRecommendation",
+    "recommend_fleet_cap",
 ]

@@ -1,0 +1,80 @@
+"""Fleet-level cap advice from a live campaign cube.
+
+The per-job advisor (:mod:`repro.policy.advisor`) needs job
+fingerprints; an *online* power manager often has only the live
+aggregate — the streaming engine's campaign cube as of the current
+watermark.  This module turns that cube into a fleet-wide knob setting:
+the cap with the best projected savings whose energy-weighted runtime
+increase fits the slowdown budget, recomputed cheaply at every
+snapshot because the cube is O(bins) state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.characterization import CapFactors
+from ..core.join import CampaignCube
+from ..core.projection import ProjectionTable, project_savings
+from ..errors import ProjectionError
+
+
+@dataclass(frozen=True)
+class FleetRecommendation:
+    """The advisor's verdict for the whole fleet, right now."""
+
+    knob: str
+    cap: Optional[float]           # None = leave the fleet uncapped
+    expected_saving_mwh: float
+    savings_pct: float
+    runtime_increase_pct: float
+
+    @property
+    def capped(self) -> bool:
+        return self.cap is not None
+
+
+def recommend_fleet_cap(
+    cube: CampaignCube,
+    factors: CapFactors,
+    *,
+    max_slowdown_pct: float = 5.0,
+    campaign_energy_mwh: Optional[float] = None,
+    projection: Optional[ProjectionTable] = None,
+) -> FleetRecommendation:
+    """Best fleet-wide cap for a (possibly live) campaign cube.
+
+    Maximizes projected total savings subject to the energy-weighted
+    runtime increase staying within ``max_slowdown_pct``.  Pass an
+    already-computed ``projection`` to reuse a snapshot's Table V.
+    """
+    if max_slowdown_pct < 0:
+        raise ProjectionError("slowdown budget must be >= 0")
+    table = (
+        projection
+        if projection is not None
+        else project_savings(
+            cube, factors, campaign_energy_mwh=campaign_energy_mwh
+        )
+    )
+    best = None
+    for row in table.rows:
+        if row.runtime_increase_pct > max_slowdown_pct:
+            continue
+        if row.total_mwh <= 0:
+            continue
+        if best is None or row.total_mwh > best.total_mwh:
+            best = row
+    if best is None:
+        return FleetRecommendation(
+            knob=table.knob, cap=None, expected_saving_mwh=0.0,
+            savings_pct=0.0, runtime_increase_pct=0.0,
+        )
+    return FleetRecommendation(
+        knob=table.knob,
+        cap=best.cap,
+        expected_saving_mwh=best.total_mwh,
+        savings_pct=best.savings_pct,
+        runtime_increase_pct=best.runtime_increase_pct,
+    )

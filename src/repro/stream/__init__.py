@@ -1,0 +1,55 @@
+"""Incremental telemetry ingestion and live projection.
+
+The paper's pipeline is inherently a stream — three months of
+out-of-band samples at 15 s cadence joined against SLURM logs — and an
+operational power manager needs the answers *while* the samples arrive.
+This subsystem turns the batch reproduction into that serving shape:
+
+* :mod:`repro.stream.sources`    — pluggable arrival sources: replay
+  from the fleet generator, npz/CSV files, an in-process simulated
+  fleet, plus an adversarial delivery wrapper (shuffle/duplicate/drop);
+* :mod:`repro.stream.buffer`     — the event-time core: watermarks, a
+  dedup/reorder buffer, late-sample accounting, optional raw-cadence
+  (2 s -> 15 s) aggregation;
+* :mod:`repro.stream.engine`     — ``StreamEngine``: folds sealed
+  windows through the batch pipeline's own
+  :class:`~repro.core.join.CampaignAccumulator` and serves live
+  Table IV/V/VI snapshots plus fleet cap advice from O(bins) state;
+* :mod:`repro.stream.checkpoint` — npz checkpoint/resume mid-stream.
+
+Equivalence contract: once the stream drains, the engine's cube is
+bitwise-identical to :func:`repro.core.join_campaign` over the
+canonical event-time windows of the same samples — whatever order they
+arrived in, duplicates and all (``docs/streaming.md``).
+
+CLI: ``python -m repro stream`` runs a source to completion (or for
+``--max-chunks``) and prints the live tables and ingest statistics.
+"""
+
+from .buffer import DEFAULT_WINDOW_S, ReorderBuffer
+from .checkpoint import load_checkpoint, save_checkpoint
+from .engine import IngestStats, StreamEngine, StreamSnapshot
+from .sources import (
+    canonical_windows,
+    file_source,
+    perturb,
+    replay_generator,
+    replay_store,
+    simulated_fleet,
+)
+
+__all__ = [
+    "DEFAULT_WINDOW_S",
+    "ReorderBuffer",
+    "load_checkpoint",
+    "save_checkpoint",
+    "IngestStats",
+    "StreamEngine",
+    "StreamSnapshot",
+    "canonical_windows",
+    "file_source",
+    "perturb",
+    "replay_generator",
+    "replay_store",
+    "simulated_fleet",
+]

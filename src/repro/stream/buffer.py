@@ -1,0 +1,346 @@
+"""Event-time reorder/dedup buffer with watermarks.
+
+Real out-of-band collection is not tidy: per-node pollers restart,
+samples arrive out of order, network retries duplicate records, and
+whole racks go quiet for a window.  This module turns that arrival
+stream back into the *canonical* event-time stream the batch pipeline
+analyzes: fixed event-time windows, each sorted by ``(time, node)`` and
+deduplicated, released only once the watermark guarantees no admissible
+sample for them is still in flight.
+
+Semantics
+---------
+
+* **Watermark** — ``max(event time seen) - allowed_lateness_s``.  A
+  window ``[w0, w1)`` seals when the watermark passes ``w1``; its
+  samples are emitted as one canonical chunk and freed, so resident
+  state is bounded by the reorder horizon, never by the stream length.
+* **Late samples** — arrivals with event time below the sealed frontier
+  are counted and dropped (they missed their window).
+* **Duplicates** — two samples with the same ``(time, node)`` key inside
+  the reorder horizon: the first arrival wins, later copies are counted
+  and discarded at seal time.  Copies separated by more than the
+  reorder horizon surface as late drops instead.
+* **Aggregation** — with ``aggregate=True`` the buffer accepts raw
+  sensor-cadence samples (the paper's 2 s feed) and mean-aggregates
+  each sealed window onto the 15 s analysis grid with the same
+  floor-window rule as :func:`repro.telemetry.sampler.aggregate_sensor_trace`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from .. import constants
+from ..errors import TelemetryError
+from ..telemetry.schema import TelemetryChunk
+
+#: Default event-time window: 40 aggregated ticks (10 minutes).
+DEFAULT_WINDOW_S = 40 * constants.TELEMETRY_INTERVAL_S
+
+
+def _empty_like_columns() -> Dict[str, np.ndarray]:
+    return {
+        "time": np.empty(0, dtype=np.float64),
+        "node": np.empty(0, dtype=np.int32),
+        "gpu": np.empty((0, constants.GPUS_PER_NODE), dtype=np.float32),
+        "cpu": np.empty(0, dtype=np.float32),
+        "seq": np.empty(0, dtype=np.int64),
+    }
+
+
+class ReorderBuffer:
+    """Bounded reorder/dedup stage between ingestion and the fold."""
+
+    def __init__(
+        self,
+        *,
+        interval_s: float = constants.TELEMETRY_INTERVAL_S,
+        window_s: float = DEFAULT_WINDOW_S,
+        lateness_s: float = 0.0,
+        aggregate: bool = False,
+    ) -> None:
+        if interval_s <= 0:
+            raise TelemetryError("interval must be positive")
+        if window_s < interval_s:
+            raise TelemetryError("window must cover at least one tick")
+        if lateness_s < 0:
+            raise TelemetryError("allowed lateness must be >= 0")
+        self.interval_s = interval_s
+        self.window_s = window_s
+        self.lateness_s = lateness_s
+        self.aggregate = aggregate
+
+        self._cols = _empty_like_columns()
+        self._next_seq = 0
+        self.max_event_time_s = float("-inf")
+        self.sealed_until_s = 0.0
+
+        self.samples_in = 0
+        self.duplicates = 0
+        self.late_dropped = 0
+        self.windows_emitted = 0
+        self.samples_out = 0
+        self.peak_resident = 0
+
+    # -- properties ---------------------------------------------------------------
+
+    @property
+    def resident_samples(self) -> int:
+        """Samples currently buffered (not yet sealed)."""
+        return len(self._cols["time"])
+
+    @property
+    def watermark_s(self) -> float:
+        """Event time below which no new sample is expected."""
+        if self.max_event_time_s == float("-inf"):
+            return float("-inf")
+        return self.max_event_time_s - self.lateness_s
+
+    @property
+    def watermark_lag_s(self) -> float:
+        """Distance between the newest event and the sealed frontier."""
+        if self.max_event_time_s == float("-inf"):
+            return 0.0
+        return max(0.0, self.max_event_time_s - self.sealed_until_s)
+
+    def resident_bound(
+        self, rows_per_tick: float, max_chunk_rows: int = 0
+    ) -> int:
+        """Upper bound on resident samples for admissible delivery.
+
+        Delivery is *admissible* when no sample arrives more than
+        ``lateness_s`` of event time behind the newest event already
+        delivered (what :func:`repro.stream.sources.perturb`
+        guarantees).  Resident events then span at most one open window
+        plus one not-yet-sealed window plus the lateness horizon, and
+        the peak is measured after an arrival chunk lands but before
+        sealing — hence the ``max_chunk_rows`` term.  ``rows_per_tick``
+        must count duplicates still in flight.
+        """
+        ticks = (2 * self.window_s + self.lateness_s) / self.interval_s
+        return int(np.ceil((ticks + 1) * rows_per_tick) + max_chunk_rows)
+
+    # -- ingestion ----------------------------------------------------------------
+
+    def push(self, chunk: TelemetryChunk) -> List[TelemetryChunk]:
+        """Absorb one arrival chunk; return any windows it sealed."""
+        t = np.asarray(chunk.time_s, dtype=np.float64)
+        self.samples_in += len(t)
+        keep = t >= self.sealed_until_s
+        n_late = int(len(t) - keep.sum())
+        if n_late:
+            self.late_dropped += n_late
+        if keep.any():
+            c = self._cols
+            n_new = int(keep.sum())
+            seq = np.arange(
+                self._next_seq, self._next_seq + n_new, dtype=np.int64
+            )
+            self._next_seq += n_new
+            self._cols = {
+                "time": np.concatenate([c["time"], t[keep]]),
+                "node": np.concatenate([c["node"], chunk.node_id[keep]]),
+                "gpu": np.concatenate([c["gpu"], chunk.gpu_power_w[keep]]),
+                "cpu": np.concatenate([c["cpu"], chunk.cpu_power_w[keep]]),
+                "seq": np.concatenate([c["seq"], seq]),
+            }
+        if len(t):
+            self.max_event_time_s = max(
+                self.max_event_time_s, float(t.max())
+            )
+        self.peak_resident = max(self.peak_resident, self.resident_samples)
+
+        wm = self.watermark_s
+        if wm == float("-inf"):
+            return []
+        boundary = np.floor(wm / self.window_s) * self.window_s
+        if boundary <= self.sealed_until_s:
+            return []
+        return self._emit(float(boundary))
+
+    def flush(self) -> List[TelemetryChunk]:
+        """Seal every remaining window (end of stream)."""
+        if self.resident_samples == 0:
+            self.sealed_until_s = float("inf")
+            return []
+        end = float(self._cols["time"].max()) + self.window_s
+        out = self._emit(end)
+        self.sealed_until_s = float("inf")
+        return out
+
+    # -- sealing ------------------------------------------------------------------
+
+    def _emit(self, until_s: float) -> List[TelemetryChunk]:
+        """Release all windows below ``until_s`` in canonical form."""
+        c = self._cols
+        take = c["time"] < until_s
+        self.sealed_until_s = until_s
+        if not take.any():
+            return []
+        time = c["time"][take]
+        node = c["node"][take]
+        gpu = c["gpu"][take]
+        cpu = c["cpu"][take]
+        seq = c["seq"][take]
+        self._cols = {k: v[~take] for k, v in c.items()}
+
+        # Canonical order: (time, node), first arrival first among ties.
+        order = np.lexsort((seq, node, time))
+        time, node, gpu, cpu = (
+            time[order], node[order], gpu[order], cpu[order],
+        )
+
+        # Dedup exact (time, node) keys: the first arrival wins.
+        if len(time) > 1:
+            dup = np.zeros(len(time), dtype=bool)
+            dup[1:] = (time[1:] == time[:-1]) & (node[1:] == node[:-1])
+            n_dup = int(dup.sum())
+            if n_dup:
+                self.duplicates += n_dup
+                keep = ~dup
+                time, node, gpu, cpu = (
+                    time[keep], node[keep], gpu[keep], cpu[keep],
+                )
+
+        if self.aggregate:
+            time, node, gpu, cpu = self._aggregate_to_grid(
+                time, node, gpu, cpu
+            )
+
+        # Split into event-time windows (consecutive in sorted order).
+        widx = np.floor(time / self.window_s).astype(np.int64)
+        cuts = np.flatnonzero(widx[1:] != widx[:-1]) + 1
+        out: List[TelemetryChunk] = []
+        for lo, hi in zip(
+            np.concatenate([[0], cuts]),
+            np.concatenate([cuts, [len(time)]]),
+        ):
+            lo, hi = int(lo), int(hi)
+            out.append(
+                TelemetryChunk(
+                    time_s=time[lo:hi],
+                    node_id=node[lo:hi],
+                    gpu_power_w=gpu[lo:hi],
+                    cpu_power_w=cpu[lo:hi],
+                )
+            )
+            self.windows_emitted += 1
+            self.samples_out += hi - lo
+        return out
+
+    def _aggregate_to_grid(self, time, node, gpu, cpu):
+        """Mean-aggregate raw-cadence rows onto the analysis grid.
+
+        Same floor-window rule as the 2 s -> 15 s pre-processing: the
+        output tick ``k`` averages rows with ``time in [k*dt, (k+1)*dt)``
+        per node.  Input is canonically sorted; cell members stay in
+        time order, so the bincount means are order-stable.
+        """
+        tick = np.floor(time / self.interval_s).astype(np.int64)
+        # Regroup by (tick, node): rows of one cell are contiguous.
+        order = np.lexsort((time, node, tick))
+        tick, node, gpu, cpu = (
+            tick[order], node[order], gpu[order], cpu[order],
+        )
+        new = np.ones(len(tick), dtype=bool)
+        new[1:] = (tick[1:] != tick[:-1]) | (node[1:] != node[:-1])
+        gid = np.cumsum(new) - 1
+        n_cells = int(gid[-1]) + 1 if len(gid) else 0
+        counts = np.bincount(gid, minlength=n_cells).astype(np.float64)
+        gpu_out = np.empty(
+            (n_cells, constants.GPUS_PER_NODE), dtype=np.float64
+        )
+        for g in range(constants.GPUS_PER_NODE):
+            gpu_out[:, g] = np.bincount(
+                gid, weights=gpu[:, g].astype(np.float64),
+                minlength=n_cells,
+            )
+        gpu_out /= counts[:, None]
+        cpu_out = (
+            np.bincount(
+                gid, weights=cpu.astype(np.float64), minlength=n_cells
+            )
+            / counts
+        )
+        first = np.flatnonzero(new)
+        out_time = tick[first] * self.interval_s
+        out_node = node[first]
+        # Back to canonical (time, node) order.
+        order = np.lexsort((out_node, out_time))
+        return (
+            out_time[order],
+            out_node[order],
+            gpu_out[order].astype(np.float32),
+            cpu_out[order].astype(np.float32),
+        )
+
+    # -- checkpoint support --------------------------------------------------------
+
+    def state_arrays(self) -> Dict[str, np.ndarray]:
+        """Columnar form of the buffer state for npz persistence."""
+        return {
+            "buf_time": self._cols["time"],
+            "buf_node": self._cols["node"],
+            "buf_gpu": self._cols["gpu"],
+            "buf_cpu": self._cols["cpu"],
+            "buf_seq": self._cols["seq"],
+            "buf_config": np.array(
+                [
+                    self.interval_s,
+                    self.window_s,
+                    self.lateness_s,
+                    1.0 if self.aggregate else 0.0,
+                ]
+            ),
+            "buf_clock": np.array(
+                [
+                    self.max_event_time_s,
+                    self.sealed_until_s,
+                    float(self._next_seq),
+                ]
+            ),
+            "buf_counters": np.array(
+                [
+                    self.samples_in,
+                    self.duplicates,
+                    self.late_dropped,
+                    self.windows_emitted,
+                    self.samples_out,
+                    self.peak_resident,
+                ],
+                dtype=np.int64,
+            ),
+        }
+
+    def load_state_arrays(self, arrays: Dict[str, np.ndarray]) -> None:
+        """Inverse of :meth:`state_arrays`."""
+        interval, window, lateness, aggregate = (
+            float(x) for x in arrays["buf_config"]
+        )
+        self.interval_s = interval
+        self.window_s = window
+        self.lateness_s = lateness
+        self.aggregate = bool(aggregate)
+        self._cols = {
+            "time": np.array(arrays["buf_time"], dtype=np.float64),
+            "node": np.array(arrays["buf_node"], dtype=np.int32),
+            "gpu": np.array(arrays["buf_gpu"], dtype=np.float32),
+            "cpu": np.array(arrays["buf_cpu"], dtype=np.float32),
+            "seq": np.array(arrays["buf_seq"], dtype=np.int64),
+        }
+        clock = arrays["buf_clock"]
+        self.max_event_time_s = float(clock[0])
+        self.sealed_until_s = float(clock[1])
+        self._next_seq = int(clock[2])
+        counters = arrays["buf_counters"]
+        (
+            self.samples_in,
+            self.duplicates,
+            self.late_dropped,
+            self.windows_emitted,
+            self.samples_out,
+            self.peak_resident,
+        ) = (int(x) for x in counters)

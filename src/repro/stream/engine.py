@@ -1,0 +1,254 @@
+"""The streaming engine: live campaign analytics at bounded memory.
+
+``StreamEngine`` ties the subsystem together: arrival chunks from any
+source flow through the event-time :class:`~repro.stream.buffer.ReorderBuffer`,
+and every sealed canonical window is folded into a
+:class:`~repro.core.join.CampaignAccumulator` — the same vectorized fold
+the batch pipeline uses, which is what makes the drained stream
+bitwise-identical to :func:`repro.core.join_campaign` over the
+canonical windows (see ``docs/streaming.md`` for the exact contract).
+
+At any point, :meth:`StreamEngine.snapshot` reads out the live Table IV
+modal decomposition, the Table V/VI savings projections, a fleet-wide
+cap recommendation, and the ingest statistics — all from O(bins) state,
+without touching the samples again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from .. import constants
+from ..core import report
+from ..core.characterization import CapFactors, measured_factors
+from ..core.heatmap import table6_selection
+from ..core.join import CampaignAccumulator, CampaignCube
+from ..core.modes import ModeTable, decompose_modes
+from ..core.projection import ProjectionTable, project_savings
+from ..errors import ProjectionError
+from ..policy.live import FleetRecommendation, recommend_fleet_cap
+from ..scheduler.log import SchedulerLog
+from ..telemetry.schema import TelemetryChunk
+from .buffer import DEFAULT_WINDOW_S, ReorderBuffer
+
+
+@dataclass(frozen=True)
+class IngestStats:
+    """Operational counters of one engine (point-in-time)."""
+
+    chunks_in: int
+    samples_in: int
+    duplicates: int
+    late_dropped: int
+    windows_folded: int
+    samples_folded: int
+    resident_samples: int
+    peak_resident_samples: int
+    max_event_time_s: float
+    watermark_s: float
+    sealed_until_s: float
+    watermark_lag_s: float
+
+    def render(self) -> str:
+        lines = [
+            "ingest stats:",
+            f"  chunks in            {self.chunks_in:>12}",
+            f"  samples in           {self.samples_in:>12}",
+            f"  duplicates dropped   {self.duplicates:>12}",
+            f"  late dropped         {self.late_dropped:>12}",
+            f"  windows folded       {self.windows_folded:>12}",
+            f"  samples folded       {self.samples_folded:>12}",
+            f"  resident samples     {self.resident_samples:>12}",
+            f"  peak resident        {self.peak_resident_samples:>12}",
+            f"  watermark lag        {self.watermark_lag_s:>10.0f} s",
+        ]
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StreamSnapshot:
+    """Live analytics as of the current watermark."""
+
+    stats: IngestStats
+    cube: CampaignCube
+    table4: Optional[ModeTable]
+    table5: Optional[ProjectionTable]
+    table6: Optional[ProjectionTable]
+    table6_domains: List[str]
+    recommendation: Optional[FleetRecommendation]
+
+    def render(self) -> str:
+        """Plain-text report of the live Tables IV/V/VI + ingest state."""
+        parts = []
+        if self.table4 is not None:
+            parts.append("live Table IV (modal decomposition):")
+            parts.append(report.render_table4(self.table4))
+        if self.table5 is not None:
+            parts.append("")
+            parts.append("live Table V (savings projection):")
+            parts.append(report.render_table5(self.table5))
+        if self.table6 is not None:
+            parts.append("")
+            parts.append(
+                "live Table VI (selected domains "
+                f"{', '.join(self.table6_domains)}; classes A-C):"
+            )
+            parts.append(report.render_table5(self.table6))
+        if self.recommendation is not None:
+            rec = self.recommendation
+            if rec.capped:
+                parts.append(
+                    f"\nfleet advice: cap at {rec.cap:.0f} "
+                    f"({rec.knob}) -> {rec.expected_saving_mwh:.0f} MWh "
+                    f"({rec.savings_pct:.2f} %) at "
+                    f"{rec.runtime_increase_pct:.2f} % runtime increase"
+                )
+            else:
+                parts.append(
+                    "\nfleet advice: leave uncapped (no projected "
+                    "savings within the slowdown budget)"
+                )
+        if not parts:
+            parts.append("no sealed windows yet — nothing to report")
+        parts.append("")
+        parts.append(self.stats.render())
+        return "\n".join(parts)
+
+
+class StreamEngine:
+    """Incremental telemetry ingestion with live, queryable analytics."""
+
+    def __init__(
+        self,
+        log: SchedulerLog,
+        *,
+        interval_s: float = constants.TELEMETRY_INTERVAL_S,
+        window_s: float = DEFAULT_WINDOW_S,
+        lateness_s: float = 0.0,
+        aggregate: bool = False,
+    ) -> None:
+        self.log = log
+        self.buffer = ReorderBuffer(
+            interval_s=interval_s,
+            window_s=window_s,
+            lateness_s=lateness_s,
+            aggregate=aggregate,
+        )
+        self.accumulator = CampaignAccumulator(log, interval_s=interval_s)
+        self.chunks_in = 0
+
+    # -- ingestion ----------------------------------------------------------------
+
+    def ingest(self, chunk: TelemetryChunk) -> int:
+        """Absorb one arrival chunk; fold any windows it sealed.
+
+        Returns the number of windows folded by this call.
+        """
+        self.chunks_in += 1
+        windows = self.buffer.push(chunk)
+        for window in windows:
+            self.accumulator.update(window)
+        return len(windows)
+
+    def drain(self) -> int:
+        """Seal and fold everything still buffered (end of stream)."""
+        windows = self.buffer.flush()
+        for window in windows:
+            self.accumulator.update(window)
+        return len(windows)
+
+    def run(
+        self,
+        source: Iterable[TelemetryChunk],
+        *,
+        max_chunks: Optional[int] = None,
+        drain: bool = True,
+    ) -> "StreamEngine":
+        """Consume a source to completion (or for ``max_chunks``)."""
+        for i, chunk in enumerate(source):
+            if max_chunks is not None and i >= max_chunks:
+                break
+            self.ingest(chunk)
+        if drain:
+            self.drain()
+        return self
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def stats(self) -> IngestStats:
+        buf = self.buffer
+        return IngestStats(
+            chunks_in=self.chunks_in,
+            samples_in=buf.samples_in,
+            duplicates=buf.duplicates,
+            late_dropped=buf.late_dropped,
+            windows_folded=buf.windows_emitted,
+            samples_folded=buf.samples_out,
+            resident_samples=buf.resident_samples,
+            peak_resident_samples=buf.peak_resident,
+            max_event_time_s=buf.max_event_time_s,
+            watermark_s=buf.watermark_s,
+            sealed_until_s=buf.sealed_until_s,
+            watermark_lag_s=buf.watermark_lag_s,
+        )
+
+    def cube(self, *, copy: bool = True) -> CampaignCube:
+        """The campaign cube of all sealed windows so far."""
+        return self.accumulator.cube(copy=copy)
+
+    def snapshot(
+        self,
+        *,
+        factors: Optional[CapFactors] = None,
+        campaign_energy_mwh: Optional[float] = None,
+        max_slowdown_pct: float = 5.0,
+    ) -> StreamSnapshot:
+        """Live Tables IV/V/VI + fleet advice + ingest statistics.
+
+        Derived entirely from the fold's O(bins) state; safe to call at
+        any cadence.  Tables are ``None`` until the first window seals.
+        """
+        cube = self.cube(copy=True)
+        stats = self.stats
+        if cube.total_gpu_hours == 0 or cube.total_energy_j <= 0:
+            return StreamSnapshot(
+                stats=stats, cube=cube, table4=None, table5=None,
+                table6=None, table6_domains=[], recommendation=None,
+            )
+        factors = (
+            factors if factors is not None else measured_factors("frequency")
+        )
+        table4 = decompose_modes(cube)
+        table5 = project_savings(
+            cube, factors, campaign_energy_mwh=campaign_energy_mwh
+        )
+        table6 = None
+        table6_domains: List[str] = []
+        try:
+            selected, table6_domains = table6_selection(cube, factors)
+            table6 = project_savings(
+                selected,
+                factors,
+                campaign_energy_mwh=campaign_energy_mwh,
+                reference_cube=cube,
+            )
+        except ProjectionError:
+            # A young stream may not show positive savings anywhere yet.
+            table6_domains = []
+        recommendation = recommend_fleet_cap(
+            cube,
+            factors,
+            max_slowdown_pct=max_slowdown_pct,
+            projection=table5,
+        )
+        return StreamSnapshot(
+            stats=stats,
+            cube=cube,
+            table4=table4,
+            table5=table5,
+            table6=table6,
+            table6_domains=table6_domains,
+            recommendation=recommendation,
+        )

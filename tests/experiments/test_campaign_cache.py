@@ -1,0 +1,41 @@
+"""The process-wide campaign cache must be aliasing-safe."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ExperimentConfig, run
+from repro.experiments._campaign import build_campaign, campaign_cube
+
+CONFIG = ExperimentConfig(fleet_nodes=16, days=0.5, seed=0)
+
+
+def test_cached_cube_arrays_are_read_only():
+    cube = campaign_cube(CONFIG)
+    for arr in (
+        cube.energy_j,
+        cube.gpu_hours,
+        cube.histogram.counts,
+        cube.histogram.weight_sums,
+    ):
+        assert not arr.flags.writeable
+        with pytest.raises(ValueError):
+            arr[...] = 0.0
+    for hist in cube.domain_histograms.values():
+        assert not hist.counts.flags.writeable
+        assert not hist.weight_sums.flags.writeable
+
+
+def test_cache_returns_the_same_object():
+    a = build_campaign(CONFIG.fleet_nodes, CONFIG.days, CONFIG.seed)
+    b = build_campaign(CONFIG.fleet_nodes, CONFIG.days, CONFIG.seed)
+    assert a[1] is b[1]
+
+
+def test_experiments_do_not_corrupt_the_shared_cube():
+    # Every cached-cube consumer reruns identically: any in-place edit
+    # by the first pass would change the second (or raise on write).
+    before = campaign_cube(CONFIG).energy_j.copy()
+    first = {e: run(e, CONFIG).text for e in ("table4", "table5")}
+    second = {e: run(e, CONFIG).text for e in ("table4", "table5")}
+    assert first == second
+    assert np.array_equal(campaign_cube(CONFIG).energy_j, before)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the streaming-engine tests.
+
+One small campaign is generated once per package; the batch reference
+cube is the join over its *canonical event-time windows* — the exact
+chunk sequence a drained engine folds, which is what makes bitwise
+comparison meaningful (float accumulation order is part of the
+contract; see docs/streaming.md).
+"""
+
+import numpy as np
+import pytest
+
+from repro import constants, units
+from repro.core import join_campaign
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.stream import canonical_windows
+from repro.telemetry import FleetTelemetryGenerator
+
+FLEET_NODES = 16
+DAYS = 0.5
+WINDOW_S = 40 * constants.TELEMETRY_INTERVAL_S
+LATENESS_S = 8 * constants.TELEMETRY_INTERVAL_S
+
+
+@pytest.fixture(scope="package")
+def campaign():
+    mix = default_mix(fleet_nodes=FLEET_NODES)
+    log = SlurmSimulator(mix).run(units.days(DAYS), rng=0)
+    gen = FleetTelemetryGenerator(log, mix, seed=1000)
+    return log, gen, gen.generate()
+
+
+@pytest.fixture(scope="package")
+def batch_cube(campaign):
+    log, _gen, store = campaign
+    return join_campaign(canonical_windows(store, window_s=WINDOW_S), log)
+
+
+@pytest.fixture(scope="package")
+def cubes_equal():
+    def check(a, b):
+        return (
+            np.array_equal(a.energy_j, b.energy_j)
+            and np.array_equal(a.gpu_hours, b.gpu_hours)
+            and np.array_equal(a.histogram.counts, b.histogram.counts)
+            and np.array_equal(
+                a.histogram.weight_sums, b.histogram.weight_sums
+            )
+            and a.cpu_energy_j == b.cpu_energy_j
+            and a.domains == b.domains
+            and a.classes == b.classes
+        )
+
+    return check

@@ -1,0 +1,104 @@
+"""Checkpoint/resume: restart mid-stream, converge to the same cube."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError, TelemetryError
+from repro.stream import (
+    StreamEngine,
+    load_checkpoint,
+    perturb,
+    save_checkpoint,
+)
+
+from .conftest import LATENESS_S, WINDOW_S
+
+
+@pytest.fixture(scope="module")
+def arrival_chunks(campaign):
+    _log, _gen, store = campaign
+    return list(
+        perturb(store, seed=3, lateness_s=LATENESS_S, dup_fraction=0.05)
+    )
+
+
+def _fresh(log):
+    return StreamEngine(log, window_s=WINDOW_S, lateness_s=LATENESS_S)
+
+
+def test_resume_mid_stream_is_bitwise(
+    campaign, arrival_chunks, batch_cube, cubes_equal, tmp_path
+):
+    log, _gen, _store = campaign
+    split = len(arrival_chunks) // 3
+    uninterrupted = _fresh(log).run(arrival_chunks)
+
+    first = _fresh(log).run(arrival_chunks[:split], drain=False)
+    path = tmp_path / "mid.npz"
+    save_checkpoint(first, path)
+    resumed = load_checkpoint(path, log).run(arrival_chunks[split:])
+
+    assert cubes_equal(resumed.cube(), uninterrupted.cube())
+    assert cubes_equal(resumed.cube(), batch_cube)
+    # Identical operational history, not just identical analytics.
+    assert resumed.stats == uninterrupted.stats
+
+
+def test_resume_then_refeed_from_start_converges(
+    campaign, arrival_chunks, batch_cube, cubes_equal, tmp_path
+):
+    # At-least-once delivery: replaying the WHOLE stream into a resumed
+    # engine still converges — already-sealed samples drop as late,
+    # still-buffered ones dedup.
+    log, _gen, _store = campaign
+    split = len(arrival_chunks) // 2
+    first = _fresh(log).run(arrival_chunks[:split], drain=False)
+    path = tmp_path / "mid.npz"
+    save_checkpoint(first, path)
+    resumed = load_checkpoint(path, log).run(arrival_chunks)
+    assert cubes_equal(resumed.cube(), batch_cube)
+    assert resumed.stats.late_dropped > 0
+
+
+def test_checkpoint_restores_config_and_counters(
+    campaign, arrival_chunks, tmp_path
+):
+    log, _gen, _store = campaign
+    engine = _fresh(log).run(arrival_chunks[:4], drain=False)
+    path = tmp_path / "state.npz"
+    save_checkpoint(engine, path)
+    clone = load_checkpoint(path, log)
+    assert clone.buffer.window_s == WINDOW_S
+    assert clone.buffer.lateness_s == LATENESS_S
+    assert clone.chunks_in == engine.chunks_in
+    assert clone.stats == engine.stats
+
+
+def test_version_mismatch_is_rejected(campaign, arrival_chunks, tmp_path):
+    log, _gen, _store = campaign
+    path = tmp_path / "ck.npz"
+    save_checkpoint(_fresh(log).run(arrival_chunks[:2], drain=False), path)
+    with np.load(path, allow_pickle=False) as data:
+        arrays = dict(data)
+    arrays["version"] = np.array([99], dtype=np.int64)
+    bad = tmp_path / "bad.npz"
+    np.savez_compressed(bad, **arrays)
+    with pytest.raises(TelemetryError):
+        load_checkpoint(bad, log)
+
+
+def test_mismatched_log_axes_are_rejected(
+    campaign, arrival_chunks, tmp_path
+):
+    log, _gen, _store = campaign
+    path = tmp_path / "ck.npz"
+    save_checkpoint(_fresh(log).run(arrival_chunks[:2], drain=False), path)
+    with np.load(path, allow_pickle=False) as data:
+        arrays = dict(data)
+    arrays["acc_domains"] = arrays["acc_domains"][:-1]
+    arrays["acc_energy_j"] = arrays["acc_energy_j"][:-1]
+    arrays["acc_gpu_hours"] = arrays["acc_gpu_hours"][:-1]
+    bad = tmp_path / "bad-axes.npz"
+    np.savez_compressed(bad, **arrays)
+    with pytest.raises(ReproError):
+        load_checkpoint(bad, log)

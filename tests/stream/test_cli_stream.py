@@ -1,0 +1,47 @@
+"""End-to-end `repro stream` CLI coverage."""
+
+from repro.cli import main
+
+
+def test_stream_simulated_end_to_end(capsys):
+    rc = main(
+        [
+            "stream", "--nodes", "4", "--days", "0.2", "--shuffle",
+            "--dup-fraction", "0.05", "--snapshot-every", "20",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "final (drained) snapshot" in out
+    assert "live Table IV" in out
+    assert "ingest stats:" in out
+    assert "duplicates dropped" in out
+
+
+def test_stream_checkpoint_then_resume(capsys, tmp_path):
+    ck = tmp_path / "ck.npz"
+    rc = main(
+        [
+            "stream", "--nodes", "4", "--days", "0.2",
+            "--max-chunks", "5", "--checkpoint", str(ck),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert ck.exists()
+    assert "live (stream paused) snapshot" in out
+
+    rc = main(["stream", "--nodes", "4", "--days", "0.2",
+               "--resume", str(ck)])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "final (drained) snapshot" in out
+
+
+def test_stream_flag_validation(capsys, tmp_path):
+    # --dup-fraction without --shuffle is meaningless.
+    assert main(["stream", "--nodes", "4", "--days", "0.2",
+                 "--dup-fraction", "0.1"]) == 1
+    # --from-file needs the scheduler log.
+    assert main(["stream", "--from-file", str(tmp_path / "x.npz")]) == 1
+    capsys.readouterr()
