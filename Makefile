@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench-quick bench-record bench
+.PHONY: test lint bench-quick bench-record bench bench-obs
 
 # Tier-1 correctness suite.
 test:
@@ -21,6 +21,12 @@ bench-quick:
 # Full-rounds variant of the same gate.
 bench:
 	$(PYTHON) benchmarks/bench_batch.py --check
+
+# Observability no-op gate: with obs disabled, the instrumented hot
+# paths (GPUDevice.run_batch, ReorderBuffer.push) must stay under the
+# 2 % overhead budget vs their raw implementations.
+bench-obs:
+	$(PYTHON) benchmarks/bench_batch.py --check --quick --overhead-only
 
 # Re-measure and rewrite the recorded baseline (run on the reference
 # machine after intentional perf changes).

@@ -27,6 +27,7 @@ import numpy as np
 from .. import constants, units
 from ..errors import CapError
 from ..gpu import GPUDevice
+from ..obs import runtime as _obs
 from ..gpu.device import BatchResult
 from ..gpu.kernel import KernelBatch, KernelSpec
 from ..gpu.specs import MI250XSpec, default_spec
@@ -99,15 +100,16 @@ class GridSweep:
     ) -> BatchGrid:
         n = len(self._batch)
         reps = len(caps)
-        tiled = self._tiles.get(reps)
-        if tiled is None:
-            tiled = self._tiles[reps] = self._batch.tile(reps)
-        per_point = np.repeat(caps_hz_or_w, n)
-        device = GPUDevice(self.spec)
-        if knob == "frequency":
-            result = device.run_batch(tiled, frequency_caps_hz=per_point)
-        else:
-            result = device.run_batch(tiled, power_caps_w=per_point)
+        with _obs.span("bench.grid", knob=knob, points=reps * n):
+            tiled = self._tiles.get(reps)
+            if tiled is None:
+                tiled = self._tiles[reps] = self._batch.tile(reps)
+            per_point = np.repeat(caps_hz_or_w, n)
+            device = GPUDevice(self.spec)
+            if knob == "frequency":
+                result = device.run_batch(tiled, frequency_caps_hz=per_point)
+            else:
+                result = device.run_batch(tiled, power_caps_w=per_point)
         return BatchGrid(
             knob=knob, caps=tuple(caps), n_kernels=n, result=result
         )
@@ -203,37 +205,41 @@ class CapSweep:
         caps_mhz: Sequence[float] = constants.FREQUENCY_CAPS_MHZ,
     ) -> Dict[float, SweepPoint]:
         """Run at each frequency cap plus the uncapped baseline (key 0)."""
-        if self.batched:
-            return self._package_grid(
-                self._grid_sweep().frequency_sweep(caps_mhz)
-            )
-        points: Dict[float, SweepPoint] = {
-            0: SweepPoint("frequency", 0, self._run_at(lambda: GPUDevice(self.spec)))
-        }
-        for cap in caps_mhz:
-            if cap <= 0:
-                raise CapError(f"invalid frequency cap {cap} MHz")
-            result = self._run_at(
-                lambda: GPUDevice(self.spec, frequency_cap_hz=units.mhz(cap))
-            )
-            points[cap] = SweepPoint("frequency", float(cap), result)
-        return points
+        with _obs.span("bench.frequency_sweep", batched=self.batched):
+            if self.batched:
+                return self._package_grid(
+                    self._grid_sweep().frequency_sweep(caps_mhz)
+                )
+            points: Dict[float, SweepPoint] = {
+                0: SweepPoint("frequency", 0, self._run_at(lambda: GPUDevice(self.spec)))
+            }
+            for cap in caps_mhz:
+                if cap <= 0:
+                    raise CapError(f"invalid frequency cap {cap} MHz")
+                result = self._run_at(
+                    lambda: GPUDevice(self.spec, frequency_cap_hz=units.mhz(cap))
+                )
+                points[cap] = SweepPoint("frequency", float(cap), result)
+            return points
 
     def power_sweep(
         self,
         caps_w: Sequence[float] = constants.POWER_CAPS_W,
     ) -> Dict[float, SweepPoint]:
         """Run at each power cap plus the uncapped baseline (key 0)."""
-        if self.batched:
-            return self._package_grid(self._grid_sweep().power_sweep(caps_w))
-        points: Dict[float, SweepPoint] = {
-            0: SweepPoint("power", 0, self._run_at(lambda: GPUDevice(self.spec)))
-        }
-        for cap in caps_w:
-            if cap <= 0:
-                raise CapError(f"invalid power cap {cap} W")
-            result = self._run_at(
-                lambda: GPUDevice(self.spec, power_cap_w=float(cap))
-            )
-            points[cap] = SweepPoint("power", float(cap), result)
-        return points
+        with _obs.span("bench.power_sweep", batched=self.batched):
+            if self.batched:
+                return self._package_grid(
+                    self._grid_sweep().power_sweep(caps_w)
+                )
+            points: Dict[float, SweepPoint] = {
+                0: SweepPoint("power", 0, self._run_at(lambda: GPUDevice(self.spec)))
+            }
+            for cap in caps_w:
+                if cap <= 0:
+                    raise CapError(f"invalid power cap {cap} W")
+                result = self._run_at(
+                    lambda: GPUDevice(self.spec, power_cap_w=float(cap))
+                )
+                points[cap] = SweepPoint("power", float(cap), result)
+            return points

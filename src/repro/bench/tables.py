@@ -26,6 +26,7 @@ import numpy as np
 from .. import constants
 from ..errors import ProjectionError
 from ..gpu.specs import MI250XSpec, default_spec
+from ..obs import runtime as _obs
 from .membench import MemoryBenchmark
 from .sweep import CapSweep
 from .vai import VAIBenchmark
@@ -107,6 +108,18 @@ def compute_table3(
     mem: Optional[MemoryBenchmark] = None,
 ) -> Table3:
     """Measure Table III for one knob on the simulated device."""
+    with _obs.span("bench.table3", knob=knob):
+        return _compute_table3(spec, knob=knob, caps=caps, vai=vai, mem=mem)
+
+
+def _compute_table3(
+    spec: Optional[MI250XSpec],
+    *,
+    knob: str,
+    caps: Optional[Sequence[float]],
+    vai: Optional[VAIBenchmark],
+    mem: Optional[MemoryBenchmark],
+) -> Table3:
     spec = spec if spec is not None else default_spec()
     vai = vai if vai is not None else VAIBenchmark()
     mem = mem if mem is not None else MemoryBenchmark()

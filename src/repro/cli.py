@@ -55,6 +55,20 @@ def _build_parser() -> argparse.ArgumentParser:
         "--csv", action="store_true",
         help="also export numeric series as CSV (requires --out)",
     )
+    run_p.add_argument(
+        "--obs", action="store_true",
+        help=(
+            "enable observability: collect metrics + trace spans and "
+            "write a run manifest (see docs/observability.md)"
+        ),
+    )
+    run_p.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help=(
+            "directory for manifest.json + metrics.prom (default: "
+            "--out, else 'obs')"
+        ),
+    )
 
     advise_p = sub.add_parser(
         "advise",
@@ -146,6 +160,44 @@ def _build_parser() -> argparse.ArgumentParser:
             "normalize MWh columns to this campaign total (default: "
             "the paper's 16820 for simulated fleets, raw for files)"
         ),
+    )
+    stream_p.add_argument(
+        "--obs", action="store_true",
+        help=(
+            "enable observability: ingest-lag gauges, late-drop/dedup "
+            "counters, spans, and a run manifest"
+        ),
+    )
+    stream_p.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="directory for manifest.json + metrics.prom (default 'obs')",
+    )
+
+    obs_p = sub.add_parser(
+        "obs",
+        help="inspect run manifests written by --obs",
+    )
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+    obs_sum = obs_sub.add_parser(
+        "summary", help="summarize one manifest: provenance, spans, counters"
+    )
+    obs_sum.add_argument("manifest", help="path to a .manifest.json")
+    obs_sum.add_argument(
+        "--top", type=int, default=15,
+        help="how many span rows to print (default 15)",
+    )
+    obs_diff = obs_sub.add_parser(
+        "diff",
+        help=(
+            "compare two manifests and flag provenance drift (config, "
+            "versions, git, output digests) and timing drift"
+        ),
+    )
+    obs_diff.add_argument("a", help="baseline manifest")
+    obs_diff.add_argument("b", help="candidate manifest")
+    obs_diff.add_argument(
+        "--timing-tolerance", type=float, default=25.0, metavar="PCT",
+        help="per-span total-duration drift tolerance (default 25 %%)",
     )
 
     report_p = sub.add_parser(
@@ -306,6 +358,41 @@ def _stream(args) -> int:
     return 0
 
 
+def _obs_command(args) -> int:
+    from .obs import manifest as obs_manifest
+
+    if args.obs_command == "summary":
+        doc = obs_manifest.load_manifest(args.manifest)
+        print(obs_manifest.summarize_manifest(doc, top=args.top))
+        return 0
+    # diff
+    diff = obs_manifest.diff_manifests(
+        obs_manifest.load_manifest(args.a),
+        obs_manifest.load_manifest(args.b),
+        timing_tolerance_pct=args.timing_tolerance,
+    )
+    print(diff.render())
+    return 0 if diff.clean else 1
+
+
+def _finish_obs(command: str, config: dict, outputs, obs_dir,
+                wall0: float, cpu0: float) -> None:
+    """Write manifest.json + metrics.prom and print the run summary."""
+    from .obs import manifest as obs_manifest
+
+    paths = obs_manifest.write_run_artifacts(
+        obs_dir,
+        command=command,
+        config=config,
+        outputs=outputs,
+        wall_s=time.perf_counter() - wall0,
+        cpu_s=time.process_time() - cpu0,
+    )
+    doc = obs_manifest.load_manifest(paths["manifest"])
+    print(f"===== observability ({paths['manifest']}) =====")
+    print(obs_manifest.summarize_manifest(doc))
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
@@ -313,6 +400,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         for exp_id in EXPERIMENT_IDS:
             print(exp_id)
         return 0
+
+    if args.command == "obs":
+        try:
+            return _obs_command(args)
+        except ReproError as exc:
+            print(f"obs FAILED: {exc}", file=sys.stderr)
+            return 1
 
     if args.command == "advise":
         try:
@@ -322,11 +416,33 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 1
 
     if args.command == "stream":
+        from .obs import runtime as obs_runtime
+
+        if args.obs:
+            obs_runtime.enable()
+        wall0, cpu0 = time.perf_counter(), time.process_time()
         try:
-            return _stream(args)
+            status = _stream(args)
         except (ReproError, OSError) as exc:
             print(f"stream FAILED: {exc}", file=sys.stderr)
             return 1
+        finally:
+            if args.obs and obs_runtime.enabled():
+                _finish_obs(
+                    "repro stream",
+                    {
+                        "nodes": args.nodes, "days": args.days,
+                        "seed": args.seed, "window_s": args.window_s,
+                        "lateness_s": args.lateness_s,
+                        "shuffle": args.shuffle,
+                        "dup_fraction": args.dup_fraction,
+                    },
+                    [args.checkpoint] if args.checkpoint else [],
+                    args.obs_dir or "obs",
+                    wall0, cpu0,
+                )
+                obs_runtime.disable()
+        return status
 
     if args.command == "report":
         from .experiments.bundle import write_report
@@ -360,7 +476,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.experiment == "all"
         else [args.experiment]
     )
+    from .obs import runtime as obs_runtime
+
+    if args.obs:
+        obs_runtime.enable()
+    wall0, cpu0 = time.perf_counter(), time.process_time()
     status = 0
+    outputs = []
     for exp_id in targets:
         t0 = time.time()
         try:
@@ -370,6 +492,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             status = 1
             continue
         elapsed = time.time() - t0
+        if args.out:
+            outputs.append(f"{args.out}/{exp_id}.txt")
         if getattr(args, "csv", False) and args.out:
             from .experiments.export import export_csv
 
@@ -377,6 +501,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"===== {exp_id}: {result.title} ({elapsed:.1f} s) =====")
         print(result.text)
         print()
+    if args.obs and obs_runtime.enabled():
+        _finish_obs(
+            f"repro run {args.experiment}",
+            {
+                "fleet_nodes": args.nodes, "days": args.days,
+                "seed": args.seed, "graph_scale": args.graph_scale,
+                "out_dir": args.out,
+            },
+            outputs,
+            args.obs_dir or args.out or "obs",
+            wall0, cpu0,
+        )
+        obs_runtime.disable()
     return status
 
 

@@ -79,6 +79,14 @@ class StreamingHistogram:
                 idx, weights=weights, minlength=self.n_bins
             )
 
+    def copy(self) -> "StreamingHistogram":
+        """An independent clone (own arrays; safe to mutate or merge)."""
+        out = StreamingHistogram(self.lo, self.hi, self.bin_width)
+        out.counts = self.counts.copy()
+        out.weight_sums = self.weight_sums.copy()
+        out.n_clipped = self.n_clipped
+        return out
+
     def merge(self, other: "StreamingHistogram") -> None:
         """Absorb another histogram with identical binning."""
         if (

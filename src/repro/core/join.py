@@ -19,6 +19,7 @@ import numpy as np
 
 from .. import constants
 from ..errors import JoinError
+from ..obs import runtime as _obs
 from ..scheduler.log import SchedulerLog
 from ..telemetry.schema import TelemetryChunk
 from ..telemetry.store import TelemetryStore
@@ -195,7 +196,24 @@ class CampaignAccumulator:
             self._cls_of_job[jid] = c_index[job.size_class]
 
     def update(self, chunk: TelemetryChunk) -> None:
-        """Fold one chunk into the running campaign state."""
+        """Fold one chunk into the running campaign state.
+
+        Traced as a ``join.update`` span when observability is on; the
+        disabled wrapper costs one global read and a branch.
+        """
+        st = _obs.state()
+        if st is None:
+            return self._update_impl(chunk)
+        with st.tracer.span("join.update") as sp:
+            self._update_impl(chunk)
+            sp.set(rows=len(chunk.time_s))
+        st.registry.counter(
+            "join_samples_total",
+            "telemetry rows folded into the campaign cube",
+        ).inc(len(chunk.time_s))
+
+    def _update_impl(self, chunk: TelemetryChunk) -> None:
+        """Uninstrumented body of :meth:`update` (the timed hot path)."""
         interval = self.interval_s
         self.n_chunks += 1
         self.cpu_energy_j += (
@@ -242,16 +260,11 @@ class CampaignAccumulator:
         so further ``update`` calls do not mutate it (live queries).
         """
         if copy:
-            hist = StreamingHistogram(
-                self.histogram.lo, self.histogram.hi,
-                self.histogram.bin_width,
-            )
-            hist.merge(self.histogram)
-            domain_hists = {}
-            for name, h in self.domain_histograms.items():
-                c = StreamingHistogram(h.lo, h.hi, h.bin_width)
-                c.merge(h)
-                domain_hists[name] = c
+            hist = self.histogram.copy()
+            domain_hists = {
+                name: h.copy()
+                for name, h in self.domain_histograms.items()
+            }
             return CampaignCube(
                 domains=list(self.domains),
                 classes=list(self.classes),
@@ -347,9 +360,10 @@ def join_campaign(
         chunks = telemetry
         interval = constants.TELEMETRY_INTERVAL_S
 
-    acc = CampaignAccumulator(log, interval_s=interval)
-    for chunk in chunks:
-        acc.update(chunk)
+    with _obs.span("join.campaign"):
+        acc = CampaignAccumulator(log, interval_s=interval)
+        for chunk in chunks:
+            acc.update(chunk)
     if acc.n_chunks == 0:
         raise JoinError("no telemetry chunks to join")
     return acc.cube()

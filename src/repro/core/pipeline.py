@@ -16,6 +16,7 @@ from typing import Optional
 
 from .. import units
 from ..errors import JoinError
+from ..obs import runtime as _obs
 from ..parallel import chunked_map, partition
 from ..scheduler import SlurmSimulator, default_mix
 from ..scheduler.log import SchedulerLog
@@ -24,24 +25,35 @@ from .join import CampaignCube, join_campaign
 
 
 def merge_cubes(a: CampaignCube, b: CampaignCube) -> CampaignCube:
-    """Merge two partial cubes from the same campaign."""
+    """Merge two partial cubes from the same campaign.
+
+    The merge is non-aliasing: the returned cube owns fresh histogram
+    and array state, and neither input is mutated — merging the same
+    partials twice (a traced re-run, a retried block) can never
+    double-count.
+    """
     if a.domains != b.domains or a.classes != b.classes:
         raise JoinError("cannot merge cubes with different axes")
     if a.interval_s != b.interval_s:
         raise JoinError("cannot merge cubes with different cadences")
-    a.histogram.merge(b.histogram)
-    for name in a.domain_histograms:
-        a.domain_histograms[name].merge(b.domain_histograms[name])
-    return CampaignCube(
-        domains=a.domains,
-        classes=a.classes,
-        energy_j=a.energy_j + b.energy_j,
-        gpu_hours=a.gpu_hours + b.gpu_hours,
-        histogram=a.histogram,
-        domain_histograms=a.domain_histograms,
-        interval_s=a.interval_s,
-        cpu_energy_j=a.cpu_energy_j + b.cpu_energy_j,
-    )
+    with _obs.span("pipeline.merge"):
+        histogram = a.histogram.copy()
+        histogram.merge(b.histogram)
+        domain_histograms = {}
+        for name in a.domain_histograms:
+            merged = a.domain_histograms[name].copy()
+            merged.merge(b.domain_histograms[name])
+            domain_histograms[name] = merged
+        return CampaignCube(
+            domains=list(a.domains),
+            classes=list(a.classes),
+            energy_j=a.energy_j + b.energy_j,
+            gpu_hours=a.gpu_hours + b.gpu_hours,
+            histogram=histogram,
+            domain_histograms=domain_histograms,
+            interval_s=a.interval_s,
+            cpu_energy_j=a.cpu_energy_j + b.cpu_energy_j,
+        )
 
 
 def _block_cube(log_arrays: dict, fleet_nodes: int, seed: int,
@@ -51,11 +63,14 @@ def _block_cube(log_arrays: dict, fleet_nodes: int, seed: int,
     The scheduler log travels as plain arrays so the task pickles small
     and reconstructs cheaply.
     """
-    log = SchedulerLog.from_arrays(log_arrays)
-    mix = default_mix(fleet_nodes=fleet_nodes)
-    gen = FleetTelemetryGenerator(log, mix, seed=seed)
-    chunks = (gen.node_chunk(nid) for nid in range(lo, hi))
-    return join_campaign(chunks, log)
+    with _obs.span("pipeline.block", node_lo=lo, node_hi=hi):
+        log = SchedulerLog.from_arrays(log_arrays)
+        mix = default_mix(fleet_nodes=fleet_nodes)
+        gen = FleetTelemetryGenerator(log, mix, seed=seed)
+        chunks = (gen.node_chunk(nid) for nid in range(lo, hi))
+        cube = join_campaign(chunks, log)
+    _obs.counter_inc("pipeline_blocks_total")
+    return cube
 
 
 @dataclass(frozen=True)
@@ -80,21 +95,25 @@ def run_campaign(
     ``workers > 1`` fans the node blocks out over a process pool; the
     merged cube is identical to the serial result.
     """
-    if log is None:
-        mix = default_mix(fleet_nodes=fleet_nodes)
-        log = SlurmSimulator(mix).run(units.days(days), rng=seed)
-    telemetry_seed = seed + 1000
-    log_arrays = log.to_arrays()
+    with _obs.span(
+        "pipeline.run_campaign", fleet_nodes=fleet_nodes, workers=workers
+    ):
+        if log is None:
+            mix = default_mix(fleet_nodes=fleet_nodes)
+            with _obs.span("pipeline.simulate"):
+                log = SlurmSimulator(mix).run(units.days(days), rng=seed)
+        telemetry_seed = seed + 1000
+        log_arrays = log.to_arrays()
 
-    n_blocks = max(1, -(-log.n_nodes // nodes_per_block))
-    blocks = [
-        (log_arrays, log.n_nodes, telemetry_seed, lo, hi)
-        for lo, hi in partition(log.n_nodes, n_blocks)
-    ]
-    cubes = chunked_map(_block_cube, blocks, workers=workers)
-    cube = cubes[0]
-    for other in cubes[1:]:
-        cube = merge_cubes(cube, other)
+        n_blocks = max(1, -(-log.n_nodes // nodes_per_block))
+        blocks = [
+            (log_arrays, log.n_nodes, telemetry_seed, lo, hi)
+            for lo, hi in partition(log.n_nodes, n_blocks)
+        ]
+        cubes = chunked_map(_block_cube, blocks, workers=workers)
+        cube = cubes[0]
+        for other in cubes[1:]:
+            cube = merge_cubes(cube, other)
     return CampaignRun(log=log, cube=cube)
 
 

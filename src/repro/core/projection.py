@@ -23,6 +23,7 @@ from typing import List, Optional
 
 from .. import units
 from ..errors import ProjectionError
+from ..obs import runtime as _obs
 from .characterization import CapFactors
 from .join import CampaignCube
 
@@ -89,7 +90,24 @@ def project_savings(
     """
     if dt_weighting not in ("energy", "gpu_hours"):
         raise ProjectionError(f"unknown dt_weighting {dt_weighting!r}")
+    with _obs.span("projection.project", knob=factors.knob):
+        return _project(
+            cube,
+            factors,
+            campaign_energy_mwh=campaign_energy_mwh,
+            reference_cube=reference_cube,
+            dt_weighting=dt_weighting,
+        )
 
+
+def _project(
+    cube: CampaignCube,
+    factors: CapFactors,
+    *,
+    campaign_energy_mwh: Optional[float],
+    reference_cube: Optional[CampaignCube],
+    dt_weighting: str,
+) -> ProjectionTable:
     ref = reference_cube if reference_cube is not None else cube
     region_energy = cube.region_energy_j()
     total_j = ref.total_energy_j

@@ -45,3 +45,7 @@ class ProjectionError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or an experiment failed to run."""
+
+
+class ObservabilityError(ReproError):
+    """A metric, trace, or manifest operation is invalid."""

@@ -11,6 +11,7 @@ from functools import lru_cache
 
 from .. import units
 from ..core import CampaignCube, join_campaign
+from ..obs import runtime as _obs
 from ..scheduler import SlurmSimulator, default_mix
 from ..scheduler.log import SchedulerLog
 from ..telemetry import FleetTelemetryGenerator
@@ -42,12 +43,16 @@ def build_campaign(
     caller aliases the same cached object, so consumers must copy
     before mutating.
     """
-    mix = default_mix(fleet_nodes=fleet_nodes)
-    log = SlurmSimulator(mix).run(units.days(days), rng=seed)
-    gen = FleetTelemetryGenerator(log, mix, seed=seed + 1000)
-    # Stream in node blocks: memory stays bounded at any fleet size.
-    cube = join_campaign(gen.chunks(nodes_per_chunk=16), log)
-    return log, _freeze_cube(cube)
+    with _obs.span(
+        "campaign.build", fleet_nodes=fleet_nodes, days=days, seed=seed
+    ):
+        mix = default_mix(fleet_nodes=fleet_nodes)
+        with _obs.span("campaign.simulate"):
+            log = SlurmSimulator(mix).run(units.days(days), rng=seed)
+        gen = FleetTelemetryGenerator(log, mix, seed=seed + 1000)
+        # Stream in node blocks: memory stays bounded at any fleet size.
+        cube = join_campaign(gen.chunks(nodes_per_chunk=16), log)
+        return log, _freeze_cube(cube)
 
 
 def campaign_cube(config) -> CampaignCube:

@@ -3,11 +3,13 @@
 from __future__ import annotations
 
 import importlib
-from dataclasses import dataclass, field, replace
+import time
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, Optional
 
 from ..errors import ExperimentError
+from ..obs import runtime as _obs
 
 
 @dataclass(frozen=True)
@@ -125,11 +127,25 @@ def get_experiment(exp_id: str) -> Callable:
 def run(
     exp_id: str, config: Optional[ExperimentConfig] = None
 ) -> ExperimentResult:
-    """Run one experiment and (optionally) persist its text output."""
+    """Run one experiment and (optionally) persist its text output.
+
+    With observability enabled, the run is wrapped in an
+    ``experiment.<id>`` span, its wall time feeds the
+    ``experiment_seconds`` histogram, and — when the config has an
+    ``out_dir`` — a ``<id>.manifest.json`` provenance manifest is
+    written next to the artifact, carrying only this experiment's slice
+    of the trace.
+    """
     config = config if config is not None else ExperimentConfig()
     title = _TABLE[exp_id][0] if exp_id in _TABLE else ""
     fn = get_experiment(exp_id)
-    result = fn(config)
+    st = _obs.state()
+    span_mark = len(st.tracer.finished) if st is not None else 0
+    wall0, cpu0 = time.perf_counter(), time.process_time()
+    with _obs.span("experiment." + exp_id):
+        result = fn(config)
+    wall_s = time.perf_counter() - wall0
+    cpu_s = time.process_time() - cpu0
     if result.exp_id != exp_id:
         raise ExperimentError(
             f"runner for {exp_id} returned result id {result.exp_id}"
@@ -139,6 +155,26 @@ def run(
             exp_id=result.exp_id, title=title, text=result.text,
             data=result.data,
         )
+    saved: Optional[Path] = None
     if config.out_dir:
-        result.save(config.out_dir)
+        saved = result.save(config.out_dir)
+    if st is not None:
+        st.registry.counter(
+            "experiments_total", "experiments executed",
+        ).inc()
+        st.registry.histogram(
+            "experiment_seconds", "experiment wall time",
+            experiment=exp_id,
+        ).observe(wall_s)
+        if saved is not None:
+            from ..obs import manifest as _manifest
+
+            _manifest.build_manifest(
+                command=f"repro run {exp_id}",
+                config=asdict(config),
+                outputs=[saved],
+                wall_s=wall_s,
+                cpu_s=cpu_s,
+                spans=list(st.tracer.finished[span_mark:]),
+            ).write(Path(config.out_dir) / f"{exp_id}.manifest.json")
     return result

@@ -20,6 +20,7 @@ import numpy as np
 
 from .. import constants
 from ..errors import CapError
+from ..obs import runtime as _obs
 from ..rng import RngLike, ensure_rng
 from .dvfs import boost_frequency, resolve_frequency_cap, resolve_frequency_caps
 from .kernel import KernelBatch, KernelSpec
@@ -230,7 +231,42 @@ class GPUDevice:
         clock against the metered power, a frequency cap ceilings the
         clock and engages the low uncore P-state, and when both are set
         the more restrictive knob wins.
+
+        With observability enabled the call is traced as a
+        ``gpu.run_batch`` span; disabled (the default) the wrapper costs
+        one global read and a branch (< 2 % budget, see
+        ``docs/observability.md``).
         """
+        # Read the module global directly: a function call here would be
+        # the single biggest cost of the disabled path.
+        st = _obs._STATE
+        if st is None:
+            return self._run_batch_impl(
+                kernels,
+                frequency_caps_hz=frequency_caps_hz,
+                power_caps_w=power_caps_w,
+            )
+        with st.tracer.span("gpu.run_batch") as sp:
+            out = self._run_batch_impl(
+                kernels,
+                frequency_caps_hz=frequency_caps_hz,
+                power_caps_w=power_caps_w,
+            )
+            sp.set(points=len(out))
+        st.registry.counter(
+            "gpu_run_batch_points_total",
+            "grid points evaluated by the batched device engine",
+        ).inc(len(out))
+        return out
+
+    def _run_batch_impl(
+        self,
+        kernels: Union[Sequence[KernelSpec], KernelBatch],
+        *,
+        frequency_caps_hz=None,
+        power_caps_w=None,
+    ) -> BatchResult:
+        """Uninstrumented body of :meth:`run_batch` (the timed hot path)."""
         batch = (
             kernels
             if isinstance(kernels, KernelBatch)

@@ -1,0 +1,94 @@
+"""Run-wide observability: metrics, tracing spans, and run manifests.
+
+An out-of-band telemetry paper deserves telemetry about itself.  This
+package records what happens *inside* a run of the reproduction — the
+batch pipeline, the streaming engine, the benchmark sweeps, and every
+experiment — without changing a single output bit:
+
+* :mod:`repro.obs.metrics`  — a process-safe registry of counters,
+  gauges, and bounded histograms with zero-dependency Prometheus-text
+  and JSON exporters;
+* :mod:`repro.obs.trace`    — spans with monotonic timings and
+  parent/child context that propagate across
+  :func:`repro.parallel.chunked_map` workers into one trace tree;
+* :mod:`repro.obs.manifest` — run manifests capturing config, seed,
+  package versions, git revision, wall/CPU time, and output digests,
+  plus summary/diff tooling (``repro obs summary`` / ``repro obs diff``);
+* :mod:`repro.obs.runtime`  — the global on/off switch.  Disabled (the
+  default), every instrumentation site is a no-op fast path costing a
+  global read and a branch; the hot paths stay within a < 2 % overhead
+  budget enforced by ``benchmarks/bench_batch.py``.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    ...                                   # any pipeline / stream / bench work
+    obs.manifest.write_run_artifacts(
+        "results/obs", command="my-run", outputs=["results/table5.txt"],
+    )
+    obs.disable()
+
+or, from the CLI: ``repro run table5 --obs --out results/``.
+
+See ``docs/observability.md`` for the metric-name and span taxonomies,
+the manifest schema, and the overhead budget.
+"""
+
+from . import manifest
+from .manifest import (
+    RunManifest,
+    build_manifest,
+    diff_manifests,
+    load_manifest,
+    summarize_manifest,
+    write_run_artifacts,
+)
+from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .runtime import (
+    ObsState,
+    absorb,
+    counter_inc,
+    disable,
+    enable,
+    enabled,
+    export_context,
+    gauge_set,
+    observe,
+    run_traced,
+    span,
+    state,
+)
+from .trace import NOOP_SPAN, Span, Tracer, aggregate_spans
+
+__all__ = [
+    "manifest",
+    "RunManifest",
+    "build_manifest",
+    "diff_manifests",
+    "load_manifest",
+    "summarize_manifest",
+    "write_run_artifacts",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ObsState",
+    "absorb",
+    "counter_inc",
+    "disable",
+    "enable",
+    "enabled",
+    "export_context",
+    "gauge_set",
+    "observe",
+    "run_traced",
+    "span",
+    "state",
+    "NOOP_SPAN",
+    "Span",
+    "Tracer",
+    "aggregate_spans",
+]

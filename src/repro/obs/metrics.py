@@ -1,0 +1,290 @@
+"""Process-safe metrics registry: counters, gauges, bounded histograms.
+
+The registry is the numeric half of the observability layer
+(:mod:`repro.obs`): named counters, gauges, and fixed-bucket histograms,
+optionally labelled, exportable as Prometheus text or JSON with no
+dependencies beyond the standard library.
+
+Process safety follows the same explicit-merge contract as the rest of
+the repo's parallelism: each worker process accumulates into its own
+registry, ships the picklable :meth:`MetricsRegistry.state` back with
+its result, and the parent folds it in with
+:meth:`MetricsRegistry.merge_state` — deterministic for any worker
+count, like :func:`repro.parallel.chunked_map` itself.  Within one
+process a lock guards family creation, so concurrent threads can share
+a registry.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..errors import ObservabilityError
+
+#: Metric and label names follow the Prometheus data model.
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default histogram buckets, in seconds (timings are the common case).
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 30.0, 60.0, 300.0,
+)
+
+LabelsKey = Tuple[Tuple[str, str], ...]
+
+
+def _labels_key(labels: Dict[str, str]) -> LabelsKey:
+    for k in labels:
+        if not _LABEL_RE.match(k):
+            raise ObservabilityError(f"invalid label name {k!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _render_labels(key: LabelsKey) -> str:
+    if not key:
+        return ""
+    inner = ",".join(
+        '{}="{}"'.format(k, v.replace("\\", r"\\").replace('"', r"\""))
+        for k, v in key
+    )
+    return "{" + inner + "}"
+
+
+class Counter:
+    """Monotonically increasing value (events, samples, bytes)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Point-in-time value (lag, resident samples, watermark age)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Bounded cumulative-bucket histogram (Prometheus semantics).
+
+    ``buckets`` are upper bounds of the finite buckets; an implicit
+    ``+Inf`` bucket catches the rest, so state is O(len(buckets)) no
+    matter how many observations arrive.
+    """
+
+    __slots__ = ("buckets", "bucket_counts", "count", "sum")
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(
+            b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])
+        ):
+            raise ObservabilityError(
+                "histogram buckets must be strictly increasing and non-empty"
+            )
+        self.buckets = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)   # last = +Inf
+        self.count = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+
+class MetricsRegistry:
+    """Named metric families with labelled series.
+
+    One family per metric name; each family holds one series per unique
+    label set.  Getter methods (:meth:`counter`, :meth:`gauge`,
+    :meth:`histogram`) create on first use and return the live series,
+    so call sites read as ``registry.counter("x_total").inc()``.
+    """
+
+    def __init__(self) -> None:
+        self._families: Dict[str, dict] = {}
+        self._lock = threading.Lock()
+
+    # -- series access ------------------------------------------------------------
+
+    def _family(self, name: str, kind: str, help_text: str,
+                buckets: Optional[tuple] = None) -> dict:
+        if not _NAME_RE.match(name):
+            raise ObservabilityError(f"invalid metric name {name!r}")
+        with self._lock:
+            fam = self._families.get(name)
+            if fam is None:
+                fam = self._families[name] = {
+                    "kind": kind,
+                    "help": help_text,
+                    "buckets": buckets,
+                    "series": {},
+                }
+            elif fam["kind"] != kind:
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as {fam['kind']}"
+                )
+            return fam
+
+    def counter(self, name: str, help_text: str = "", **labels) -> Counter:
+        fam = self._family(name, "counter", help_text)
+        key = _labels_key(labels)
+        series = fam["series"]
+        if key not in series:
+            series[key] = Counter()
+        return series[key]
+
+    def gauge(self, name: str, help_text: str = "", **labels) -> Gauge:
+        fam = self._family(name, "gauge", help_text)
+        key = _labels_key(labels)
+        series = fam["series"]
+        if key not in series:
+            series[key] = Gauge()
+        return series[key]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        buckets: Iterable[float] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        fam = self._family(name, "histogram", help_text,
+                           buckets=tuple(float(b) for b in buckets))
+        key = _labels_key(labels)
+        series = fam["series"]
+        if key not in series:
+            series[key] = Histogram(fam["buckets"])
+        return series[key]
+
+    # -- export -------------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready snapshot of every family and series."""
+        out: Dict[str, dict] = {}
+        for name, fam in sorted(self._families.items()):
+            series = []
+            for key, metric in sorted(fam["series"].items()):
+                entry: dict = {"labels": dict(key)}
+                if fam["kind"] == "histogram":
+                    entry.update(
+                        count=metric.count,
+                        sum=metric.sum,
+                        buckets=list(fam["buckets"]),
+                        bucket_counts=list(metric.bucket_counts),
+                    )
+                else:
+                    entry["value"] = metric.value
+                series.append(entry)
+            out[name] = {
+                "kind": fam["kind"], "help": fam["help"], "series": series,
+            }
+        return out
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines = []
+        for name, fam in sorted(self._families.items()):
+            if fam["help"]:
+                lines.append(f"# HELP {name} {fam['help']}")
+            lines.append(f"# TYPE {name} {fam['kind']}")
+            for key, metric in sorted(fam["series"].items()):
+                if fam["kind"] == "histogram":
+                    cumulative = 0
+                    for bound, n in zip(
+                        fam["buckets"], metric.bucket_counts
+                    ):
+                        cumulative += n
+                        le = _render_labels(key + (("le", f"{bound:g}"),))
+                        lines.append(f"{name}_bucket{le} {cumulative}")
+                    le = _render_labels(key + (("le", "+Inf"),))
+                    lines.append(f"{name}_bucket{le} {metric.count}")
+                    lbl = _render_labels(key)
+                    lines.append(f"{name}_sum{lbl} {metric.sum:g}")
+                    lines.append(f"{name}_count{lbl} {metric.count}")
+                else:
+                    lbl = _render_labels(key)
+                    lines.append(f"{name}{lbl} {metric.value:g}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    # -- process merge ------------------------------------------------------------
+
+    def state(self) -> dict:
+        """Picklable state for shipping across process boundaries."""
+        return self.to_dict()
+
+    def merge_state(self, state: dict) -> None:
+        """Fold a worker's exported state into this registry.
+
+        Counters and histograms are additive; gauges take the incoming
+        value (last write wins — workers report their final reading).
+        """
+        for name, fam in state.items():
+            kind = fam["kind"]
+            for entry in fam["series"]:
+                labels = entry["labels"]
+                if kind == "counter":
+                    self.counter(name, fam["help"], **labels).inc(
+                        entry["value"]
+                    )
+                elif kind == "gauge":
+                    self.gauge(name, fam["help"], **labels).set(
+                        entry["value"]
+                    )
+                elif kind == "histogram":
+                    hist = self.histogram(
+                        name, fam["help"], buckets=entry["buckets"],
+                        **labels,
+                    )
+                    if list(hist.buckets) != list(entry["buckets"]):
+                        raise ObservabilityError(
+                            f"histogram {name!r} bucket mismatch on merge"
+                        )
+                    for i, n in enumerate(entry["bucket_counts"]):
+                        hist.bucket_counts[i] += n
+                    hist.count += entry["count"]
+                    hist.sum += entry["sum"]
+                else:
+                    raise ObservabilityError(
+                        f"unknown metric kind {kind!r} in merge"
+                    )
+
+    # -- convenience --------------------------------------------------------------
+
+    def counter_values(self) -> Dict[str, float]:
+        """Flat {name{labels}: value} view of counters and gauges."""
+        out = {}
+        for name, fam in sorted(self._families.items()):
+            if fam["kind"] == "histogram":
+                continue
+            for key, metric in sorted(fam["series"].items()):
+                if math.isfinite(metric.value):
+                    out[name + _render_labels(key)] = metric.value
+        return out

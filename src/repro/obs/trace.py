@@ -1,0 +1,147 @@
+"""Tracing spans with monotonic timings and parent/child context.
+
+A span brackets one unit of work (``with tracer.span("join.block")``),
+records a wall-clock start and a ``perf_counter`` duration, and links to
+its parent through a :mod:`contextvars` context, so nested calls build a
+tree without any plumbing at the call sites.  Finished spans are plain
+dicts (JSON- and pickle-ready); the bounded ``finished`` list keeps
+tracer memory O(``max_spans``) on arbitrarily long runs.
+
+Cross-process propagation mirrors :func:`repro.parallel.chunked_map`'s
+merge contract: the parent exports its current span id, each worker
+starts a fresh :class:`Tracer` rooted at that id, and the worker's
+finished spans are grafted back into the parent's list — one trace tree
+spanning every process.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from contextvars import ContextVar
+from typing import Any, Dict, List, Optional
+
+#: Current span id of this execution context (None = at the root).
+_CURRENT: ContextVar[Optional[str]] = ContextVar("repro_obs_span",
+                                                 default=None)
+
+
+class NoopSpan:
+    """Shared do-nothing span: the disabled-observability fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "NoopSpan":
+        return self
+
+
+NOOP_SPAN = NoopSpan()
+
+
+class Span:
+    """One live span; appends its record to the tracer on exit."""
+
+    __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
+                 "t0_unix", "_t0", "_token")
+
+    def __init__(self, tracer: "Tracer", name: str,
+                 attrs: Optional[dict]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = dict(attrs) if attrs else {}
+        self.span_id = tracer._next_id()
+        self.parent_id: Optional[str] = None
+
+    def set(self, **attrs) -> "Span":
+        """Attach attributes after entry (cheap on the noop path too)."""
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        current = _CURRENT.get()
+        self.parent_id = (
+            current if current is not None else self._tracer.root_parent
+        )
+        self._token = _CURRENT.set(self.span_id)
+        self.t0_unix = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration_s = time.perf_counter() - self._t0
+        _CURRENT.reset(self._token)
+        self._tracer._record({
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "pid": self._tracer.pid,
+            "t0_unix": self.t0_unix,
+            "duration_s": duration_s,
+            "attrs": self.attrs,
+            "error": exc_type.__name__ if exc_type is not None else None,
+        })
+        return False
+
+
+class Tracer:
+    """Collects finished spans for one process (bounded memory)."""
+
+    def __init__(self, *, root_parent: Optional[str] = None,
+                 max_spans: int = 100_000) -> None:
+        self.pid = os.getpid()
+        self.root_parent = root_parent
+        self.max_spans = max_spans
+        self.finished: List[Dict[str, Any]] = []
+        self.dropped = 0
+        self._seq = 0
+
+    def _next_id(self) -> str:
+        self._seq += 1
+        return f"{self.pid:x}-{self._seq:x}"
+
+    def span(self, name: str, **attrs) -> Span:
+        return Span(self, name, attrs)
+
+    def current_id(self) -> Optional[str]:
+        """The span id enclosing this call (for context export)."""
+        current = _CURRENT.get()
+        return current if current is not None else self.root_parent
+
+    def _record(self, record: Dict[str, Any]) -> None:
+        if len(self.finished) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.finished.append(record)
+
+    def absorb(self, spans: List[Dict[str, Any]], dropped: int = 0) -> None:
+        """Graft a worker's finished spans into this tracer."""
+        self.dropped += dropped
+        room = self.max_spans - len(self.finished)
+        if room <= 0:
+            self.dropped += len(spans)
+            return
+        self.finished.extend(spans[:room])
+        self.dropped += max(0, len(spans) - room)
+
+
+def aggregate_spans(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Per-name rollup: count, total/mean/max duration, sorted slowest-first."""
+    rollup: Dict[str, Dict[str, Any]] = {}
+    for record in spans:
+        agg = rollup.setdefault(
+            record["name"],
+            {"name": record["name"], "count": 0, "total_s": 0.0,
+             "max_s": 0.0},
+        )
+        agg["count"] += 1
+        agg["total_s"] += record["duration_s"]
+        agg["max_s"] = max(agg["max_s"], record["duration_s"])
+    for agg in rollup.values():
+        agg["mean_s"] = agg["total_s"] / agg["count"]
+    return sorted(rollup.values(), key=lambda a: a["total_s"], reverse=True)

@@ -15,6 +15,8 @@ import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Sequence, Tuple, TypeVar
 
+from .obs import runtime as _obs
+
 T = TypeVar("T")
 
 
@@ -57,9 +59,34 @@ def chunked_map(
     profile, per the optimization-workflow guide).  Results are returned in
     chunk order regardless of completion order, so parallel and serial
     execution are bitwise identical when ``fn`` is deterministic.
+
+    With observability enabled (:mod:`repro.obs`), every chunk runs under
+    a ``parallel.task`` span; worker processes collect their own spans
+    and metrics and the parent merges them back in chunk order, so the
+    trace tree and counters are worker-count invariant too.  Disabled
+    (the default), the submission path is exactly the plain one.
     """
     if workers <= 1:
+        if _obs.enabled():
+            results: List[T] = []
+            for i, chunk in enumerate(chunks):
+                with _obs.span("parallel.task", chunk=i):
+                    results.append(fn(*chunk))
+            return results
         return [fn(*chunk) for chunk in chunks]
+    ctx = _obs.export_context()
+    if ctx is None:
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(fn, *chunk) for chunk in chunks]
+            return [f.result() for f in futures]
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(fn, *chunk) for chunk in chunks]
-        return [f.result() for f in futures]
+        traced = [
+            pool.submit(_obs.run_traced, fn, chunk, ctx, {"chunk": i})
+            for i, chunk in enumerate(chunks)
+        ]
+        outs = [f.result() for f in traced]
+    results = []
+    for result, payload in outs:
+        _obs.absorb(payload)
+        results.append(result)
+    return results

@@ -19,6 +19,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, List, Optional
 
+import numpy as np
+
 from .. import constants
 from ..core import report
 from ..core.characterization import CapFactors, measured_factors
@@ -27,6 +29,7 @@ from ..core.join import CampaignAccumulator, CampaignCube
 from ..core.modes import ModeTable, decompose_modes
 from ..core.projection import ProjectionTable, project_savings
 from ..errors import ProjectionError
+from ..obs import runtime as _obs
 from ..policy.live import FleetRecommendation, recommend_fleet_cap
 from ..scheduler.log import SchedulerLog
 from ..telemetry.schema import TelemetryChunk
@@ -143,19 +146,29 @@ class StreamEngine:
     def ingest(self, chunk: TelemetryChunk) -> int:
         """Absorb one arrival chunk; fold any windows it sealed.
 
-        Returns the number of windows folded by this call.
+        Returns the number of windows folded by this call.  With
+        observability on, the call is traced (``stream.ingest``) and the
+        live ingest counters are mirrored into the metrics registry.
         """
-        self.chunks_in += 1
-        windows = self.buffer.push(chunk)
-        for window in windows:
-            self.accumulator.update(window)
+        with _obs.span("stream.ingest"):
+            self.chunks_in += 1
+            windows = self.buffer.push(chunk)
+            for window in windows:
+                self.accumulator.update(window)
+        st = _obs.state()
+        if st is not None:
+            self.export_metrics(st.registry)
         return len(windows)
 
     def drain(self) -> int:
         """Seal and fold everything still buffered (end of stream)."""
-        windows = self.buffer.flush()
-        for window in windows:
-            self.accumulator.update(window)
+        with _obs.span("stream.drain"):
+            windows = self.buffer.flush()
+            for window in windows:
+                self.accumulator.update(window)
+        st = _obs.state()
+        if st is not None:
+            self.export_metrics(st.registry)
         return len(windows)
 
     def run(
@@ -198,6 +211,34 @@ class StreamEngine:
         """The campaign cube of all sealed windows so far."""
         return self.accumulator.cube(copy=copy)
 
+    def export_metrics(self, registry) -> None:
+        """Mirror the ingest counters into a metrics registry.
+
+        Counters are monotone mirrors of the buffer's cumulative totals
+        (exported as gauges so re-export stays idempotent); the lag and
+        residency gauges are point-in-time.  Non-finite sentinels (the
+        pre-first-sample watermark, the post-drain sealed frontier) are
+        skipped so exports stay strict-JSON clean.
+        """
+        stats = self.stats
+        values = {
+            "stream_chunks_in": stats.chunks_in,
+            "stream_samples_in": stats.samples_in,
+            "stream_duplicates_dropped": stats.duplicates,
+            "stream_late_dropped": stats.late_dropped,
+            "stream_windows_folded": stats.windows_folded,
+            "stream_samples_folded": stats.samples_folded,
+            "stream_resident_samples": stats.resident_samples,
+            "stream_peak_resident_samples": stats.peak_resident_samples,
+            "stream_watermark_lag_seconds": stats.watermark_lag_s,
+            "stream_watermark_seconds": stats.watermark_s,
+            "stream_sealed_until_seconds": stats.sealed_until_s,
+            "stream_max_event_time_seconds": stats.max_event_time_s,
+        }
+        for name, value in values.items():
+            if np.isfinite(value):
+                registry.gauge(name).set(float(value))
+
     def snapshot(
         self,
         *,
@@ -210,6 +251,20 @@ class StreamEngine:
         Derived entirely from the fold's O(bins) state; safe to call at
         any cadence.  Tables are ``None`` until the first window seals.
         """
+        with _obs.span("stream.snapshot"):
+            return self._snapshot(
+                factors=factors,
+                campaign_energy_mwh=campaign_energy_mwh,
+                max_slowdown_pct=max_slowdown_pct,
+            )
+
+    def _snapshot(
+        self,
+        *,
+        factors: Optional[CapFactors],
+        campaign_energy_mwh: Optional[float],
+        max_slowdown_pct: float,
+    ) -> StreamSnapshot:
         cube = self.cube(copy=True)
         stats = self.stats
         if cube.total_gpu_hours == 0 or cube.total_energy_j <= 0:

@@ -63,6 +63,43 @@ class TestMergeCubes:
         with pytest.raises(JoinError):
             merge_cubes(a, b)
 
+    def test_merge_does_not_mutate_inputs(self, serial_run):
+        a, b = serial_run.cube, serial_run.cube
+        a_counts = a.histogram.counts.copy()
+        a_weights = a.histogram.weight_sums.copy()
+        a_domain_counts = {
+            name: h.counts.copy() for name, h in a.domain_histograms.items()
+        }
+        a_energy = a.energy_j.copy()
+
+        merged = merge_cubes(a, b)
+
+        np.testing.assert_array_equal(a.histogram.counts, a_counts)
+        np.testing.assert_array_equal(a.histogram.weight_sums, a_weights)
+        for name, h in a.domain_histograms.items():
+            np.testing.assert_array_equal(h.counts, a_domain_counts[name])
+        np.testing.assert_array_equal(a.energy_j, a_energy)
+        assert merged.histogram is not a.histogram
+        assert merged.histogram is not b.histogram
+
+    def test_merging_twice_never_double_counts(self, serial_run):
+        a = serial_run.cube
+        once = merge_cubes(a, a)
+        twice = merge_cubes(a, a)
+        np.testing.assert_array_equal(
+            once.histogram.counts, twice.histogram.counts
+        )
+        np.testing.assert_array_equal(
+            once.histogram.counts, 2 * a.histogram.counts
+        )
+        assert once.energy_j.sum() == pytest.approx(2 * a.energy_j.sum())
+
+    def test_merge_result_is_writable(self, serial_run):
+        # Partials may arrive with frozen arrays (the cached campaign);
+        # the merged cube owns fresh state, so accumulation can go on.
+        merged = merge_cubes(serial_run.cube, serial_run.cube)
+        merged.histogram.counts[0] += 1.0
+
 
 class TestFootprint:
     def test_full_scale_needs_streaming(self):

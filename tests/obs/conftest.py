@@ -1,0 +1,14 @@
+"""Observability tests always leave the global state disabled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs_state():
+    runtime.disable()
+    yield
+    runtime.disable()

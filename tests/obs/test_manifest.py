@@ -1,0 +1,171 @@
+"""Run manifests: roundtrip, digests, summary, drift detection."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs import manifest as m
+from repro.obs import runtime
+
+
+def _write(tmp_path, name: str, text: str):
+    path = tmp_path / name
+    path.write_text(text)
+    return path
+
+
+class TestBuildAndRoundtrip:
+    def test_roundtrip_through_disk(self, tmp_path):
+        out = _write(tmp_path, "table5.txt", "rows\n")
+        st = runtime.enable()
+        with runtime.span("experiment.table5"):
+            runtime.counter_inc("experiments_total")
+        manifest = m.build_manifest(
+            command="repro run table5",
+            config={"seed": 0, "fleet_nodes": 96},
+            outputs=[out],
+            wall_s=1.25,
+            cpu_s=1.0,
+        )
+        path = manifest.write(tmp_path / "manifest.json")
+        doc = m.load_manifest(path)
+        assert doc["schema"] == m.MANIFEST_SCHEMA
+        assert doc["command"] == "repro run table5"
+        assert doc["config"] == {"seed": 0, "fleet_nodes": 96}
+        assert doc["wall_s"] == 1.25
+        assert doc["outputs"]["table5.txt"]["bytes"] == 5
+        assert [s["name"] for s in doc["spans"]] == ["experiment.table5"]
+        assert "experiments_total" in doc["metrics"]
+        assert doc["versions"]["python"]
+        assert st is runtime.state()
+
+    def test_digest_matches_content(self, tmp_path):
+        a = _write(tmp_path, "a.txt", "same")
+        b = _write(tmp_path, "b.txt", "same")
+        c = _write(tmp_path, "c.txt", "other")
+        assert m.digest_file(a)["sha256"] == m.digest_file(b)["sha256"]
+        assert m.digest_file(a)["sha256"] != m.digest_file(c)["sha256"]
+
+    def test_nonfinite_values_sanitized_to_null(self, tmp_path):
+        runtime.enable()
+        runtime.gauge_set("ok_gauge", 1.0)
+        manifest = m.build_manifest(command="x")
+        manifest.config = {"watermark": float("-inf")}
+        path = manifest.write(tmp_path / "manifest.json")
+        doc = json.loads(path.read_text())   # strict JSON must parse
+        assert doc["config"]["watermark"] is None
+
+    def test_missing_outputs_are_skipped(self, tmp_path):
+        manifest = m.build_manifest(
+            command="x", outputs=[tmp_path / "nope.txt"]
+        )
+        assert manifest.outputs == {}
+
+    def test_load_rejects_non_manifest(self, tmp_path):
+        path = _write(tmp_path, "junk.json", '{"no": "schema"}')
+        with pytest.raises(ObservabilityError):
+            m.load_manifest(path)
+        with pytest.raises(ObservabilityError):
+            m.load_manifest(tmp_path / "absent.json")
+
+    def test_load_rejects_newer_schema(self, tmp_path):
+        path = _write(
+            tmp_path, "new.json",
+            json.dumps({"schema": m.MANIFEST_SCHEMA + 1}),
+        )
+        with pytest.raises(ObservabilityError):
+            m.load_manifest(path)
+
+
+class TestSummary:
+    def test_summary_lists_provenance_spans_and_counters(self, tmp_path):
+        out = _write(tmp_path, "fig8.txt", "data\n")
+        runtime.enable()
+        with runtime.span("join.campaign"):
+            runtime.counter_inc("join_samples_total", 100)
+        doc = m.build_manifest(
+            command="repro run fig8", outputs=[out], wall_s=0.5,
+        ).to_dict()
+        text = m.summarize_manifest(doc)
+        assert "repro run fig8" in text
+        assert "fig8.txt" in text
+        assert "join.campaign" in text
+        assert "join_samples_total" in text
+
+
+def _doc(**overrides) -> dict:
+    base = {
+        "schema": 1,
+        "command": "repro run table5",
+        "config": {"seed": 0},
+        "versions": {"numpy": "2.0"},
+        "git": {"sha": "aaa", "dirty": False},
+        "outputs": {"table5.txt": {"sha256": "d" * 64, "bytes": 10}},
+        "spans": [
+            {"name": "join.campaign", "duration_s": 1.0},
+            {"name": "tiny", "duration_s": 1e-5},
+        ],
+    }
+    base.update(overrides)
+    return base
+
+
+class TestDiff:
+    def test_identical_runs_are_clean(self):
+        diff = m.diff_manifests(_doc(), _doc())
+        assert diff.clean
+        assert "match" in diff.render()
+
+    def test_config_and_version_drift_flagged(self):
+        diff = m.diff_manifests(
+            _doc(),
+            _doc(config={"seed": 1}, versions={"numpy": "2.1"}),
+        )
+        assert any("config.seed" in x for x in diff.provenance_drift)
+        assert any("versions.numpy" in x for x in diff.provenance_drift)
+
+    def test_git_and_digest_drift_flagged(self):
+        diff = m.diff_manifests(
+            _doc(),
+            _doc(
+                git={"sha": "bbb", "dirty": False},
+                outputs={"table5.txt": {"sha256": "e" * 64, "bytes": 10}},
+            ),
+        )
+        assert any("git.sha" in x for x in diff.provenance_drift)
+        assert any("digest changed" in x for x in diff.provenance_drift)
+
+    def test_timing_drift_beyond_tolerance(self):
+        slow = _doc(spans=[{"name": "join.campaign", "duration_s": 2.0}])
+        diff = m.diff_manifests(_doc(), slow, timing_tolerance_pct=25.0)
+        assert any("join.campaign" in x for x in diff.timing_drift)
+        assert not diff.provenance_drift
+        # Within tolerance: clean.
+        near = _doc(spans=[{"name": "join.campaign", "duration_s": 1.1}])
+        assert m.diff_manifests(_doc(), near).clean
+
+    def test_sub_millisecond_spans_ignored(self):
+        fast = _doc(spans=[{"name": "tiny", "duration_s": 5e-5}])
+        base = _doc(spans=[{"name": "tiny", "duration_s": 1e-5}])
+        assert m.diff_manifests(base, fast).clean
+
+    def test_one_sided_span_is_a_note_not_drift(self):
+        diff = m.diff_manifests(_doc(), _doc(spans=[]))
+        assert diff.clean
+        assert any("only in first" in x for x in diff.notes)
+
+
+class TestRunArtifacts:
+    def test_writes_manifest_and_prometheus_dump(self, tmp_path):
+        runtime.enable()
+        runtime.counter_inc("stream_chunks_in_total")
+        paths = m.write_run_artifacts(
+            tmp_path / "obs", command="repro stream", wall_s=0.1,
+        )
+        doc = m.load_manifest(paths["manifest"])
+        assert doc["command"] == "repro stream"
+        prom = paths["metrics"].read_text()
+        assert "stream_chunks_in_total 1" in prom

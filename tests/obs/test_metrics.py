@@ -1,0 +1,116 @@
+"""Metrics registry: counters, gauges, histograms, exporters, merge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+
+
+class TestSeries:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("events_total").inc()
+        reg.counter("events_total").inc(2.5)
+        assert reg.counter("events_total").value == 3.5
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("events_total").inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("lag_seconds")
+        g.set(10.0)
+        g.inc(5.0)
+        g.dec(2.0)
+        assert g.value == 13.0
+
+    def test_labelled_series_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter("rows_total", experiment="a").inc(1)
+        reg.counter("rows_total", experiment="b").inc(10)
+        values = reg.counter_values()
+        assert values['rows_total{experiment="a"}'] == 1
+        assert values['rows_total{experiment="b"}'] == 10
+
+    def test_invalid_metric_name_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ObservabilityError):
+            reg.counter("bad name")
+        with pytest.raises(ObservabilityError):
+            reg.counter("ok_total", **{"0bad": "x"})
+
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x_total")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("x_total")
+
+
+class TestHistogram:
+    def test_buckets_must_increase(self):
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=(1.0, 1.0))
+        with pytest.raises(ObservabilityError):
+            Histogram(buckets=())
+
+    def test_observe_fills_cumulative_buckets(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 5.0, 50.0):
+            h.observe(v)
+        assert h.bucket_counts == [1, 1, 1]
+        assert h.count == 3
+        assert h.sum == pytest.approx(55.5)
+
+    def test_default_buckets_cover_timings(self):
+        h = Histogram()
+        assert h.buckets == DEFAULT_BUCKETS
+        h.observe(1e9)           # beyond every bound -> +Inf bucket
+        assert h.bucket_counts[-1] == 1
+
+
+class TestExport:
+    def _filled(self) -> MetricsRegistry:
+        reg = MetricsRegistry()
+        reg.counter("events_total", "things that happened").inc(4)
+        reg.gauge("lag_seconds").set(2.5)
+        reg.histogram("op_seconds", buckets=(0.1, 1.0)).observe(0.05)
+        reg.histogram("op_seconds", buckets=(0.1, 1.0)).observe(5.0)
+        return reg
+
+    def test_prometheus_text_format(self):
+        text = self._filled().to_prometheus()
+        assert "# HELP events_total things that happened" in text
+        assert "# TYPE events_total counter" in text
+        assert "events_total 4" in text
+        assert "lag_seconds 2.5" in text
+        assert 'op_seconds_bucket{le="0.1"} 1' in text
+        # Cumulative buckets: +Inf always equals the count.
+        assert 'op_seconds_bucket{le="+Inf"} 2' in text
+        assert "op_seconds_count 2" in text
+
+    def test_json_roundtrip_via_merge(self):
+        reg = self._filled()
+        other = MetricsRegistry()
+        other.merge_state(reg.state())
+        assert other.to_dict() == reg.to_dict()
+
+    def test_merge_is_additive_for_counters_and_histograms(self):
+        a, b = self._filled(), self._filled()
+        a.merge_state(b.state())
+        assert a.counter("events_total").value == 8
+        assert a.histogram("op_seconds", buckets=(0.1, 1.0)).count == 4
+        # Gauges are last-write-wins, not summed.
+        assert a.gauge("lag_seconds").value == 2.5
+
+    def test_merge_rejects_bucket_mismatch(self):
+        a = MetricsRegistry()
+        a.histogram("op_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        state = a.state()
+        b = MetricsRegistry()
+        b.histogram("op_seconds", buckets=(0.5, 2.0))
+        with pytest.raises(ObservabilityError):
+            b.merge_state(state)

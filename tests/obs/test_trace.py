@@ -1,0 +1,164 @@
+"""Tracing spans: nesting, error capture, bounds, cross-process grafting."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import runtime
+from repro.obs.trace import NOOP_SPAN, Tracer, aggregate_spans
+from repro.parallel import chunked_map
+
+
+class TestTracer:
+    def test_nested_spans_link_parent_child(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        inner, outer = tracer.finished
+        assert inner["name"] == "inner"
+        assert inner["parent_id"] == outer["span_id"]
+        assert outer["parent_id"] is None
+        assert inner["duration_s"] >= 0.0
+
+    def test_siblings_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        a, b, outer = tracer.finished
+        assert a["parent_id"] == b["parent_id"] == outer["span_id"]
+
+    def test_attrs_and_set(self):
+        tracer = Tracer()
+        with tracer.span("op", rows=3) as sp:
+            sp.set(sealed=1)
+        [rec] = tracer.finished
+        assert rec["attrs"] == {"rows": 3, "sealed": 1}
+
+    def test_error_recorded_and_propagated(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        assert tracer.finished[0]["error"] == "ValueError"
+
+    def test_max_spans_bounds_memory(self):
+        tracer = Tracer(max_spans=2)
+        for _ in range(5):
+            with tracer.span("op"):
+                pass
+        assert len(tracer.finished) == 2
+        assert tracer.dropped == 3
+
+    def test_root_parent_seeds_top_level_spans(self):
+        tracer = Tracer(root_parent="abc-1")
+        with tracer.span("child"):
+            pass
+        assert tracer.finished[0]["parent_id"] == "abc-1"
+
+    def test_records_are_picklable(self):
+        tracer = Tracer()
+        with tracer.span("op", chunk=0):
+            pass
+        assert pickle.loads(pickle.dumps(tracer.finished)) == tracer.finished
+
+    def test_absorb_respects_bound(self):
+        tracer = Tracer(max_spans=3)
+        with tracer.span("own"):
+            pass
+        worker = Tracer()
+        for _ in range(4):
+            with worker.span("remote"):
+                pass
+        tracer.absorb(worker.finished, worker.dropped)
+        assert len(tracer.finished) == 3
+        assert tracer.dropped == 2
+
+
+class TestNoop:
+    def test_noop_span_is_inert(self):
+        with NOOP_SPAN as sp:
+            assert sp.set(x=1) is sp
+
+    def test_runtime_span_is_noop_when_disabled(self):
+        assert runtime.span("anything") is NOOP_SPAN
+
+
+def _traced_square(lo, hi):
+    with runtime.span("work.block", lo=lo):
+        return [x * x for x in range(lo, hi)]
+
+
+class TestCrossProcess:
+    def test_worker_spans_merge_into_parent_trace(self):
+        st = runtime.enable()
+        chunks = [(0, 3), (3, 6), (6, 9)]
+        with runtime.span("driver"):
+            out = chunked_map(_traced_square, chunks, workers=2)
+        assert out == [[0, 1, 4], [9, 16, 25], [36, 49, 64]]
+
+        spans = st.tracer.finished
+        by_name = {}
+        for rec in spans:
+            by_name.setdefault(rec["name"], []).append(rec)
+        driver = by_name["driver"][0]
+        tasks = by_name["parallel.task"]
+        blocks = by_name["work.block"]
+        assert len(tasks) == len(blocks) == 3
+        # Every worker task hangs off the driver span; every traced block
+        # hangs off its worker's task span — one tree across processes.
+        ids = {rec["span_id"]: rec for rec in spans}
+        for task in tasks:
+            assert task["parent_id"] == driver["span_id"]
+        for block in blocks:
+            assert ids[block["parent_id"]]["name"] == "parallel.task"
+        # Worker spans really came from other processes.
+        assert {t["pid"] for t in tasks} != {driver["pid"]}
+
+    def test_trace_tree_is_worker_count_invariant(self):
+        chunks = [(0, 2), (2, 4)]
+        shapes = []
+        for workers in (1, 2):
+            st = runtime.enable()
+            with runtime.span("driver"):
+                chunked_map(_traced_square, chunks, workers=workers)
+            names = sorted(rec["name"] for rec in st.tracer.finished)
+            attrs = sorted(
+                rec["attrs"].get("chunk", -1)
+                for rec in st.tracer.finished
+                if rec["name"] == "parallel.task"
+            )
+            shapes.append((names, attrs))
+            runtime.disable()
+        assert shapes[0] == shapes[1]
+
+    def test_metrics_merge_across_workers(self):
+        st = runtime.enable()
+        chunked_map(_counting_task, [(2,), (3,)], workers=2)
+        assert st.registry.counter("task_items_total").value == 5
+
+
+def _counting_task(n):
+    runtime.counter_inc("task_items_total", n)
+    return n
+
+
+class TestAggregate:
+    def test_rollup_sorted_slowest_first(self):
+        spans = [
+            {"name": "a", "duration_s": 0.1},
+            {"name": "b", "duration_s": 0.5},
+            {"name": "a", "duration_s": 0.3},
+        ]
+        agg = aggregate_spans(spans)
+        assert [x["name"] for x in agg] == ["b", "a"]
+        a = agg[1]
+        assert a["count"] == 2
+        assert a["total_s"] == pytest.approx(0.4)
+        assert a["mean_s"] == pytest.approx(0.2)
+        assert a["max_s"] == pytest.approx(0.3)

@@ -1,0 +1,93 @@
+"""Edge cases of the process-parallel map utilities.
+
+Complements the smoke tests in ``test_units_rng_parallel.py``: the
+degenerate shapes (empty input, single chunk, more chunks than items)
+and the determinism contract across worker counts, with and without
+observability enabled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import runtime
+from repro.parallel import chunked_map, partition
+
+
+def _mul(a, b):
+    return a * b
+
+
+def _boom(x):
+    raise RuntimeError(f"worker failed on {x}")
+
+
+@pytest.fixture(autouse=True)
+def _obs_disabled():
+    runtime.disable()
+    yield
+    runtime.disable()
+
+
+class TestPartitionEdges:
+    def test_zero_items_yields_no_chunks(self):
+        assert partition(0, 1) == []
+        assert partition(0, 16) == []
+
+    def test_single_chunk_covers_everything(self):
+        assert partition(7, 1) == [(0, 7)]
+
+    def test_more_chunks_than_items_never_emits_empties(self):
+        bounds = partition(3, 10)
+        assert bounds == [(0, 1), (1, 2), (2, 3)]
+        assert all(hi > lo for lo, hi in bounds)
+
+    def test_one_item(self):
+        assert partition(1, 4) == [(0, 1)]
+
+    def test_chunks_tile_the_range_exactly(self):
+        for n_items in (1, 5, 16, 97):
+            for n_chunks in (1, 2, 3, 7, 200):
+                bounds = partition(n_items, n_chunks)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == n_items
+                for (_, hi), (lo, _) in zip(bounds, bounds[1:]):
+                    assert hi == lo
+                sizes = [hi - lo for lo, hi in bounds]
+                assert max(sizes) - min(sizes) <= 1
+
+
+class TestChunkedMapEdges:
+    def test_empty_input_returns_empty(self):
+        assert chunked_map(_mul, [], workers=1) == []
+        assert chunked_map(_mul, [], workers=4) == []
+
+    def test_single_chunk(self):
+        assert chunked_map(_mul, [(3, 4)], workers=2) == [12]
+
+    def test_worker_count_invariance(self):
+        chunks = [(i, i + 1) for i in range(9)]
+        expected = [i * (i + 1) for i in range(9)]
+        for workers in (0, 1, 2, 3, 8):
+            assert chunked_map(_mul, chunks, workers=workers) == expected
+
+    def test_more_workers_than_chunks(self):
+        assert chunked_map(_mul, [(2, 3), (4, 5)], workers=16) == [6, 20]
+
+    def test_worker_error_propagates(self):
+        with pytest.raises(RuntimeError, match="worker failed"):
+            chunked_map(_boom, [(1,)], workers=2)
+        with pytest.raises(RuntimeError, match="worker failed"):
+            chunked_map(_boom, [(1,)], workers=1)
+
+    def test_worker_count_invariance_with_obs_enabled(self):
+        chunks = [(i, 2) for i in range(5)]
+        expected = [2 * i for i in range(5)]
+        for workers in (1, 3):
+            runtime.enable()
+            assert chunked_map(_mul, chunks, workers=workers) == expected
+            runtime.disable()
+
+    def test_empty_input_with_obs_enabled(self):
+        runtime.enable()
+        assert chunked_map(_mul, [], workers=2) == []
