@@ -14,9 +14,11 @@ lint:
 
 # Fast perf gate (CI): re-measures the batched-engine benchmark with few
 # rounds and fails on a >2x regression against benchmarks/BENCH_batch.json
-# or on the batched sweep dropping below its 10x speedup bar.
+# or on the batched sweep dropping below its 10x speedup bar.  Every run
+# is appended to benchmarks/BENCH_history.jsonl; >20% drift against the
+# trailing median is printed as advisory DRIFT lines.
 bench-quick:
-	$(PYTHON) benchmarks/bench_batch.py --check --quick
+	$(PYTHON) benchmarks/bench_batch.py --check --quick --history
 
 # Full-rounds variant of the same gate.
 bench:

@@ -330,6 +330,9 @@ def main(argv=None) -> int:
                         help="fewer timing rounds (CI mode)")
     parser.add_argument("--overhead-only", action="store_true",
                         help="only measure/gate the no-op obs overhead")
+    parser.add_argument("--history", action="store_true",
+                        help="append this run to BENCH_history.jsonl and "
+                             "flag >20%% drift vs the trailing median")
     args = parser.parse_args(argv)
 
     rounds = 3 if args.quick else 7
@@ -349,6 +352,19 @@ def main(argv=None) -> int:
     results = measure(rounds)
     results["obs_overhead"] = measure_overhead(overhead_rounds)
     print(json.dumps(results, indent=2))
+
+    if args.history:
+        # Advisory drift trail: flags vs the trailing median are printed
+        # but never fail the run — the hard gate stays --check's 2x bar.
+        import bench_history
+
+        flags = bench_history.drift_flags(
+            bench_history.timings_from_results(results),
+            bench_history.load_history(),
+        )
+        bench_history.append_run(results, quick=args.quick)
+        for flag in flags:
+            print(f"DRIFT: {flag}")
 
     if args.record:
         BASELINE_PATH.write_text(json.dumps(results, indent=2) + "\n")

@@ -1,0 +1,209 @@
+#!/usr/bin/env python
+"""Longitudinal benchmark history: append runs, flag slow drift.
+
+``bench_batch.py --check`` catches disasters — a timed target more than
+2x slower than the pinned baseline — but is blind to slow drift: five
+successive 15 % regressions pass every gate while doubling the runtime.
+This module keeps an append-only JSONL evidence trail
+(``benchmarks/BENCH_history.jsonl``) of every measured run — git SHA,
+UTC timestamp, and the scalar timings — and flags any timing more than
+:data:`REGRESSION_PCT` above the trailing median of recorded runs.
+
+Flags are advisory: shared CI runners are noisy enough that a hard gate
+at 20 % would flake, so drift lines are printed (``DRIFT: ...``) while
+the exit code stays with ``bench_batch --check``'s 2x gate.  The history
+file is the evidence trail for a human decision to re-record the
+baseline or hunt the regression.
+
+Usage::
+
+    python benchmarks/bench_batch.py --check --quick --history
+                                    # measure, gate, append, flag drift
+    python benchmarks/bench_history.py
+                                    # show the recorded tail + drift flags
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import subprocess
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+HISTORY_PATH = Path(__file__).resolve().parent / "BENCH_history.jsonl"
+
+#: A timing this far above the trailing median is flagged as drift.
+REGRESSION_PCT = 20.0
+#: Trailing entries the median is taken over.
+WINDOW = 10
+#: Fewer prior points than this and the median is noise, not a trend.
+MIN_PRIOR = 3
+
+
+def git_sha() -> str:
+    """Short SHA of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=Path(__file__).resolve().parent,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else "unknown"
+
+
+def timings_from_results(results: dict) -> Dict[str, float]:
+    """Flatten a ``bench_batch.measure`` dict to the tracked scalars."""
+    out: Dict[str, float] = {}
+    fig4 = results.get("fig4_grid")
+    if fig4 is not None:
+        out["fig4_scalar_ms"] = fig4["scalar_capsweep_ms"]
+        out["fig4_batched_ms"] = fig4["batched_capsweep_ms"]
+    join = results.get("join")
+    if join is not None:
+        out["join_ms"] = join["best_ms"]
+    ingest = results.get("stream_ingest")
+    if ingest is not None:
+        out["stream_ingest_ms"] = ingest["best_ms"]
+    return out
+
+
+def load_history(path: Path = HISTORY_PATH) -> List[dict]:
+    """All recorded entries, oldest first; malformed lines are skipped."""
+    if not path.exists():
+        return []
+    entries = []
+    for line in path.read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(entry, dict) and isinstance(
+            entry.get("timings"), dict
+        ):
+            entries.append(entry)
+    return entries
+
+
+def append_run(
+    results: dict,
+    *,
+    path: Path = HISTORY_PATH,
+    sha: Optional[str] = None,
+    timestamp: Optional[str] = None,
+    quick: bool = False,
+) -> dict:
+    """Append one measured run to the history file; returns the entry."""
+    entry = {
+        "sha": sha if sha is not None else git_sha(),
+        "time": (
+            timestamp
+            if timestamp is not None
+            else datetime.now(timezone.utc).isoformat(timespec="seconds")
+        ),
+        "quick": bool(quick),
+        "timings": timings_from_results(results),
+    }
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
+def drift_flags(
+    timings: Dict[str, float],
+    history: List[dict],
+    *,
+    window: int = WINDOW,
+    threshold_pct: float = REGRESSION_PCT,
+) -> List[str]:
+    """Timings more than ``threshold_pct`` above their trailing median.
+
+    The median is over up to ``window`` most recent recorded runs that
+    carry the same key; with fewer than :data:`MIN_PRIOR` points there is
+    no trend to drift from and the key is skipped.
+    """
+    flags = []
+    for key, now in sorted(timings.items()):
+        prior = [
+            float(e["timings"][key])
+            for e in history
+            if key in e["timings"]
+        ][-window:]
+        if len(prior) < MIN_PRIOR:
+            continue
+        median = statistics.median(prior)
+        if median > 0 and now > median * (1.0 + threshold_pct / 100.0):
+            flags.append(
+                f"{key}: {now:.2f} ms is "
+                f"{100.0 * (now / median - 1.0):.0f} % above the "
+                f"trailing median {median:.2f} ms "
+                f"(last {len(prior)} runs)"
+            )
+    return flags
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--path", type=Path, default=HISTORY_PATH,
+        help="history file (default: benchmarks/BENCH_history.jsonl)",
+    )
+    parser.add_argument(
+        "--tail", type=int, default=10,
+        help="entries to display (default: 10)",
+    )
+    parser.add_argument(
+        "--window", type=int, default=WINDOW,
+        help=f"trailing-median window (default: {WINDOW})",
+    )
+    args = parser.parse_args(argv)
+
+    history = load_history(args.path)
+    if not history:
+        print(f"no history at {args.path}; run bench_batch.py --history")
+        return 0
+
+    keys = sorted({k for e in history for k in e["timings"]})
+    header = f"{'sha':<12} {'time (UTC)':<20} {'mode':<6}"
+    for key in keys:
+        header += f" {key:>18}"
+    print(header)
+    for entry in history[-args.tail:]:
+        row = (
+            f"{entry.get('sha', '?'):<12} "
+            f"{entry.get('time', '?'):<20} "
+            f"{'quick' if entry.get('quick') else 'full':<6}"
+        )
+        for key in keys:
+            value = entry["timings"].get(key)
+            row += f" {value:>18.2f}" if value is not None else f" {'-':>18}"
+        print(row)
+
+    flags = drift_flags(
+        history[-1]["timings"], history[:-1], window=args.window
+    )
+    print()
+    if flags:
+        for flag in flags:
+            print(f"DRIFT: {flag}")
+    else:
+        print(
+            f"latest run within {REGRESSION_PCT:.0f} % of the trailing "
+            "median (or too few runs to judge)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -172,6 +172,36 @@ def _build_parser() -> argparse.ArgumentParser:
         "--obs-dir", default=None, metavar="DIR",
         help="directory for manifest.json + metrics.prom (default 'obs')",
     )
+    stream_p.add_argument(
+        "--watch", action="store_true",
+        help=(
+            "render the live health dashboard in place (ingest, mode "
+            "shares vs reference, savings, alerts) instead of plain "
+            "snapshots"
+        ),
+    )
+    stream_p.add_argument(
+        "--serve", type=int, default=None, metavar="PORT",
+        help=(
+            "serve /metrics, /health and /alerts on this port while "
+            "streaming (0 picks an ephemeral port)"
+        ),
+    )
+    stream_p.add_argument(
+        "--rules", default=None, metavar="FILE",
+        help=(
+            "alert rules file (JSON, or TOML on python >= 3.11); "
+            "default: the shipped ruleset "
+            "(src/repro/obs/health/default_rules.json)"
+        ),
+    )
+    stream_p.add_argument(
+        "--drift-ref", default="paper", metavar="REF",
+        help=(
+            "power-mode drift reference: 'paper' (Table IV), 'off', or "
+            "a JSON file with gpu_hours_pct (default paper)"
+        ),
+    )
 
     obs_p = sub.add_parser(
         "obs",
@@ -181,10 +211,43 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_sum = obs_sub.add_parser(
         "summary", help="summarize one manifest: provenance, spans, counters"
     )
-    obs_sum.add_argument("manifest", help="path to a .manifest.json")
+    obs_sum.add_argument(
+        "manifest", nargs="?", default=None,
+        help="path to a .manifest.json (or use --url)",
+    )
     obs_sum.add_argument(
         "--top", type=int, default=15,
         help="how many span rows to print (default 15)",
+    )
+    obs_sum.add_argument(
+        "--url", default=None, metavar="URL",
+        help=(
+            "summarize a live exporter instead of a file: fetches "
+            "URL/metrics (e.g. http://127.0.0.1:9109)"
+        ),
+    )
+    obs_alerts = obs_sub.add_parser(
+        "alerts",
+        help=(
+            "show alert state from a live /health endpoint or a "
+            "health.json written by 'repro stream --obs'"
+        ),
+    )
+    obs_alerts.add_argument(
+        "source", nargs="?", default=None,
+        help="path to a health.json (or use --url)",
+    )
+    obs_alerts.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a live health exporter",
+    )
+    obs_alerts.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any rule is firing",
+    )
+    obs_alerts.add_argument(
+        "--history", type=int, default=20,
+        help="how many recent transitions to print (default 20)",
     )
     obs_diff = obs_sub.add_parser(
         "diff",
@@ -274,6 +337,47 @@ def _advise(args) -> int:
     return 0
 
 
+def _build_health(args):
+    """A HealthMonitor (+ optional HealthServer) from the stream flags."""
+    from .obs.health import (
+        DriftReference,
+        HealthMonitor,
+        HealthServer,
+        load_rules,
+    )
+
+    rules = load_rules(args.rules) if args.rules else None
+    drift = args.drift_ref != "off"
+    if not drift:
+        reference = None
+    elif args.drift_ref == "paper":
+        reference = DriftReference.paper()
+    else:
+        reference = DriftReference.from_file(args.drift_ref)
+    monitor = HealthMonitor(rules, reference=reference, drift=drift)
+    server = None
+    if args.serve is not None:
+        server = HealthServer(monitor=monitor, port=args.serve).start()
+    return monitor, server
+
+
+def _write_health_state(monitor, obs_dir) -> None:
+    """Persist the final health/alert state for ``repro obs alerts``."""
+    import json
+    from pathlib import Path
+
+    obs_dir = Path(obs_dir)
+    obs_dir.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "schema": 1,
+        "health": monitor.to_health_dict(),
+        "alerts": monitor.to_alerts_dict(),
+    }
+    path = obs_dir / "health.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"health state written to {path}")
+
+
 def _stream(args) -> int:
     from . import constants
     from .stream import (
@@ -328,40 +432,152 @@ def _stream(args) -> int:
             lateness_s=args.lateness_s,
         )
 
-    for i, chunk in enumerate(source):
-        if args.max_chunks is not None and i >= args.max_chunks:
-            break
-        engine.ingest(chunk)
-        if args.snapshot_every and (i + 1) % args.snapshot_every == 0:
-            snap = engine.snapshot(
-                max_slowdown_pct=args.max_slowdown,
-                campaign_energy_mwh=campaign_mwh,
+    monitor = server = dashboard = None
+    if args.watch or args.serve is not None or args.rules is not None:
+        monitor, server = _build_health(args)
+        engine.attach_health(monitor)
+        if server is not None:
+            print(
+                f"health exporter on {server.url} "
+                "(/metrics /health /alerts)"
             )
-            print(f"--- snapshot after chunk {i + 1} ---")
-            print(snap.render())
-            print()
-    if args.max_chunks is None:
-        # Completed sources drain: every buffered window seals.
-        engine.drain()
+        if args.watch:
+            from .obs.health import Dashboard
 
-    if args.checkpoint is not None:
-        save_checkpoint(engine, args.checkpoint)
-        print(f"checkpoint written to {args.checkpoint}\n")
+            dashboard = Dashboard()
+    # --watch refreshes at the snapshot cadence; plain snapshots stay
+    # opt-in via --snapshot-every as before.
+    watch_every = args.snapshot_every or 20
 
-    label = "live (stream paused)" if args.max_chunks else "final (drained)"
-    print(f"===== {label} snapshot =====")
-    snap = engine.snapshot(
-        max_slowdown_pct=args.max_slowdown,
-        campaign_energy_mwh=campaign_mwh,
+    try:
+        for i, chunk in enumerate(source):
+            if args.max_chunks is not None and i >= args.max_chunks:
+                break
+            engine.ingest(chunk)
+            if dashboard is not None and (i + 1) % watch_every == 0:
+                dashboard.update(
+                    engine.snapshot(
+                        max_slowdown_pct=args.max_slowdown,
+                        campaign_energy_mwh=campaign_mwh,
+                    ),
+                    monitor,
+                )
+            elif args.snapshot_every and (i + 1) % args.snapshot_every == 0:
+                snap = engine.snapshot(
+                    max_slowdown_pct=args.max_slowdown,
+                    campaign_energy_mwh=campaign_mwh,
+                )
+                print(f"--- snapshot after chunk {i + 1} ---")
+                print(snap.render())
+                print()
+        if args.max_chunks is None:
+            # Completed sources drain: every buffered window seals.
+            engine.drain()
+
+        if args.checkpoint is not None:
+            save_checkpoint(engine, args.checkpoint)
+            print(f"checkpoint written to {args.checkpoint}\n")
+
+        snap = engine.snapshot(
+            max_slowdown_pct=args.max_slowdown,
+            campaign_energy_mwh=campaign_mwh,
+        )
+        if dashboard is not None:
+            dashboard.update(snap, monitor)
+        label = (
+            "live (stream paused)" if args.max_chunks else "final (drained)"
+        )
+        print(f"===== {label} snapshot =====")
+        print(snap.render())
+        if monitor is not None:
+            doc = monitor.to_health_dict()
+            print(
+                f"\nhealth: {doc['status']} ({doc['firing']} firing / "
+                f"{len(doc['rules'])} rules, "
+                f"{doc['evaluations']} evaluations)"
+            )
+            if args.obs or args.obs_dir:
+                _write_health_state(monitor, args.obs_dir or "obs")
+    finally:
+        if server is not None:
+            server.close()
+    return 0
+
+
+def _obs_alerts(args) -> int:
+    import json
+    from pathlib import Path
+
+    from .errors import HealthError
+    from .obs.health import fetch_url, render_events
+
+    if (args.source is None) == (args.url is None):
+        print(
+            "obs alerts needs exactly one of a health.json path or --url",
+            file=sys.stderr,
+        )
+        return 2
+    if args.url is not None:
+        base = args.url.rstrip("/")
+        health = json.loads(fetch_url(base + "/health")[1])
+        alerts = json.loads(fetch_url(base + "/alerts")[1])
+        origin = base
+    else:
+        try:
+            doc = json.loads(Path(args.source).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise HealthError(
+                f"cannot read health state {args.source}: {exc}"
+            ) from exc
+        health = doc.get("health") or {}
+        alerts = doc.get("alerts") or {}
+        origin = args.source
+    firing = alerts.get("firing") or []
+    print(
+        f"alerts from {origin}: status {health.get('status', '?')}, "
+        f"{len(firing)} firing"
     )
-    print(snap.render())
+    for row in firing:
+        value = row.get("value")
+        shown = "-" if value is None else f"{value:g}"
+        print(
+            f"  ! {row['name']} [{row.get('severity', '?')}] "
+            f"value={shown} — {row.get('summary', '')}"
+        )
+    history = (alerts.get("history") or [])[-args.history:]
+    if history:
+        print(render_events(history, title="recent transitions:"))
+    return 1 if (args.check and firing) else 0
+
+
+def _obs_summary_url(url: str) -> int:
+    from .obs.health import fetch_url
+    from .obs.metrics import parse_prometheus_text
+
+    base = url.rstrip("/")
+    values = parse_prometheus_text(fetch_url(base + "/metrics")[1])
+    print(f"live metrics @ {base} ({len(values)} series):")
+    if values:
+        width = max(len(k) for k in values)
+        for key, value in sorted(values.items()):
+            print(f"  {key:<{width}} {value:>14g}")
     return 0
 
 
 def _obs_command(args) -> int:
     from .obs import manifest as obs_manifest
 
+    if args.obs_command == "alerts":
+        return _obs_alerts(args)
     if args.obs_command == "summary":
+        if args.url is not None:
+            return _obs_summary_url(args.url)
+        if args.manifest is None:
+            print(
+                "obs summary needs a manifest path or --url",
+                file=sys.stderr,
+            )
+            return 2
         doc = obs_manifest.load_manifest(args.manifest)
         print(obs_manifest.summarize_manifest(doc, top=args.top))
         return 0

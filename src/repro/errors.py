@@ -49,3 +49,7 @@ class ExperimentError(ReproError):
 
 class ObservabilityError(ReproError):
     """A metric, trace, or manifest operation is invalid."""
+
+
+class HealthError(ObservabilityError):
+    """An alert rule, drift reference, or health endpoint is invalid."""

@@ -18,6 +18,12 @@ experiment — without changing a single output bit:
   default), every instrumentation site is a no-op fast path costing a
   global read and a branch; the hot paths stay within a < 2 % overhead
   budget enforced by ``benchmarks/bench_batch.py``.
+* :mod:`repro.obs.health`   — the consuming side: alert rules with
+  pending/firing/resolved state machines, power-mode drift detection
+  against a pinned Table IV reference, an HTTP exporter
+  (``/metrics``, ``/health``, ``/alerts``), and the ``repro stream
+  --watch`` dashboard.  Imported lazily (``repro.obs.health``) because
+  it sits *above* the pipeline the rest of this package instruments.
 
 Usage::
 
@@ -45,7 +51,14 @@ from .manifest import (
     summarize_manifest,
     write_run_artifacts,
 )
-from .metrics import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus_text,
+)
 from .runtime import (
     ObsState,
     absorb,
@@ -62,7 +75,20 @@ from .runtime import (
 )
 from .trace import NOOP_SPAN, Span, Tracer, aggregate_spans
 
+
+def __getattr__(name):
+    # Lazy: health imports repro.core (for the Table IV decomposition),
+    # and repro.core imports repro.obs.runtime — an eager import here
+    # would close that cycle during interpreter start-up.
+    if name == "health":
+        from . import health
+
+        return health
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "health",
     "manifest",
     "RunManifest",
     "build_manifest",
@@ -75,6 +101,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "parse_prometheus_text",
     "ObsState",
     "absorb",
     "counter_inc",

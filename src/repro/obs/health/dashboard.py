@@ -1,0 +1,125 @@
+"""Live terminal dashboard for ``repro stream --watch``.
+
+One compact, fixed-layout frame per refresh: ingest state, live mode
+shares against the pinned drift reference, the current savings
+projection, and the alert board.  Rendering is a pure function of
+``(snapshot, monitor, frame)`` so the layout is testable without a
+terminal; :class:`Dashboard` adds the only impure part — redrawing in
+place with ANSI cursor-home/clear when stdout is a tty, plain
+sequential frames otherwise (pipes, CI logs).
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from ...core.join import REGION_NAMES
+from .drift import render_drift
+from .monitor import HealthMonitor
+from .rules import FIRING, render_events
+
+#: Home the cursor and clear to end of screen: repaint without scrollback
+#: spam, unlike a full ``2J`` clear on every frame.
+_ANSI_REDRAW = "\x1b[H\x1b[J"
+
+RULE_WIDTH = 72
+
+
+def render_dashboard(
+    snapshot,
+    monitor: Optional[HealthMonitor],
+    *,
+    frame: int = 0,
+    history: int = 5,
+) -> str:
+    """One dashboard frame as plain text (no ANSI)."""
+    stats = snapshot.stats
+    lines: List[str] = [
+        f"repro stream — live health (frame {frame}, "
+        f"watermark {stats.watermark_s:,.0f} s, "
+        f"{stats.windows_folded} windows folded)",
+        "─" * RULE_WIDTH,
+        stats.render(),
+        "",
+    ]
+
+    drift = monitor.drift if monitor is not None else None
+    if drift is not None and drift.last_report is not None:
+        lines.extend(render_drift(
+            drift.last_report, drift.reference, REGION_NAMES
+        ))
+    elif snapshot.table4 is not None:
+        lines.append("mode shares (no drift reference pinned):")
+        for row in snapshot.table4.rows:
+            lines.append(
+                f"  {row.region}: {row.name:<22} {row.gpu_hours_pct:>6.1f} %"
+            )
+    else:
+        lines.append("mode shares: no sealed windows yet")
+    lines.append("")
+
+    rec = snapshot.recommendation
+    if rec is not None and rec.capped:
+        lines.append(
+            f"projected savings: cap at {rec.cap:.0f} ({rec.knob}) -> "
+            f"{rec.expected_saving_mwh:.0f} MWh ({rec.savings_pct:.2f} %) "
+            f"at {rec.runtime_increase_pct:.2f} % runtime increase"
+        )
+    elif rec is not None:
+        lines.append(
+            "projected savings: leave uncapped (no savings within the "
+            "slowdown budget)"
+        )
+    else:
+        lines.append("projected savings: not enough data yet")
+    lines.append("")
+
+    if monitor is None:
+        lines.append("alerts: health monitoring off")
+        return "\n".join(lines)
+
+    states = monitor.alerts.rule_states()
+    firing = [r for r in states if r["state"] == FIRING]
+    status = "DEGRADED" if firing else "ok"
+    lines.append(
+        f"alerts: {status} — {len(firing)} firing / {len(states)} rules "
+        f"({monitor.alerts.evaluations} evaluations)"
+    )
+    for row in states:
+        marker = {"inactive": " ", "pending": "~", "firing": "!"}[row["state"]]
+        value = row["value"]
+        shown = "-" if value is None else f"{value:g}"
+        lines.append(
+            f"  [{marker}] {row['name']:<28} {row['state']:<9} "
+            f"value={shown}"
+        )
+    recent = list(monitor.alerts.history)[-history:]
+    if recent:
+        lines.append(render_events(recent, title="recent transitions:"))
+    return "\n".join(lines)
+
+
+class Dashboard:
+    """Redraw dashboard frames in place on a terminal.
+
+    On a tty each frame repaints from the top-left; on anything else
+    frames print sequentially with a separator, so piped output stays a
+    readable transcript.
+    """
+
+    def __init__(self, stream=None) -> None:
+        self.stream = stream if stream is not None else sys.stdout
+        self.frame = 0
+        self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
+
+    def update(self, snapshot, monitor: Optional[HealthMonitor]) -> None:
+        self.frame += 1
+        body = render_dashboard(snapshot, monitor, frame=self.frame)
+        if self._tty:
+            self.stream.write(_ANSI_REDRAW + body + "\n")
+        else:
+            if self.frame > 1:
+                self.stream.write("\n" + "=" * RULE_WIDTH + "\n")
+            self.stream.write(body + "\n")
+        self.stream.flush()

@@ -288,3 +288,28 @@ class MetricsRegistry:
                 if math.isfinite(metric.value):
                     out[name + _render_labels(key)] = metric.value
         return out
+
+
+def parse_prometheus_text(text: str) -> Dict[str, float]:
+    """Flat ``{name{labels}: value}`` from Prometheus exposition text.
+
+    The inverse of :meth:`MetricsRegistry.to_prometheus` for the sample
+    lines (comments and malformed lines are skipped; series keys keep
+    their label string verbatim).  Lets ``repro obs summary --url`` read
+    a live ``/metrics`` endpoint with no client dependency.
+    """
+    out: Dict[str, float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.rsplit(None, 1)
+        if len(parts) != 2:
+            continue
+        key, raw = parts
+        try:
+            out[key] = float(raw)
+        except ValueError:
+            continue
+    return out
+

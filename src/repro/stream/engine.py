@@ -17,11 +17,11 @@ without touching the samples again.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .. import constants
+from .. import constants, units
 from ..core import report
 from ..core.characterization import CapFactors, measured_factors
 from ..core.heatmap import table6_selection
@@ -34,6 +34,29 @@ from ..policy.live import FleetRecommendation, recommend_fleet_cap
 from ..scheduler.log import SchedulerLog
 from ..telemetry.schema import TelemetryChunk
 from .buffer import DEFAULT_WINDOW_S, ReorderBuffer
+
+
+def render_block(title: str, rows: Sequence[Tuple[str, str]]) -> str:
+    """Aligned ``title:`` + indented label/value lines.
+
+    The one formatting helper behind :meth:`IngestStats.render` and
+    :meth:`StreamSnapshot.render` (and the ``--watch`` dashboard):
+    labels left-justified to the widest label, values right-justified to
+    the widest value, two-space indent.
+    """
+    label_w = max(len(label) for label, _ in rows)
+    value_w = max(len(value) for _, value in rows)
+    lines = [title]
+    lines.extend(
+        f"  {label:<{label_w}} {value:>{value_w + 3}}"
+        for label, value in rows
+    )
+    return "\n".join(lines)
+
+
+def _titled(title: str, body: str) -> str:
+    """A section: its heading line directly above its body."""
+    return f"{title}\n{body}"
 
 
 @dataclass(frozen=True)
@@ -54,19 +77,21 @@ class IngestStats:
     watermark_lag_s: float
 
     def render(self) -> str:
-        lines = [
-            "ingest stats:",
-            f"  chunks in            {self.chunks_in:>12}",
-            f"  samples in           {self.samples_in:>12}",
-            f"  duplicates dropped   {self.duplicates:>12}",
-            f"  late dropped         {self.late_dropped:>12}",
-            f"  windows folded       {self.windows_folded:>12}",
-            f"  samples folded       {self.samples_folded:>12}",
-            f"  resident samples     {self.resident_samples:>12}",
-            f"  peak resident        {self.peak_resident_samples:>12}",
-            f"  watermark lag        {self.watermark_lag_s:>10.0f} s",
-        ]
-        return "\n".join(lines)
+        lag = self.watermark_lag_s
+        return render_block("ingest stats:", [
+            ("chunks in", str(self.chunks_in)),
+            ("samples in", str(self.samples_in)),
+            ("duplicates dropped", str(self.duplicates)),
+            ("late dropped", str(self.late_dropped)),
+            ("windows folded", str(self.windows_folded)),
+            ("samples folded", str(self.samples_folded)),
+            ("resident samples", str(self.resident_samples)),
+            ("peak resident", str(self.peak_resident_samples)),
+            (
+                "watermark lag",
+                f"{lag:.0f} s ({units.fmt_duration(lag)})",
+            ),
+        ])
 
 
 @dataclass(frozen=True)
@@ -85,19 +110,23 @@ class StreamSnapshot:
         """Plain-text report of the live Tables IV/V/VI + ingest state."""
         parts = []
         if self.table4 is not None:
-            parts.append("live Table IV (modal decomposition):")
-            parts.append(report.render_table4(self.table4))
+            parts.append(_titled(
+                "live Table IV (modal decomposition):",
+                report.render_table4(self.table4),
+            ))
         if self.table5 is not None:
             parts.append("")
-            parts.append("live Table V (savings projection):")
-            parts.append(report.render_table5(self.table5))
+            parts.append(_titled(
+                "live Table V (savings projection):",
+                report.render_table5(self.table5),
+            ))
         if self.table6 is not None:
             parts.append("")
-            parts.append(
+            parts.append(_titled(
                 "live Table VI (selected domains "
-                f"{', '.join(self.table6_domains)}; classes A-C):"
-            )
-            parts.append(report.render_table5(self.table6))
+                f"{', '.join(self.table6_domains)}; classes A-C):",
+                report.render_table5(self.table6),
+            ))
         if self.recommendation is not None:
             rec = self.recommendation
             if rec.capped:
@@ -140,6 +169,19 @@ class StreamEngine:
         )
         self.accumulator = CampaignAccumulator(log, interval_s=interval_s)
         self.chunks_in = 0
+        #: Optional :class:`repro.obs.health.HealthMonitor`, evaluated
+        #: after every ingest call that folded windows (and at drain).
+        self.health = None
+
+    def attach_health(self, monitor) -> "StreamEngine":
+        """Attach a health monitor; evaluated per drained window.
+
+        The monitor only *reads* engine state (counters and a copied
+        cube), so attaching one leaves every analytic output bitwise
+        unchanged (asserted in ``tests/obs/``).
+        """
+        self.health = monitor
+        return self
 
     # -- ingestion ----------------------------------------------------------------
 
@@ -158,6 +200,8 @@ class StreamEngine:
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)
+        if self.health is not None and windows:
+            self.health.observe_engine(self)
         return len(windows)
 
     def drain(self) -> int:
@@ -169,6 +213,8 @@ class StreamEngine:
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)
+        if self.health is not None:
+            self.health.observe_engine(self)
         return len(windows)
 
     def run(
@@ -211,14 +257,14 @@ class StreamEngine:
         """The campaign cube of all sealed windows so far."""
         return self.accumulator.cube(copy=copy)
 
-    def export_metrics(self, registry) -> None:
-        """Mirror the ingest counters into a metrics registry.
+    def metric_values(self) -> Dict[str, float]:
+        """Finite ``stream_*`` gauge values of the current ingest state.
 
-        Counters are monotone mirrors of the buffer's cumulative totals
-        (exported as gauges so re-export stays idempotent); the lag and
-        residency gauges are point-in-time.  Non-finite sentinels (the
-        pre-first-sample watermark, the post-drain sealed frontier) are
-        skipped so exports stay strict-JSON clean.
+        The shared source for :meth:`export_metrics` and the health
+        layer's rule evaluation: cumulative totals plus the point-in-
+        time lag/residency gauges, with non-finite sentinels (the
+        pre-first-sample watermark, the post-drain sealed frontier)
+        dropped so exports stay strict-JSON clean.
         """
         stats = self.stats
         values = {
@@ -235,9 +281,21 @@ class StreamEngine:
             "stream_sealed_until_seconds": stats.sealed_until_s,
             "stream_max_event_time_seconds": stats.max_event_time_s,
         }
-        for name, value in values.items():
-            if np.isfinite(value):
-                registry.gauge(name).set(float(value))
+        return {
+            name: float(value)
+            for name, value in values.items()
+            if np.isfinite(value)
+        }
+
+    def export_metrics(self, registry) -> None:
+        """Mirror the ingest counters into a metrics registry.
+
+        Counters are monotone mirrors of the buffer's cumulative totals
+        (exported as gauges so re-export stays idempotent); the lag and
+        residency gauges are point-in-time.
+        """
+        for name, value in self.metric_values().items():
+            registry.gauge(name).set(value)
 
     def snapshot(
         self,

@@ -147,6 +147,31 @@ def to_days(seconds):
 
 # -- formatting --------------------------------------------------------------
 
+def fmt_duration(seconds: float) -> str:
+    """Format a duration in human units: ``90 -> '1 min 30 s'``.
+
+    Sub-minute values stay in seconds; non-finite sentinels (empty
+    buffers, drained frontiers) render as ``'-'``.  Largest two units
+    only — this is for dashboards, not archival precision.
+    """
+    if seconds != seconds or seconds in (float("inf"), float("-inf")):
+        return "-"
+    sign = "-" if seconds < 0 else ""
+    s = abs(float(seconds))
+    if s < 60:
+        return f"{sign}{s:.0f} s"
+    if s < SECONDS_PER_HOUR:
+        m, rem = divmod(s, 60)
+        return f"{sign}{m:.0f} min" + (f" {rem:.0f} s" if rem >= 1 else "")
+    if s < SECONDS_PER_DAY:
+        h, rem = divmod(s, SECONDS_PER_HOUR)
+        m = rem // 60
+        return f"{sign}{h:.0f} h" + (f" {m:.0f} min" if m >= 1 else "")
+    d, rem = divmod(s, SECONDS_PER_DAY)
+    h = rem // SECONDS_PER_HOUR
+    return f"{sign}{d:.0f} d" + (f" {h:.0f} h" if h >= 1 else "")
+
+
 def fmt_si(value: float, unit: str, digits: int = 3) -> str:
     """Format ``value`` with an SI prefix, e.g. ``fmt_si(1.2e12, 'B/s')``.
 

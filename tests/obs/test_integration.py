@@ -119,6 +119,36 @@ class TestStreamIdentity:
         assert values["stream_late_dropped"] == 0
         assert values["stream_duplicates_dropped"] == 0
 
+    def test_drained_cube_is_bitwise_identical_with_health(self, fleet):
+        # The health layer reads a copied cube and the ingest counters,
+        # so attaching a monitor (even a drifting one, with obs off and
+        # no --watch) must leave every analytic output byte-identical.
+        from repro.obs.health import HealthMonitor
+
+        log, chunks = fleet
+        plain = self._drained(log, chunks).cube()
+        monitor = HealthMonitor()
+        watched_engine = StreamEngine(
+            log, interval_s=constants.TELEMETRY_INTERVAL_S,
+        ).attach_health(monitor)
+        for chunk in chunks:
+            watched_engine.ingest(chunk)
+        watched_engine.drain()
+        watched = watched_engine.cube()
+
+        assert np.array_equal(plain.energy_j, watched.energy_j)
+        assert np.array_equal(plain.gpu_hours, watched.gpu_hours)
+        assert np.array_equal(
+            plain.histogram.counts, watched.histogram.counts
+        )
+        assert np.array_equal(
+            plain.histogram.weight_sums, watched.histogram.weight_sums
+        )
+        assert plain.cpu_energy_j == watched.cpu_energy_j
+        # ...while the monitor really evaluated along the way.
+        assert monitor.alerts.evaluations > 0
+        assert monitor.drift.last_report is not None
+
 
 class TestCli:
     def test_run_obs_writes_manifest_and_prom(self, tmp_path, capsys):
