@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench-quick bench-record bench bench-obs
+.PHONY: test lint bench-quick bench-record bench bench-obs profile
 
 # Tier-1 correctness suite.
 test:
@@ -34,3 +34,10 @@ bench-obs:
 # machine after intentional perf changes).
 bench-record:
 	$(PYTHON) benchmarks/bench_batch.py --record
+
+# Span-linked profile of the table5 reference run: writes flamegraph
+# input (profile-artifacts/profile.collapsed), a Chrome trace, and the
+# per-span timings, then checks them against benchmarks/perf_budget.json
+# (exit 1 on breach).  See docs/performance.md for reading the output.
+profile:
+	PYTHONPATH=src $(PYTHON) -m repro obs profile --check --out profile-artifacts

@@ -96,6 +96,40 @@ def load_history(path: Path = HISTORY_PATH) -> List[dict]:
     return entries
 
 
+def append_timings(
+    timings: Dict[str, float],
+    *,
+    path: Path = HISTORY_PATH,
+    sha: Optional[str] = None,
+    timestamp: Optional[str] = None,
+    quick: bool = False,
+    source: Optional[str] = None,
+) -> dict:
+    """Append one timings mapping to the history file; returns the entry.
+
+    The shared writer behind :func:`append_run` (micro-benchmark runs)
+    and ``--append`` (per-span timings from ``repro obs profile``); both
+    kinds of entry share the JSONL schema, so :func:`drift_flags` tracks
+    them uniformly — keys never collide because profile timings are
+    namespaced ``span.*``.
+    """
+    entry = {
+        "sha": sha if sha is not None else git_sha(),
+        "time": (
+            timestamp
+            if timestamp is not None
+            else datetime.now(timezone.utc).isoformat(timespec="seconds")
+        ),
+        "quick": bool(quick),
+        "timings": {k: float(v) for k, v in timings.items()},
+    }
+    if source is not None:
+        entry["source"] = source
+    with path.open("a") as fh:
+        fh.write(json.dumps(entry, sort_keys=True) + "\n")
+    return entry
+
+
 def append_run(
     results: dict,
     *,
@@ -105,19 +139,13 @@ def append_run(
     quick: bool = False,
 ) -> dict:
     """Append one measured run to the history file; returns the entry."""
-    entry = {
-        "sha": sha if sha is not None else git_sha(),
-        "time": (
-            timestamp
-            if timestamp is not None
-            else datetime.now(timezone.utc).isoformat(timespec="seconds")
-        ),
-        "quick": bool(quick),
-        "timings": timings_from_results(results),
-    }
-    with path.open("a") as fh:
-        fh.write(json.dumps(entry, sort_keys=True) + "\n")
-    return entry
+    return append_timings(
+        timings_from_results(results),
+        path=path,
+        sha=sha,
+        timestamp=timestamp,
+        quick=quick,
+    )
 
 
 def drift_flags(
@@ -167,7 +195,30 @@ def main(argv=None) -> int:
         "--window", type=int, default=WINDOW,
         help=f"trailing-median window (default: {WINDOW})",
     )
+    parser.add_argument(
+        "--append", type=Path, default=None, metavar="FILE",
+        help=(
+            "append the timings from a profile_timings.json written by "
+            "'repro obs profile' before reporting"
+        ),
+    )
     args = parser.parse_args(argv)
+
+    if args.append is not None:
+        doc = json.loads(args.append.read_text())
+        timings = doc.get("timings")
+        if not isinstance(timings, dict) or not timings:
+            print(f"no timings in {args.append}", file=sys.stderr)
+            return 2
+        entry = append_timings(
+            timings,
+            path=args.path,
+            source=doc.get("command") or str(args.append),
+        )
+        print(
+            f"appended {len(entry['timings'])} timing(s) from "
+            f"{args.append} at {entry['sha']}"
+        )
 
     history = load_history(args.path)
     if not history:

@@ -5,6 +5,8 @@
     python -m repro list
     python -m repro run fig4
     python -m repro run all --nodes 128 --days 7 --out results/
+    python -m repro run table5 --profile
+    python -m repro obs profile --check
 """
 
 from __future__ import annotations
@@ -67,6 +69,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help=(
             "directory for manifest.json + metrics.prom (default: "
             "--out, else 'obs')"
+        ),
+    )
+    run_p.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "attach the span-linked sampling profiler and write "
+            "flamegraph/Chrome-trace artifacts (implies observability; "
+            "see docs/performance.md)"
+        ),
+    )
+    run_p.add_argument(
+        "--profile-dir", default=None, metavar="DIR",
+        help=(
+            "directory for profile.collapsed + trace.json + "
+            "profile_timings.json (default: --out, else "
+            "'profile-artifacts')"
         ),
     )
 
@@ -248,6 +266,64 @@ def _build_parser() -> argparse.ArgumentParser:
     obs_alerts.add_argument(
         "--history", type=int, default=20,
         help="how many recent transitions to print (default 20)",
+    )
+    obs_prof = obs_sub.add_parser(
+        "profile",
+        help=(
+            "profile one experiment end to end: collapsed stacks for "
+            "flamegraphs, a Chrome trace, per-span attribution, and "
+            "perf-budget checks"
+        ),
+    )
+    obs_prof.add_argument(
+        "experiment", nargs="?", default="table5",
+        help="experiment id to profile (default table5)",
+    )
+    obs_prof.add_argument(
+        "--nodes", type=int, default=24,
+        help="simulated fleet size (default 24, the CI reference)",
+    )
+    obs_prof.add_argument(
+        "--days", type=float, default=1.0,
+        help="campaign length in days (default 1)",
+    )
+    obs_prof.add_argument("--seed", type=int, default=3)
+    obs_prof.add_argument(
+        "--out", default="profile-artifacts", metavar="DIR",
+        help="artifact directory (default profile-artifacts)",
+    )
+    obs_prof.add_argument(
+        "--interval-ms", type=float, default=5.0,
+        help="stack sampling interval in milliseconds (default 5)",
+    )
+    obs_prof.add_argument(
+        "--memory", action="store_true",
+        help=(
+            "also record per-span tracemalloc deltas and the top "
+            "allocation sites"
+        ),
+    )
+    obs_prof.add_argument(
+        "--exact", action="store_true",
+        help="also run cProfile for exact per-function call counts",
+    )
+    obs_prof.add_argument(
+        "--top", type=int, default=20,
+        help="rows per attribution table (default 20)",
+    )
+    obs_prof.add_argument(
+        "--budget", default=None, metavar="FILE",
+        help=(
+            "perf-budget JSON of named span limits (default "
+            "benchmarks/perf_budget.json when --check is given)"
+        ),
+    )
+    obs_prof.add_argument(
+        "--check", action="store_true",
+        help=(
+            "check span totals against the perf budget and exit "
+            "non-zero on any breach (the CI gate)"
+        ),
     )
     obs_diff = obs_sub.add_parser(
         "diff",
@@ -564,11 +640,93 @@ def _obs_summary_url(url: str) -> int:
     return 0
 
 
+def _render_exact(exact, *, top: int) -> str:
+    """Plain-text table of the cProfile per-function rows."""
+    lines = ["exact per-function profile (cProfile):"]
+    lines.append(
+        f"  {'function':<48} {'ncalls':>8} {'self s':>9} {'cum s':>9}"
+    )
+    for row in exact.function_table(top=top):
+        lines.append(
+            f"  {row['function']:<48.48} {row['ncalls']:>8} "
+            f"{row['self_s']:>9.4f} {row['cum_s']:>9.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _obs_profile(args) -> int:
+    from .obs import runtime as obs_runtime
+    from .obs.profiling import (
+        DEFAULT_BUDGET_PATH,
+        ExactProfiler,
+        check_budget,
+        load_budget,
+        render_attribution,
+        render_hot_stacks,
+        render_memory_sites,
+        write_profile_artifacts,
+    )
+
+    config = ExperimentConfig(
+        fleet_nodes=args.nodes, days=args.days, seed=args.seed,
+    )
+    command = (
+        f"repro obs profile {args.experiment} --nodes {args.nodes} "
+        f"--days {args.days:g} --seed {args.seed}"
+    )
+    exact = ExactProfiler() if args.exact else None
+    obs_runtime.start_profiling(
+        interval_s=args.interval_ms / 1000.0, memory=args.memory,
+    )
+    try:
+        if exact is not None:
+            exact.start()
+        try:
+            result = run(args.experiment, config)
+        finally:
+            if exact is not None:
+                exact.stop()
+        profiler = obs_runtime.stop_profiling()
+        spans = obs_runtime.state().tracer.finished
+        paths = write_profile_artifacts(
+            args.out, spans=spans, profiler=profiler, command=command,
+        )
+        print(f"===== profile: {args.experiment} ({result.title}) =====")
+        print(render_attribution(spans, top=args.top))
+        if profiler.samples:
+            print()
+            print("hottest sampled stacks:")
+            print(render_hot_stacks(profiler.samples))
+        if profiler.memory_sites:
+            print()
+            print("top allocation sites (tracemalloc):")
+            print(render_memory_sites(profiler.memory_sites))
+        if exact is not None:
+            print()
+            print(_render_exact(exact, top=args.top))
+        print()
+        print(f"collapsed stacks : {paths['collapsed']}")
+        print(f"chrome trace     : {paths['chrome_trace']}")
+        print(f"span timings     : {paths['timings']}")
+        if args.check or args.budget is not None:
+            budget = load_budget(args.budget or DEFAULT_BUDGET_PATH)
+            verdict = check_budget(spans, budget)
+            print()
+            print(verdict.render())
+            if args.check and not verdict.ok:
+                return 1
+        return 0
+    finally:
+        obs_runtime.disable()
+
+
 def _obs_command(args) -> int:
     from .obs import manifest as obs_manifest
 
     if args.obs_command == "alerts":
         return _obs_alerts(args)
+    if args.obs_command == "profile":
+        return _obs_profile(args)
     if args.obs_command == "summary":
         if args.url is not None:
             return _obs_summary_url(args.url)
@@ -607,6 +765,35 @@ def _finish_obs(command: str, config: dict, outputs, obs_dir,
     doc = obs_manifest.load_manifest(paths["manifest"])
     print(f"===== observability ({paths['manifest']}) =====")
     print(obs_manifest.summarize_manifest(doc))
+
+
+def _finish_profile(command: str, profile_dir) -> None:
+    """Stop the profiler, write its artifacts, print the hot spans."""
+    from .obs import runtime as obs_runtime
+    from .obs.profiling import (
+        render_attribution,
+        render_memory_sites,
+        write_profile_artifacts,
+    )
+
+    profiler = obs_runtime.stop_profiling()
+    st = obs_runtime.state()
+    if profiler is None or st is None:
+        return
+    spans = st.tracer.finished
+    paths = write_profile_artifacts(
+        profile_dir, spans=spans, profiler=profiler, command=command,
+    )
+    print(f"===== profile ({profile_dir}) =====")
+    print(render_attribution(spans))
+    if profiler.memory_sites:
+        print()
+        print("top allocation sites (tracemalloc):")
+        print(render_memory_sites(profiler.memory_sites))
+    print()
+    print(f"collapsed stacks : {paths['collapsed']}")
+    print(f"chrome trace     : {paths['chrome_trace']}")
+    print(f"span timings     : {paths['timings']}")
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -696,6 +883,9 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.obs:
         obs_runtime.enable()
+    if args.profile:
+        # Implies observability: samples are tagged with tracer spans.
+        obs_runtime.start_profiling()
     wall0, cpu0 = time.perf_counter(), time.process_time()
     status = 0
     outputs = []
@@ -717,6 +907,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"===== {exp_id}: {result.title} ({elapsed:.1f} s) =====")
         print(result.text)
         print()
+    if args.profile and obs_runtime.enabled():
+        _finish_profile(
+            f"repro run {args.experiment}",
+            args.profile_dir or args.out or "profile-artifacts",
+        )
     if args.obs and obs_runtime.enabled():
         _finish_obs(
             f"repro run {args.experiment}",
@@ -729,6 +924,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.obs_dir or args.out or "obs",
             wall0, cpu0,
         )
+    if (args.obs or args.profile) and obs_runtime.enabled():
         obs_runtime.disable()
     return status
 

@@ -11,6 +11,12 @@ experiment — without changing a single output bit:
 * :mod:`repro.obs.trace`    — spans with monotonic timings and
   parent/child context that propagate across
   :func:`repro.parallel.chunked_map` workers into one trace tree;
+* :mod:`repro.obs.profiling` — span-linked profiles: a stack sampler
+  tagging every sample with the innermost active span, per-span
+  :mod:`tracemalloc` memory deltas, collapsed-stack/Chrome-trace
+  exporters, and named span perf budgets (``repro obs profile
+  --check``).  Imported lazily — nothing pays for the profiler until
+  :func:`~repro.obs.runtime.start_profiling`;
 * :mod:`repro.obs.manifest` — run manifests capturing config, seed,
   package versions, git revision, wall/CPU time, and output digests,
   plus summary/diff tooling (``repro obs summary`` / ``repro obs diff``);
@@ -71,7 +77,9 @@ from .runtime import (
     observe,
     run_traced,
     span,
+    start_profiling,
     state,
+    stop_profiling,
 )
 from .trace import NOOP_SPAN, Span, Tracer, aggregate_spans
 
@@ -79,16 +87,19 @@ from .trace import NOOP_SPAN, Span, Tracer, aggregate_spans
 def __getattr__(name):
     # Lazy: health imports repro.core (for the Table IV decomposition),
     # and repro.core imports repro.obs.runtime — an eager import here
-    # would close that cycle during interpreter start-up.
-    if name == "health":
-        from . import health
+    # would close that cycle during interpreter start-up.  profiling is
+    # lazy for cost, not cycles: nothing pays for the profiler until
+    # start_profiling() is called.
+    if name in ("health", "profiling"):
+        import importlib
 
-        return health
+        return importlib.import_module(f".{name}", __name__)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 __all__ = [
     "health",
+    "profiling",
     "manifest",
     "RunManifest",
     "build_manifest",
@@ -113,7 +124,9 @@ __all__ = [
     "observe",
     "run_traced",
     "span",
+    "start_profiling",
     "state",
+    "stop_profiling",
     "NOOP_SPAN",
     "Span",
     "Tracer",

@@ -259,6 +259,7 @@ def summarize_manifest(doc: dict, *, top: int = 15) -> str:
             )
     spans = doc.get("spans") or []
     if spans:
+        aggs = aggregate_spans(spans)
         lines.append(
             f"slowest spans ({len(spans)} recorded"
             + (
@@ -270,14 +271,30 @@ def summarize_manifest(doc: dict, *, top: int = 15) -> str:
         )
         lines.append(
             f"  {'span':<26} {'count':>7} {'total s':>10} "
-            f"{'mean s':>10} {'max s':>10}"
+            f"{'self s':>10} {'mean s':>10} {'max s':>10}"
         )
-        for agg in aggregate_spans(spans)[:top]:
+        for agg in aggs[:top]:
             lines.append(
                 f"  {agg['name']:<26} {agg['count']:>7} "
-                f"{agg['total_s']:>10.4f} {agg['mean_s']:>10.4f} "
-                f"{agg['max_s']:>10.4f}"
+                f"{agg['total_s']:>10.4f} {agg['self_s']:>10.4f} "
+                f"{agg['mean_s']:>10.4f} {agg['max_s']:>10.4f}"
             )
+        # The attribution view: exclusive time names the span whose own
+        # code burns the cycles, not the ancestor that contains it.
+        hot = sorted(aggs, key=lambda a: a["self_s"], reverse=True)
+        hot = [agg for agg in hot if agg["self_s"] > 0.0][: min(top, 5)]
+        if hot:
+            lines.append("hottest spans (self time):")
+            for agg in hot:
+                share = (
+                    100.0 * agg["self_s"] / agg["total_s"]
+                    if agg["total_s"] > 0
+                    else 0.0
+                )
+                lines.append(
+                    f"  {agg['name']:<26} {agg['self_s']:>10.4f} s "
+                    f"({share:5.1f} % of its own total)"
+                )
     metrics = doc.get("metrics") or {}
     counter_lines = _counter_lines(metrics)
     if counter_lines:

@@ -1,0 +1,60 @@
+"""Span-linked profiling: the third leg of the observability triad.
+
+Metrics say *how much*, traces say *where*, profiles say *why*: this
+subpackage attributes wall time and memory **inside** spans, with zero
+dependencies beyond the standard library and the same invariants the
+rest of :mod:`repro.obs` holds —
+
+* **Output identity.**  Profiling only observes: a profiled
+  ``repro run table5 --profile`` writes byte-identical artifacts
+  (asserted in ``tests/obs/test_profiling.py``).
+* **Worker-count invariance.**  Worker profiles fold back in chunk
+  order through :func:`repro.parallel.chunked_map`'s payload channel,
+  exactly like spans and metrics, and every exporter is a deterministic
+  function of the folded state.
+* **No disabled cost.**  Nothing here is imported, let alone running,
+  until :func:`repro.obs.runtime.start_profiling` is called; the hot
+  paths' <2 % disabled-overhead gate is untouched.
+
+Pieces: :class:`SamplingProfiler` (``sys._current_frames`` stack sampler
+tagging every sample with the tracer's innermost active span),
+:class:`ExactProfiler` (:mod:`cProfile` wrapper), :class:`MemoryHooks`
+(:mod:`tracemalloc` per-span deltas + top allocation sites), exporters
+(collapsed stacks for flamegraphs, Chrome ``trace_event`` JSON, the
+self/cumulative attribution table), and perf budgets
+(``benchmarks/perf_budget.json`` checked by ``repro obs profile
+--check``).  See ``docs/observability.md`` ("Profiling") and
+``docs/performance.md`` for a flamegraph walkthrough.
+"""
+
+from .budget import DEFAULT_BUDGET_PATH, BudgetCheck, check_budget, load_budget
+from .export import (
+    collapse_samples,
+    profile_timings,
+    render_attribution,
+    render_hot_stacks,
+    render_memory_sites,
+    to_chrome_trace,
+    to_collapsed,
+    write_profile_artifacts,
+)
+from .sampler import ExactProfiler, MemoryHooks, SamplingProfiler, frame_label
+
+__all__ = [
+    "DEFAULT_BUDGET_PATH",
+    "BudgetCheck",
+    "check_budget",
+    "load_budget",
+    "collapse_samples",
+    "profile_timings",
+    "render_attribution",
+    "render_hot_stacks",
+    "render_memory_sites",
+    "to_chrome_trace",
+    "to_collapsed",
+    "write_profile_artifacts",
+    "ExactProfiler",
+    "MemoryHooks",
+    "SamplingProfiler",
+    "frame_label",
+]

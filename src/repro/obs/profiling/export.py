@@ -1,0 +1,198 @@
+"""Profile exporters: collapsed stacks, Chrome trace, attribution table.
+
+Every exporter is a pure, deterministic function of the recorded spans
+and samples — fold the same state, get the same bytes — so profiles
+merged across ``chunked_map`` workers export identically for any worker
+count, the same invariance contract the span tree already honours.
+
+* :func:`to_collapsed` — the collapsed-stack ("folded") format consumed
+  by ``flamegraph.pl``, speedscope, and the Firefox Profiler: one line
+  per distinct stack, frames ``;``-joined root-first, sample count last.
+  Samples tagged with a span get a synthetic ``span:<name>`` root frame
+  so the flamegraph groups by span.
+* :func:`to_chrome_trace` — Chrome ``trace_event`` JSON (load in
+  ``chrome://tracing`` or https://ui.perfetto.dev): spans become ``X``
+  complete events on their process track, samples become ``i`` instant
+  events.
+* :func:`render_attribution` — the per-span self/cumulative table
+  (``self_s`` from :func:`~repro.obs.trace.aggregate_spans`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..trace import aggregate_spans
+
+
+def collapse_samples(samples: Iterable[dict], *,
+                     by_span: bool = True) -> Dict[str, int]:
+    """Fold samples into ``{";"-joined stack: count}`` (deterministic)."""
+    folded: Dict[str, int] = {}
+    for sample in samples:
+        stack = list(sample.get("stack") or ())
+        if not stack:
+            continue
+        if by_span and sample.get("span"):
+            stack.insert(0, f"span:{sample['span']}")
+        key = ";".join(stack)
+        folded[key] = folded.get(key, 0) + 1
+    return folded
+
+
+def to_collapsed(samples: Iterable[dict], *, by_span: bool = True) -> str:
+    """Collapsed-stack text: ``frame;frame;frame count`` per line."""
+    folded = collapse_samples(samples, by_span=by_span)
+    if not folded:
+        return ""
+    return "\n".join(
+        f"{stack} {count}" for stack, count in sorted(folded.items())
+    ) + "\n"
+
+
+def to_chrome_trace(spans: Sequence[dict], samples: Sequence[dict] = (),
+                    *, origin_unix: Optional[float] = None) -> dict:
+    """Chrome ``trace_event`` document of spans (+ optional samples).
+
+    Timestamps are microseconds relative to ``origin_unix`` (default:
+    the earliest span start / sample time), so the viewer opens at t=0.
+    Exception-unwound spans export like any other, with the exception
+    class under ``args.error``.
+    """
+    times = [rec["t0_unix"] for rec in spans]
+    times += [s["t_unix"] for s in samples if s.get("t_unix") is not None]
+    t0 = origin_unix if origin_unix is not None else min(times, default=0.0)
+    events: List[dict] = []
+    for rec in spans:
+        args = {
+            "span_id": rec.get("span_id"),
+            "parent_id": rec.get("parent_id"),
+        }
+        args.update(rec.get("attrs") or {})
+        if rec.get("error"):
+            args["error"] = rec["error"]
+        events.append({
+            "name": rec["name"],
+            "cat": "span",
+            "ph": "X",
+            "ts": round((rec["t0_unix"] - t0) * 1e6, 1),
+            "dur": round(rec["duration_s"] * 1e6, 1),
+            "pid": rec.get("pid", 0),
+            "tid": rec.get("pid", 0),
+            "args": args,
+        })
+    for sample in samples:
+        if sample.get("t_unix") is None or not sample.get("stack"):
+            continue
+        events.append({
+            "name": sample["stack"][-1],
+            "cat": "sample",
+            "ph": "i",
+            "s": "t",
+            "ts": round((sample["t_unix"] - t0) * 1e6, 1),
+            "pid": sample.get("pid") or 0,
+            "tid": sample.get("pid") or 0,
+            "args": {"span": sample.get("span"),
+                     "span_id": sample.get("span_id")},
+        })
+    events.sort(key=lambda e: (e["ts"], e["name"]))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_attribution(spans: Sequence[dict], *, top: int = 20) -> str:
+    """The self/cumulative span table, slowest cumulative first."""
+    aggs = aggregate_spans(spans)
+    lines = [
+        f"  {'span':<26} {'count':>7} {'cum s':>10} {'self s':>10} "
+        f"{'mean s':>10} {'max s':>10}"
+    ]
+    for agg in aggs[:top]:
+        lines.append(
+            f"  {agg['name']:<26} {agg['count']:>7} "
+            f"{agg['total_s']:>10.4f} {agg['self_s']:>10.4f} "
+            f"{agg['mean_s']:>10.4f} {agg['max_s']:>10.4f}"
+        )
+    if len(aggs) > top:
+        lines.append(f"  ... and {len(aggs) - top} more span names")
+    return "\n".join(lines)
+
+
+def render_hot_stacks(samples: Sequence[dict], *, top: int = 5) -> str:
+    """The most-sampled stacks, leaf-highlighted, count-descending."""
+    folded = collapse_samples(samples)
+    total = sum(folded.values())
+    if not total:
+        return "  (no samples recorded)"
+    lines = []
+    ranked = sorted(folded.items(), key=lambda kv: (-kv[1], kv[0]))
+    for stack, count in ranked[:top]:
+        frames = stack.split(";")
+        lines.append(
+            f"  {count:>6} ({100.0 * count / total:5.1f} %)  "
+            f"{frames[-1]}  [{' > '.join(frames[:3])} > ...]"
+        )
+    return "\n".join(lines)
+
+
+def render_memory_sites(sites: Sequence[dict], *, top: int = 10) -> str:
+    """Top allocation sites recorded by the memory hooks."""
+    if not sites:
+        return "  (memory profiling off or no sites recorded)"
+    ranked = sorted(sites, key=lambda s: (-s["kb"], s["site"]))[:top]
+    return "\n".join(
+        f"  {site['kb']:>10.1f} KiB {site['count']:>8} blocks  {site['site']}"
+        for site in ranked
+    )
+
+
+def profile_timings(spans: Sequence[dict]) -> Dict[str, float]:
+    """Per-span-name total wall time in ms, keyed ``span.<name>_ms``.
+
+    The scalar trajectory appended to ``benchmarks/BENCH_history.jsonl``
+    (via ``bench_history.py --append``), so span-level regressions show
+    up in the same drift trail as the microbenchmarks.
+    """
+    return {
+        f"span.{agg['name']}_ms": round(agg["total_s"] * 1e3, 3)
+        for agg in aggregate_spans(spans)
+    }
+
+
+def write_profile_artifacts(
+    out_dir,
+    *,
+    spans: Sequence[dict],
+    profiler=None,
+    command: str = "",
+) -> Dict[str, Path]:
+    """Write ``profile.collapsed`` + ``trace.json`` + ``profile_timings.json``.
+
+    Returns the artifact paths.  The timings file is the
+    ``bench_history.py --append`` input: ``{"timings": {...}}`` plus the
+    sample accounting for context.
+    """
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    samples = profiler.samples if profiler is not None else []
+    paths = {}
+    collapsed = out / "profile.collapsed"
+    collapsed.write_text(to_collapsed(samples))
+    paths["collapsed"] = collapsed
+    trace_path = out / "trace.json"
+    trace_path.write_text(
+        json.dumps(to_chrome_trace(spans, samples)) + "\n"
+    )
+    paths["chrome_trace"] = trace_path
+    timings_path = out / "profile_timings.json"
+    timings_path.write_text(json.dumps({
+        "command": command,
+        "sample_count": (
+            profiler.sample_count if profiler is not None else 0
+        ),
+        "samples_dropped": profiler.dropped if profiler is not None else 0,
+        "timings": profile_timings(spans),
+    }, indent=2, sort_keys=True) + "\n")
+    paths["timings"] = timings_path
+    return paths

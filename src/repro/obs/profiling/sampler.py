@@ -1,0 +1,295 @@
+"""Span-linked profilers: sampling stacks, exact functions, memory.
+
+Three instruments, all stdlib-only, all observational (nothing here can
+change a pipeline output bit):
+
+* :class:`SamplingProfiler` — a wall-clock stack sampler.  A daemon
+  thread wakes every ``interval_s``, grabs the profiled thread's frame
+  via ``sys._current_frames()``, and records the stack root-first
+  together with the tracer's innermost active span at that instant, so
+  every sample is attributable to a span (``span:experiment.table5;...``
+  in the flamegraph).  Accounting is in **sample counts**: every sample
+  has weight 1 and every aggregation is a deterministic function of the
+  recorded sample list, which is what makes merged profiles
+  worker-count invariant the same way spans are — worker payloads fold
+  back in chunk order via :meth:`SamplingProfiler.absorb_state`.
+* :class:`ExactProfiler` — a :mod:`cProfile` wrapper for exact
+  per-function call counts and self/cumulative times.  Deterministic
+  profiling traps every call/return, so it is opt-in
+  (``repro obs profile --exact``) and never runs in workers.
+* :class:`MemoryHooks` — :mod:`tracemalloc`-based per-span memory
+  accounting, installed as the tracer's span hooks: each finished span
+  gains ``mem_net_kb`` (exact net allocation delta) and ``mem_peak_kb``
+  (high-water mark since span entry) attributes, and profiler stop
+  captures the top allocation sites of the whole profiled window.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+import sys
+import threading
+import time
+import tracemalloc
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from ..trace import Tracer
+
+#: Stack depth cap: recursion beyond this keeps the leafmost frames and
+#: marks the root side ``<truncated>``.
+DEFAULT_MAX_DEPTH = 128
+
+
+def frame_label(frame) -> str:
+    """Compact, space-free frame name for collapsed-stack lines."""
+    code = frame.f_code
+    return f"{Path(code.co_filename).stem}.{code.co_name}"
+
+
+class SamplingProfiler:
+    """Samples the profiled thread's stack, tagged with the active span.
+
+    ``start()`` captures the calling thread as the profiling target and
+    launches the sampler thread; ``sample_once()`` takes one sample
+    synchronously and is the deterministic driver the tests (and any
+    code that wants exact sample placement) use.  The recorded state is
+    bounded: at most ``max_samples`` samples are kept, the rest are
+    counted in ``dropped`` while ``sample_count`` keeps the exact total.
+    """
+
+    def __init__(
+        self,
+        *,
+        tracer: Optional[Tracer] = None,
+        interval_s: float = 0.005,
+        memory: bool = False,
+        max_samples: int = 200_000,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ) -> None:
+        self.tracer = tracer
+        self.interval_s = float(interval_s)
+        self.memory = bool(memory)
+        self.max_samples = int(max_samples)
+        self.max_depth = int(max_depth)
+        self.samples: List[dict] = []
+        self.sample_count = 0
+        self.dropped = 0
+        self.memory_sites: List[dict] = []
+        self._target_ident: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+        self._stop_event = threading.Event()
+        self._mem = MemoryHooks() if memory else None
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling the calling thread; idempotent."""
+        if self._thread is not None:
+            return self
+        self._target_ident = threading.get_ident()
+        if self._mem is not None:
+            self._mem.install(self.tracer)
+        self._stop_event.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _run(self) -> None:
+        while not self._stop_event.wait(self.interval_s):
+            self.sample_once()
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop the sampler thread and seal memory stats; idempotent."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._stop_event.set()
+            thread.join(timeout=5.0)
+        if self._mem is not None and self._mem.installed:
+            self._mem.uninstall(self.tracer)
+            self.memory_sites = list(self._mem.sites)
+        return self
+
+    # -- sampling -----------------------------------------------------------------
+
+    def sample_once(self, *, t_unix: Optional[float] = None) -> Optional[dict]:
+        """Take one sample of the target thread now (or the caller's).
+
+        Called from the sampler thread this captures the target's
+        in-flight stack; called from the profiled thread itself (the
+        deterministic test driver) it captures the caller's stack with
+        this function's own frame pruned.
+        """
+        ident = (
+            self._target_ident
+            if self._target_ident is not None
+            else threading.get_ident()
+        )
+        frame = sys._current_frames().get(ident)
+        if frame is None:
+            return None
+        if ident == threading.get_ident():
+            frame = frame.f_back
+        stack = self._stack_of(frame)
+        if not stack:
+            return None
+        self.sample_count += 1
+        if len(self.samples) >= self.max_samples:
+            self.dropped += 1
+            return None
+        tracer = self.tracer
+        sample = {
+            "t_unix": time.time() if t_unix is None else t_unix,
+            "pid": tracer.pid if tracer is not None else None,
+            "stack": stack,
+            "span": tracer.active_span_name if tracer is not None else None,
+            "span_id": tracer.active_span_id if tracer is not None else None,
+        }
+        self.samples.append(sample)
+        return sample
+
+    def _stack_of(self, frame) -> List[str]:
+        labels: List[str] = []
+        depth = 0
+        while frame is not None and depth < self.max_depth:
+            labels.append(frame_label(frame))
+            frame = frame.f_back
+            depth += 1
+        if frame is not None:
+            labels.append("<truncated>")
+        labels.reverse()
+        return labels
+
+    # -- cross-process merge ------------------------------------------------------
+
+    def export_config(self) -> dict:
+        """Picklable constructor kwargs for a worker-side profiler."""
+        return {
+            "interval_s": self.interval_s,
+            "max_samples": self.max_samples,
+            "max_depth": self.max_depth,
+        }
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot shipped from workers back to the parent."""
+        return {
+            "samples": self.samples,
+            "sample_count": self.sample_count,
+            "dropped": self.dropped,
+            "memory_sites": self.memory_sites,
+        }
+
+    def absorb_state(self, state: dict) -> None:
+        """Fold a worker's :meth:`state_dict` in (chunk order = call order)."""
+        incoming = state.get("samples", [])
+        room = max(0, self.max_samples - len(self.samples))
+        self.samples.extend(incoming[:room])
+        self.dropped += state.get("dropped", 0) + max(0, len(incoming) - room)
+        self.sample_count += state.get("sample_count", len(incoming))
+        self.memory_sites.extend(state.get("memory_sites", []))
+
+
+class ExactProfiler:
+    """Exact per-function profile via the deterministic :mod:`cProfile`.
+
+    Complements the sampler: where sampling answers "which stacks is
+    wall time under" statistically, this traps every call/return for
+    exact call counts and self/cumulative times per function — at
+    deterministic-profiling overhead, so results measure *relative* cost
+    and the sampler stays the honest wall-clock instrument.
+    """
+
+    def __init__(self) -> None:
+        self._profile = cProfile.Profile()
+        self._running = False
+
+    def start(self) -> "ExactProfiler":
+        if not self._running:
+            self._profile.enable()
+            self._running = True
+        return self
+
+    def stop(self) -> "ExactProfiler":
+        if self._running:
+            self._profile.disable()
+            self._running = False
+        return self
+
+    def function_table(self, *, top: int = 20) -> List[dict]:
+        """Rows of ``{function, ncalls, self_s, cum_s}``, self-time first."""
+        stats = pstats.Stats(self._profile)
+        rows = []
+        for (filename, _lineno, name), entry in stats.stats.items():
+            _cc, ncalls, tottime, cumtime, _callers = entry
+            rows.append({
+                "function": f"{Path(filename).stem}.{name}",
+                "ncalls": ncalls,
+                "self_s": tottime,
+                "cum_s": cumtime,
+            })
+        rows.sort(key=lambda r: (-r["self_s"], r["function"]))
+        return rows[:top]
+
+
+class MemoryHooks:
+    """Per-span tracemalloc deltas + run-level top allocation sites.
+
+    Installed via :meth:`Tracer.set_hooks` while memory profiling is on.
+    Span entry records the currently traced bytes and resets the peak
+    counter; span exit stamps ``mem_net_kb`` (exact) and ``mem_peak_kb``
+    (high-water mark since the *innermost* entry — nested spans each
+    reset the shared peak counter, so a parent's peak covers the stretch
+    since its last child entered; exact nets always add up) into the
+    span attributes, where they land in the finished record and the
+    manifest.
+    """
+
+    def __init__(self, *, top: int = 10) -> None:
+        self.top = top
+        self.sites: List[dict] = []
+        self.installed = False
+        self._open: Dict[str, int] = {}
+        self._started_tracing = False
+
+    def install(self, tracer: Optional[Tracer]) -> None:
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracing = True
+        if tracer is not None:
+            tracer.set_hooks(self)
+        self.installed = True
+
+    def uninstall(self, tracer: Optional[Tracer]) -> None:
+        if tracer is not None:
+            tracer.set_hooks(None)
+        if tracemalloc.is_tracing():
+            stats = tracemalloc.take_snapshot().statistics("lineno")
+            self.sites = [
+                {
+                    "site": str(stat.traceback),
+                    "kb": round(stat.size / 1024.0, 1),
+                    "count": stat.count,
+                }
+                for stat in stats[: self.top]
+            ]
+            if self._started_tracing:
+                tracemalloc.stop()
+        self.installed = False
+
+    # -- tracer hook protocol -----------------------------------------------------
+
+    def on_enter(self, span) -> None:
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.reset_peak()
+        self._open[span.span_id] = current
+
+    def on_exit(self, span) -> None:
+        base = self._open.pop(span.span_id, None)
+        if base is None:
+            return
+        current, peak = tracemalloc.get_traced_memory()
+        span.attrs["mem_net_kb"] = round((current - base) / 1024.0, 1)
+        span.attrs["mem_peak_kb"] = round(max(0, peak - base) / 1024.0, 1)

@@ -13,10 +13,14 @@ hot paths is written against this module's tiny contract:
   so colder call sites can instrument unconditionally.
 
 ``enable()`` installs a fresh :class:`~repro.obs.metrics.MetricsRegistry`
-plus :class:`~repro.obs.trace.Tracer`; ``disable()`` removes them.  The
-cross-process helpers (:func:`export_context`, :func:`run_traced`,
-:func:`absorb`) are what :func:`repro.parallel.chunked_map` uses to
-carry spans and metrics across worker processes.
+plus :class:`~repro.obs.trace.Tracer`; ``disable()`` removes them (and
+stops any attached profiler).  :func:`start_profiling` /
+:func:`stop_profiling` attach the span-linked sampling profiler
+(:mod:`repro.obs.profiling`) on top.  The cross-process helpers
+(:func:`export_context`, :func:`run_traced`, :func:`absorb`) are what
+:func:`repro.parallel.chunked_map` uses to carry spans, metrics, and
+profile samples across worker processes — all folded back in chunk
+order, so every collected artifact is worker-count invariant.
 """
 
 from __future__ import annotations
@@ -28,13 +32,16 @@ from .trace import _CURRENT, NOOP_SPAN, Tracer
 
 
 class ObsState:
-    """The enabled-observability bundle: one registry + one tracer."""
+    """The enabled bundle: one registry + one tracer (+ one profiler)."""
 
-    __slots__ = ("registry", "tracer")
+    __slots__ = ("registry", "tracer", "profiler")
 
     def __init__(self, registry: MetricsRegistry, tracer: Tracer) -> None:
         self.registry = registry
         self.tracer = tracer
+        #: Optional :class:`repro.obs.profiling.SamplingProfiler`,
+        #: attached by :func:`start_profiling`.
+        self.profiler = None
 
 
 _STATE: Optional[ObsState] = None
@@ -54,7 +61,44 @@ def enable(*, root_parent: Optional[str] = None,
 def disable() -> None:
     """Turn observability off (instrumentation reverts to no-ops)."""
     global _STATE
+    st = _STATE
+    if st is not None and st.profiler is not None:
+        st.profiler.stop()
     _STATE = None
+
+
+def start_profiling(*, interval_s: float = 0.005,
+                    memory: bool = False):
+    """Attach a span-linked sampling profiler to the live state.
+
+    Enables observability first if needed (the profiler tags samples
+    with the tracer's active span, so a tracer must exist).  Idempotent:
+    a second call returns the already-running profiler.  With
+    ``memory=True``, :mod:`tracemalloc` span hooks stamp per-span
+    ``mem_net_kb``/``mem_peak_kb`` attributes and the top allocation
+    sites are captured at stop.
+    """
+    st = _STATE if _STATE is not None else enable()
+    if st.profiler is not None:
+        return st.profiler
+    from .profiling import SamplingProfiler
+
+    st.profiler = SamplingProfiler(
+        tracer=st.tracer, interval_s=interval_s, memory=memory,
+    ).start()
+    return st.profiler
+
+
+def stop_profiling():
+    """Stop the attached profiler (if any) and return it, still attached.
+
+    The profiler stays on the state so artifact writers can read its
+    samples until :func:`disable` tears everything down.
+    """
+    st = _STATE
+    if st is None or st.profiler is None:
+        return None
+    return st.profiler.stop()
 
 
 def enabled() -> bool:
@@ -100,7 +144,10 @@ def export_context() -> Optional[dict]:
     st = _STATE
     if st is None:
         return None
-    return {"parent_span_id": st.tracer.current_id()}
+    context: dict = {"parent_span_id": st.tracer.current_id()}
+    if st.profiler is not None:
+        context["profile"] = st.profiler.export_config()
+    return context
 
 
 def run_traced(fn, args: Sequence, context: dict,
@@ -114,6 +161,13 @@ def run_traced(fn, args: Sequence, context: dict,
     on the way out so pooled workers start clean on their next task.
     """
     st = enable(root_parent=context.get("parent_span_id"))
+    profile_config = context.get("profile")
+    if profile_config is not None:
+        from .profiling import SamplingProfiler
+
+        st.profiler = SamplingProfiler(
+            tracer=st.tracer, **profile_config
+        ).start()
     # Forked pool workers inherit the parent's context variables; clear
     # the current-span slot so parentage comes from the exported context.
     token = _CURRENT.set(None)
@@ -125,6 +179,8 @@ def run_traced(fn, args: Sequence, context: dict,
             "spans": st.tracer.finished,
             "dropped": st.tracer.dropped,
         }
+        if st.profiler is not None:
+            payload["profile"] = st.profiler.stop().state_dict()
     finally:
         _CURRENT.reset(token)
         disable()
@@ -138,3 +194,6 @@ def absorb(payload: Optional[dict]) -> None:
         return
     st.registry.merge_state(payload["metrics"])
     st.tracer.absorb(payload["spans"], payload.get("dropped", 0))
+    profile_state = payload.get("profile")
+    if profile_state is not None and st.profiler is not None:
+        st.profiler.absorb_state(profile_state)

@@ -11,19 +11,38 @@ Cross-process propagation mirrors :func:`repro.parallel.chunked_map`'s
 merge contract: the parent exports its current span id, each worker
 starts a fresh :class:`Tracer` rooted at that id, and the worker's
 finished spans are grafted back into the parent's list — one trace tree
-spanning every process.
+spanning every process.  :meth:`Tracer.absorb` is guarded against
+double-grafting: every batch is fingerprinted and absorbing the same
+batch twice raises, mirroring the non-aliasing contract of
+``merge_cubes``.
+
+The tracer also publishes its *innermost active span* as two plain
+attributes (``active_span_id`` / ``active_span_name``) on every span
+enter/exit.  Unlike the contextvar (which is per-execution-context and
+invisible to other threads), the attributes are readable from a sampling
+thread — which is exactly what the span-linked profiler
+(:mod:`repro.obs.profiling`) does to tag each stack sample with the span
+it landed in.
 """
 
 from __future__ import annotations
 
+import itertools
 import os
 import time
 from contextvars import ContextVar
 from typing import Any, Dict, List, Optional
 
+from ..errors import ObservabilityError
+
 #: Current span id of this execution context (None = at the root).
 _CURRENT: ContextVar[Optional[str]] = ContextVar("repro_obs_span",
                                                  default=None)
+
+#: Per-process tracer instance counter.  Pooled worker processes build a
+#: fresh Tracer for every task; without an instance component two tasks
+#: run by the same worker would restart the id sequence and collide.
+_TRACER_EPOCH = itertools.count(1)
 
 
 class NoopSpan:
@@ -48,7 +67,7 @@ class Span:
     """One live span; appends its record to the tracer on exit."""
 
     __slots__ = ("_tracer", "name", "attrs", "span_id", "parent_id",
-                 "t0_unix", "_t0", "_token")
+                 "t0_unix", "_t0", "_token", "_prev_active")
 
     def __init__(self, tracer: "Tracer", name: str,
                  attrs: Optional[dict]) -> None:
@@ -64,23 +83,33 @@ class Span:
         return self
 
     def __enter__(self) -> "Span":
+        tracer = self._tracer
         current = _CURRENT.get()
         self.parent_id = (
-            current if current is not None else self._tracer.root_parent
+            current if current is not None else tracer.root_parent
         )
         self._token = _CURRENT.set(self.span_id)
+        self._prev_active = (tracer.active_span_id, tracer.active_span_name)
+        tracer.active_span_id = self.span_id
+        tracer.active_span_name = self.name
+        if tracer._hooks is not None:
+            tracer._hooks.on_enter(self)
         self.t0_unix = time.time()
         self._t0 = time.perf_counter()
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
         duration_s = time.perf_counter() - self._t0
+        tracer = self._tracer
+        if tracer._hooks is not None:
+            tracer._hooks.on_exit(self)
+        tracer.active_span_id, tracer.active_span_name = self._prev_active
         _CURRENT.reset(self._token)
-        self._tracer._record({
+        tracer._record({
             "name": self.name,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
-            "pid": self._tracer.pid,
+            "pid": tracer.pid,
             "t0_unix": self.t0_unix,
             "duration_s": duration_s,
             "attrs": self.attrs,
@@ -100,10 +129,17 @@ class Tracer:
         self.finished: List[Dict[str, Any]] = []
         self.dropped = 0
         self._seq = 0
+        self._epoch = next(_TRACER_EPOCH)
+        self._absorbed: set = set()
+        #: Innermost live span of the *last* thread to enter/exit one —
+        #: thread-visible (unlike the contextvar) for the profiler.
+        self.active_span_id: Optional[str] = None
+        self.active_span_name: Optional[str] = None
+        self._hooks = None
 
     def _next_id(self) -> str:
         self._seq += 1
-        return f"{self.pid:x}-{self._seq:x}"
+        return f"{self.pid:x}-{self._epoch:x}-{self._seq:x}"
 
     def span(self, name: str, **attrs) -> Span:
         return Span(self, name, attrs)
@@ -113,6 +149,16 @@ class Tracer:
         current = _CURRENT.get()
         return current if current is not None else self.root_parent
 
+    def set_hooks(self, hooks) -> None:
+        """Install (or clear, with ``None``) span enter/exit callbacks.
+
+        ``hooks`` exposes ``on_enter(span)`` / ``on_exit(span)``; the
+        exit callback runs before the record is appended, so it may
+        stamp attributes (the memory profiler's ``mem_*_kb``) that land
+        in the finished record.
+        """
+        self._hooks = hooks
+
     def _record(self, record: Dict[str, Any]) -> None:
         if len(self.finished) >= self.max_spans:
             self.dropped += 1
@@ -120,7 +166,24 @@ class Tracer:
         self.finished.append(record)
 
     def absorb(self, spans: List[Dict[str, Any]], dropped: int = 0) -> None:
-        """Graft a worker's finished spans into this tracer."""
+        """Graft a worker's finished spans into this tracer — once.
+
+        Each batch is fingerprinted by its first/last span ids and
+        length (span ids are unique per process *and* per tracer
+        instance, so two batches never share a fingerprint); absorbing
+        the same batch a second time raises
+        :class:`~repro.errors.ObservabilityError` instead of silently
+        double-counting every span, mirroring the non-aliasing contract
+        of ``merge_cubes``.
+        """
+        if spans:
+            key = (spans[0]["span_id"], spans[-1]["span_id"], len(spans))
+            if key in self._absorbed:
+                raise ObservabilityError(
+                    f"span batch {key[0]}..{key[1]} ({key[2]} spans) was "
+                    "already absorbed; worker payloads fold in exactly once"
+                )
+            self._absorbed.add(key)
         self.dropped += dropped
         room = self.max_spans - len(self.finished)
         if room <= 0:
@@ -131,17 +194,35 @@ class Tracer:
 
 
 def aggregate_spans(spans: List[Dict[str, Any]]) -> List[Dict[str, Any]]:
-    """Per-name rollup: count, total/mean/max duration, sorted slowest-first."""
+    """Per-name rollup: count, total/self/mean/max, sorted slowest-first.
+
+    ``total_s`` is cumulative (wall time under the span); ``self_s`` is
+    exclusive — the span's duration minus the summed durations of its
+    *direct* children, clamped at zero (children that ran concurrently
+    in worker processes can overlap more of the parent's wall time than
+    the parent spent).  Records without a ``span_id`` (hand-built
+    rollups) count their full duration as self time.
+    """
+    child_s: Dict[str, float] = {}
+    for record in spans:
+        parent = record.get("parent_id")
+        if parent is not None:
+            child_s[parent] = child_s.get(parent, 0.0) + record["duration_s"]
     rollup: Dict[str, Dict[str, Any]] = {}
     for record in spans:
         agg = rollup.setdefault(
             record["name"],
             {"name": record["name"], "count": 0, "total_s": 0.0,
-             "max_s": 0.0},
+             "self_s": 0.0, "max_s": 0.0},
         )
         agg["count"] += 1
         agg["total_s"] += record["duration_s"]
         agg["max_s"] = max(agg["max_s"], record["duration_s"])
+        own = record["duration_s"]
+        span_id = record.get("span_id")
+        if span_id is not None:
+            own = max(0.0, own - child_s.get(span_id, 0.0))
+        agg["self_s"] += own
     for agg in rollup.values():
         agg["mean_s"] = agg["total_s"] / agg["count"]
     return sorted(rollup.values(), key=lambda a: a["total_s"], reverse=True)

@@ -62,9 +62,10 @@ def chunked_map(
 
     With observability enabled (:mod:`repro.obs`), every chunk runs under
     a ``parallel.task`` span; worker processes collect their own spans
-    and metrics and the parent merges them back in chunk order, so the
-    trace tree and counters are worker-count invariant too.  Disabled
-    (the default), the submission path is exactly the plain one.
+    and metrics — and, when profiling is on, their own stack samples —
+    and the parent merges them back in chunk order, so the trace tree,
+    the counters, and the folded profile are worker-count invariant too.
+    Disabled (the default), the submission path is exactly the plain one.
     """
     if workers <= 1:
         if _obs.enabled():

@@ -189,14 +189,17 @@ class StreamEngine:
         """Absorb one arrival chunk; fold any windows it sealed.
 
         Returns the number of windows folded by this call.  With
-        observability on, the call is traced (``stream.ingest``) and the
-        live ingest counters are mirrored into the metrics registry.
+        observability on, the call is traced (``stream.ingest``, one
+        ``stream.fold_window`` child per sealed window — the unit the
+        perf budgets meter) and the live ingest counters are mirrored
+        into the metrics registry.
         """
         with _obs.span("stream.ingest"):
             self.chunks_in += 1
             windows = self.buffer.push(chunk)
             for window in windows:
-                self.accumulator.update(window)
+                with _obs.span("stream.fold_window"):
+                    self.accumulator.update(window)
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)
@@ -209,7 +212,8 @@ class StreamEngine:
         with _obs.span("stream.drain"):
             windows = self.buffer.flush()
             for window in windows:
-                self.accumulator.update(window)
+                with _obs.span("stream.fold_window"):
+                    self.accumulator.update(window)
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)

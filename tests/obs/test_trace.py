@@ -6,6 +6,7 @@ import pickle
 
 import pytest
 
+from repro.errors import ObservabilityError
 from repro.obs import runtime
 from repro.obs.trace import NOOP_SPAN, Tracer, aggregate_spans
 from repro.parallel import chunked_map
@@ -77,6 +78,44 @@ class TestTracer:
                 pass
         tracer.absorb(worker.finished, worker.dropped)
         assert len(tracer.finished) == 3
+        assert tracer.dropped == 2
+
+    def test_absorbing_the_same_batch_twice_raises(self):
+        tracer = Tracer()
+        worker = Tracer()
+        with worker.span("remote"):
+            pass
+        tracer.absorb(worker.finished)
+        with pytest.raises(ObservabilityError, match="already absorbed"):
+            tracer.absorb(worker.finished)
+        # The guard rejects the duplicate before any double-counting.
+        assert len(tracer.finished) == 1
+
+    def test_distinct_batches_from_one_pooled_worker_absorb_fine(self):
+        # A pooled worker process builds a fresh Tracer per task: same
+        # pid, distinct tracer epochs, so single-span batches must not
+        # collide in the fingerprint set.
+        parent = Tracer()
+        for _ in range(2):
+            task_tracer = Tracer()
+            with task_tracer.span("parallel.task"):
+                pass
+            parent.absorb(task_tracer.finished)
+        assert len(parent.finished) == 2
+
+    def test_span_ids_are_unique_across_tracer_instances(self):
+        ids = set()
+        for _ in range(3):
+            tracer = Tracer()
+            with tracer.span("op"):
+                pass
+            ids.add(tracer.finished[0]["span_id"])
+        assert len(ids) == 3
+
+    def test_absorbing_empty_batches_is_always_allowed(self):
+        tracer = Tracer()
+        tracer.absorb([], 0)
+        tracer.absorb([], 2)
         assert tracer.dropped == 2
 
 
@@ -162,3 +201,35 @@ class TestAggregate:
         assert a["total_s"] == pytest.approx(0.4)
         assert a["mean_s"] == pytest.approx(0.2)
         assert a["max_s"] == pytest.approx(0.3)
+
+    def test_self_time_excludes_direct_children(self):
+        spans = [
+            {"name": "child", "span_id": "c1", "parent_id": "p",
+             "duration_s": 0.3},
+            {"name": "child", "span_id": "c2", "parent_id": "p",
+             "duration_s": 0.2},
+            {"name": "parent", "span_id": "p", "parent_id": None,
+             "duration_s": 1.0},
+        ]
+        agg = {a["name"]: a for a in aggregate_spans(spans)}
+        assert agg["parent"]["self_s"] == pytest.approx(0.5)
+        # Leaves keep their full duration as self time.
+        assert agg["child"]["self_s"] == pytest.approx(0.5)
+
+    def test_self_time_clamps_when_parallel_children_overlap(self):
+        # Children that ran concurrently in workers can sum to more
+        # wall time than the parent span itself spent.
+        spans = [
+            {"name": "task", "span_id": "t1", "parent_id": "p",
+             "duration_s": 0.8},
+            {"name": "task", "span_id": "t2", "parent_id": "p",
+             "duration_s": 0.9},
+            {"name": "driver", "span_id": "p", "parent_id": None,
+             "duration_s": 1.0},
+        ]
+        agg = {a["name"]: a for a in aggregate_spans(spans)}
+        assert agg["driver"]["self_s"] == 0.0
+
+    def test_records_without_span_id_count_duration_as_self(self):
+        spans = [{"name": "a", "duration_s": 0.1}]
+        assert aggregate_spans(spans)[0]["self_s"] == pytest.approx(0.1)
