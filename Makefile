@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench-quick bench-record bench bench-obs profile
+.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard profile
 
 # Tier-1 correctness suite.
 test:
@@ -14,15 +14,23 @@ lint:
 
 # Fast perf gate (CI): re-measures the batched-engine benchmark with few
 # rounds and fails on a >2x regression against benchmarks/BENCH_batch.json
-# or on the batched sweep dropping below its 10x speedup bar.  Every run
-# is appended to benchmarks/BENCH_history.jsonl; >20% drift against the
-# trailing median is printed as advisory DRIFT lines.
+# or on the batched sweep dropping below its 10x speedup bar, then runs
+# the sharded-campaign gate: live bitwise shard/pool invariance plus the
+# recorded >=3x 1->8 worker scaling bar in benchmarks/BENCH_shard.json.
+# Every run is appended to benchmarks/BENCH_history.jsonl; >20% drift
+# against the trailing median is printed as advisory DRIFT lines.
 bench-quick:
 	$(PYTHON) benchmarks/bench_batch.py --check --quick --history
+	$(PYTHON) benchmarks/bench_shard.py --check --quick --history
 
-# Full-rounds variant of the same gate.
+# Full-rounds variant of the same gates.
 bench:
 	$(PYTHON) benchmarks/bench_batch.py --check
+	$(PYTHON) benchmarks/bench_shard.py --check
+
+# Sharded-campaign scaling benchmark on its own (full rounds).
+bench-shard:
+	$(PYTHON) benchmarks/bench_shard.py --check
 
 # Observability no-op gate: with obs disabled, the instrumented hot
 # paths (GPUDevice.run_batch, ReorderBuffer.push) must stay under the
@@ -30,10 +38,11 @@ bench:
 bench-obs:
 	$(PYTHON) benchmarks/bench_batch.py --check --quick --overhead-only
 
-# Re-measure and rewrite the recorded baseline (run on the reference
+# Re-measure and rewrite the recorded baselines (run on the reference
 # machine after intentional perf changes).
 bench-record:
 	$(PYTHON) benchmarks/bench_batch.py --record
+	$(PYTHON) benchmarks/bench_shard.py --record
 
 # Span-linked profile of the table5 reference run: writes flamegraph
 # input (profile-artifacts/profile.collapsed), a Chrome trace, and the

@@ -73,6 +73,12 @@ def timings_from_results(results: dict) -> Dict[str, float]:
     ingest = results.get("stream_ingest")
     if ingest is not None:
         out["stream_ingest_ms"] = ingest["best_ms"]
+    # Drift tracking is one-sided (above-median = slower), so only the
+    # wall-clock scalar is tracked for the shard bench; the scaling
+    # factor has its own hard gate in bench_shard --check.
+    shard = results.get("shard_scaling")
+    if shard is not None:
+        out["shard_serial_ms"] = shard["serial_ms"]
     return out
 
 

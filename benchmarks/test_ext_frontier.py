@@ -1,0 +1,31 @@
+"""Bench: the Frontier node-count ladder through the sharded engine."""
+
+from conftest import run_once
+
+from repro import constants
+from repro.experiments import run
+
+
+def test_ext_frontier(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_frontier", bench_config)
+    print(result.text)
+
+    # The engine's contract: the cube is bitwise identical whether the
+    # base tier folds in 1 shard or 4.
+    assert result.data["invariant_1_vs_4_shards"] is True
+
+    # Every tier measured end to end accounted for all of its rows.
+    measured = result.data["measured"]
+    assert measured
+    for nodes, m in measured.items():
+        assert m["rows"] > 0
+        assert m["rows_per_s"] > 0
+
+    # The ladder tops out at the paper's fleet, and the full 91-day
+    # Frontier campaign is ~5e9 rows — hours of compute at the gated
+    # 8-worker scaling, not days.
+    ladder = result.data["ladder"]
+    frontier = ladder[constants.NUM_COMPUTE_NODES]
+    assert frontier["gcds"] == 75264
+    assert 4e9 < frontier["rows_91d"] < 6e9
+    assert frontier["workers8_s"] < 24 * 3600

@@ -108,6 +108,102 @@ def _build_parser() -> argparse.ArgumentParser:
         help="how many jobs to print, largest energy first (default 20)",
     )
 
+    campaign_p = sub.add_parser(
+        "campaign",
+        help=(
+            "run a full campaign sharded by node range across worker "
+            "processes; the merged cube is bitwise identical to the "
+            "single-process fold"
+        ),
+    )
+    campaign_p.add_argument(
+        "--nodes", type=int, default=96,
+        help="simulated fleet size (default 96; Frontier is 9408)",
+    )
+    campaign_p.add_argument(
+        "--days", type=float, default=4.0,
+        help="campaign length in days (default 4; the paper used 91)",
+    )
+    campaign_p.add_argument("--seed", type=int, default=0)
+    campaign_p.add_argument(
+        "--shards", type=int, default=1,
+        help="work partition: contiguous node-range shards (default 1)",
+    )
+    campaign_p.add_argument(
+        "--workers", type=int, default=0,
+        help=(
+            "process-pool width (<= 1 runs shards serially; the cube "
+            "is identical either way)"
+        ),
+    )
+    campaign_p.add_argument(
+        "--unit-nodes", type=int, default=8,
+        help=(
+            "nodes per fold unit — fixes the merge tree, so changing "
+            "it changes float rounding (default 8)"
+        ),
+    )
+    campaign_p.add_argument(
+        "--window-s", type=float, default=600.0,
+        help="event-time window (seconds, default 600)",
+    )
+    campaign_p.add_argument(
+        "--lateness-s", type=float, default=0.0,
+        help="allowed lateness behind the newest event (default 0 s)",
+    )
+    campaign_p.add_argument(
+        "--shuffle-s", type=float, default=0.0,
+        help=(
+            "deliver each unit's stream out of order within this "
+            "horizon (set --lateness-s at least as large)"
+        ),
+    )
+    campaign_p.add_argument(
+        "--dup-fraction", type=float, default=0.0,
+        help="inject this fraction of duplicate records per unit",
+    )
+    campaign_p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="write per-shard npz checkpoints (shard_<i>.npz) here",
+    )
+    campaign_p.add_argument(
+        "--resume", action="store_true",
+        help="resume completed fold units from --checkpoint-dir",
+    )
+    campaign_p.add_argument(
+        "--checkpoint-every", type=int, default=1, metavar="N",
+        help="checkpoint after every N completed units (default 1)",
+    )
+    campaign_p.add_argument(
+        "--max-units", type=int, default=None, metavar="N",
+        help=(
+            "stop each shard after N units (bounded partial run; "
+            "rerun with --resume to finish)"
+        ),
+    )
+    campaign_p.add_argument(
+        "--max-slowdown", type=float, default=5.0,
+        help="slowdown budget for the fleet cap advice (default 5 %%)",
+    )
+    campaign_p.add_argument(
+        "--campaign-energy-mwh", type=float, default=None,
+        help=(
+            "normalize MWh columns to this campaign total (default: "
+            "the paper's 16820)"
+        ),
+    )
+    campaign_p.add_argument(
+        "--obs", action="store_true",
+        help=(
+            "enable observability: per-unit spans and counters fold "
+            "back worker-count invariant, plus a run manifest"
+        ),
+    )
+    campaign_p.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="directory for manifest.json + metrics.prom (default 'obs')",
+    )
+
     stream_p = sub.add_parser(
         "stream",
         help=(
@@ -151,6 +247,18 @@ def _build_parser() -> argparse.ArgumentParser:
     stream_p.add_argument(
         "--dup-fraction", type=float, default=0.0,
         help="inject this fraction of duplicate records (with --shuffle)",
+    )
+    stream_p.add_argument(
+        "--shards", type=int, default=None, metavar="N",
+        help=(
+            "run the campaign sharded by node range instead of one "
+            "engine (shorthand for 'repro campaign --shards N'; only "
+            "simulated-fleet options apply)"
+        ),
+    )
+    stream_p.add_argument(
+        "--workers", type=int, default=0,
+        help="process-pool width for --shards (default serial)",
     )
     stream_p.add_argument(
         "--max-chunks", type=int, default=None,
@@ -454,7 +562,115 @@ def _write_health_state(monitor, obs_dir) -> None:
     print(f"health state written to {path}")
 
 
+def _run_campaign(
+    *, nodes, days, seed, shards, workers, unit_nodes, window_s,
+    lateness_s, shuffle_s, dup_fraction, checkpoint_dir, resume,
+    checkpoint_every, max_units, max_slowdown, campaign_energy_mwh,
+) -> int:
+    """Shared body of ``repro campaign`` and ``repro stream --shards``."""
+    from . import constants
+    from .stream.shard import ShardConfig, run_sharded_campaign
+
+    cfg = ShardConfig(
+        window_s=window_s,
+        lateness_s=lateness_s,
+        unit_nodes=unit_nodes,
+        checkpoint_every=checkpoint_every,
+        shuffle_s=shuffle_s,
+        dup_fraction=dup_fraction,
+    )
+    result = run_sharded_campaign(
+        fleet_nodes=nodes,
+        days=days,
+        seed=seed,
+        shards=shards,
+        workers=workers,
+        cfg=cfg,
+        checkpoint_dir=checkpoint_dir,
+        resume=resume,
+        max_units_per_shard=max_units,
+    )
+    campaign_mwh = (
+        campaign_energy_mwh
+        if campaign_energy_mwh is not None
+        else constants.CAMPAIGN_GPU_ENERGY_MWH
+    )
+    snap = result.snapshot(
+        max_slowdown_pct=max_slowdown, campaign_energy_mwh=campaign_mwh,
+    )
+    state = (
+        "complete"
+        if result.complete
+        else f"partial, {result.units_done}/{result.n_units} units"
+    )
+    print(f"===== sharded campaign ({state}) =====")
+    print(
+        f"{result.shards} shards of {result.unit_nodes}-node fold "
+        f"units ({result.n_units} units, {result.workers} workers): "
+        f"{result.stats.samples_folded:,} samples folded in "
+        f"{result.wall_s:.1f} s "
+        f"({result.samples_per_s / 1e6:.2f}M GPU-samples/s)"
+    )
+    if not result.complete and checkpoint_dir is not None:
+        print(f"rerun with --resume to continue from {checkpoint_dir}")
+    print(snap.render())
+    return 0
+
+
+def _campaign(args) -> int:
+    return _run_campaign(
+        nodes=args.nodes, days=args.days, seed=args.seed,
+        shards=args.shards, workers=args.workers,
+        unit_nodes=args.unit_nodes, window_s=args.window_s,
+        lateness_s=args.lateness_s, shuffle_s=args.shuffle_s,
+        dup_fraction=args.dup_fraction,
+        checkpoint_dir=args.checkpoint_dir, resume=args.resume,
+        checkpoint_every=args.checkpoint_every,
+        max_units=args.max_units, max_slowdown=args.max_slowdown,
+        campaign_energy_mwh=args.campaign_energy_mwh,
+    )
+
+
+def _stream_sharded(args) -> int:
+    """``repro stream --shards N``: delegate to the campaign engine."""
+    blocked = [
+        ("--from-file", args.from_file is not None),
+        ("--sacct", args.sacct is not None),
+        ("--max-chunks", args.max_chunks is not None),
+        ("--snapshot-every", bool(args.snapshot_every)),
+        ("--checkpoint", args.checkpoint is not None),
+        ("--resume", args.resume is not None),
+        ("--watch", args.watch),
+        ("--serve", args.serve is not None),
+        ("--rules", args.rules is not None),
+    ]
+    bad = [flag for flag, used in blocked if used]
+    if bad:
+        print(
+            f"--shards runs the sharded campaign engine over a "
+            f"simulated fleet; {', '.join(bad)} only applies to the "
+            f"single-engine stream (use 'repro campaign' for "
+            f"checkpointed sharded runs)",
+            file=sys.stderr,
+        )
+        return 2
+    return _run_campaign(
+        nodes=args.nodes, days=args.days, seed=args.seed,
+        shards=args.shards, workers=args.workers,
+        unit_nodes=8, window_s=args.window_s,
+        lateness_s=args.lateness_s,
+        shuffle_s=args.lateness_s if args.shuffle else 0.0,
+        dup_fraction=args.dup_fraction,
+        checkpoint_dir=None, resume=False, checkpoint_every=1,
+        max_units=None, max_slowdown=args.max_slowdown,
+        campaign_energy_mwh=args.campaign_energy_mwh,
+    )
+
+
 def _stream(args) -> int:
+    if args.shards is not None:
+        return _stream_sharded(args)
+
     from . import constants
     from .stream import (
         StreamEngine,
@@ -817,6 +1033,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         except (ReproError, OSError) as exc:
             print(f"advise FAILED: {exc}", file=sys.stderr)
             return 1
+
+    if args.command == "campaign":
+        from .obs import runtime as obs_runtime
+
+        if args.obs:
+            obs_runtime.enable()
+        wall0, cpu0 = time.perf_counter(), time.process_time()
+        try:
+            status = _campaign(args)
+        except (ReproError, OSError) as exc:
+            print(f"campaign FAILED: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if args.obs and obs_runtime.enabled():
+                _finish_obs(
+                    "repro campaign",
+                    {
+                        "nodes": args.nodes, "days": args.days,
+                        "seed": args.seed, "shards": args.shards,
+                        "workers": args.workers,
+                        "unit_nodes": args.unit_nodes,
+                        "window_s": args.window_s,
+                        "lateness_s": args.lateness_s,
+                        "shuffle_s": args.shuffle_s,
+                        "dup_fraction": args.dup_fraction,
+                    },
+                    [],
+                    args.obs_dir or "obs",
+                    wall0, cpu0,
+                )
+                obs_runtime.disable()
+        return status
 
     if args.command == "stream":
         from .obs import runtime as obs_runtime

@@ -195,6 +195,33 @@ class CampaignAccumulator:
             self._dom_of_job[jid] = d_index[job.domain]
             self._cls_of_job[jid] = c_index[job.size_class]
 
+    def clone_empty(self) -> "CampaignAccumulator":
+        """A zero-state accumulator sharing this one's lookup tables.
+
+        Building the job-id -> (domain, class) tables walks every job in
+        the log, so callers that fold many independent sub-campaigns
+        against the same log (the sharded engine folds one accumulator
+        per fold unit) clone a template instead of re-deriving them.
+        The axes and tables are shared by reference — they are never
+        mutated after construction.
+        """
+        new = object.__new__(CampaignAccumulator)
+        new.log = self.log
+        new.interval_s = self.interval_s
+        new.domains = self.domains
+        new.classes = self.classes
+        new.energy_j = np.zeros_like(self.energy_j)
+        new.gpu_hours = np.zeros_like(self.gpu_hours)
+        new.histogram = StreamingHistogram()
+        new.domain_histograms = {
+            name: StreamingHistogram() for name in self.domains
+        }
+        new.cpu_energy_j = 0.0
+        new.n_chunks = 0
+        new._dom_of_job = self._dom_of_job
+        new._cls_of_job = self._cls_of_job
+        return new
+
     def update(self, chunk: TelemetryChunk) -> None:
         """Fold one chunk into the running campaign state.
 

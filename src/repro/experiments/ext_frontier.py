@@ -1,0 +1,173 @@
+"""Extension: three months of Frontier through the sharded engine.
+
+The paper's campaign is 9,408 nodes observed for 91 days — about five
+billion aggregated telemetry rows.  The single-process experiments top
+out around 16-96 nodes, so this experiment scales the *same* synthetic
+campaign up a node-count ladder (96 -> 9,408 nodes) through the sharded
+campaign engine (:mod:`repro.stream.shard`):
+
+1. **invariance** — at the base tier, the sharded cube must be bitwise
+   identical whether folded in 1 shard or 4 (the engine's contract);
+2. **measured tiers** — a short slice (~1 h of event time) of each
+   tier up to ``MEASURE_MAX_NODES`` runs end to end (generation +
+   reorder + fold + merge) to measure sustained row throughput;
+3. **the Frontier ladder** — every tier's full 91-day campaign is
+   sized in rows and costed in wall-clock from the measured
+   throughput, serially and at the 8-worker scaling the shard
+   benchmark gates (``benchmarks/bench_shard.py``).
+
+The point is operational: with per-shard checkpoints and worker
+processes, "three months of Frontier" is hours of compute, not a
+wall of unreachable memory — the gateway the ROADMAP's scale items
+build on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants
+from ..stream.shard import ShardConfig, run_sharded_campaign
+from .registry import ExperimentConfig, ExperimentResult
+
+#: The Frontier node-count ladder (the paper's fleet is the top rung).
+TIERS = (96, 588, 1176, 4704, constants.NUM_COMPUTE_NODES)
+
+#: Tiers at or below this size are measured end to end; larger tiers
+#: are costed from the largest measured tier's sustained throughput.
+MEASURE_MAX_NODES = 1176
+
+#: Event-time slice used for the measured runs (days).  ~1.2 h: long
+#: enough to amortize per-unit setup, short enough for CI.
+MEASURE_DAYS = 0.05
+
+#: Shard width used for the measured runs.
+MEASURE_SHARDS = 8
+
+#: The scaling factor the shard benchmark gates at 8 workers.
+GATED_SCALING_8W = 3.0
+
+
+def _cubes_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.energy_j, b.energy_j)
+        and np.array_equal(a.gpu_hours, b.gpu_hours)
+        and np.array_equal(a.histogram.counts, b.histogram.counts)
+        and np.array_equal(
+            a.histogram.weight_sums, b.histogram.weight_sums
+        )
+        and a.cpu_energy_j == b.cpu_energy_j
+    )
+
+
+def campaign_rows(nodes: int, days: float) -> int:
+    """Aggregated telemetry rows (node-ticks) of a campaign."""
+    return nodes * int(np.floor(days * 86400.0 / constants.TELEMETRY_INTERVAL_S))
+
+
+def run(config: ExperimentConfig) -> ExperimentResult:
+    cfg = ShardConfig()
+    base_nodes = min(config.fleet_nodes, 96)
+
+    # 1. Invariance at the base tier: 1 shard vs 4 shards, bitwise.
+    inv_days = min(config.days, 0.25)
+    one = run_sharded_campaign(
+        fleet_nodes=base_nodes, days=inv_days, seed=config.seed,
+        shards=1, cfg=cfg,
+    )
+    four = run_sharded_campaign(
+        fleet_nodes=base_nodes, days=inv_days, seed=config.seed,
+        shards=4, cfg=cfg,
+    )
+    invariant = _cubes_equal(one.cube, four.cube)
+
+    # 2. Measured tiers: a short slice of each, end to end.
+    measured = {}
+    for nodes in TIERS:
+        if nodes > MEASURE_MAX_NODES:
+            continue
+        r = run_sharded_campaign(
+            fleet_nodes=nodes, days=MEASURE_DAYS, seed=config.seed,
+            shards=MEASURE_SHARDS, cfg=cfg,
+        )
+        measured[nodes] = {
+            "rows": r.stats.samples_folded,
+            "wall_s": r.wall_s,
+            "rows_per_s": r.stats.samples_folded / r.wall_s,
+            "n_units": r.n_units,
+            "shards": r.shards,
+        }
+    ref_nodes = max(measured)
+    rows_per_s = measured[ref_nodes]["rows_per_s"]
+
+    # 3. The 91-day ladder, costed from the measured throughput.
+    days = float(constants.CAMPAIGN_DAYS)
+    lines = [
+        f"sharded campaign engine on the Frontier ladder "
+        f"(fold units of {cfg.unit_nodes} nodes, "
+        f"window {cfg.window_s:.0f} s):",
+        "",
+        f"shard-count invariance at {base_nodes} nodes x {inv_days:g} "
+        f"days: 1 shard vs 4 shards bitwise identical = {invariant}",
+        "",
+        f"measured ({MEASURE_DAYS * 24:.1f} h slices, "
+        f"{MEASURE_SHARDS} shards, serial fold):",
+        f"{'nodes':>7} {'rows':>12} {'wall (s)':>9} {'rows/s':>11}",
+    ]
+    for nodes, m in measured.items():
+        lines.append(
+            f"{nodes:>7} {m['rows']:>12,} {m['wall_s']:>9.2f} "
+            f"{m['rows_per_s']:>11,.0f}"
+        )
+    lines += [
+        "",
+        f"projected 91-day campaigns at the measured "
+        f"{rows_per_s:,.0f} rows/s (8-worker column assumes the "
+        f">= {GATED_SCALING_8W:g}x scaling gated by bench_shard):",
+        f"{'nodes':>7} {'GCDs':>7} {'rows (91 d)':>14} "
+        f"{'serial':>10} {'8 workers':>10}",
+    ]
+    ladder = {}
+    for nodes in TIERS:
+        rows = campaign_rows(nodes, days)
+        serial_s = rows / rows_per_s
+        scaled_s = serial_s / GATED_SCALING_8W
+        ladder[nodes] = {
+            "gcds": nodes * constants.GCDS_PER_NODE,
+            "rows_91d": rows,
+            "serial_s": serial_s,
+            "workers8_s": scaled_s,
+            "measured": nodes in measured,
+        }
+        tag = "*" if nodes in measured else " "
+        lines.append(
+            f"{nodes:>7} {ladder[nodes]['gcds']:>7,} {rows:>14,} "
+            f"{serial_s / 3600:>9.1f}h {scaled_s / 3600:>9.1f}h{tag}"
+        )
+    lines += [
+        "  (* throughput measured at this tier)",
+        "",
+        f"three months of Frontier "
+        f"({constants.NUM_COMPUTE_NODES:,} nodes, "
+        f"{ladder[constants.NUM_COMPUTE_NODES]['rows_91d']:,} rows) "
+        f"folds in "
+        f"~{ladder[constants.NUM_COMPUTE_NODES]['workers8_s'] / 3600:.1f} h "
+        f"at 8 workers, checkpointed per shard — the full-scale "
+        f"campaign is compute-bound, not memory-bound: resident state "
+        f"stays at one fold unit per worker "
+        f"(peak {measured[ref_nodes]['rows'] // measured[ref_nodes]['n_units']:,} "
+        f"rows) plus O(bins) cube state.",
+    ]
+    data = {
+        "invariant_1_vs_4_shards": invariant,
+        "measured": measured,
+        "ladder": ladder,
+        "rows_per_s": rows_per_s,
+        "unit_nodes": cfg.unit_nodes,
+    }
+    return ExperimentResult(
+        exp_id="ext_frontier",
+        title="",
+        text="\n".join(lines),
+        data=data,
+    )

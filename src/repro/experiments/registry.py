@@ -107,6 +107,8 @@ _TABLE: Dict[str, tuple] = {
                         "repro.experiments.ext_sensitivity", "run"),
     "ext_stream": ("Streaming ingestion vs the batch pipeline",
                    "repro.experiments.ext_stream", "run"),
+    "ext_frontier": ("Three months of Frontier via the sharded engine",
+                     "repro.experiments.ext_frontier", "run"),
 }
 
 EXPERIMENT_IDS = tuple(_TABLE)

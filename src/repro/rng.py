@@ -47,6 +47,18 @@ def spawn(rng: RngLike, n: int) -> Sequence[np.random.Generator]:
     return [np.random.default_rng(child) for child in seed_seq.spawn(n)]
 
 
+def substream(base: RngLike, *path: object) -> np.random.Generator:
+    """A deterministic generator addressed by identity path.
+
+    ``substream(seed, "node", 17)`` always yields the same stream for
+    the same ``(seed, path)``, independent of how many other substreams
+    exist or which process asks — the property the sharded campaign
+    engine (:mod:`repro.stream.shard`) relies on to make telemetry
+    shard-count invariant.  Thin sugar over :func:`derive_seed`.
+    """
+    return np.random.default_rng(derive_seed(base, *path))
+
+
 def derive_seed(base: RngLike, *components: object) -> int:
     """Derive a stable 63-bit seed from a base seed and hashable components.
 

@@ -15,7 +15,11 @@ This subsystem turns the batch reproduction into that serving shape:
   windows through the batch pipeline's own
   :class:`~repro.core.join.CampaignAccumulator` and serves live
   Table IV/V/VI snapshots plus fleet cap advice from O(bins) state;
-* :mod:`repro.stream.checkpoint` — npz checkpoint/resume mid-stream.
+* :mod:`repro.stream.checkpoint` — npz checkpoint/resume mid-stream;
+* :mod:`repro.stream.shard`      — the sharded campaign engine: the
+  whole generate/reorder/fold pipeline partitioned by node range
+  across worker processes, merged into a campaign cube bitwise
+  identical to the single-process fold, with per-shard checkpoints.
 
 Equivalence contract: once the stream drains, the engine's cube is
 bitwise-identical to :func:`repro.core.join_campaign` over the
@@ -29,6 +33,13 @@ CLI: ``python -m repro stream`` runs a source to completion (or for
 from .buffer import DEFAULT_WINDOW_S, ReorderBuffer
 from .checkpoint import load_checkpoint, save_checkpoint
 from .engine import IngestStats, StreamEngine, StreamSnapshot
+from .shard import (
+    ShardConfig,
+    ShardedCampaign,
+    plan_shards,
+    plan_units,
+    run_sharded_campaign,
+)
 from .sources import (
     canonical_windows,
     file_source,
@@ -46,6 +57,11 @@ __all__ = [
     "IngestStats",
     "StreamEngine",
     "StreamSnapshot",
+    "ShardConfig",
+    "ShardedCampaign",
+    "plan_shards",
+    "plan_units",
+    "run_sharded_campaign",
     "canonical_windows",
     "file_source",
     "perturb",

@@ -25,6 +25,18 @@ Semantics
   sensor-cadence samples (the paper's 2 s feed) and mean-aggregates
   each sealed window onto the 15 s analysis grid with the same
   floor-window rule as :func:`repro.telemetry.sampler.aggregate_sensor_trace`.
+
+Layout
+------
+
+Resident samples live as a *list of arrival chunks* that is only
+consolidated into contiguous columns when a watermark advance seals
+windows.  Pushing is therefore O(chunk) amortized — the previous
+layout re-concatenated every resident column on every arrival, which
+made a quiet stream (no seals) quadratic in the reorder horizon.  An
+in-order arrival chunk is retained by reference (no copy at all); the
+consolidation at seal time re-copies each resident sample once per
+seal, and seals are paced by the watermark, not by arrivals.
 """
 
 from __future__ import annotations
@@ -74,7 +86,10 @@ class ReorderBuffer:
         self.lateness_s = lateness_s
         self.aggregate = aggregate
 
-        self._cols = _empty_like_columns()
+        #: Pending arrival chunks (column dicts), consolidated lazily at
+        #: seal time; ``_n_resident`` tracks the total row count.
+        self._pending: List[Dict[str, np.ndarray]] = []
+        self._n_resident = 0
         self._next_seq = 0
         self.max_event_time_s = float("-inf")
         self.sealed_until_s = 0.0
@@ -91,7 +106,7 @@ class ReorderBuffer:
     @property
     def resident_samples(self) -> int:
         """Samples currently buffered (not yet sealed)."""
-        return len(self._cols["time"])
+        return self._n_resident
 
     @property
     def watermark_s(self) -> float:
@@ -146,30 +161,41 @@ class ReorderBuffer:
     def _push_impl(self, chunk: TelemetryChunk) -> List[TelemetryChunk]:
         """Uninstrumented body of :meth:`push` (the timed hot path)."""
         t = np.asarray(chunk.time_s, dtype=np.float64)
-        self.samples_in += len(t)
+        n = len(t)
+        self.samples_in += n
         keep = t >= self.sealed_until_s
-        n_late = int(len(t) - keep.sum())
-        if n_late:
-            self.late_dropped += n_late
-        if keep.any():
-            c = self._cols
-            n_new = int(keep.sum())
+        n_new = int(keep.sum())
+        if n_new < n:
+            self.late_dropped += n - n_new
+        if n_new:
             seq = np.arange(
                 self._next_seq, self._next_seq + n_new, dtype=np.int64
             )
             self._next_seq += n_new
-            self._cols = {
-                "time": np.concatenate([c["time"], t[keep]]),
-                "node": np.concatenate([c["node"], chunk.node_id[keep]]),
-                "gpu": np.concatenate([c["gpu"], chunk.gpu_power_w[keep]]),
-                "cpu": np.concatenate([c["cpu"], chunk.cpu_power_w[keep]]),
-                "seq": np.concatenate([c["seq"], seq]),
-            }
-        if len(t):
+            if n_new == n:
+                # Nothing late: retain the arrival columns by reference.
+                cols = {
+                    "time": t,
+                    "node": chunk.node_id,
+                    "gpu": chunk.gpu_power_w,
+                    "cpu": chunk.cpu_power_w,
+                    "seq": seq,
+                }
+            else:
+                cols = {
+                    "time": t[keep],
+                    "node": chunk.node_id[keep],
+                    "gpu": chunk.gpu_power_w[keep],
+                    "cpu": chunk.cpu_power_w[keep],
+                    "seq": seq,
+                }
+            self._pending.append(cols)
+            self._n_resident += n_new
+        if n:
             self.max_event_time_s = max(
                 self.max_event_time_s, float(t.max())
             )
-        self.peak_resident = max(self.peak_resident, self.resident_samples)
+        self.peak_resident = max(self.peak_resident, self._n_resident)
 
         wm = self.watermark_s
         if wm == float("-inf"):
@@ -181,29 +207,53 @@ class ReorderBuffer:
 
     def flush(self) -> List[TelemetryChunk]:
         """Seal every remaining window (end of stream)."""
-        if self.resident_samples == 0:
+        if self._n_resident == 0:
             self.sealed_until_s = float("inf")
             return []
-        end = float(self._cols["time"].max()) + self.window_s
+        end = max(
+            float(p["time"].max()) for p in self._pending
+        ) + self.window_s
         out = self._emit(end)
         self.sealed_until_s = float("inf")
         return out
 
     # -- sealing ------------------------------------------------------------------
 
+    def _consolidate(self) -> Dict[str, np.ndarray]:
+        """All pending chunks as one contiguous column dict (arrival order)."""
+        if not self._pending:
+            return _empty_like_columns()
+        if len(self._pending) == 1:
+            return self._pending[0]
+        cols = {
+            key: np.concatenate([p[key] for p in self._pending])
+            for key in self._pending[0]
+        }
+        self._pending = [cols]
+        return cols
+
     def _emit(self, until_s: float) -> List[TelemetryChunk]:
         """Release all windows below ``until_s`` in canonical form."""
-        c = self._cols
+        c = self._consolidate()
         take = c["time"] < until_s
         self.sealed_until_s = until_s
         if not take.any():
             return []
-        time = c["time"][take]
-        node = c["node"][take]
-        gpu = c["gpu"][take]
-        cpu = c["cpu"][take]
-        seq = c["seq"][take]
-        self._cols = {k: v[~take] for k, v in c.items()}
+        if take.all():
+            time, node, gpu, cpu, seq = (
+                c["time"], c["node"], c["gpu"], c["cpu"], c["seq"],
+            )
+            self._pending = []
+            self._n_resident = 0
+        else:
+            time = c["time"][take]
+            node = c["node"][take]
+            gpu = c["gpu"][take]
+            cpu = c["cpu"][take]
+            seq = c["seq"][take]
+            rest = ~take
+            self._pending = [{k: v[rest] for k, v in c.items()}]
+            self._n_resident = int(rest.sum())
 
         # Canonical order: (time, node), first arrival first among ties.
         order = np.lexsort((seq, node, time))
@@ -228,15 +278,27 @@ class ReorderBuffer:
                 time, node, gpu, cpu
             )
 
-        # Split into event-time windows (consecutive in sorted order).
-        widx = np.floor(time / self.window_s).astype(np.int64)
-        cuts = np.flatnonzero(widx[1:] != widx[:-1]) + 1
+        # Split into event-time windows: one searchsorted over the
+        # precomputed window boundaries (the rows are already in
+        # canonical time order), instead of a floor-divide over every
+        # sample.  Boundary semantics match the old per-row floor rule:
+        # a sample at exactly ``k * window_s`` opens window ``k``.
+        w_first = int(np.floor(time[0] / self.window_s))
+        w_last = int(np.floor(time[-1] / self.window_s))
+        if w_last > w_first:
+            bounds = np.arange(w_first + 1, w_last + 1) * self.window_s
+            cuts = np.searchsorted(time, bounds, side="left")
+        else:
+            cuts = np.empty(0, dtype=np.int64)
         out: List[TelemetryChunk] = []
         for lo, hi in zip(
             np.concatenate([[0], cuts]),
             np.concatenate([cuts, [len(time)]]),
         ):
             lo, hi = int(lo), int(hi)
+            if hi == lo:
+                # A whole window with no samples (fleet gap): no chunk.
+                continue
             out.append(
                 TelemetryChunk(
                     time_s=time[lo:hi],
@@ -299,12 +361,13 @@ class ReorderBuffer:
 
     def state_arrays(self) -> Dict[str, np.ndarray]:
         """Columnar form of the buffer state for npz persistence."""
+        cols = self._consolidate()
         return {
-            "buf_time": self._cols["time"],
-            "buf_node": self._cols["node"],
-            "buf_gpu": self._cols["gpu"],
-            "buf_cpu": self._cols["cpu"],
-            "buf_seq": self._cols["seq"],
+            "buf_time": np.asarray(cols["time"], dtype=np.float64),
+            "buf_node": np.asarray(cols["node"], dtype=np.int32),
+            "buf_gpu": np.asarray(cols["gpu"], dtype=np.float32),
+            "buf_cpu": np.asarray(cols["cpu"], dtype=np.float32),
+            "buf_seq": np.asarray(cols["seq"], dtype=np.int64),
             "buf_config": np.array(
                 [
                     self.interval_s,
@@ -342,13 +405,15 @@ class ReorderBuffer:
         self.window_s = window
         self.lateness_s = lateness
         self.aggregate = bool(aggregate)
-        self._cols = {
+        cols = {
             "time": np.array(arrays["buf_time"], dtype=np.float64),
             "node": np.array(arrays["buf_node"], dtype=np.int32),
             "gpu": np.array(arrays["buf_gpu"], dtype=np.float32),
             "cpu": np.array(arrays["buf_cpu"], dtype=np.float32),
             "seq": np.array(arrays["buf_seq"], dtype=np.int64),
         }
+        self._pending = [cols] if len(cols["time"]) else []
+        self._n_resident = int(len(cols["time"]))
         clock = arrays["buf_clock"]
         self.max_event_time_s = float(clock[0])
         self.sealed_until_s = float(clock[1])

@@ -327,45 +327,66 @@ class StreamEngine:
         campaign_energy_mwh: Optional[float],
         max_slowdown_pct: float,
     ) -> StreamSnapshot:
-        cube = self.cube(copy=True)
-        stats = self.stats
-        if cube.total_gpu_hours == 0 or cube.total_energy_j <= 0:
-            return StreamSnapshot(
-                stats=stats, cube=cube, table4=None, table5=None,
-                table6=None, table6_domains=[], recommendation=None,
-            )
-        factors = (
-            factors if factors is not None else measured_factors("frequency")
-        )
-        table4 = decompose_modes(cube)
-        table5 = project_savings(
-            cube, factors, campaign_energy_mwh=campaign_energy_mwh
-        )
-        table6 = None
-        table6_domains: List[str] = []
-        try:
-            selected, table6_domains = table6_selection(cube, factors)
-            table6 = project_savings(
-                selected,
-                factors,
-                campaign_energy_mwh=campaign_energy_mwh,
-                reference_cube=cube,
-            )
-        except ProjectionError:
-            # A young stream may not show positive savings anywhere yet.
-            table6_domains = []
-        recommendation = recommend_fleet_cap(
-            cube,
-            factors,
+        return compute_snapshot(
+            self.cube(copy=True),
+            self.stats,
+            factors=factors,
+            campaign_energy_mwh=campaign_energy_mwh,
             max_slowdown_pct=max_slowdown_pct,
-            projection=table5,
         )
+
+
+def compute_snapshot(
+    cube: CampaignCube,
+    stats: IngestStats,
+    *,
+    factors: Optional[CapFactors] = None,
+    campaign_energy_mwh: Optional[float] = None,
+    max_slowdown_pct: float = 5.0,
+) -> StreamSnapshot:
+    """Derive a :class:`StreamSnapshot` from a cube + ingest stats.
+
+    The shared analytics tail of :meth:`StreamEngine.snapshot` and the
+    sharded campaign driver (:mod:`repro.stream.shard`): live Table
+    IV/V/VI plus fleet cap advice, all from O(bins) cube state.
+    """
+    if cube.total_gpu_hours == 0 or cube.total_energy_j <= 0:
         return StreamSnapshot(
-            stats=stats,
-            cube=cube,
-            table4=table4,
-            table5=table5,
-            table6=table6,
-            table6_domains=table6_domains,
-            recommendation=recommendation,
+            stats=stats, cube=cube, table4=None, table5=None,
+            table6=None, table6_domains=[], recommendation=None,
         )
+    factors = (
+        factors if factors is not None else measured_factors("frequency")
+    )
+    table4 = decompose_modes(cube)
+    table5 = project_savings(
+        cube, factors, campaign_energy_mwh=campaign_energy_mwh
+    )
+    table6 = None
+    table6_domains: List[str] = []
+    try:
+        selected, table6_domains = table6_selection(cube, factors)
+        table6 = project_savings(
+            selected,
+            factors,
+            campaign_energy_mwh=campaign_energy_mwh,
+            reference_cube=cube,
+        )
+    except ProjectionError:
+        # A young stream may not show positive savings anywhere yet.
+        table6_domains = []
+    recommendation = recommend_fleet_cap(
+        cube,
+        factors,
+        max_slowdown_pct=max_slowdown_pct,
+        projection=table5,
+    )
+    return StreamSnapshot(
+        stats=stats,
+        cube=cube,
+        table4=table4,
+        table5=table5,
+        table6=table6,
+        table6_domains=table6_domains,
+        recommendation=recommendation,
+    )

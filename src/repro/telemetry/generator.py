@@ -27,7 +27,7 @@ from .. import constants
 from ..errors import TelemetryError
 from ..gpu.specs import NodeSpec
 from ..parallel import partition
-from ..rng import derive_seed
+from ..rng import substream
 from ..scheduler.log import SchedulerLog
 from ..scheduler.workload import WorkloadMix
 from .profiles import PROFILES, PowerProfile
@@ -92,9 +92,10 @@ class FleetTelemetryGenerator:
         gpu_spec = self.node_spec.gpu
         noise = gpu_spec.sensor_noise_w / np.sqrt(_SAMPLES_PER_WINDOW)
 
-        idle_rng = np.random.default_rng(
-            derive_seed(self.seed, "idle", node_id)
-        )
+        # Per-node substream: the same (seed, node) path yields the
+        # same samples in any process, which is what keeps sharded
+        # generation bitwise identical to single-process generation.
+        idle_rng = substream(self.seed, "idle", node_id)
         gpu = np.full(
             (n, constants.GPUS_PER_NODE), gpu_spec.idle_w, dtype=np.float64
         )
@@ -109,8 +110,8 @@ class FleetTelemetryGenerator:
             hi = min(hi, n)
             if hi <= lo:
                 continue
-            rng = np.random.default_rng(
-                derive_seed(self.seed, "job", alloc.job_id, "node", node_id)
+            rng = substream(
+                self.seed, "job", alloc.job_id, "node", node_id
             )
             trace = profile.sample_trace(
                 hi - lo,
