@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard profile
+.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard bench-serve profile
 
 # Tier-1 correctness suite.
 test:
@@ -32,6 +32,12 @@ bench:
 bench-shard:
 	$(PYTHON) benchmarks/bench_shard.py --check
 
+# Control-plane load test: 200 concurrent pollers against a live
+# `repro serve` instance; gates zero errors, snapshot liveness, and the
+# recorded p50 < 1 ms / p99 < 5 ms SLOs in benchmarks/BENCH_serve.json.
+bench-serve:
+	$(PYTHON) benchmarks/bench_serve.py --check --history
+
 # Observability no-op gate: with obs disabled, the instrumented hot
 # paths (GPUDevice.run_batch, ReorderBuffer.push) must stay under the
 # 2 % overhead budget vs their raw implementations.
@@ -43,6 +49,7 @@ bench-obs:
 bench-record:
 	$(PYTHON) benchmarks/bench_batch.py --record
 	$(PYTHON) benchmarks/bench_shard.py --record
+	$(PYTHON) benchmarks/bench_serve.py --record
 
 # Span-linked profile of the table5 reference run: writes flamegraph
 # input (profile-artifacts/profile.collapsed), a Chrome trace, and the

@@ -79,6 +79,10 @@ def timings_from_results(results: dict) -> Dict[str, float]:
     shard = results.get("shard_scaling")
     if shard is not None:
         out["shard_serial_ms"] = shard["serial_ms"]
+    serve = results.get("serve_load")
+    if serve is not None:
+        out["serve_p50_ms"] = serve["p50_ms"]
+        out["serve_p99_ms"] = serve["p99_ms"]
     return out
 
 

@@ -1,0 +1,38 @@
+"""Bench: the closed-loop control plane banks energy within budget."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_controlplane(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_controlplane", bench_config)
+    print(result.text)
+
+    # Every live-vs-offline parity contract held.
+    assert all(result.data["checks"].values()), result.data["checks"]
+
+    # The closed loop banked real energy and stayed inside the budget.
+    assert result.data["capped_mwh"] <= result.data["uncapped_mwh"]
+    assert result.data["banked_mwh"] > 0
+    assert result.data["slowdown_pct"] <= result.data["budget_pct"]
+
+    # The published cap converged onto a real recommendation (the trail
+    # starts uncapped before the first windows seal, then settles).
+    assert result.data["final_cap"] is not None
+    assert result.data["trail"][0]["cap"] is None
+    assert result.data["trail"][-1]["cap"] == result.data["final_cap"]
+
+    # The objective menu orders as the models dictate: pure energy caps
+    # at least as low (aggressively) as EDP, which caps at least as low
+    # as the performance-leaning ED2P.
+    menu = result.data["objectives"]
+    caps = {
+        name: (menu[name]["cap"] if menu[name]["cap"] is not None
+               else float("inf"))
+        for name in menu
+    }
+    assert caps["energy"] <= caps["edp"] <= caps["ed2p"]
+    assert menu["slowdown"]["runtime_increase_pct"] <= (
+        result.data["budget_pct"]
+    )

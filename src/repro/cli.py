@@ -329,6 +329,106 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    from .serve.objectives import objective_names
+
+    serve_p = sub.add_parser(
+        "serve",
+        help=(
+            "run the closed-loop control plane: ingest telemetry, tag "
+            "it with job state, and serve live cap decisions over HTTP "
+            "(/v1/fleet/cap, /v1/jobs/{id}/cap, ...; see docs/serving.md)"
+        ),
+    )
+    serve_p.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    serve_p.add_argument(
+        "--port", type=int, default=9188,
+        help="listen port (default 9188; 0 picks an ephemeral port)",
+    )
+    serve_p.add_argument(
+        "--from-file", default=None, metavar="PATH",
+        help=(
+            "ingest telemetry from an .npz store or CSV file "
+            "(requires --sacct); default is an in-process simulated "
+            "fleet"
+        ),
+    )
+    serve_p.add_argument(
+        "--sacct", default=None,
+        help="sacct-style job log to join against (with --from-file)",
+    )
+    serve_p.add_argument(
+        "--nodes", type=int, default=32,
+        help="simulated fleet size (default 32)",
+    )
+    serve_p.add_argument(
+        "--days", type=float, default=1.0,
+        help="simulated campaign length in days (default 1)",
+    )
+    serve_p.add_argument("--seed", type=int, default=0)
+    serve_p.add_argument(
+        "--window-s", type=float, default=600.0,
+        help="event-time window (seconds, default 600)",
+    )
+    serve_p.add_argument(
+        "--lateness-s", type=float, default=120.0,
+        help="allowed lateness behind the newest event (default 120 s)",
+    )
+    serve_p.add_argument(
+        "--objective", default="slowdown", choices=objective_names(),
+        help="cap-decision objective (default slowdown)",
+    )
+    serve_p.add_argument(
+        "--max-slowdown", type=float, default=5.0,
+        help="slowdown budget, percent (default 5)",
+    )
+    serve_p.add_argument(
+        "--campaign-energy-mwh", type=float, default=None,
+        help=(
+            "normalize MWh columns to this campaign total (default: "
+            "the paper's 16820 for simulated fleets, raw for files)"
+        ),
+    )
+    serve_p.add_argument(
+        "--max-chunks", type=int, default=None,
+        help="stop ingest after N arrival chunks (no drain)",
+    )
+    serve_p.add_argument(
+        "--chunk-delay-s", type=float, default=0.0,
+        help="pace ingest: sleep this long between chunks (default 0)",
+    )
+    serve_p.add_argument(
+        "--exit-after-drain", action="store_true",
+        help=(
+            "exit once the source is drained instead of serving until "
+            "POST /v1/admin/shutdown"
+        ),
+    )
+    serve_p.add_argument(
+        "--rules", default=None, metavar="FILE",
+        help=(
+            "alert rules file (JSON, or TOML on python >= 3.11); "
+            "default: the shipped ruleset"
+        ),
+    )
+    serve_p.add_argument(
+        "--drift-ref", default="paper", metavar="REF",
+        help=(
+            "power-mode drift reference: 'paper' (Table IV), 'off', or "
+            "a JSON file with gpu_hours_pct (default paper)"
+        ),
+    )
+    serve_p.add_argument(
+        "--obs", action="store_true",
+        help="enable observability spans/counters and a run manifest",
+    )
+    serve_p.add_argument(
+        "--obs-dir", default=None, metavar="DIR",
+        help="directory for manifest.json + metrics.prom (default 'obs')",
+    )
+
     obs_p = sub.add_parser(
         "obs",
         help="inspect run manifests written by --obs",
@@ -796,6 +896,114 @@ def _stream(args) -> int:
     return 0
 
 
+def _serve(args) -> int:
+    """``repro serve``: the closed-loop control-plane service."""
+    from . import constants
+    from .obs.health import DriftReference, HealthMonitor, load_rules
+    from .serve import ControlPlane
+    from .stream import file_source, simulated_fleet
+
+    if args.from_file is not None:
+        if args.sacct is None:
+            print(
+                "--from-file needs --sacct for the scheduler log",
+                file=sys.stderr,
+            )
+            return 1
+        from .scheduler.sacct import read_sacct
+
+        log = read_sacct(args.sacct)
+        source = file_source(args.from_file)
+        campaign_mwh = args.campaign_energy_mwh
+    else:
+        log, source = simulated_fleet(
+            fleet_nodes=args.nodes, days=args.days, seed=args.seed
+        )
+        campaign_mwh = (
+            args.campaign_energy_mwh
+            if args.campaign_energy_mwh is not None
+            else constants.CAMPAIGN_GPU_ENERGY_MWH
+        )
+
+    rules = load_rules(args.rules) if args.rules else None
+    drift = args.drift_ref != "off"
+    if not drift:
+        reference = None
+    elif args.drift_ref == "paper":
+        reference = DriftReference.paper()
+    else:
+        reference = DriftReference.from_file(args.drift_ref)
+    monitor = HealthMonitor(rules, reference=reference, drift=drift)
+
+    plane = ControlPlane(
+        log,
+        objective=args.objective,
+        max_slowdown_pct=args.max_slowdown,
+        campaign_energy_mwh=campaign_mwh,
+        window_s=args.window_s,
+        lateness_s=args.lateness_s,
+        monitor=monitor,
+    )
+    server = plane.serve(host=args.host, port=args.port)
+    print(f"control plane serving on {server.url}")
+    print(
+        "endpoints: /v1/fleet/cap /v1/fleet/savings /v1/jobs "
+        "/v1/policy /metrics /health /alerts"
+    )
+    sys.stdout.flush()
+    try:
+        plane.run(
+            source,
+            max_chunks=args.max_chunks,
+            drain=args.max_chunks is None,
+            chunk_delay_s=args.chunk_delay_s,
+        )
+        if args.exit_after_drain:
+            plane.request_stop()
+        if not plane.stop_event.is_set():
+            print(
+                "ingest complete; serving until POST /v1/admin/shutdown "
+                "(or Ctrl-C)"
+            )
+            sys.stdout.flush()
+            plane.wait_until_stopped()
+    except KeyboardInterrupt:
+        plane.request_stop()
+    finally:
+        plane.close()
+
+    view = plane.cache.view
+    stats = plane.engine.stats
+    print("===== control plane shut down =====")
+    print(
+        f"published {view.version if view else 0} snapshots; "
+        f"{stats.samples_folded:,} samples folded into "
+        f"{stats.windows_folded} windows; "
+        f"{len(view.jobs.active_job_ids()) if view else 0} jobs seen"
+    )
+    if view is not None:
+        decision = view.decision
+        if decision.capped:
+            print(
+                f"final advice [{decision.objective}]: cap at "
+                f"{decision.cap:.0f} ({decision.knob}) -> "
+                f"{decision.savings_pct:.2f} % saving at "
+                f"{decision.runtime_increase_pct:.2f} % runtime increase"
+            )
+        else:
+            print(
+                f"final advice [{decision.objective}]: leave uncapped"
+            )
+    doc = monitor.to_health_dict()
+    print(
+        f"health: {doc['status']} ({doc['firing']} firing / "
+        f"{len(doc['rules'])} rules, {doc['evaluations']} evaluations)"
+    )
+    if args.obs or args.obs_dir:
+        _write_health_state(monitor, args.obs_dir or "obs")
+    return 0
+
+
 def _obs_alerts(args) -> int:
     import json
     from pathlib import Path
@@ -1089,6 +1297,35 @@ def main(argv: Optional[List[str]] = None) -> int:
                         "dup_fraction": args.dup_fraction,
                     },
                     [args.checkpoint] if args.checkpoint else [],
+                    args.obs_dir or "obs",
+                    wall0, cpu0,
+                )
+                obs_runtime.disable()
+        return status
+
+    if args.command == "serve":
+        from .obs import runtime as obs_runtime
+
+        if args.obs:
+            obs_runtime.enable()
+        wall0, cpu0 = time.perf_counter(), time.process_time()
+        try:
+            status = _serve(args)
+        except (ReproError, OSError) as exc:
+            print(f"serve FAILED: {exc}", file=sys.stderr)
+            return 1
+        finally:
+            if args.obs and obs_runtime.enabled():
+                _finish_obs(
+                    "repro serve",
+                    {
+                        "nodes": args.nodes, "days": args.days,
+                        "seed": args.seed, "window_s": args.window_s,
+                        "lateness_s": args.lateness_s,
+                        "objective": args.objective,
+                        "max_slowdown": args.max_slowdown,
+                    },
+                    [],
                     args.obs_dir or "obs",
                     wall0, cpu0,
                 )

@@ -53,3 +53,7 @@ class ObservabilityError(ReproError):
 
 class HealthError(ObservabilityError):
     """An alert rule, drift reference, or health endpoint is invalid."""
+
+
+class ServeError(ReproError):
+    """A control-plane request, objective, or server operation is invalid."""

@@ -109,6 +109,8 @@ _TABLE: Dict[str, tuple] = {
                    "repro.experiments.ext_stream", "run"),
     "ext_frontier": ("Three months of Frontier via the sharded engine",
                      "repro.experiments.ext_frontier", "run"),
+    "ext_controlplane": ("Closed-loop control plane banking energy live",
+                         "repro.experiments.ext_controlplane", "run"),
 }
 
 EXPERIMENT_IDS = tuple(_TABLE)

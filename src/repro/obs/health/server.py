@@ -11,68 +11,69 @@ views of the live observability state:
   ring (incident timeline).
 
 The server holds no state of its own — every request re-reads the
-registry/monitor — and shuts down cleanly: :class:`HealthServer` is a
-context manager whose exit joins the serving thread and closes the
-listening socket, so tests never leak ports.
+registry/monitor — and shuts down cleanly: the bind/serve/close
+lifecycle (ephemeral ``port=0``, idempotent start/close, context
+manager that joins the serving thread) lives in the shared
+:class:`repro.obs.httpd.HttpService` base, which the control-plane API
+(:mod:`repro.serve.http`) extends too — one implementation, identical
+shutdown semantics.
 """
 
 from __future__ import annotations
 
-import json
-import threading
-import urllib.error
-import urllib.request
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from http.server import ThreadingHTTPServer
+from typing import Optional, Tuple
 
 from ...errors import HealthError
+from ..httpd import HttpService, JsonRequestHandler
+from ..httpd import fetch_url as _fetch_url
 from ..metrics import MetricsRegistry
 from .monitor import HealthMonitor
 
 
-class _Handler(BaseHTTPRequestHandler):
-    # The exporter is machine-facing; request logging is noise.
-    def log_message(self, fmt, *args):  # noqa: ARG002
-        pass
+def render_health_endpoints(
+    handler: JsonRequestHandler,
+    path: str,
+    registry: MetricsRegistry,
+    monitor: Optional[HealthMonitor],
+) -> bool:
+    """Serve one of the shared observability endpoints, if ``path`` is one.
 
-    def _send(self, status: int, content_type: str, body: str) -> None:
-        payload = body.encode()
-        self.send_response(status)
-        self.send_header("Content-Type", content_type)
-        self.send_header("Content-Length", str(len(payload)))
-        self.end_headers()
-        self.wfile.write(payload)
-
-    def _send_json(self, status: int, doc: dict) -> None:
-        self._send(
-            status, "application/json",
-            json.dumps(doc, indent=2) + "\n",
+    Returns True when the path was handled.  Shared between the health
+    exporter and the control-plane server so one scrape covers ingest
+    and serving wherever the registry lives.
+    """
+    if path == "/metrics":
+        handler._send(
+            200, "text/plain; version=0.0.4", registry.to_prometheus()
         )
+    elif path == "/health":
+        if monitor is None:
+            handler._send_json(200, {"status": "ok", "rules": []})
+        else:
+            doc = monitor.to_health_dict()
+            status = 200 if doc["status"] == "ok" else 503
+            handler._send_json(status, doc)
+    elif path == "/alerts":
+        doc = (
+            monitor.to_alerts_dict()
+            if monitor is not None
+            else {"firing": [], "history": []}
+        )
+        handler._send_json(200, doc)
+    else:
+        return False
+    return True
 
+
+class _Handler(JsonRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         registry: MetricsRegistry = self.server.registry
         monitor: Optional[HealthMonitor] = self.server.monitor
         path = self.path.split("?", 1)[0].rstrip("/") or "/"
         try:
-            if path == "/metrics":
-                self._send(
-                    200, "text/plain; version=0.0.4",
-                    registry.to_prometheus(),
-                )
-            elif path == "/health":
-                if monitor is None:
-                    self._send_json(200, {"status": "ok", "rules": []})
-                else:
-                    doc = monitor.to_health_dict()
-                    status = 200 if doc["status"] == "ok" else 503
-                    self._send_json(status, doc)
-            elif path == "/alerts":
-                doc = (
-                    monitor.to_alerts_dict()
-                    if monitor is not None
-                    else {"firing": [], "history": []}
-                )
-                self._send_json(200, doc)
+            if render_health_endpoints(self, path, registry, monitor):
+                pass
             elif path == "/":
                 self._send(
                     200, "text/plain",
@@ -85,7 +86,7 @@ class _Handler(BaseHTTPRequestHandler):
             pass
 
 
-class HealthServer:
+class HealthServer(HttpService):
     """Serve a registry (and optionally a monitor) over local HTTP.
 
     ::
@@ -99,6 +100,10 @@ class HealthServer:
     is available as :attr:`port` after :meth:`start`.
     """
 
+    error_class = HealthError
+    handler_class = _Handler
+    service_name = "health exporter"
+
     def __init__(
         self,
         *,
@@ -107,79 +112,19 @@ class HealthServer:
         host: str = "127.0.0.1",
         port: int = 0,
     ) -> None:
+        super().__init__(host=host, port=port)
         if registry is None:
             registry = (
                 monitor.registry if monitor is not None else MetricsRegistry()
             )
         self.monitor = monitor
         self.registry = registry
-        self.host = host
-        self._requested_port = port
-        self._server: Optional[ThreadingHTTPServer] = None
-        self._thread: Optional[threading.Thread] = None
 
-    # -- lifecycle ----------------------------------------------------------------
-
-    def start(self) -> "HealthServer":
-        if self._server is not None:
-            return self
-        try:
-            server = ThreadingHTTPServer(
-                (self.host, self._requested_port), _Handler
-            )
-        except OSError as exc:
-            raise HealthError(
-                f"cannot bind health exporter on {self.host}:"
-                f"{self._requested_port}: {exc}"
-            ) from exc
-        server.daemon_threads = True
+    def _configure(self, server: ThreadingHTTPServer) -> None:
         server.registry = self.registry
         server.monitor = self.monitor
-        self._server = server
-        self._thread = threading.Thread(
-            target=server.serve_forever,
-            kwargs={"poll_interval": 0.05},
-            name="repro-health-exporter",
-            daemon=True,
-        )
-        self._thread.start()
-        return self
-
-    def close(self) -> None:
-        """Stop serving, join the thread, release the socket."""
-        server, thread = self._server, self._thread
-        self._server = self._thread = None
-        if server is not None:
-            server.shutdown()
-            server.server_close()
-        if thread is not None:
-            thread.join(timeout=5.0)
-
-    def __enter__(self) -> "HealthServer":
-        return self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.close()
-
-    # -- addressing ---------------------------------------------------------------
-
-    @property
-    def port(self) -> int:
-        if self._server is None:
-            raise HealthError("health exporter is not running")
-        return self._server.server_address[1]
-
-    @property
-    def url(self) -> str:
-        return f"http://{self.host}:{self.port}"
 
 
-def fetch_url(url: str, *, timeout_s: float = 5.0):
+def fetch_url(url: str, *, timeout_s: float = 5.0) -> Tuple[int, str]:
     """GET one endpoint; returns ``(status, body)`` without raising on 4xx/5xx."""
-    try:
-        with urllib.request.urlopen(url, timeout=timeout_s) as resp:
-            return resp.status, resp.read().decode()
-    except urllib.error.HTTPError as exc:
-        return exc.code, exc.read().decode()
-    except (urllib.error.URLError, OSError, TimeoutError) as exc:
-        raise HealthError(f"cannot reach {url}: {exc}") from exc
+    return _fetch_url(url, timeout_s=timeout_s, error_class=HealthError)

@@ -1,0 +1,201 @@
+"""Shared stdlib HTTP-service lifecycle.
+
+Both the health exporter (:mod:`repro.obs.health.server`) and the
+control-plane API (:mod:`repro.serve.http`) are the same machine: a
+``ThreadingHTTPServer`` bound once, served from a daemon thread, shut
+down by joining that thread and closing the listening socket.  Before
+this module each server carried its own copy of that lifecycle, and the
+copies could drift (port-0 resolution, double-close, bind-failure
+reporting).  :class:`HttpService` is the single implementation:
+
+* ``port=0`` binds an ephemeral port; :attr:`port` reads the *bound*
+  port back after :meth:`start`;
+* :meth:`start` is idempotent, bind failures raise the subclass's
+  :attr:`error_class` with a uniform message;
+* :meth:`close` is idempotent and safe from any thread: it stops the
+  accept loop, joins the serving thread, and releases the socket, so
+  tests never leak ports;
+* the context-manager form (``with service: ...``) guarantees the
+  close on every exit path.
+
+Subclasses provide a request handler class plus :meth:`_configure`,
+which attaches whatever state the handler reads onto the bound server
+object (the ``http.server`` idiom for passing state to handlers).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple, Type
+
+from ..errors import ObservabilityError
+
+
+class JsonRequestHandler(BaseHTTPRequestHandler):
+    """Request handler base: quiet logs, framed JSON/text responses.
+
+    ``protocol_version`` is HTTP/1.1 so keep-alive works — every
+    response therefore *must* carry an accurate ``Content-Length``,
+    which :meth:`_send` guarantees.
+    """
+
+    protocol_version = "HTTP/1.1"
+    # Status+headers+body leave in one segment (the base handler
+    # flushes per request): a buffered wfile plus TCP_NODELAY avoids
+    # the Nagle/delayed-ACK stall a two-segment response can hit —
+    # which would put a flat ~40 ms floor under the latency tail.
+    wbufsize = -1
+    disable_nagle_algorithm = True
+
+    # Machine-facing endpoints; request logging is noise.
+    def log_message(self, fmt, *args):  # noqa: ARG002
+        pass
+
+    def _send_bytes(
+        self, status: int, content_type: str, payload: bytes
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send(self, status: int, content_type: str, body: str) -> None:
+        self._send_bytes(status, content_type, body.encode())
+
+    def _send_json(self, status: int, doc: dict) -> None:
+        self._send(
+            status, "application/json",
+            json.dumps(doc, indent=2) + "\n",
+        )
+
+    def _read_json_body(self) -> dict:
+        """The request body as a JSON object ({} when absent/malformed)."""
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except (TypeError, ValueError):
+            length = 0
+        if length <= 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            doc = json.loads(raw.decode())
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            return {}
+        return doc if isinstance(doc, dict) else {}
+
+
+class HttpService:
+    """One ``ThreadingHTTPServer`` on a daemon thread, closed cleanly."""
+
+    #: Raised on bind failure and when :attr:`port` is read while down.
+    error_class: Type[Exception] = ObservabilityError
+    #: Handler class bound to the server (subclass responsibility).
+    handler_class: Type[BaseHTTPRequestHandler] = JsonRequestHandler
+    #: Human name used in error messages and the thread name.
+    service_name: str = "http service"
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.host = host
+        self._requested_port = port
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def _configure(self, server: ThreadingHTTPServer) -> None:
+        """Attach handler-visible state to the bound server object."""
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "HttpService":
+        if self._server is not None:
+            return self
+        try:
+            server = ThreadingHTTPServer(
+                (self.host, self._requested_port), self.handler_class
+            )
+        except OSError as exc:
+            raise self.error_class(
+                f"cannot bind {self.service_name} on {self.host}:"
+                f"{self._requested_port}: {exc}"
+            ) from exc
+        server.daemon_threads = True
+        self._configure(server)
+        self._server = server
+        self._thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name=f"repro-{self.service_name.replace(' ', '-')}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving, join the thread, release the socket."""
+        server, thread = self._server, self._thread
+        self._server = self._thread = None
+        if server is not None:
+            server.shutdown()
+            server.server_close()
+        if thread is not None and thread is not threading.current_thread():
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "HttpService":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def running(self) -> bool:
+        return self._server is not None
+
+    # -- addressing ---------------------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        if self._server is None:
+            raise self.error_class(f"{self.service_name} is not running")
+        return self._server.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+
+def fetch_url(
+    url: str, *, timeout_s: float = 5.0,
+    error_class: Type[Exception] = ObservabilityError,
+) -> Tuple[int, str]:
+    """GET one endpoint; returns ``(status, body)`` without raising on 4xx/5xx."""
+    try:
+        with urllib.request.urlopen(url, timeout=timeout_s) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise error_class(f"cannot reach {url}: {exc}") from exc
+
+
+def post_url(
+    url: str, doc: Optional[dict] = None, *, timeout_s: float = 5.0,
+    error_class: Type[Exception] = ObservabilityError,
+) -> Tuple[int, str]:
+    """POST a JSON body; returns ``(status, body)`` without raising on 4xx/5xx."""
+    payload = json.dumps(doc if doc is not None else {}).encode()
+    req = urllib.request.Request(
+        url, data=payload,
+        headers={"Content-Type": "application/json"},
+        method="POST",
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=timeout_s) as resp:
+            return resp.status, resp.read().decode()
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode()
+    except (urllib.error.URLError, OSError, TimeoutError) as exc:
+        raise error_class(f"cannot reach {url}: {exc}") from exc

@@ -1,0 +1,61 @@
+"""The closed-loop power-management control plane (the "product").
+
+The paper stops at *projected* savings; this package closes the loop
+live.  A :class:`~repro.serve.service.ControlPlane` ingests telemetry
+through the existing :class:`~repro.stream.engine.StreamEngine`, joins
+scheduler/job state so every per-GPU sample carries ``job_id`` /
+``user`` / ``partition`` (:mod:`~repro.serve.jobs`), maintains per-job
+and per-fleet energy analytics with cap decisions under a pluggable
+objective (:mod:`~repro.serve.objectives`, :mod:`~repro.serve.analytics`),
+and serves the answers over HTTP (:mod:`~repro.serve.http`) from a
+versioned read-through snapshot cache (:mod:`~repro.serve.cache`) —
+thousands of concurrent pollers get sub-millisecond answers from the
+last sealed window while ingest continues.
+
+Usage::
+
+    from repro.serve import ControlPlane
+
+    plane = ControlPlane(log)
+    with plane.serve(port=0) as server:
+        for chunk in source:
+            plane.ingest(chunk)     # pollers keep reading meanwhile
+        plane.drain()
+    # or from the CLI: ``repro serve``
+
+See ``docs/serving.md`` for the API reference and cache semantics.
+"""
+
+from .analytics import JobAccumulator, JobStats
+from .cache import ServeView, SnapshotCache
+from .http import ControlPlaneServer
+from .jobs import JobMeta, JobStateIndex
+from .objectives import (
+    OBJECTIVES,
+    CapDecision,
+    Objective,
+    decide_cap,
+    get_objective,
+    objective_names,
+    register_objective,
+)
+from .service import ControlPlane, PolicyState
+
+__all__ = [
+    "JobAccumulator",
+    "JobStats",
+    "ServeView",
+    "SnapshotCache",
+    "ControlPlaneServer",
+    "JobMeta",
+    "JobStateIndex",
+    "OBJECTIVES",
+    "CapDecision",
+    "Objective",
+    "decide_cap",
+    "get_objective",
+    "objective_names",
+    "register_objective",
+    "ControlPlane",
+    "PolicyState",
+]

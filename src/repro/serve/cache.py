@@ -1,0 +1,289 @@
+"""Versioned read-through snapshot cache for the control plane.
+
+Serving thousands of concurrent pollers must not contend with ingest.
+The contract here:
+
+* Ingest publishes an immutable :class:`ServeView` — a frozen copy of
+  everything the API answers from (fleet cube snapshot, per-job stats,
+  policy, cap decisions) — by **atomic reference swap** into
+  :class:`SnapshotCache`.  Readers grab the reference once per request
+  and never see a half-updated state: torn reads are impossible by
+  construction, not by locking.
+* Responses are **read-through cached as serialized bytes** on the
+  view: the first request for a route renders JSON (sorted keys,
+  deterministic float repr) and every later request for the same route
+  and view returns the identical byte string.  Hot fleet routes are
+  pre-rendered at publish, so the steady-state request path is one
+  attribute read and one dict lookup — the sub-millisecond budget in
+  ``benchmarks/bench_serve.py``.
+* Version numbers increase by one per publish; a response's ``version``
+  field tells a poller whether anything changed since its last poll.
+
+Bitwise stability per sealed window is asserted in ``tests/serve/``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+from ..stream.engine import StreamSnapshot
+from .analytics import JobStats
+from .jobs import JobStateIndex
+from .objectives import OBJECTIVES, CapDecision, decide_cap
+
+#: Routes rendered eagerly at publish time (the load-test hot path).
+HOT_ROUTES = ("fleet/cap", "fleet/savings", "policy", "jobs")
+
+
+def _finite(value: float) -> Optional[float]:
+    """JSON-safe float: non-finite sentinels become null."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def render_body(doc: dict) -> bytes:
+    """The canonical serialization: sorted keys, newline-terminated."""
+    return (json.dumps(doc, sort_keys=True, indent=2) + "\n").encode()
+
+
+class ServeView:
+    """One immutable published state of the control plane.
+
+    Everything a request might read hangs off this object; nothing on
+    it mutates after construction except the internal body cache, which
+    only ever gains entries whose content is a pure function of the
+    frozen state.
+    """
+
+    def __init__(
+        self,
+        *,
+        version: int,
+        policy: dict,
+        snap: StreamSnapshot,
+        jobs: JobStats,
+        index: JobStateIndex,
+        factors,
+        decision: CapDecision,
+        policy_version: int = 1,
+        published_wall_s: Optional[float] = None,
+    ) -> None:
+        self.version = version
+        self.policy = dict(policy)
+        self.snap = snap
+        self.jobs = jobs
+        self.index = index
+        self.factors = factors
+        self.decision = decision
+        self.policy_version = policy_version
+        self.published_wall_s = (
+            published_wall_s if published_wall_s is not None else time.time()
+        )
+        self.sealed_until_s = snap.stats.sealed_until_s
+        self.watermark_s = snap.stats.watermark_s
+        self._bodies: Dict[str, Tuple[int, bytes]] = {}
+        self._render_lock = threading.Lock()
+
+    # -- request path -------------------------------------------------------------
+
+    def body(self, route: str) -> Tuple[int, bytes]:
+        """(status, bytes) for one canonical route key, memoized."""
+        hit = self._bodies.get(route)
+        if hit is not None:
+            return hit
+        status, doc = self._build(route)
+        payload = render_body(doc)
+        if status == 200 and len(self._bodies) < 8192:
+            # Only successful bodies are memoized (404 routes are
+            # request-controlled and would grow the cache without
+            # bound); the size guard caps worst-case memory per view.
+            with self._render_lock:
+                self._bodies.setdefault(route, (status, payload))
+            return self._bodies[route]
+        return status, payload
+
+    def prerender(self) -> "ServeView":
+        for route in HOT_ROUTES:
+            self.body(route)
+        return self
+
+    # -- document builders --------------------------------------------------------
+
+    def _build(self, route: str) -> Tuple[int, dict]:
+        parts = route.split("?", 1)[0].split("/")
+        if route == "fleet/cap":
+            return 200, self._fleet_cap_doc()
+        if route == "fleet/savings":
+            return 200, self._fleet_savings_doc()
+        if route == "policy":
+            return 200, self._policy_doc()
+        if parts[0] == "jobs":
+            if len(parts) == 1:
+                return 200, self._jobs_doc(route)
+            try:
+                job_id = int(parts[1])
+            except ValueError:
+                return 404, {"error": f"bad job id {parts[1]!r}"}
+            if self.index.get(job_id) is None:
+                return 404, {"error": f"no job {job_id}"}
+            if len(parts) == 2:
+                return 200, self._job_doc(job_id)
+            if len(parts) == 3 and parts[2] == "cap":
+                return 200, self._job_cap_doc(job_id)
+            if len(parts) == 3 and parts[2] == "savings":
+                return 200, self._job_savings_doc(job_id)
+        return 404, {"error": f"no endpoint /v1/{route}"}
+
+    def _head(self) -> dict:
+        stats = self.snap.stats
+        return {
+            "version": self.version,
+            "sealed_until_s": _finite(self.sealed_until_s),
+            "watermark_s": _finite(self.watermark_s),
+            "windows_folded": stats.windows_folded,
+            "samples_folded": stats.samples_folded,
+        }
+
+    def _advisor_dict(self) -> Optional[dict]:
+        rec = self.snap.recommendation
+        if rec is None:
+            return None
+        return {
+            "knob": rec.knob,
+            "cap": rec.cap,
+            "expected_saving_mwh": rec.expected_saving_mwh,
+            "savings_pct": rec.savings_pct,
+            "runtime_increase_pct": rec.runtime_increase_pct,
+        }
+
+    def _fleet_cap_doc(self) -> dict:
+        doc = self._head()
+        doc["policy"] = self.policy
+        doc["decision"] = self.decision.to_dict()
+        # The stream-layer Table V advisor, for parity with `repro
+        # stream` output (identical under the slowdown objective).
+        doc["advisor"] = self._advisor_dict()
+        return doc
+
+    def _fleet_savings_doc(self) -> dict:
+        cube = self.snap.cube
+        doc = self._head()
+        doc["policy"] = self.policy
+        doc["energy"] = {
+            "total_j": cube.total_energy_j,
+            "by_region_j": [float(x) for x in cube.region_energy_j()],
+            "gpu_hours": cube.total_gpu_hours,
+        }
+        doc["decision"] = self.decision.to_dict()
+        doc["advisor"] = self._advisor_dict()
+        return doc
+
+    def _policy_doc(self) -> dict:
+        doc = self._head()
+        doc["policy"] = self.policy
+        doc["policy_version"] = self.policy_version
+        doc["objectives"] = {
+            name: obj.description for name, obj in sorted(OBJECTIVES.items())
+        }
+        return doc
+
+    def _job_row(self, job_id: int) -> dict:
+        meta = self.index.meta(job_id)
+        row = meta.to_dict()
+        row["energy_j"] = self.jobs.job_energy_j(job_id)
+        row["gpu_hours"] = float(self.jobs.gpu_hours[job_id].sum())
+        row["samples"] = int(self.jobs.samples[job_id])
+        return row
+
+    def _jobs_doc(self, route: str) -> dict:
+        limit = None
+        if "?" in route:
+            query = route.split("?", 1)[1]
+            for part in query.split("&"):
+                if part.startswith("limit="):
+                    try:
+                        limit = max(0, int(part[len("limit="):]))
+                    except ValueError:
+                        limit = None
+        ids = self.jobs.active_job_ids()
+        ids = [j for j in ids if self.index.get(j) is not None]
+        ids.sort(key=lambda j: (-self.jobs.job_energy_j(j), j))
+        doc = self._head()
+        doc["count"] = len(ids)
+        if limit is not None:
+            ids = ids[:limit]
+        doc["jobs"] = [self._job_row(j) for j in ids]
+        return doc
+
+    def _job_decision(self, job_id: int) -> CapDecision:
+        return decide_cap(
+            self.jobs.energy_j[job_id],
+            self.factors,
+            objective=self.policy["objective"],
+            max_slowdown_pct=self.policy["max_slowdown_pct"],
+        )
+
+    def _job_doc(self, job_id: int) -> dict:
+        doc = self._head()
+        doc["job"] = self._job_row(job_id)
+        doc["job"]["by_region_j"] = [
+            float(x) for x in self.jobs.energy_j[job_id]
+        ]
+        doc["job"]["first_seen_s"] = _finite(self.jobs.first_seen_s[job_id])
+        doc["job"]["last_seen_s"] = _finite(self.jobs.last_seen_s[job_id])
+        doc["decision"] = self._job_decision(job_id).to_dict()
+        return doc
+
+    def _job_cap_doc(self, job_id: int) -> dict:
+        doc = self._head()
+        doc["job_id"] = job_id
+        doc["policy"] = self.policy
+        doc["decision"] = self._job_decision(job_id).to_dict()
+        return doc
+
+    def _job_savings_doc(self, job_id: int) -> dict:
+        decision = self._job_decision(job_id)
+        fleet_j = self.snap.cube.total_energy_j
+        doc = self._head()
+        doc["job_id"] = job_id
+        doc["energy_j"] = decision.baseline_energy_j
+        doc["saving_j"] = decision.saving_j
+        doc["savings_pct"] = decision.savings_pct
+        doc["runtime_increase_pct"] = decision.runtime_increase_pct
+        doc["fleet_share_pct"] = (
+            100.0 * decision.baseline_energy_j / fleet_j
+            if fleet_j > 0 else 0.0
+        )
+        return doc
+
+
+class SnapshotCache:
+    """Atomic publish/read of the current :class:`ServeView`."""
+
+    def __init__(self) -> None:
+        self._view: Optional[ServeView] = None
+        self._publish_lock = threading.Lock()
+        self._version = 0
+
+    @property
+    def view(self) -> Optional[ServeView]:
+        # A bare attribute read: atomic under CPython, no reader lock.
+        return self._view
+
+    @property
+    def version(self) -> int:
+        return self._version
+
+    def publish(self, build) -> ServeView:
+        """Build and swap in the next view; ``build(version) -> ServeView``."""
+        with self._publish_lock:
+            version = self._version + 1
+            view = build(version)
+            view.prerender()
+            self._version = version
+            self._view = view
+            return view

@@ -1,0 +1,181 @@
+"""The control-plane HTTP API.
+
+Extends the :class:`~repro.obs.httpd.HttpService` lifecycle the health
+exporter uses (same bind/close semantics, same ephemeral ``port=0``
+behavior) with the serving endpoints:
+
+====================================  =======================================
+``GET /v1/fleet/cap``                 current fleet cap decision + advisor
+``GET /v1/fleet/savings``             fleet energy + projected savings
+``GET /v1/jobs``                      active jobs by energy (``?limit=N``)
+``GET /v1/jobs/{id}``                 one job: metadata + energy + decision
+``GET /v1/jobs/{id}/cap``             that job's recommended cap
+``GET /v1/jobs/{id}/savings``         that job's savings-so-far
+``GET /v1/policy``                    active objective + available plug-ins
+``POST /v1/policy``                   switch objective / slowdown budget
+``POST /v1/admin/shutdown``           graceful stop (CLI serve loop exits)
+``GET /metrics /health /alerts``      the observability endpoints, shared
+                                      with ingest — one scrape covers both
+====================================  =======================================
+
+Every ``/v1`` answer comes from the immutable published
+:class:`~repro.serve.cache.ServeView` (read-through byte cache; see
+``docs/serving.md``), so request handling never touches ingest state.
+Requests are metered into the plane's :class:`MetricsRegistry`:
+``serve_requests_total{endpoint,status}``, a per-endpoint
+``serve_request_seconds`` histogram with sub-millisecond buckets, and
+the ``serve_cache_age_s`` gauge (wall age of the served view).
+"""
+
+from __future__ import annotations
+
+import time
+from http.server import ThreadingHTTPServer
+
+from ..errors import ServeError
+from ..obs.httpd import HttpService, JsonRequestHandler
+
+#: Sub-millisecond-resolving latency buckets (seconds) for the
+#: serve_request_seconds histogram; the SLO gate is p99 < 5 ms.
+SERVE_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 1.0,
+)
+
+_INDEX_TEXT = (
+    "repro control plane\n"
+    "endpoints: /v1/fleet/cap /v1/fleet/savings /v1/jobs "
+    "/v1/jobs/{id} /v1/jobs/{id}/cap /v1/jobs/{id}/savings "
+    "/v1/policy (GET/POST) /v1/admin/shutdown (POST) "
+    "/metrics /health /alerts\n"
+)
+
+
+def _jobs_route_key(query: str) -> str:
+    """Canonical cache key for ``/v1/jobs`` (bounded ``limit`` space)."""
+    for part in query.split("&"):
+        if part.startswith("limit="):
+            try:
+                limit = int(part[len("limit="):])
+            except ValueError:
+                break
+            return f"jobs?limit={max(0, min(limit, 100_000))}"
+    return "jobs"
+
+
+class _Handler(JsonRequestHandler):
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        self._handle("GET")
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        self._handle("POST")
+
+    def _handle(self, method: str) -> None:
+        t0 = time.perf_counter()
+        plane = self.server.plane
+        raw = self.path
+        path = raw.split("?", 1)[0].rstrip("/") or "/"
+        query = raw.split("?", 1)[1] if "?" in raw else ""
+        view = plane.cache.view
+        endpoint, status = path, 500
+        try:
+            endpoint, status = self._route(method, path, query, view, plane)
+        except (BrokenPipeError, ConnectionResetError):
+            return
+        except ServeError as exc:
+            status = 400
+            self._send_json(status, {"error": str(exc)})
+        finally:
+            plane.observe_request(
+                endpoint, status, time.perf_counter() - t0, view
+            )
+
+    def _route(self, method, path, query, view, plane):
+        """Dispatch one request; returns (endpoint label, status)."""
+        registry = plane.registry
+        monitor = plane.monitor
+        if path == "/metrics" and method == "GET":
+            with plane.metrics_lock:
+                body = registry.to_prometheus()
+            self._send(200, "text/plain; version=0.0.4", body)
+            return path, 200
+        if path == "/health" and method == "GET":
+            if monitor is None:
+                self._send_json(200, {"status": "ok", "rules": []})
+                return path, 200
+            doc = monitor.to_health_dict()
+            status = 200 if doc["status"] == "ok" else 503
+            self._send_json(status, doc)
+            return path, status
+        if path == "/alerts" and method == "GET":
+            doc = (
+                monitor.to_alerts_dict()
+                if monitor is not None
+                else {"firing": [], "history": []}
+            )
+            self._send_json(200, doc)
+            return path, 200
+        if path == "/" and method == "GET":
+            self._send(200, "text/plain", _INDEX_TEXT)
+            return path, 200
+
+        if path == "/v1/admin/shutdown" and method == "POST":
+            self._send_json(200, {"status": "shutting down"})
+            plane.request_stop()
+            return path, 200
+        if path == "/v1/policy" and method == "POST":
+            doc = self._read_json_body()
+            new_view = plane.set_policy(
+                objective=doc.get("objective"),
+                max_slowdown_pct=doc.get("max_slowdown_pct"),
+            )
+            status, payload = new_view.body("policy")
+            self._send_bytes(status, "application/json", payload)
+            return path, status
+
+        if method != "GET":
+            self._send_json(405, {"error": f"no {method} {path}"})
+            return path, 405
+        if not path.startswith("/v1/"):
+            self._send_json(404, {"error": f"no endpoint {path}"})
+            return path, 404
+        if view is None:
+            self._send_json(503, {"error": "no snapshot published yet"})
+            return path, 503
+
+        rest = path[len("/v1/"):]
+        parts = rest.split("/")
+        if rest in ("fleet/cap", "fleet/savings", "policy"):
+            key, endpoint = rest, path
+        elif parts[0] == "jobs" and len(parts) == 1:
+            key, endpoint = _jobs_route_key(query), "/v1/jobs"
+        elif parts[0] == "jobs" and len(parts) in (2, 3):
+            key = rest
+            tail = "/" + parts[2] if len(parts) == 3 else ""
+            endpoint = "/v1/jobs/{id}" + tail
+        else:
+            self._send_json(404, {"error": f"no endpoint {path}"})
+            return path, 404
+        status, payload = view.body(key)
+        self._send_bytes(status, "application/json", payload)
+        return endpoint, status
+
+
+class ControlPlaneServer(HttpService):
+    """Serve one :class:`~repro.serve.service.ControlPlane` over HTTP.
+
+    Same contract as the health exporter: daemon serving thread,
+    ``port=0`` ephemeral binding, idempotent :meth:`start`/:meth:`close`,
+    context-manager form joins the thread and releases the socket.
+    """
+
+    error_class = ServeError
+    handler_class = _Handler
+    service_name = "control plane"
+
+    def __init__(self, plane, *, host: str = "127.0.0.1", port: int = 0):
+        super().__init__(host=host, port=port)
+        self.plane = plane
+
+    def _configure(self, server: ThreadingHTTPServer) -> None:
+        server.plane = self.plane

@@ -1,0 +1,127 @@
+"""Job-state join index: tag every telemetry sample with its job.
+
+The control plane mirrors the slurm-monitor + nvml-monitor pattern:
+one monitor watches the scheduler (who runs where), one watches the
+GPUs (what power each draws), and a join keys the second by the first.
+Here the scheduler side is a :class:`~repro.scheduler.log.SchedulerLog`
+and the join primitive is its vectorized
+:meth:`~repro.scheduler.log.SchedulerLog.job_id_table` — one
+composite-key ``searchsorted`` labels a whole telemetry chunk with job
+ids (0 = idle), exactly as the campaign join does.
+
+The simulated SLURM log carries no user or partition columns, so
+:class:`JobMeta` derives both deterministically: the user from the
+``project_id`` (the paper's join recovers ownership the same way) and
+the partition from the Table VII size class — stable across runs, so
+served documents stay bitwise-reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import ServeError
+from ..scheduler.log import SchedulerLog
+from ..telemetry.schema import TelemetryChunk
+
+#: Table VII size class -> batch partition (synthesized; the simulated
+#: scheduler log has no partition column).  Classes A/B are the
+#: capability jobs a real Frontier queues separately.
+PARTITION_BY_CLASS: Dict[str, str] = {
+    "A": "batch-capability",
+    "B": "batch-capability",
+    "C": "batch-large",
+    "D": "batch",
+    "E": "batch-small",
+}
+
+
+def user_of_project(project_id: str) -> str:
+    """Deterministic pseudonymous owner of a project (``pi-<project>``)."""
+    return f"pi-{project_id}"
+
+
+@dataclass(frozen=True)
+class JobMeta:
+    """Serving-side metadata of one job (the ``/v1/jobs`` identity row)."""
+
+    job_id: int
+    user: str
+    account: str
+    partition: str
+    domain: str
+    size_class: str
+    num_nodes: int
+    start_time_s: float
+    end_time_s: float
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "user": self.user,
+            "account": self.account,
+            "partition": self.partition,
+            "domain": self.domain,
+            "size_class": self.size_class,
+            "num_nodes": self.num_nodes,
+            "start_time_s": self.start_time_s,
+            "end_time_s": self.end_time_s,
+        }
+
+
+class JobStateIndex:
+    """Scheduler state, indexed for the serving path.
+
+    Holds one :class:`JobMeta` per job and tags telemetry chunks with
+    job ids via the same join primitive the campaign cube uses, so the
+    per-job analytics attribute exactly the samples the fleet cube
+    counts.
+    """
+
+    def __init__(self, log: SchedulerLog) -> None:
+        self.log = log
+        self._meta: Dict[int, JobMeta] = {}
+        for job in log.jobs:
+            partition = PARTITION_BY_CLASS.get(job.size_class)
+            if partition is None:
+                raise ServeError(
+                    f"job {job.job_id}: unknown size class "
+                    f"{job.size_class!r}"
+                )
+            self._meta[job.job_id] = JobMeta(
+                job_id=job.job_id,
+                user=user_of_project(job.project_id),
+                account=job.project_id,
+                partition=partition,
+                domain=job.domain,
+                size_class=job.size_class,
+                num_nodes=job.num_nodes,
+                start_time_s=job.start_time_s,
+                end_time_s=job.end_time_s,
+            )
+        self.max_job_id = max(self._meta, default=0)
+
+    def __len__(self) -> int:
+        return len(self._meta)
+
+    def __contains__(self, job_id: int) -> bool:
+        return job_id in self._meta
+
+    def meta(self, job_id: int) -> JobMeta:
+        try:
+            return self._meta[job_id]
+        except KeyError:
+            raise ServeError(f"unknown job id {job_id}") from None
+
+    def get(self, job_id: int) -> Optional[JobMeta]:
+        return self._meta.get(job_id)
+
+    def job_ids(self) -> List[int]:
+        return sorted(self._meta)
+
+    def tag(self, chunk: TelemetryChunk) -> np.ndarray:
+        """Job id of every row in ``chunk`` (0 = idle node)."""
+        return self.log.job_id_table(chunk.time_s, chunk.node_id)

@@ -1,0 +1,329 @@
+"""The control plane: ingest + analytics + policy + publication.
+
+:class:`ControlPlane` wires the pieces into one long-running service:
+
+* a :class:`~repro.stream.engine.StreamEngine` folds arrival chunks
+  into the fleet cube, with the per-job
+  :class:`~repro.serve.analytics.JobAccumulator` riding the engine's
+  window-observer hook so both folds see the identical canonical
+  window sequence;
+* after every ingest that seals windows, :meth:`refresh` publishes a
+  new immutable :class:`~repro.serve.cache.ServeView` (fleet snapshot,
+  per-job stats, cap decisions under the active objective) into the
+  :class:`~repro.serve.cache.SnapshotCache`;
+* :meth:`serve` exposes the cache over HTTP
+  (:class:`~repro.serve.http.ControlPlaneServer`); request metrics land
+  in the same :class:`~repro.obs.metrics.MetricsRegistry` the ingest
+  mirrors write to, so one ``/metrics`` scrape covers both;
+* ``serve_snapshot_age_s`` — how far the engine's sealed frontier has
+  run ahead of the published view, in event-time seconds — rides the
+  engine's metric-source hook into health rule evaluation, so the
+  shipped ``serve_snapshot_stale`` rule fires when publication stalls
+  behind ingest.
+
+The policy (objective + slowdown budget) is mutable at runtime via
+:meth:`set_policy` (the ``POST /v1/policy`` endpoint); every change
+republishes immediately.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, Iterable, Optional
+
+import numpy as np
+
+from .. import constants
+from ..core.characterization import CapFactors, measured_factors
+from ..errors import ServeError
+from ..obs import runtime as _obs
+from ..obs.metrics import MetricsRegistry
+from ..scheduler.log import SchedulerLog
+from ..stream.buffer import DEFAULT_WINDOW_S
+from ..stream.engine import StreamEngine
+from ..telemetry.schema import TelemetryChunk
+from .analytics import JobAccumulator
+from .cache import ServeView, SnapshotCache
+from .http import SERVE_LATENCY_BUCKETS, ControlPlaneServer
+from .jobs import JobStateIndex
+from .objectives import decide_cap, get_objective
+
+
+def _frontier_s(stats) -> Optional[float]:
+    """Folded event-time frontier of one engine snapshot, if any."""
+    for candidate in (stats.sealed_until_s, stats.max_event_time_s):
+        if np.isfinite(candidate):
+            return float(candidate)
+    return None
+
+
+class PolicyState:
+    """The mutable serving policy (objective + budget), version-stamped."""
+
+    def __init__(
+        self,
+        *,
+        objective: str = "slowdown",
+        max_slowdown_pct: float = 5.0,
+        knob: str = "frequency",
+        campaign_energy_mwh: Optional[float] = None,
+    ) -> None:
+        get_objective(objective)
+        if max_slowdown_pct < 0:
+            raise ServeError("slowdown budget must be >= 0")
+        self.objective = objective
+        self.max_slowdown_pct = float(max_slowdown_pct)
+        self.knob = knob
+        self.campaign_energy_mwh = campaign_energy_mwh
+        self.version = 1
+
+    def to_dict(self) -> dict:
+        return {
+            "objective": self.objective,
+            "max_slowdown_pct": self.max_slowdown_pct,
+            "knob": self.knob,
+            "campaign_energy_mwh": self.campaign_energy_mwh,
+        }
+
+
+class ControlPlane:
+    """Live telemetry in, cached cap decisions out."""
+
+    def __init__(
+        self,
+        log: SchedulerLog,
+        *,
+        factors: Optional[CapFactors] = None,
+        objective: str = "slowdown",
+        max_slowdown_pct: float = 5.0,
+        campaign_energy_mwh: Optional[float] = None,
+        interval_s: float = constants.TELEMETRY_INTERVAL_S,
+        window_s: float = DEFAULT_WINDOW_S,
+        lateness_s: float = 0.0,
+        monitor=None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.log = log
+        self.factors = (
+            factors if factors is not None else measured_factors("frequency")
+        )
+        self.policy = PolicyState(
+            objective=objective,
+            max_slowdown_pct=max_slowdown_pct,
+            knob=self.factors.knob,
+            campaign_energy_mwh=campaign_energy_mwh,
+        )
+        self.engine = StreamEngine(
+            log,
+            interval_s=interval_s,
+            window_s=window_s,
+            lateness_s=lateness_s,
+        )
+        self.index = JobStateIndex(log)
+        self.job_acc = JobAccumulator(self.index, interval_s=interval_s)
+        self.engine.add_window_observer(self.job_acc.update)
+        self.engine.add_metric_source(self.serve_metric_values)
+        self.monitor = monitor
+        if monitor is not None:
+            self.engine.attach_health(monitor)
+        self.registry = (
+            registry
+            if registry is not None
+            else (monitor.registry if monitor is not None
+                  else MetricsRegistry())
+        )
+        self.cache = SnapshotCache()
+        #: Guards metric writes vs /metrics renders (the registry's own
+        #: lock only covers family creation, not series iteration).
+        self.metrics_lock = threading.Lock()
+        self._refresh_lock = threading.Lock()
+        self._policy_lock = threading.Lock()
+        self.stop_event = threading.Event()
+        self._server: Optional[ControlPlaneServer] = None
+
+    # -- ingest -------------------------------------------------------------------
+
+    def ingest(self, chunk: TelemetryChunk) -> int:
+        """Absorb one arrival chunk; republish if windows sealed."""
+        folded = self.engine.ingest(chunk)
+        if folded:
+            self.refresh()
+        return folded
+
+    def drain(self) -> int:
+        """Seal and fold everything buffered, then republish."""
+        folded = self.engine.drain()
+        self.refresh()
+        return folded
+
+    def run(
+        self,
+        source: Iterable[TelemetryChunk],
+        *,
+        max_chunks: Optional[int] = None,
+        drain: bool = True,
+        chunk_delay_s: float = 0.0,
+    ) -> "ControlPlane":
+        """Consume a source until it ends, the cap, or a stop request.
+
+        ``chunk_delay_s`` paces arrivals (a live-fleet simulation knob);
+        the wait doubles as the stop-request poll, so shutdown stays
+        prompt even mid-source.
+        """
+        for i, chunk in enumerate(source):
+            if self.stop_event.is_set():
+                return self
+            if max_chunks is not None and i >= max_chunks:
+                break
+            self.ingest(chunk)
+            if chunk_delay_s > 0 and self.stop_event.wait(chunk_delay_s):
+                return self
+        if drain:
+            self.drain()
+        return self
+
+    # -- publication --------------------------------------------------------------
+
+    def refresh(self) -> ServeView:
+        """Publish a fresh immutable view of the current sealed state."""
+        with self._refresh_lock:
+            with _obs.span("serve.refresh"):
+                with self._policy_lock:
+                    policy = self.policy.to_dict()
+                    policy_version = self.policy.version
+                snap = self.engine.snapshot(
+                    factors=self.factors,
+                    campaign_energy_mwh=policy["campaign_energy_mwh"],
+                    max_slowdown_pct=policy["max_slowdown_pct"],
+                )
+                decision = decide_cap(
+                    snap.cube.region_energy_j(),
+                    self.factors,
+                    objective=policy["objective"],
+                    max_slowdown_pct=policy["max_slowdown_pct"],
+                )
+                view = self.cache.publish(
+                    lambda version: ServeView(
+                        version=version,
+                        policy=policy,
+                        snap=snap,
+                        jobs=self.job_acc.snapshot(),
+                        index=self.index,
+                        factors=self.factors,
+                        decision=decision,
+                        policy_version=policy_version,
+                    )
+                )
+            with self.metrics_lock:
+                self.engine.export_metrics(self.registry)
+            return view
+
+    def set_policy(
+        self,
+        *,
+        objective: Optional[str] = None,
+        max_slowdown_pct: Optional[float] = None,
+    ) -> ServeView:
+        """Change the serving objective and/or budget; republish now."""
+        with self._policy_lock:
+            if objective is not None:
+                get_objective(str(objective))
+                self.policy.objective = str(objective)
+            if max_slowdown_pct is not None:
+                try:
+                    budget = float(max_slowdown_pct)
+                except (TypeError, ValueError):
+                    raise ServeError(
+                        f"bad slowdown budget {max_slowdown_pct!r}"
+                    ) from None
+                if budget < 0:
+                    raise ServeError("slowdown budget must be >= 0")
+                self.policy.max_slowdown_pct = budget
+            self.policy.version += 1
+        return self.refresh()
+
+    # -- serving ------------------------------------------------------------------
+
+    def serve(
+        self, *, host: str = "127.0.0.1", port: int = 0
+    ) -> ControlPlaneServer:
+        """Start the HTTP API (publishing an initial view if needed)."""
+        if self.cache.view is None:
+            self.refresh()
+        if self._server is None:
+            self._server = ControlPlaneServer(
+                self, host=host, port=port
+            ).start()
+        return self._server
+
+    def request_stop(self) -> None:
+        """Ask the serve/ingest loops to wind down (graceful shutdown)."""
+        self.stop_event.set()
+
+    def wait_until_stopped(self, *, poll_s: float = 0.1) -> None:
+        """Block until a stop is requested (the post-drain serve loop)."""
+        while not self.stop_event.wait(poll_s):
+            pass
+
+    def close(self) -> None:
+        """Stop the HTTP server (idempotent)."""
+        server, self._server = self._server, None
+        if server is not None:
+            server.close()
+
+    def __enter__(self) -> "ControlPlane":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- metrics ------------------------------------------------------------------
+
+    def serve_metric_values(self) -> Dict[str, float]:
+        """Serving gauges merged into the engine's metric stream.
+
+        ``serve_snapshot_age_s`` is *event-time* staleness: how far the
+        engine's sealed frontier has advanced past the published view's.
+        It grows only when ingest seals windows the API has not been
+        given — exactly the condition the ``serve_snapshot_stale``
+        health rule watches — and is immune to wall-clock idleness of
+        a fully drained stream.
+        """
+        view = self.cache.view
+        if view is None:
+            return {}
+        values = {"serve_snapshot_version": float(view.version)}
+        # Sealed frontier of a live engine; a *drained* engine reports a
+        # non-finite sentinel, so fall back to the last event time —
+        # otherwise draining without republishing would make the metric
+        # vanish and silently resolve the staleness alert.
+        frontier = _frontier_s(self.engine.stats)
+        published = _frontier_s(view.snap.stats)
+        if frontier is not None:
+            values["serve_snapshot_age_s"] = max(
+                0.0, frontier - (published if published is not None else 0.0)
+            )
+        return values
+
+    def observe_request(
+        self, endpoint: str, status: int, elapsed_s: float, view
+    ) -> None:
+        """Meter one HTTP request into the shared registry."""
+        with self.metrics_lock:
+            self.registry.counter(
+                "serve_requests_total",
+                "control-plane HTTP requests served",
+                endpoint=endpoint, status=str(status),
+            ).inc()
+            self.registry.histogram(
+                "serve_request_seconds",
+                "control-plane request latency",
+                buckets=SERVE_LATENCY_BUCKETS,
+                endpoint=endpoint,
+            ).observe(elapsed_s)
+            if view is not None:
+                self.registry.gauge(
+                    "serve_cache_age_s",
+                    "wall-clock age of the served snapshot",
+                ).set(max(0.0, time.time() - view.published_wall_s))

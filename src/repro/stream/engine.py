@@ -172,6 +172,32 @@ class StreamEngine:
         #: Optional :class:`repro.obs.health.HealthMonitor`, evaluated
         #: after every ingest call that folded windows (and at drain).
         self.health = None
+        self._window_observers: List = []
+        self._metric_sources: List = []
+
+    def add_window_observer(self, fn) -> "StreamEngine":
+        """Call ``fn(window)`` for every sealed window, in fold order.
+
+        Observers run directly after the accumulator folds the window —
+        during :meth:`ingest` and :meth:`drain` alike — so a side
+        consumer (the control plane's per-job accumulator, the
+        closed-loop cap applier) sees exactly the canonical window
+        sequence the cube is built from, in the same deterministic
+        order.  Observers must not mutate the window.
+        """
+        self._window_observers.append(fn)
+        return self
+
+    def add_metric_source(self, fn) -> "StreamEngine":
+        """Merge ``fn() -> {name: value}`` into :meth:`metric_values`.
+
+        Extra gauges ride the same export path as the built-in
+        ``stream_*`` mirrors: into the metrics registry, the health
+        monitor's rule evaluation, and checkpoint-free snapshots.
+        Non-finite values are dropped like the built-ins.
+        """
+        self._metric_sources.append(fn)
+        return self
 
     def attach_health(self, monitor) -> "StreamEngine":
         """Attach a health monitor; evaluated per drained window.
@@ -200,6 +226,8 @@ class StreamEngine:
             for window in windows:
                 with _obs.span("stream.fold_window"):
                     self.accumulator.update(window)
+                for observer in self._window_observers:
+                    observer(window)
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)
@@ -214,6 +242,8 @@ class StreamEngine:
             for window in windows:
                 with _obs.span("stream.fold_window"):
                     self.accumulator.update(window)
+                for observer in self._window_observers:
+                    observer(window)
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)
@@ -285,6 +315,8 @@ class StreamEngine:
             "stream_sealed_until_seconds": stats.sealed_until_s,
             "stream_max_event_time_seconds": stats.max_event_time_s,
         }
+        for source in self._metric_sources:
+            values.update(source())
         return {
             name: float(value)
             for name, value in values.items()

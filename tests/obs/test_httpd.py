@@ -1,0 +1,109 @@
+"""The shared HttpService lifecycle (health exporter + control plane).
+
+Regression suite for the factored-out base: both servers must keep the
+exact semantics the health exporter always had — ephemeral ``port=0``
+resolution, idempotent start/close, error class + message on bind
+failure and on reading the port while down — now from one
+implementation.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import HealthError, ServeError
+from repro.obs.health import HealthMonitor, HealthServer, fetch_url
+from repro.obs.httpd import HttpService
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.serve import ControlPlane, ControlPlaneServer
+from repro.units import days
+
+
+@pytest.fixture(scope="module")
+def plane():
+    mix = default_mix(fleet_nodes=4)
+    log = SlurmSimulator(mix).run(days(0.1), rng=0)
+    return ControlPlane(log)
+
+
+def make_health():
+    return HealthServer(monitor=HealthMonitor(drift=False), port=0)
+
+
+def make_plane_server(plane):
+    return ControlPlaneServer(plane, port=0)
+
+
+class TestSharedLifecycle:
+    def test_both_servers_share_the_base(self, plane):
+        assert issubclass(HealthServer, HttpService)
+        assert issubclass(ControlPlaneServer, HttpService)
+        assert HealthServer.error_class is HealthError
+        assert ControlPlaneServer.error_class is ServeError
+
+    @pytest.mark.parametrize("which", ["health", "plane"])
+    def test_port0_resolves_and_serves(self, plane, which):
+        server = (
+            make_health() if which == "health" else make_plane_server(plane)
+        )
+        with server:
+            assert server.port > 0
+            assert server.url == f"http://127.0.0.1:{server.port}"
+            status, _body = fetch_url(server.url + "/")
+            assert status in (200, 404, 503)
+
+    @pytest.mark.parametrize("which", ["health", "plane"])
+    def test_start_and_close_are_idempotent(self, plane, which):
+        server = (
+            make_health() if which == "health" else make_plane_server(plane)
+        )
+        server.start()
+        port = server.port
+        assert server.start() is server
+        assert server.port == port, "second start must not rebind"
+        assert server.running
+        server.close()
+        assert not server.running
+        server.close()  # no-op, no raise
+
+    def test_port_raises_own_error_class_when_down(self, plane):
+        with pytest.raises(HealthError, match="not running"):
+            _ = make_health().port
+        with pytest.raises(ServeError, match="not running"):
+            _ = make_plane_server(plane).port
+
+    def test_bind_failure_raises_own_error_class(self, plane):
+        with make_health() as busy:
+            taken = busy.port
+            with pytest.raises(HealthError, match="cannot bind"):
+                HealthServer(
+                    monitor=HealthMonitor(drift=False), port=taken
+                ).start()
+            with pytest.raises(ServeError, match="cannot bind"):
+                ControlPlaneServer(plane, port=taken).start()
+
+    def test_context_manager_releases_the_port(self, plane):
+        server = make_plane_server(plane)
+        with server:
+            taken = server.port
+        # The socket is free again: a new server can take the same port.
+        rebound = ControlPlaneServer(plane, port=taken).start()
+        try:
+            assert rebound.port == taken
+        finally:
+            rebound.close()
+
+    def test_close_from_handler_thread_is_safe(self, plane):
+        # ControlPlane.close() may run on the serving thread (shutdown
+        # endpoint); HttpService must not join the current thread.
+        server = make_plane_server(plane)
+        server.start()
+        done = threading.Event()
+
+        def closer():
+            server.close()
+            done.set()
+
+        threading.Thread(target=closer).start()
+        assert done.wait(timeout=10)
+        assert not server.running

@@ -1,0 +1,106 @@
+"""``repro serve`` end to end: in-process and over a real TCP socket."""
+
+import json
+import os
+import subprocess
+import sys
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestInProcess:
+    def test_exit_after_drain_prints_summary(self, capsys):
+        code = main([
+            "serve", "--port", "0", "--nodes", "8", "--days", "0.25",
+            "--drift-ref", "off", "--exit-after-drain",
+        ])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "control plane serving on http://127.0.0.1:" in out
+        assert "control plane shut down" in out
+        assert "snapshots" in out and "final advice [slowdown]" in out
+        assert "health: ok" in out
+
+    def test_objective_flag(self, capsys):
+        code = main([
+            "serve", "--port", "0", "--nodes", "8", "--days", "0.25",
+            "--drift-ref", "off", "--objective", "edp",
+            "--exit-after-drain",
+        ])
+        assert code == 0
+        assert "final advice [edp]" in capsys.readouterr().out
+
+    def test_bad_objective_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--objective", "nope"])
+
+    def test_from_file_needs_sacct(self, capsys):
+        code = main(["serve", "--from-file", "nope.npz"])
+        assert code == 1
+        assert "--sacct" in capsys.readouterr().err
+
+
+class TestRealProcess:
+    """The satellite contract: a separate OS process on an ephemeral port."""
+
+    def test_serve_poll_shutdown(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-u", "-m", "repro", "serve",
+                "--port", "0", "--nodes", "8", "--days", "0.25",
+                "--window-s", "600", "--drift-ref", "off",
+            ],
+            cwd=REPO_ROOT,
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        url = None
+        try:
+            deadline = time.monotonic() + 120
+            for line in proc.stdout:
+                if line.startswith("control plane serving on "):
+                    url = line.rsplit(" ", 1)[-1].strip()
+                    break
+                assert time.monotonic() < deadline, "no serving banner"
+            assert url is not None, "server never announced its URL"
+
+            with urllib.request.urlopen(url + "/v1/fleet/cap",
+                                        timeout=10) as resp:
+                doc = json.loads(resp.read().decode())
+            assert resp.status == 200
+            assert doc["version"] >= 1
+            assert doc["policy"]["objective"] == "slowdown"
+
+            # Wait for ingest to finish (the process announces it), then
+            # ask for a graceful stop over the API.
+            for line in proc.stdout:
+                if "ingest complete" in line:
+                    break
+                assert time.monotonic() < deadline, "ingest never finished"
+
+            req = urllib.request.Request(
+                url + "/v1/admin/shutdown", data=b"{}",
+                headers={"Content-Type": "application/json"},
+                method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                assert resp.status == 200
+
+            out_rest = proc.communicate(timeout=60)[0]
+            assert proc.returncode == 0, out_rest
+            assert "control plane shut down" in out_rest
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

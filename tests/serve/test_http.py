@@ -1,0 +1,159 @@
+"""HTTP API routing, status codes, and the shared /metrics surface."""
+
+import json
+
+import pytest
+
+from repro.obs.health import HealthMonitor
+from repro.obs.httpd import fetch_url, post_url
+from repro.serve import ControlPlane, ControlPlaneServer
+
+from tests.serve.conftest import build_plane
+
+
+@pytest.fixture(scope="module")
+def served(campaign, windows):
+    log, _store = campaign
+    plane = build_plane(log, windows, monitor=HealthMonitor(drift=False))
+    server = plane.serve(port=0)
+    yield plane, server.url
+    plane.close()
+
+
+def get_doc(url: str):
+    status, body = fetch_url(url)
+    return status, json.loads(body)
+
+
+class TestRouting:
+    def test_index_lists_endpoints(self, served):
+        _plane, url = served
+        status, body = fetch_url(url + "/")
+        assert status == 200
+        assert "/v1/fleet/cap" in body and "/v1/policy" in body
+
+    def test_fleet_endpoints(self, served):
+        plane, url = served
+        status, cap = get_doc(url + "/v1/fleet/cap")
+        assert status == 200
+        assert cap["version"] == plane.cache.view.version
+        assert cap["decision"]["objective"] == "slowdown"
+        assert cap["advisor"] is not None
+        status, savings = get_doc(url + "/v1/fleet/savings")
+        assert status == 200
+        assert savings["energy"]["total_j"] > 0
+        assert len(savings["energy"]["by_region_j"]) == 4
+
+    def test_job_endpoints(self, served):
+        plane, url = served
+        status, listing = get_doc(url + "/v1/jobs?limit=5")
+        assert status == 200
+        assert listing["jobs"], "expected active jobs"
+        job_id = listing["jobs"][0]["job_id"]
+        status, job = get_doc(url + f"/v1/jobs/{job_id}")
+        assert status == 200
+        assert job["job"]["job_id"] == job_id
+        assert job["job"]["partition"].startswith("batch")
+        assert job["job"]["user"].startswith("pi-")
+        status, cap = get_doc(url + f"/v1/jobs/{job_id}/cap")
+        assert status == 200
+        assert cap["decision"]["objective"] == "slowdown"
+        status, savings = get_doc(url + f"/v1/jobs/{job_id}/savings")
+        assert status == 200
+        assert savings["energy_j"] == pytest.approx(
+            job["job"]["energy_j"]
+        )
+        assert 0.0 <= savings["fleet_share_pct"] <= 100.0
+
+    def test_trailing_slash_is_tolerated(self, served):
+        _plane, url = served
+        status, doc = get_doc(url + "/v1/fleet/cap/")
+        assert status == 200 and "decision" in doc
+
+    def test_not_found(self, served):
+        _plane, url = served
+        assert fetch_url(url + "/v1/nope")[0] == 404
+        assert fetch_url(url + "/nope")[0] == 404
+        assert fetch_url(url + "/v1/jobs/999999")[0] == 404
+        assert fetch_url(url + "/v1/jobs/zzz")[0] == 404
+        assert fetch_url(url + "/v1/jobs/1/nope")[0] == 404
+
+    def test_method_not_allowed(self, served):
+        _plane, url = served
+        status, _body = post_url(url + "/v1/fleet/cap")
+        assert status == 405
+
+    def test_not_ready_before_first_publish(self, campaign):
+        log, _store = campaign
+        plane = ControlPlane(log)
+        with ControlPlaneServer(plane, port=0) as server:
+            status, doc = get_doc(server.url + "/v1/fleet/cap")
+            assert status == 503
+            assert "no snapshot" in doc["error"]
+
+
+class TestPolicyEndpoint:
+    def test_get_lists_objectives(self, served):
+        _plane, url = served
+        status, doc = get_doc(url + "/v1/policy")
+        assert status == 200
+        assert set(doc["objectives"]) >= {
+            "energy", "edp", "ed2p", "slowdown"
+        }
+
+    def test_post_switches_objective(self, served):
+        plane, url = served
+        before = plane.cache.view.policy_version
+        status, body = post_url(
+            url + "/v1/policy",
+            {"objective": "edp", "max_slowdown_pct": 3.0},
+        )
+        doc = json.loads(body)
+        assert status == 200
+        assert doc["policy"]["objective"] == "edp"
+        assert doc["policy"]["max_slowdown_pct"] == 3.0
+        assert doc["policy_version"] == before + 1
+        # Restore for the other tests in this module.
+        post_url(url + "/v1/policy",
+                 {"objective": "slowdown", "max_slowdown_pct": 5.0})
+
+    def test_post_bad_policy_is_400(self, served):
+        plane, url = served
+        status, body = post_url(url + "/v1/policy", {"objective": "nope"})
+        assert status == 400
+        assert "unknown objective" in json.loads(body)["error"]
+        assert plane.policy.objective == "slowdown"
+
+
+class TestObservabilitySurface:
+    def test_one_scrape_covers_serving_and_ingest(self, served):
+        _plane, url = served
+        fetch_url(url + "/v1/fleet/cap")
+        status, text = fetch_url(url + "/metrics")
+        assert status == 200
+        for needle in ("serve_requests_total", "serve_request_seconds",
+                       "serve_cache_age_s", "serve_snapshot_version",
+                       "stream_samples_in"):
+            assert needle in text, needle
+
+    def test_health_and_alerts(self, served):
+        _plane, url = served
+        status, doc = get_doc(url + "/health")
+        assert status == 200 and doc["status"] == "ok"
+        names = {r["name"] for r in doc["rules"]}
+        assert "serve_snapshot_stale" in names
+        status, doc = get_doc(url + "/alerts")
+        assert status == 200 and doc["firing"] == []
+
+
+class TestShutdown:
+    def test_graceful_shutdown_endpoint(self, campaign, windows):
+        log, _store = campaign
+        plane = build_plane(log, windows[:4])
+        with plane:
+            url = plane.serve(port=0).url
+            status, body = post_url(url + "/v1/admin/shutdown")
+            assert status == 200
+            assert json.loads(body)["status"] == "shutting down"
+            assert plane.stop_event.is_set()
+            plane.wait_until_stopped(poll_s=0.01)

@@ -1,0 +1,139 @@
+"""Objective registry and cap-decision arithmetic."""
+
+import numpy as np
+import pytest
+
+from repro.core import measured_factors
+from repro.errors import ServeError
+from repro.serve import (
+    OBJECTIVES,
+    CapDecision,
+    Objective,
+    decide_cap,
+    get_objective,
+    objective_names,
+    register_objective,
+)
+
+
+@pytest.fixture(scope="module")
+def factors():
+    return measured_factors("frequency")
+
+
+#: A region-energy vector with real MI/CI mass (latency, MI, CI, boost).
+REGION_J = np.array([1.0e9, 4.0e9, 3.0e9, 0.5e9])
+
+
+class TestRegistry:
+    def test_shipped_objectives(self):
+        assert {"energy", "edp", "ed2p", "slowdown"} <= set(OBJECTIVES)
+        assert objective_names() == sorted(OBJECTIVES)
+
+    def test_unknown_objective(self):
+        with pytest.raises(ServeError, match="unknown objective"):
+            get_objective("speed")
+
+    def test_register_and_use_custom_objective(self, factors):
+        name = "test_only_greedy"
+        register_objective(Objective(
+            name, "test: pure energy", lambda e, dt, budget: e,
+        ))
+        try:
+            custom = decide_cap(REGION_J, factors, objective=name)
+            energy = decide_cap(REGION_J, factors, objective="energy")
+            assert custom.cap == energy.cap
+            assert custom.objective == name
+        finally:
+            del OBJECTIVES[name]
+
+    def test_register_rejects_bad_objectives(self):
+        with pytest.raises(ServeError, match="needs a name"):
+            register_objective(Objective("", "x", lambda e, dt, b: e))
+        with pytest.raises(ServeError, match="not callable"):
+            register_objective(Objective("x", "x", "not-a-function"))
+
+
+class TestDecideCap:
+    def test_validation(self, factors):
+        with pytest.raises(ServeError, match="shape"):
+            decide_cap(np.zeros(3), factors)
+        with pytest.raises(ServeError, match=">= 0"):
+            decide_cap(REGION_J, factors, max_slowdown_pct=-1.0)
+        with pytest.raises(ServeError, match="unknown objective"):
+            decide_cap(REGION_J, factors, objective="nope")
+
+    def test_zero_energy_stays_uncapped(self, factors):
+        decision = decide_cap(np.zeros(4), factors)
+        assert not decision.capped
+        assert decision.cap is None
+        assert decision.savings_pct == 0.0
+        assert decision.runtime_increase_pct == 0.0
+
+    def test_zero_budget_slowdown_stays_uncapped(self, factors):
+        decision = decide_cap(
+            REGION_J, factors, objective="slowdown", max_slowdown_pct=0.0
+        )
+        assert not decision.capped
+
+    def test_energy_objective_matches_manual_scan(self, factors):
+        decision = decide_cap(REGION_J, factors, objective="energy")
+        e_mi, e_ci = float(REGION_J[1]), float(REGION_J[2])
+        base = float(REGION_J.sum())
+        best_cap, best_j = None, base
+        for cap in factors.caps():
+            f_ci, f_mi = factors.energy_at(cap)
+            projected = base - e_ci * (1 - f_ci) - e_mi * (1 - f_mi)
+            if projected < best_j:
+                best_cap, best_j = float(cap), projected
+        assert decision.cap == best_cap
+        assert decision.projected_energy_j == best_j
+        assert decision.saving_j == pytest.approx(base - best_j)
+
+    def test_decision_accounting_is_consistent(self, factors):
+        decision = decide_cap(REGION_J, factors, objective="edp")
+        assert decision.capped
+        assert decision.baseline_energy_j == float(REGION_J.sum())
+        assert decision.saving_j == pytest.approx(
+            decision.baseline_energy_j - decision.projected_energy_j
+        )
+        assert decision.savings_pct == pytest.approx(
+            100.0 * decision.saving_j / decision.baseline_energy_j
+        )
+
+    def test_menu_orders_by_performance_lean(self, factors):
+        caps = {}
+        for name in ("energy", "edp", "ed2p"):
+            d = decide_cap(REGION_J, factors, objective=name)
+            caps[name] = d.cap if d.capped else float("inf")
+        # More delay-weight in the metric => equal or higher (laxer) cap.
+        assert caps["energy"] <= caps["edp"] <= caps["ed2p"]
+
+    def test_slowdown_respects_budget(self, factors):
+        for budget in (0.5, 2.0, 5.0, 50.0):
+            d = decide_cap(
+                REGION_J, factors,
+                objective="slowdown", max_slowdown_pct=budget,
+            )
+            assert d.runtime_increase_pct <= budget
+
+    def test_decisions_are_value_comparable(self, factors):
+        a = decide_cap(REGION_J, factors, objective="slowdown")
+        b = decide_cap(REGION_J.copy(), factors, objective="slowdown")
+        assert isinstance(a, CapDecision)
+        assert a == b
+
+
+class TestAdvisorParity:
+    def test_slowdown_decision_matches_table5_advisor(self, drained_plane):
+        """The serve-layer decision is the stream layer's Table V pick."""
+        view = drained_plane.cache.view
+        rec = view.snap.recommendation
+        assert rec is not None
+        decision = view.decision
+        assert decision.objective == "slowdown"
+        if rec.capped:
+            assert decision.cap == rec.cap
+            assert decision.savings_pct == pytest.approx(rec.savings_pct)
+        else:
+            assert not decision.capped

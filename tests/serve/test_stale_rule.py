@@ -1,0 +1,73 @@
+"""The serve_snapshot_stale health rule, end to end.
+
+The rule watches ``serve_snapshot_age_s`` — event-time distance between
+the engine's sealed frontier and the published view — which the control
+plane injects into the engine's metric stream.  Normal operation
+(publish after every fold) keeps the age at one window; a stalled
+publisher lets it grow window by window until the rule goes pending,
+then firing, and one refresh resolves it.
+"""
+
+from repro.obs.health import HealthMonitor
+from repro.serve import ControlPlane
+
+from tests.serve.conftest import WINDOW_S
+
+
+def _rule_state(monitor, name="serve_snapshot_stale"):
+    for row in monitor.alerts.rule_states():
+        if row["name"] == name:
+            return row
+    raise AssertionError(f"rule {name} not loaded")
+
+
+def test_default_ruleset_ships_the_rule(campaign):
+    log, _store = campaign
+    monitor = HealthMonitor(drift=False)
+    ControlPlane(log, monitor=monitor)
+    row = _rule_state(monitor)
+    assert row["kind"] == "threshold"
+    assert row["severity"] == "critical"
+    assert row["state"] == "inactive"
+
+
+def test_stalled_publisher_fires_then_refresh_resolves(campaign, windows):
+    log, _store = campaign
+    monitor = HealthMonitor(drift=False)
+    plane = ControlPlane(log, window_s=WINDOW_S, monitor=monitor)
+
+    # Healthy operation: ingest republishes after every fold, so the
+    # event-time age stays at one window and the rule stays inactive.
+    half = len(windows) // 2
+    for window in windows[:half]:
+        plane.ingest(window)
+    assert _rule_state(monitor)["state"] == "inactive"
+
+    # Serving metrics ride the engine's metric stream into the rules.
+    values = plane.engine.metric_values()
+    assert "serve_snapshot_age_s" in values
+    assert "serve_snapshot_version" in values
+
+    # Publication stalls (ingest continues behind the cache's back):
+    # the sealed frontier runs ahead 600 s per window while the view
+    # stays pinned, so the age crosses 1800 s, holds for 600 s, fires.
+    for window in windows[half:]:
+        plane.engine.ingest(window)
+    row = _rule_state(monitor)
+    assert row["state"] == "firing", row
+    assert row["value"] > 1800.0
+    assert any(
+        e["rule"] == "serve_snapshot_stale" and e["transition"] == "firing"
+        for e in monitor.events
+    )
+
+    # One refresh republishes the frontier; the next evaluation clears.
+    plane.refresh()
+    monitor.observe_engine(plane.engine)
+    row = _rule_state(monitor)
+    assert row["state"] == "inactive", row
+    assert any(
+        e["rule"] == "serve_snapshot_stale" and e["transition"] == "resolved"
+        for e in monitor.events
+    )
+    assert monitor.healthy
