@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard bench-serve profile
+.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard bench-serve bench-forensics profile
 
 # Tier-1 correctness suite.
 test:
@@ -44,12 +44,19 @@ bench-serve:
 bench-obs:
 	$(PYTHON) benchmarks/bench_batch.py --check --quick --overhead-only
 
+# Flight-recorder overhead gate: streaming ingest with the forensics
+# facade attached must keep analytics bitwise identical and stay under
+# the per-window budget in benchmarks/BENCH_forensics.json.
+bench-forensics:
+	$(PYTHON) benchmarks/bench_forensics.py --check --quick --history
+
 # Re-measure and rewrite the recorded baselines (run on the reference
 # machine after intentional perf changes).
 bench-record:
 	$(PYTHON) benchmarks/bench_batch.py --record
 	$(PYTHON) benchmarks/bench_shard.py --record
 	$(PYTHON) benchmarks/bench_serve.py --record
+	$(PYTHON) benchmarks/bench_forensics.py --record
 
 # Span-linked profile of the table5 reference run: writes flamegraph
 # input (profile-artifacts/profile.collapsed), a Chrome trace, and the

@@ -475,6 +475,47 @@ def _build_parser() -> argparse.ArgumentParser:
         "--history", type=int, default=20,
         help="how many recent transitions to print (default 20)",
     )
+    obs_inc = obs_sub.add_parser(
+        "incidents",
+        help=(
+            "list, show, or export flight-recorder incidents from a "
+            "live /v1/incidents endpoint or an incidents.json"
+        ),
+    )
+    obs_inc.add_argument(
+        "action", nargs="?", default="list",
+        choices=("list", "show", "export"),
+        help=(
+            "list the incident timeline, show one incident with its "
+            "recorder slice, or export self-contained JSON bundles"
+        ),
+    )
+    obs_inc.add_argument(
+        "incident", nargs="?", default=None,
+        help="incident id for show/export (e.g. inc-001)",
+    )
+    obs_inc.add_argument(
+        "--from", dest="source", default=None, metavar="FILE",
+        help=(
+            "an incidents.json written by 'repro serve --obs', "
+            "'repro stream --obs', or 'repro run ext_incidents --out'"
+        ),
+    )
+    obs_inc.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a live control plane (fetches /v1/incidents)",
+    )
+    obs_inc.add_argument(
+        "--out", default="incident-artifacts", metavar="DIR",
+        help=(
+            "bundle output directory for 'export' "
+            "(default incident-artifacts)"
+        ),
+    )
+    obs_inc.add_argument(
+        "--check", action="store_true",
+        help="exit non-zero if any incident is still open (the CI gate)",
+    )
     obs_prof = obs_sub.add_parser(
         "profile",
         help=(
@@ -837,6 +878,24 @@ def _stream(args) -> int:
             from .obs.health import Dashboard
 
             dashboard = Dashboard()
+    # The flight recorder rides along whenever someone is watching or
+    # artifacts were requested; it never changes the fold itself.
+    forensics = None
+    if args.watch or args.obs or args.obs_dir:
+        from .obs.forensics import Forensics
+        from .serve.jobs import JobStateIndex
+
+        reference = (
+            monitor.drift.reference
+            if monitor is not None and monitor.drift is not None
+            else None
+        )
+        forensics = Forensics(
+            reference=reference,
+            tagger=JobStateIndex(log),
+            monitor=monitor,
+        )
+        engine.attach_recorder(forensics)
     # --watch refreshes at the snapshot cadence; plain snapshots stay
     # opt-in via --snapshot-every as before.
     watch_every = args.snapshot_every or 20
@@ -853,6 +912,7 @@ def _stream(args) -> int:
                         campaign_energy_mwh=campaign_mwh,
                     ),
                     monitor,
+                    forensics=forensics,
                 )
             elif args.snapshot_every and (i + 1) % args.snapshot_every == 0:
                 snap = engine.snapshot(
@@ -875,7 +935,7 @@ def _stream(args) -> int:
             campaign_energy_mwh=campaign_mwh,
         )
         if dashboard is not None:
-            dashboard.update(snap, monitor)
+            dashboard.update(snap, monitor, forensics=forensics)
         label = (
             "live (stream paused)" if args.max_chunks else "final (drained)"
         )
@@ -890,6 +950,29 @@ def _stream(args) -> int:
             )
             if args.obs or args.obs_dir:
                 _write_health_state(monitor, args.obs_dir or "obs")
+        if forensics is not None:
+            summary = forensics.summary()
+            print(
+                f"\nincidents: {summary['incidents_open']} open / "
+                f"{summary['incidents_total']} total "
+                f"({summary['findings_total']} findings over "
+                f"{summary['windows_recorded']} windows)"
+            )
+            if summary["incidents_total"]:
+                print(forensics.timeline())
+            if args.obs or args.obs_dir:
+                from .obs.forensics import write_forensics_artifacts
+
+                paths = write_forensics_artifacts(
+                    args.obs_dir or "obs",
+                    forensics,
+                    command="repro stream",
+                    registry=(
+                        monitor.registry if monitor is not None else None
+                    ),
+                    monitor=monitor,
+                )
+                print(f"incidents written to {paths['incidents'][0]}")
     finally:
         if server is not None:
             server.close()
@@ -948,7 +1031,7 @@ def _serve(args) -> int:
     print(f"control plane serving on {server.url}")
     print(
         "endpoints: /v1/fleet/cap /v1/fleet/savings /v1/jobs "
-        "/v1/policy /metrics /health /alerts"
+        "/v1/incidents /v1/policy /metrics /health /alerts"
     )
     sys.stdout.flush()
     try:
@@ -999,8 +1082,29 @@ def _serve(args) -> int:
         f"health: {doc['status']} ({doc['firing']} firing / "
         f"{len(doc['rules'])} rules, {doc['evaluations']} evaluations)"
     )
+    if plane.forensics is not None:
+        summary = plane.forensics.summary()
+        print(
+            f"incidents: {summary['incidents_open']} open / "
+            f"{summary['incidents_total']} total "
+            f"({summary['findings_total']} findings over "
+            f"{summary['windows_recorded']} windows)"
+        )
+        if summary["incidents_total"]:
+            print(plane.forensics.timeline())
     if args.obs or args.obs_dir:
         _write_health_state(monitor, args.obs_dir or "obs")
+        if plane.forensics is not None:
+            from .obs.forensics import write_forensics_artifacts
+
+            paths = write_forensics_artifacts(
+                args.obs_dir or "obs",
+                plane.forensics,
+                command="repro serve",
+                registry=plane.registry,
+                monitor=monitor,
+            )
+            print(f"incidents written to {paths['incidents'][0]}")
     return 0
 
 
@@ -1050,17 +1154,167 @@ def _obs_alerts(args) -> int:
     return 1 if (args.check and firing) else 0
 
 
+def _fetch_incidents(base: str) -> dict:
+    """One live /v1/incidents poll, reshaped like an incidents.json."""
+    import json
+
+    from .errors import ForensicsError
+    from .obs.health import fetch_url
+
+    status, body = fetch_url(base + "/v1/incidents")
+    if status != 200:
+        raise ForensicsError(
+            f"GET {base}/v1/incidents -> {status}: {body.strip()}"
+        )
+    doc = json.loads(body)
+    # Per-incident recorder slices live behind /v1/incidents/{id}; fold
+    # them into a "records" list so bundle slicing works identically on
+    # live and file sources.
+    records = {}
+    for incident in doc.get("incidents") or []:
+        status, body = fetch_url(
+            base + "/v1/incidents/" + incident["id"]
+        )
+        if status != 200:
+            continue
+        for record in json.loads(body).get("records") or []:
+            records[record["index"]] = record
+    doc["records"] = [records[i] for i in sorted(records)]
+    doc["command"] = f"GET {base}/v1/incidents"
+    return doc
+
+
+def _obs_incidents(args) -> int:
+    from pathlib import Path
+
+    from .obs.forensics import build_bundle, load_forensics, render_doc
+    from .obs.forensics import render_timeline
+
+    if (args.source is None) == (args.url is None):
+        print(
+            "obs incidents needs exactly one of --from FILE or --url",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "show" and args.incident is None:
+        print("obs incidents show needs an incident id", file=sys.stderr)
+        return 2
+
+    if args.url is not None:
+        origin = args.url.rstrip("/")
+        doc = _fetch_incidents(origin)
+    else:
+        origin = args.source
+        doc = load_forensics(args.source)
+    incidents = doc.get("incidents") or []
+    open_ids = [i["id"] for i in incidents if i.get("status") == "open"]
+
+    if args.action == "list":
+        summary = doc.get("summary") or {}
+        head = (
+            f"incidents from {origin}: {len(open_ids)} open / "
+            f"{len(incidents)} total"
+        )
+        if summary.get("windows_recorded") is not None:
+            head += (
+                f" ({summary['windows_recorded']} windows recorded, "
+                f"{summary.get('findings_total', 0)} findings)"
+            )
+        print(head)
+        print(render_timeline(incidents))
+    elif args.action == "show":
+        bundle = build_bundle(doc, args.incident)
+        incident = bundle["incident"]
+        print(render_timeline(
+            [incident], title=f"incident {args.incident} from {origin}:"
+        ))
+        findings = incident.get("findings") or []
+        if findings:
+            print("findings:")
+            for f in findings:
+                print(
+                    f"  window {f['window_index']:>5}  "
+                    f"[{f['t_start_s']:>9,.0f} s .. "
+                    f"{f['t_end_s']:>9,.0f} s] "
+                    f"value={f['value']:g} (threshold {f['threshold']:g})"
+                )
+        records = bundle.get("records") or []
+        if records:
+            print(
+                f"recorder slice: {len(records)} windows "
+                f"({records[0]['index']}..{records[-1]['index']}), "
+                f"energy {sum(r['energy_j'] for r in records):,.0f} J"
+            )
+    else:  # export
+        out = Path(args.out)
+        out.mkdir(parents=True, exist_ok=True)
+        ids = [args.incident] if args.incident else [
+            i["id"] for i in incidents
+        ]
+        written = []
+        for incident_id in ids:
+            bundle = build_bundle(doc, incident_id)
+            path = out / f"incident_{incident_id}.json"
+            path.write_text(render_doc(bundle))
+            written.append(path)
+        print(
+            f"exported {len(written)} bundle(s) from {origin} to {out}"
+        )
+        for path in written:
+            print(f"  {path}")
+
+    if args.check and open_ids:
+        print(
+            f"CHECK FAILED: {len(open_ids)} incident(s) still open: "
+            f"{', '.join(open_ids)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _obs_summary_url(url: str) -> int:
     from .obs.health import fetch_url
-    from .obs.metrics import parse_prometheus_text
+    from .obs.metrics import (
+        histogram_quantile,
+        parse_histograms,
+        parse_prometheus_text,
+    )
 
     base = url.rstrip("/")
-    values = parse_prometheus_text(fetch_url(base + "/metrics")[1])
+    text = fetch_url(base + "/metrics")[1]
+    values = parse_prometheus_text(text)
     print(f"live metrics @ {base} ({len(values)} series):")
     if values:
         width = max(len(k) for k in values)
         for key, value in sorted(values.items()):
             print(f"  {key:<{width}} {value:>14g}")
+    histograms = parse_histograms(text)
+    if histograms:
+        print()
+        print("histogram quantiles:")
+        print(
+            f"  {'series':<52} {'count':>8} {'p50':>10} "
+            f"{'p90':>10} {'p99':>10}"
+        )
+        for name, series in sorted(histograms.items()):
+            for key, entry in sorted(series.items()):
+                labels = (
+                    "{" + ",".join(f"{k}={v}" for k, v in key) + "}"
+                    if key else ""
+                )
+                shown = f"{name}{labels}"
+                quantiles = [
+                    histogram_quantile(entry["buckets"], q)
+                    for q in (0.5, 0.9, 0.99)
+                ]
+                cells = " ".join(
+                    f"{q:>10.4g}" if q is not None else f"{'-':>10}"
+                    for q in quantiles
+                )
+                print(
+                    f"  {shown:<52} {entry['count']:>8g} {cells}"
+                )
     return 0
 
 
@@ -1149,6 +1403,8 @@ def _obs_command(args) -> int:
 
     if args.obs_command == "alerts":
         return _obs_alerts(args)
+    if args.obs_command == "incidents":
+        return _obs_incidents(args)
     if args.obs_command == "profile":
         return _obs_profile(args)
     if args.obs_command == "summary":

@@ -55,5 +55,9 @@ class HealthError(ObservabilityError):
     """An alert rule, drift reference, or health endpoint is invalid."""
 
 
+class ForensicsError(ObservabilityError):
+    """A flight-recorder, detector, or incident operation is invalid."""
+
+
 class ServeError(ReproError):
     """A control-plane request, objective, or server operation is invalid."""

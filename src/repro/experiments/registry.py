@@ -111,6 +111,8 @@ _TABLE: Dict[str, tuple] = {
                      "repro.experiments.ext_frontier", "run"),
     "ext_controlplane": ("Closed-loop control plane banking energy live",
                          "repro.experiments.ext_controlplane", "run"),
+    "ext_incidents": ("Flight-recorder forensics under injected faults",
+                      "repro.experiments.ext_incidents", "run"),
 }
 
 EXPERIMENT_IDS = tuple(_TABLE)

@@ -90,7 +90,7 @@ def __getattr__(name):
     # would close that cycle during interpreter start-up.  profiling is
     # lazy for cost, not cycles: nothing pays for the profiler until
     # start_profiling() is called.
-    if name in ("health", "profiling"):
+    if name in ("health", "profiling", "forensics"):
         import importlib
 
         return importlib.import_module(f".{name}", __name__)
@@ -100,6 +100,7 @@ def __getattr__(name):
 __all__ = [
     "health",
     "profiling",
+    "forensics",
     "manifest",
     "RunManifest",
     "build_manifest",

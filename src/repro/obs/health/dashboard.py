@@ -32,6 +32,7 @@ def render_dashboard(
     *,
     frame: int = 0,
     history: int = 5,
+    forensics=None,
 ) -> str:
     """One dashboard frame as plain text (no ANSI)."""
     stats = snapshot.stats
@@ -77,6 +78,7 @@ def render_dashboard(
 
     if monitor is None:
         lines.append("alerts: health monitoring off")
+        lines.extend(_incident_pane(forensics))
         return "\n".join(lines)
 
     states = monitor.alerts.rule_states()
@@ -97,7 +99,31 @@ def render_dashboard(
     recent = list(monitor.alerts.history)[-history:]
     if recent:
         lines.append(render_events(recent, title="recent transitions:"))
+    lines.extend(_incident_pane(forensics))
     return "\n".join(lines)
+
+
+def _incident_pane(forensics, *, recent: int = 3) -> List[str]:
+    """The flight-recorder incidents pane (empty when no recorder)."""
+    if forensics is None:
+        return []
+    summary = forensics.summary()
+    lines = [
+        "",
+        f"incidents: {summary['incidents_open']} open / "
+        f"{summary['incidents_total']} total "
+        f"({summary['windows_recorded']} windows recorded, "
+        f"{summary['findings_total']} findings)",
+    ]
+    for incident in forensics.incidents.incidents[-recent:]:
+        marker = "!" if incident.open else " "
+        lines.append(
+            f"  [{marker}] {incident.id} {incident.detector:<18} "
+            f"[{incident.severity}] windows "
+            f"{incident.first_window}..{incident.last_window} "
+            f"{incident.status}"
+        )
+    return lines
 
 
 class Dashboard:
@@ -113,9 +139,12 @@ class Dashboard:
         self.frame = 0
         self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
 
-    def update(self, snapshot, monitor: Optional[HealthMonitor]) -> None:
+    def update(self, snapshot, monitor: Optional[HealthMonitor],
+               forensics=None) -> None:
         self.frame += 1
-        body = render_dashboard(snapshot, monitor, frame=self.frame)
+        body = render_dashboard(
+            snapshot, monitor, frame=self.frame, forensics=forensics,
+        )
         if self._tty:
             self.stream.write(_ANSI_REDRAW + body + "\n")
         else:

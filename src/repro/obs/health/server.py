@@ -84,6 +84,8 @@ class _Handler(JsonRequestHandler):
                 self._send_json(404, {"error": f"no endpoint {path}"})
         except (BrokenPipeError, ConnectionResetError):
             pass
+        except Exception as exc:
+            self._send_error_500(exc)
 
 
 class HealthServer(HttpService):
@@ -123,6 +125,13 @@ class HealthServer(HttpService):
     def _configure(self, server: ThreadingHTTPServer) -> None:
         server.registry = self.registry
         server.monitor = self.monitor
+        server.on_handler_error = self._on_handler_error
+
+    def _on_handler_error(self, path: str, exc: BaseException) -> None:
+        self.registry.counter(
+            "http_handler_errors_total",
+            "unhandled handler exceptions answered with a 500",
+        ).inc()
 
 
 def fetch_url(url: str, *, timeout_s: float = 5.0) -> Tuple[int, str]:

@@ -51,9 +51,35 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
     wbufsize = -1
     disable_nagle_algorithm = True
 
+    #: Largest request body accepted; anything bigger is refused
+    #: unread (the connection is closed rather than the body drained,
+    #: so a hostile client cannot make the server buffer a gigabyte).
+    max_body_bytes = 1 << 20
+
     # Machine-facing endpoints; request logging is noise.
     def log_message(self, fmt, *args):  # noqa: ARG002
         pass
+
+    def _send_error_500(self, exc: BaseException) -> None:
+        """Last-resort answer for an unexpected handler exception.
+
+        Counts the crash on the bound server (``handler_errors`` plus
+        the optional ``on_handler_error`` hook) and answers a framed
+        500, so a bug in one route neither kills the keep-alive
+        connection silently nor hides from the metrics.
+        """
+        server = self.server
+        server.handler_errors = getattr(server, "handler_errors", 0) + 1
+        hook = getattr(server, "on_handler_error", None)
+        if hook is not None:
+            hook(self.path, exc)
+        try:
+            self._send_json(
+                500,
+                {"error": f"internal error: {type(exc).__name__}: {exc}"},
+            )
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass
 
     def _send_bytes(
         self, status: int, content_type: str, payload: bytes
@@ -61,6 +87,10 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(payload)))
+        if self.close_connection:
+            # Tell keep-alive clients the truth (e.g. after a refused
+            # oversized body the unread bytes make reuse unsafe).
+            self.send_header("Connection", "close")
         self.end_headers()
         self.wfile.write(payload)
 
@@ -74,12 +104,21 @@ class JsonRequestHandler(BaseHTTPRequestHandler):
         )
 
     def _read_json_body(self) -> dict:
-        """The request body as a JSON object ({} when absent/malformed)."""
+        """The request body as a JSON object ({} when absent/malformed).
+
+        Bodies larger than :attr:`max_body_bytes` are refused without
+        reading: the connection is marked for close (keep-alive framing
+        would otherwise desynchronize on the unread bytes) and the
+        request proceeds as if no body arrived.
+        """
         try:
             length = int(self.headers.get("Content-Length", 0))
         except (TypeError, ValueError):
             length = 0
         if length <= 0:
+            return {}
+        if length > self.max_body_bytes:
+            self.close_connection = True
             return {}
         raw = self.rfile.read(length)
         try:
@@ -123,6 +162,8 @@ class HttpService:
                 f"{self._requested_port}: {exc}"
             ) from exc
         server.daemon_threads = True
+        server.handler_errors = 0
+        server.on_handler_error = None
         self._configure(server)
         self._server = server
         self._thread = threading.Thread(
@@ -153,6 +194,12 @@ class HttpService:
     @property
     def running(self) -> bool:
         return self._server is not None
+
+    @property
+    def handler_errors(self) -> int:
+        """Unexpected handler exceptions answered with a 500 so far."""
+        server = self._server
+        return getattr(server, "handler_errors", 0) if server else 0
 
     # -- addressing ---------------------------------------------------------------
 

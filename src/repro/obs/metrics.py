@@ -218,13 +218,22 @@ class MetricsRegistry:
             for key, metric in sorted(fam["series"].items()):
                 if fam["kind"] == "histogram":
                     cumulative = 0
+                    # ``le`` is sorted in with the series labels, not
+                    # appended, so every exported line has its label
+                    # keys in sorted order — the same canonical form
+                    # ``_labels_key`` gives series keys.  Byte-stable
+                    # output for any label insertion order.
                     for bound, n in zip(
                         fam["buckets"], metric.bucket_counts
                     ):
                         cumulative += n
-                        le = _render_labels(key + (("le", f"{bound:g}"),))
+                        le = _render_labels(tuple(sorted(
+                            key + (("le", f"{bound:g}"),)
+                        )))
                         lines.append(f"{name}_bucket{le} {cumulative}")
-                    le = _render_labels(key + (("le", "+Inf"),))
+                    le = _render_labels(tuple(sorted(
+                        key + (("le", "+Inf"),)
+                    )))
                     lines.append(f"{name}_bucket{le} {metric.count}")
                     lbl = _render_labels(key)
                     lines.append(f"{name}_sum{lbl} {metric.sum:g}")
@@ -290,13 +299,25 @@ class MetricsRegistry:
         return out
 
 
+#: One exposition sample: ``name{labels} value`` (labels optional).
+_SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$"
+)
+#: One ``key="value"`` pair inside a label block (escapes included).
+_LABEL_PAIR_RE = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
 def parse_prometheus_text(text: str) -> Dict[str, float]:
     """Flat ``{name{labels}: value}`` from Prometheus exposition text.
 
     The inverse of :meth:`MetricsRegistry.to_prometheus` for the sample
     lines (comments and malformed lines are skipped; series keys keep
     their label string verbatim).  Lets ``repro obs summary --url`` read
-    a live ``/metrics`` endpoint with no client dependency.
+    a live ``/metrics`` endpoint with no client dependency.  For
+    structured access to labels and histograms, see
+    :func:`parse_prometheus_series` and :func:`parse_histograms`.
     """
     out: Dict[str, float] = {}
     for line in text.splitlines():
@@ -312,4 +333,115 @@ def parse_prometheus_text(text: str) -> Dict[str, float]:
         except ValueError:
             continue
     return out
+
+
+def parse_prometheus_series(
+    text: str,
+) -> Dict[str, list]:
+    """Structured parse: ``{name: [(labels_dict, value), ...]}``.
+
+    Label values are unescaped (``\\"`` and ``\\\\``); comments and
+    malformed lines are skipped, like :func:`parse_prometheus_text`.
+    """
+    out: Dict[str, list] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            continue
+        name, label_block, raw = match.groups()
+        try:
+            value = float(raw)
+        except ValueError:
+            continue
+        labels = {
+            k: re.sub(r"\\(.)", r"\1", v)
+            for k, v in _LABEL_PAIR_RE.findall(label_block or "")
+        }
+        out.setdefault(name, []).append((labels, value))
+    return out
+
+
+def parse_histograms(text: str) -> Dict[str, dict]:
+    """Histogram families reassembled from ``_bucket``/``_sum``/``_count``.
+
+    Returns ``{base_name: {labels_key: series}}`` where ``labels_key``
+    is the sorted label tuple *without* ``le`` and each series is
+    ``{"labels": dict, "buckets": [(bound, cumulative), ...],
+    "sum": float, "count": float}`` with buckets sorted by bound
+    (``+Inf`` becomes ``math.inf``).  Feed a series' buckets to
+    :func:`histogram_quantile` for latency quantiles.
+    """
+    out: Dict[str, dict] = {}
+
+    def slot(base: str, labels: Dict[str, str]) -> dict:
+        key = tuple(sorted(labels.items()))
+        return out.setdefault(base, {}).setdefault(key, {
+            "labels": dict(sorted(labels.items())),
+            "buckets": [], "sum": 0.0, "count": 0.0,
+        })
+
+    for name, rows in parse_prometheus_series(text).items():
+        if name.endswith("_bucket"):
+            base = name[: -len("_bucket")]
+            for labels, value in rows:
+                le = labels.get("le")
+                if le is None:
+                    continue
+                if le in ("+Inf", "Inf", "inf"):
+                    bound = math.inf
+                else:
+                    try:
+                        bound = float(le)
+                    except ValueError:
+                        continue
+                rest = {k: v for k, v in labels.items() if k != "le"}
+                slot(base, rest)["buckets"].append((bound, value))
+        elif name.endswith("_sum"):
+            for labels, value in rows:
+                slot(name[: -len("_sum")], labels)["sum"] = value
+        elif name.endswith("_count"):
+            for labels, value in rows:
+                slot(name[: -len("_count")], labels)["count"] = value
+    # Drop families that never saw a bucket line (plain counters whose
+    # names merely end in _sum/_count), and order buckets by bound.
+    for base in [b for b, series in out.items()
+                 if all(not s["buckets"] for s in series.values())]:
+        del out[base]
+    for series in out.values():
+        for entry in series.values():
+            entry["buckets"].sort(key=lambda bc: bc[0])
+    return out
+
+
+def histogram_quantile(buckets, q: float) -> Optional[float]:
+    """The ``q`` quantile from cumulative ``(bound, count)`` buckets.
+
+    PromQL ``histogram_quantile`` semantics: linear interpolation
+    inside the bucket where the rank falls, a lower bound of 0 for the
+    first finite bucket, and the highest finite bound when the rank
+    lands in ``+Inf``.  Returns ``None`` for empty histograms.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ObservabilityError(f"quantile must be in [0, 1], got {q}")
+    buckets = sorted(buckets, key=lambda bc: bc[0])
+    if not buckets or buckets[-1][1] <= 0:
+        return None
+    rank = q * buckets[-1][1]
+    prev_bound, prev_cum = 0.0, 0.0
+    for bound, cum in buckets:
+        if cum >= rank:
+            if math.isinf(bound):
+                return prev_bound
+            if cum <= prev_cum:
+                return bound
+            return prev_bound + (bound - prev_bound) * (
+                (rank - prev_cum) / (cum - prev_cum)
+            )
+        if math.isfinite(bound):
+            prev_bound = bound
+        prev_cum = cum
+    return prev_bound
 

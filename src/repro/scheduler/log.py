@@ -8,7 +8,8 @@ which job (if any) ran on a node at a given time.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from functools import cached_property
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -90,6 +91,26 @@ class SchedulerLog:
         out[valid] = ids[idx[valid]]
         return out
 
+    @cached_property
+    def _sorted_alloc_arrays(
+        self,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Allocation columns sorted by ``(node, start)``, built once.
+
+        The log is frozen after a run, but :meth:`job_id_table` runs per
+        chunk in the streaming join and per window in the forensics job
+        tagger — rebuilding these arrays from the Python allocation list
+        each call dominated its cost.
+        """
+        a_node = np.array([a.node_id for a in self.allocations], dtype=np.int64)
+        a_start = np.array([a.start_time_s for a in self.allocations])
+        a_end = np.array([a.end_time_s for a in self.allocations])
+        a_jid = np.array([a.job_id for a in self.allocations], dtype=np.int64)
+        order = np.lexsort((a_start, a_node))
+        return (
+            a_node[order], a_start[order], a_end[order], a_jid[order]
+        )
+
     def job_id_table(
         self, times_s: np.ndarray, node_ids: np.ndarray
     ) -> np.ndarray:
@@ -106,13 +127,7 @@ class SchedulerLog:
         out = np.zeros(len(times_s), dtype=np.int64)
         if not self.allocations or not len(times_s):
             return out
-        a_node = np.array([a.node_id for a in self.allocations], dtype=np.int64)
-        a_start = np.array([a.start_time_s for a in self.allocations])
-        a_end = np.array([a.end_time_s for a in self.allocations])
-        a_jid = np.array([a.job_id for a in self.allocations], dtype=np.int64)
-        order = np.lexsort((a_start, a_node))
-        a_node, a_start = a_node[order], a_start[order]
-        a_end, a_jid = a_end[order], a_jid[order]
+        a_node, a_start, a_end, a_jid = self._sorted_alloc_arrays
 
         # Composite key: node major, start/time minor.  K exceeds every
         # time coordinate so keys from different nodes never interleave.

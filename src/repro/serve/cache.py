@@ -71,6 +71,7 @@ class ServeView:
         decision: CapDecision,
         policy_version: int = 1,
         published_wall_s: Optional[float] = None,
+        incidents: Optional[dict] = None,
     ) -> None:
         self.version = version
         self.policy = dict(policy)
@@ -80,6 +81,9 @@ class ServeView:
         self.factors = factors
         self.decision = decision
         self.policy_version = policy_version
+        #: Frozen forensics snapshot (``Forensics.serve_doc()`` shape);
+        #: ``None`` when the plane runs without a flight recorder.
+        self.incidents = incidents
         self.published_wall_s = (
             published_wall_s if published_wall_s is not None else time.time()
         )
@@ -136,6 +140,15 @@ class ServeView:
                 return 200, self._job_cap_doc(job_id)
             if len(parts) == 3 and parts[2] == "savings":
                 return 200, self._job_savings_doc(job_id)
+        if parts[0] == "incidents":
+            if self.incidents is None:
+                return 404, {
+                    "error": "forensics disabled (no flight recorder)"
+                }
+            if len(parts) == 1:
+                return 200, self._incidents_doc()
+            if len(parts) == 2:
+                return self._incident_doc(parts[1])
         return 404, {"error": f"no endpoint /v1/{route}"}
 
     def _head(self) -> dict:
@@ -244,6 +257,26 @@ class ServeView:
         doc["policy"] = self.policy
         doc["decision"] = self._job_decision(job_id).to_dict()
         return doc
+
+    def _incidents_doc(self) -> dict:
+        doc = self._head()
+        doc["summary"] = self.incidents.get("summary", {})
+        doc["open"] = self.incidents.get("open", 0)
+        doc["total"] = self.incidents.get("total", 0)
+        doc["incidents"] = self.incidents.get("incidents", [])
+        return doc
+
+    def _incident_doc(self, incident_id: str) -> Tuple[int, dict]:
+        for incident in self.incidents.get("incidents", []):
+            if incident["id"] == incident_id:
+                doc = self._head()
+                doc["incident"] = incident
+                doc["records"] = (
+                    self.incidents.get("records_by_id", {})
+                    .get(incident_id, [])
+                )
+                return 200, doc
+        return 404, {"error": f"no incident {incident_id}"}
 
     def _job_savings_doc(self, job_id: int) -> dict:
         decision = self._job_decision(job_id)

@@ -11,6 +11,8 @@ behavior) with the serving endpoints:
 ``GET /v1/jobs/{id}``                 one job: metadata + energy + decision
 ``GET /v1/jobs/{id}/cap``             that job's recommended cap
 ``GET /v1/jobs/{id}/savings``         that job's savings-so-far
+``GET /v1/incidents``                 incident list from the flight recorder
+``GET /v1/incidents/{id}``            one incident + its recorder slice
 ``GET /v1/policy``                    active objective + available plug-ins
 ``POST /v1/policy``                   switch objective / slowdown budget
 ``POST /v1/admin/shutdown``           graceful stop (CLI serve loop exits)
@@ -46,6 +48,7 @@ _INDEX_TEXT = (
     "repro control plane\n"
     "endpoints: /v1/fleet/cap /v1/fleet/savings /v1/jobs "
     "/v1/jobs/{id} /v1/jobs/{id}/cap /v1/jobs/{id}/savings "
+    "/v1/incidents /v1/incidents/{id} "
     "/v1/policy (GET/POST) /v1/admin/shutdown (POST) "
     "/metrics /health /alerts\n"
 )
@@ -85,6 +88,9 @@ class _Handler(JsonRequestHandler):
         except ServeError as exc:
             status = 400
             self._send_json(status, {"error": str(exc)})
+        except Exception as exc:
+            status = 500
+            self._send_error_500(exc)
         finally:
             plane.observe_request(
                 endpoint, status, time.perf_counter() - t0, view
@@ -153,6 +159,10 @@ class _Handler(JsonRequestHandler):
             key = rest
             tail = "/" + parts[2] if len(parts) == 3 else ""
             endpoint = "/v1/jobs/{id}" + tail
+        elif parts[0] == "incidents" and len(parts) == 1:
+            key, endpoint = "incidents", "/v1/incidents"
+        elif parts[0] == "incidents" and len(parts) == 2:
+            key, endpoint = rest, "/v1/incidents/{id}"
         else:
             self._send_json(404, {"error": f"no endpoint {path}"})
             return path, 404
@@ -179,3 +189,12 @@ class ControlPlaneServer(HttpService):
 
     def _configure(self, server: ThreadingHTTPServer) -> None:
         server.plane = self.plane
+        server.on_handler_error = self._on_handler_error
+
+    def _on_handler_error(self, path: str, exc: BaseException) -> None:
+        plane = self.plane
+        with plane.metrics_lock:
+            plane.registry.counter(
+                "serve_handler_errors_total",
+                "unhandled handler exceptions answered with a 500",
+            ).inc()

@@ -103,6 +103,7 @@ class ControlPlane:
         lateness_s: float = 0.0,
         monitor=None,
         registry: Optional[MetricsRegistry] = None,
+        forensics=True,
     ) -> None:
         self.log = log
         self.factors = (
@@ -127,6 +128,23 @@ class ControlPlane:
         self.monitor = monitor
         if monitor is not None:
             self.engine.attach_health(monitor)
+        # The flight recorder rides the same window-observer hook,
+        # *after* the per-job fold, so a record sees the decision that
+        # was in force while its window's samples were charged (window
+        # observers run before refresh() republishes).
+        if forensics is True:
+            from ..obs.forensics import Forensics
+
+            forensics = Forensics(
+                tagger=self.index, monitor=monitor, interval_s=interval_s,
+            )
+        self.forensics = forensics if forensics else None
+        if self.forensics is not None:
+            self.forensics.set_tagger(self.index)
+            if monitor is not None and self.forensics.monitor is None:
+                self.forensics.set_monitor(monitor)
+            self.forensics.set_decision_feed(self._decision_feed)
+            self.engine.attach_recorder(self.forensics)
         self.registry = (
             registry
             if registry is not None
@@ -203,6 +221,11 @@ class ControlPlane:
                     objective=policy["objective"],
                     max_slowdown_pct=policy["max_slowdown_pct"],
                 )
+                incidents = (
+                    self.forensics.serve_doc()
+                    if self.forensics is not None
+                    else None
+                )
                 view = self.cache.publish(
                     lambda version: ServeView(
                         version=version,
@@ -213,6 +236,7 @@ class ControlPlane:
                         factors=self.factors,
                         decision=decision,
                         policy_version=policy_version,
+                        incidents=incidents,
                     )
                 )
             with self.metrics_lock:
@@ -277,6 +301,24 @@ class ControlPlane:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    def _decision_feed(self):
+        """What the flight recorder stamps on each sealed window.
+
+        Reads the *published* view — the decision a live fleet was
+        acting on while the window's samples were generated — not the
+        decision the window itself will produce after the next refresh.
+        """
+        view = self.cache.view
+        if view is None:
+            return (None, None, None, None)
+        decision = view.decision
+        return (
+            decision.cap if decision.capped else None,
+            view.policy.get("objective"),
+            view.version,
+            _frontier_s(view.snap.stats),
+        )
 
     # -- metrics ------------------------------------------------------------------
 

@@ -172,6 +172,9 @@ class StreamEngine:
         #: Optional :class:`repro.obs.health.HealthMonitor`, evaluated
         #: after every ingest call that folded windows (and at drain).
         self.health = None
+        #: Optional :class:`repro.obs.forensics.Forensics` facade,
+        #: attached via :meth:`attach_recorder`.
+        self.forensics = None
         self._window_observers: List = []
         self._metric_sources: List = []
 
@@ -197,6 +200,23 @@ class StreamEngine:
         Non-finite values are dropped like the built-ins.
         """
         self._metric_sources.append(fn)
+        return self
+
+    def attach_recorder(self, forensics) -> "StreamEngine":
+        """Attach a flight-recorder facade (:mod:`repro.obs.forensics`).
+
+        The facade rides the window-observer hook — every sealed window
+        is compacted into its bounded ring and run through the anomaly
+        detectors, in canonical fold order — and its gauges
+        (``forensics_*``) ride the metric-source hook.  Like the health
+        monitor, the recorder only *reads* windows, so attaching one
+        leaves every analytic output bitwise unchanged (asserted in
+        ``tests/obs/test_forensics.py``).
+        """
+        forensics.bind_engine(self)
+        self.forensics = forensics
+        self.add_window_observer(forensics.observe_window)
+        self.add_metric_source(forensics.metric_values)
         return self
 
     def attach_health(self, monitor) -> "StreamEngine":
@@ -244,6 +264,8 @@ class StreamEngine:
                     self.accumulator.update(window)
                 for observer in self._window_observers:
                     observer(window)
+        if self.forensics is not None:
+            self.forensics.finalize()
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)

@@ -24,7 +24,8 @@ class TestRegistry:
         extensions = {"ext_policy", "ext_validation", "ext_robustness",
                       "ext_replay", "ext_proxies", "ext_budget",
                       "ext_governor", "ext_boost", "ext_sensitivity",
-                      "ext_stream", "ext_frontier", "ext_controlplane"}
+                      "ext_stream", "ext_frontier", "ext_controlplane",
+                      "ext_incidents"}
         assert set(EXPERIMENT_IDS) == paper | extensions
 
     def test_unknown_experiment(self):

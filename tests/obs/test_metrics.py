@@ -2,10 +2,20 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.errors import ObservabilityError
-from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, MetricsRegistry
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Histogram,
+    MetricsRegistry,
+    histogram_quantile,
+    parse_histograms,
+    parse_prometheus_series,
+    parse_prometheus_text,
+)
 
 
 class TestSeries:
@@ -114,3 +124,141 @@ class TestExport:
         b.histogram("op_seconds", buckets=(0.5, 2.0))
         with pytest.raises(ObservabilityError):
             b.merge_state(state)
+
+
+class TestSortedLabelExport:
+    """Exposition text is byte-stable across label insertion orders."""
+
+    def test_label_keys_emit_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("reqs_total", zeta="1", alpha="2").inc()
+        assert 'reqs_total{alpha="2",zeta="1"} 1' in reg.to_prometheus()
+
+    def test_histogram_bucket_labels_emit_sorted(self):
+        reg = MetricsRegistry()
+        reg.histogram(
+            "lat_seconds", buckets=(0.1,), route="/x", method="GET"
+        ).observe(0.05)
+        text = reg.to_prometheus()
+        # ``le`` sorts into place with the series labels, not appended.
+        assert (
+            'lat_seconds_bucket{le="0.1",method="GET",route="/x"} 1'
+            in text
+        )
+        assert (
+            'lat_seconds_bucket{le="+Inf",method="GET",route="/x"} 1'
+            in text
+        )
+
+    def test_byte_stable_across_insertion_orders(self):
+        def build(order):
+            reg = MetricsRegistry()
+            for kwargs in order:
+                reg.counter("reqs_total", **kwargs).inc()
+                reg.histogram(
+                    "lat_seconds", buckets=(0.1, 1.0), **kwargs
+                ).observe(0.5)
+            return reg.to_prometheus()
+
+        a = build([{"b": "x", "a": "y"}, {"a": "q", "b": "p"}])
+        b = build([{"a": "q", "b": "p"}, {"b": "x", "a": "y"}])
+        assert a == b
+
+
+class TestPrometheusParsing:
+    TEXT = (
+        "# HELP serve_request_seconds latency\n"
+        "# TYPE serve_request_seconds histogram\n"
+        'serve_request_seconds_bucket{endpoint="/v1/jobs",le="0.001"} 5\n'
+        'serve_request_seconds_bucket{endpoint="/v1/jobs",le="0.01"} 9\n'
+        'serve_request_seconds_bucket{endpoint="/v1/jobs",le="+Inf"} 10\n'
+        'serve_request_seconds_sum{endpoint="/v1/jobs"} 0.042\n'
+        'serve_request_seconds_count{endpoint="/v1/jobs"} 10\n'
+        "plain_gauge 3.5\n"
+        'labeled_total{job="a b",esc="q\\"x\\\\y"} 7\n'
+    )
+
+    def test_flat_parse_keeps_label_strings_verbatim(self):
+        flat = parse_prometheus_text(self.TEXT)
+        assert flat["plain_gauge"] == 3.5
+        labeled = [k for k in flat if k.startswith("labeled_total{")]
+        assert len(labeled) == 1 and flat[labeled[0]] == 7.0
+
+    def test_series_parse_carries_labels_and_escapes(self):
+        series = parse_prometheus_series(self.TEXT)
+        assert series["plain_gauge"] == [({}, 3.5)]
+        ((labels, value),) = series["labeled_total"]
+        assert value == 7.0
+        assert labels == {"job": "a b", "esc": 'q"x\\y'}
+        buckets = series["serve_request_seconds_bucket"]
+        assert len(buckets) == 3
+        assert buckets[0][0] == {"endpoint": "/v1/jobs", "le": "0.001"}
+
+    def test_histograms_reassemble_per_label_set(self):
+        hists = parse_histograms(self.TEXT)
+        ((key, entry),) = hists["serve_request_seconds"].items()
+        assert key == (("endpoint", "/v1/jobs"),)
+        assert entry["labels"] == {"endpoint": "/v1/jobs"}
+        assert entry["sum"] == pytest.approx(0.042)
+        assert entry["count"] == 10.0
+        assert entry["buckets"] == [
+            (0.001, 5.0), (0.01, 9.0), (math.inf, 10.0)
+        ]
+        # Families with no _bucket lines are not histograms.
+        assert "plain_gauge" not in hists
+        assert "labeled_total" not in hists
+
+    def test_registry_roundtrip_through_the_parser(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "op_seconds", buckets=(0.1, 1.0), endpoint="/x"
+        )
+        for v in (0.05, 0.5, 5.0):
+            h.observe(v)
+        hists = parse_histograms(reg.to_prometheus())
+        ((_key, entry),) = hists["op_seconds"].items()
+        assert entry["count"] == 3.0
+        assert entry["buckets"] == [
+            (0.1, 1.0), (1.0, 2.0), (math.inf, 3.0)
+        ]
+        assert entry["sum"] == pytest.approx(5.55)
+
+
+class TestHistogramQuantile:
+    BUCKETS = [(0.001, 5.0), (0.01, 9.0), (math.inf, 10.0)]
+
+    def test_interpolates_within_a_bucket(self):
+        # rank 5 sits exactly at the first bound.
+        assert histogram_quantile(self.BUCKETS, 0.5) == pytest.approx(
+            0.001
+        )
+        # rank 9 sits at the second bound; rank 7 is halfway into it.
+        assert histogram_quantile(self.BUCKETS, 0.9) == pytest.approx(
+            0.01
+        )
+        assert histogram_quantile(self.BUCKETS, 0.7) == pytest.approx(
+            0.001 + (0.01 - 0.001) * 2.0 / 4.0
+        )
+
+    def test_first_bucket_interpolates_from_zero(self):
+        assert histogram_quantile(self.BUCKETS, 0.25) == pytest.approx(
+            0.001 * 2.5 / 5.0
+        )
+
+    def test_inf_rank_clamps_to_highest_finite_bound(self):
+        assert histogram_quantile(self.BUCKETS, 0.99) == pytest.approx(
+            0.01
+        )
+        assert histogram_quantile(self.BUCKETS, 1.0) == pytest.approx(
+            0.01
+        )
+
+    def test_degenerate_inputs_return_none(self):
+        assert histogram_quantile([], 0.5) is None
+        assert histogram_quantile([(math.inf, 0.0)], 0.5) is None
+
+    def test_out_of_range_quantile_rejected(self):
+        with pytest.raises(ObservabilityError):
+            histogram_quantile(self.BUCKETS, 1.5)
+        with pytest.raises(ObservabilityError):
+            histogram_quantile(self.BUCKETS, -0.1)

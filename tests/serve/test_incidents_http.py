@@ -1,0 +1,152 @@
+"""The ``/v1/incidents`` routes: list, forensic detail, error paths.
+
+A tiny synthetic fleet with one injected straggler makes the incident
+content deterministic: the flat power profile keeps every default
+detector quiet except the one the fault trips.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import constants, units
+from repro.obs.forensics import Forensics, default_detectors
+from repro.obs.health.drift import DriftReference
+from repro.obs.httpd import fetch_url
+from repro.scheduler import SlurmSimulator, default_mix
+from repro.serve import ControlPlane, ControlPlaneServer
+from repro.stream import replay_store
+from repro.telemetry.schema import TelemetryChunk
+from repro.telemetry.store import TelemetryStore
+
+NODES = 16
+WINDOW_TICKS = 40
+WINDOW_S = WINDOW_TICKS * constants.TELEMETRY_INTERVAL_S
+N_WINDOWS = 12
+STRAGGLER_NODE = 3
+STRAGGLER_WINDOWS = (4, 6)          # inclusive window-index span
+
+
+def synthetic_store() -> TelemetryStore:
+    ticks = N_WINDOWS * WINDOW_TICKS
+    time_s = np.repeat(
+        np.arange(ticks, dtype=np.float64)
+        * constants.TELEMETRY_INTERVAL_S,
+        NODES,
+    )
+    node_id = np.tile(np.arange(NODES, dtype=np.int32), ticks)
+    gpu = np.full(
+        (ticks * NODES, constants.GPUS_PER_NODE), 300.0,
+    )
+    window = (time_s // WINDOW_S).astype(int)
+    hot = (
+        (node_id == STRAGGLER_NODE)
+        & (window >= STRAGGLER_WINDOWS[0])
+        & (window <= STRAGGLER_WINDOWS[1])
+    )
+    gpu[hot, :] = 540.0
+    return TelemetryStore(TelemetryChunk(
+        time_s=time_s,
+        node_id=node_id,
+        gpu_power_w=gpu.astype(np.float32),
+        cpu_power_w=np.full(ticks * NODES, 100.0, dtype=np.float32),
+    ))
+
+
+def forensics_for_test() -> Forensics:
+    return Forensics(detectors=default_detectors(
+        reference=DriftReference(
+            gpu_hours_pct=(0.0, 100.0, 0.0, 0.0), label="all MI"
+        ),
+        z_threshold=6.0,
+        deviation_pct=50.0,
+    ))
+
+
+@pytest.fixture(scope="module")
+def served():
+    mix = default_mix(fleet_nodes=NODES)
+    log = SlurmSimulator(mix).run(units.days(0.2), rng=0)
+    plane = ControlPlane(
+        log, window_s=WINDOW_S, forensics=forensics_for_test(),
+    )
+    for chunk in replay_store(synthetic_store(), chunk_ticks=WINDOW_TICKS):
+        plane.ingest(chunk)
+    plane.drain()
+    server = plane.serve(port=0)
+    yield plane, server.url
+    plane.close()
+
+
+def get_doc(url: str):
+    status, body = fetch_url(url)
+    return status, json.loads(body)
+
+
+class TestIncidentRoutes:
+    def test_list_serves_the_deterministic_incident(self, served):
+        plane, url = served
+        status, doc = get_doc(url + "/v1/incidents")
+        assert status == 200
+        assert doc["version"] == plane.cache.view.version
+        assert doc["total"] == 1 and doc["open"] == 0
+        incident = doc["incidents"][0]
+        assert incident["id"] == "inc-001"
+        assert incident["detector"] == "straggler"
+        assert incident["status"] == "resolved"
+        assert (incident["first_window"], incident["last_window"]) == (
+            STRAGGLER_WINDOWS
+        )
+        assert incident["top_nodes"][0]["id"] == STRAGGLER_NODE
+        assert doc["summary"]["windows_recorded"] == N_WINDOWS
+
+    def test_detail_carries_the_recorder_slice(self, served):
+        _plane, url = served
+        status, doc = get_doc(url + "/v1/incidents/inc-001")
+        assert status == 200
+        assert doc["incident"]["id"] == "inc-001"
+        # The slice spans the incident padded one window each side.
+        assert [r["index"] for r in doc["records"]] == [3, 4, 5, 6, 7]
+        hot = doc["records"][1]
+        assert hot["top_nodes"][0]["node"] == STRAGGLER_NODE
+        # Records carry the decision context in force at sealing.
+        assert "cap" in hot and "published_version" in hot
+
+    def test_unknown_incident_is_404(self, served):
+        _plane, url = served
+        status, doc = get_doc(url + "/v1/incidents/inc-999")
+        assert status == 404
+        assert "inc-999" in doc["error"]
+
+    def test_index_advertises_the_routes(self, served):
+        _plane, url = served
+        _status, body = fetch_url(url + "/")
+        assert "/v1/incidents" in body
+
+    def test_incident_metrics_ride_the_scrape(self, served):
+        _plane, url = served
+        status, text = fetch_url(url + "/metrics")
+        assert status == 200
+        assert "forensics_windows_recorded" in text
+        assert "forensics_incidents_total 1" in text
+
+
+class TestForensicsDisabled:
+    def test_routes_answer_404_without_a_recorder(self):
+        mix = default_mix(fleet_nodes=4)
+        log = SlurmSimulator(mix).run(units.days(0.1), rng=0)
+        plane = ControlPlane(log, window_s=WINDOW_S, forensics=False)
+        assert plane.forensics is None
+        for chunk in replay_store(
+            synthetic_store(), chunk_ticks=WINDOW_TICKS
+        ):
+            plane.ingest(chunk)
+        plane.drain()
+        with ControlPlaneServer(plane, port=0) as server:
+            status, doc = get_doc(server.url + "/v1/incidents")
+            assert status == 404
+            assert "forensics disabled" in doc["error"]
+            status, _doc = get_doc(server.url + "/v1/incidents/inc-001")
+            assert status == 404
+        plane.close()
