@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard bench-serve bench-forensics profile
+.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard bench-serve bench-forensics bench-query profile
 
 # Tier-1 correctness suite.
 test:
@@ -50,6 +50,13 @@ bench-obs:
 bench-forensics:
 	$(PYTHON) benchmarks/bench_forensics.py --check --quick --history
 
+# Out-of-core history gate: ingest a 90-day synthetic campaign (~120 MB
+# of columns) with the peak-RSS delta held under 80 MB, gate full-span
+# range queries on the recorded p99 < 50 ms in benchmarks/BENCH_query.json,
+# and refold a seeded sample of rollup buckets bitwise.
+bench-query:
+	$(PYTHON) benchmarks/bench_query.py --check --history
+
 # Re-measure and rewrite the recorded baselines (run on the reference
 # machine after intentional perf changes).
 bench-record:
@@ -57,6 +64,7 @@ bench-record:
 	$(PYTHON) benchmarks/bench_shard.py --record
 	$(PYTHON) benchmarks/bench_serve.py --record
 	$(PYTHON) benchmarks/bench_forensics.py --record
+	$(PYTHON) benchmarks/bench_query.py --record
 
 # Span-linked profile of the table5 reference run: writes flamegraph
 # input (profile-artifacts/profile.collapsed), a Chrome trace, and the

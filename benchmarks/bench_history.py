@@ -83,6 +83,11 @@ def timings_from_results(results: dict) -> Dict[str, float]:
     if serve is not None:
         out["serve_p50_ms"] = serve["p50_ms"]
         out["serve_p99_ms"] = serve["p99_ms"]
+    query = results.get("history_query")
+    if query is not None:
+        out["query_ingest_ms"] = 1e3 * query["ingest_s"]
+        out["query_full_span_p99_ms"] = query["full_span"]["p99_ms"]
+        out["query_mixed_p99_ms"] = query["mixed"]["p99_ms"]
     return out
 
 

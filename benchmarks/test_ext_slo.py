@@ -1,0 +1,34 @@
+"""Bench: the SLO burn-rate timeline is exact, ordered, and replayable."""
+
+from conftest import run_once
+
+from repro.experiments import run
+
+
+def test_ext_slo(benchmark, bench_config):
+    result = run_once(benchmark, run, "ext_slo", bench_config)
+    print(result.text)
+
+    # Every determinism and parity contract held.
+    assert all(result.data["checks"].values()), result.data["checks"]
+
+    # The exact timeline from the burn algebra: page leads ticket in,
+    # page clears first out, nothing else fires.
+    timeline = result.data["timeline"]
+    assert timeline == result.data["expected"]
+    assert [(e["rule"], e["transition"]) for e in timeline] == [
+        ("slo_cap_violation_fast_burn", "firing"),
+        ("slo_cap_violation_slow_burn", "firing"),
+        ("slo_cap_violation_fast_burn", "resolved"),
+        ("slo_cap_violation_slow_burn", "resolved"),
+    ]
+
+    # Only the injected SLO was touched; the others kept full budget.
+    slos = {row["name"]: row for row in result.data["slos"]}
+    assert slos["cap_violation"]["budget_remaining"] < 1.0
+    assert slos["energy_budget"]["burn_slow"] == 0.0
+    assert slos["serve_latency"]["burn_slow"] == 0.0
+    assert all(
+        row["fast_state"] == "inactive" and row["slow_state"] == "inactive"
+        for row in slos.values()
+    )

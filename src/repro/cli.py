@@ -328,6 +328,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "a JSON file with gpu_hours_pct (default paper)"
         ),
     )
+    stream_p.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help=(
+            "persist every sealed window into an out-of-core columnar "
+            "history store at DIR (queryable later with 'repro obs "
+            "query --dir DIR'); --watch alone keeps an in-memory one "
+            "for the SLO pane"
+        ),
+    )
 
     from .serve.objectives import objective_names
 
@@ -427,6 +436,14 @@ def _build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument(
         "--obs-dir", default=None, metavar="DIR",
         help="directory for manifest.json + metrics.prom (default 'obs')",
+    )
+    serve_p.add_argument(
+        "--history-dir", default=None, metavar="DIR",
+        help=(
+            "retain every sealed window in an out-of-core columnar "
+            "history store at DIR and serve /v1/query + /v1/series "
+            "from it (in-memory if DIR is '-')"
+        ),
     )
 
     obs_p = sub.add_parser(
@@ -573,6 +590,76 @@ def _build_parser() -> argparse.ArgumentParser:
             "check span totals against the perf budget and exit "
             "non-zero on any breach (the CI gate)"
         ),
+    )
+    obs_query = obs_sub.add_parser(
+        "query",
+        help=(
+            "range-query a history store (written by --history-dir) or "
+            "a live /v1/query endpoint; --check refolds every rollup "
+            "bucket bitwise (the CI gate)"
+        ),
+    )
+    obs_query.add_argument(
+        "series", nargs="?", default=None,
+        help="series name (see 'repro obs query --dir DIR' for a list)",
+    )
+    obs_query.add_argument(
+        "--dir", dest="store_dir", default=None, metavar="DIR",
+        help="history store directory written by --history-dir",
+    )
+    obs_query.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a live control plane (uses /v1/query)",
+    )
+    obs_query.add_argument(
+        "--t0", type=float, default=None,
+        help="range start, event seconds (default: first window)",
+    )
+    obs_query.add_argument(
+        "--t1", type=float, default=None,
+        help="range end, exclusive (default: past the last window)",
+    )
+    obs_query.add_argument(
+        "--step", type=float, default=None,
+        help="bucket width in seconds (default: ~60 buckets)",
+    )
+    obs_query.add_argument(
+        "--agg", default=None,
+        help="aggregation override (sum/min/max/last/mean/count)",
+    )
+    obs_query.add_argument(
+        "--level", type=int, default=None,
+        help="force a rollup level (default: automatic selection)",
+    )
+    obs_query.add_argument(
+        "--json", action="store_true",
+        help="print the raw query result as JSON",
+    )
+    obs_query.add_argument(
+        "--check", action="store_true",
+        help=(
+            "verify every rollup bucket refolds bitwise from level 0 "
+            "and exit non-zero on any mismatch (requires --dir)"
+        ),
+    )
+    obs_hist = obs_sub.add_parser(
+        "history",
+        help=(
+            "maintain a history store: info (levels, segments, bytes), "
+            "compact (merge ragged segments), gc (drop old segments)"
+        ),
+    )
+    obs_hist.add_argument(
+        "action", choices=("info", "compact", "gc"),
+        help="what to do with the store",
+    )
+    obs_hist.add_argument(
+        "--dir", dest="store_dir", required=True, metavar="DIR",
+        help="history store directory written by --history-dir",
+    )
+    obs_hist.add_argument(
+        "--keep-s", type=float, default=None,
+        help="gc: keep at least this much trailing event time (seconds)",
     )
     obs_diff = obs_sub.add_parser(
         "diff",
@@ -784,6 +871,7 @@ def _stream_sharded(args) -> int:
         ("--watch", args.watch),
         ("--serve", args.serve is not None),
         ("--rules", args.rules is not None),
+        ("--history-dir", args.history_dir is not None),
     ]
     bad = [flag for flag, used in blocked if used]
     if bad:
@@ -896,6 +984,15 @@ def _stream(args) -> int:
             monitor=monitor,
         )
         engine.attach_recorder(forensics)
+    # The history store likewise rides the window-observer hook:
+    # persistent when --history-dir names a directory, in-memory for
+    # the --watch SLO pane.
+    history = None
+    if args.watch or args.history_dir:
+        from .obs.history import History
+
+        history = History(dir=args.history_dir, monitor=monitor)
+        engine.attach_history(history)
     # --watch refreshes at the snapshot cadence; plain snapshots stay
     # opt-in via --snapshot-every as before.
     watch_every = args.snapshot_every or 20
@@ -913,6 +1010,7 @@ def _stream(args) -> int:
                     ),
                     monitor,
                     forensics=forensics,
+                    history=history,
                 )
             elif args.snapshot_every and (i + 1) % args.snapshot_every == 0:
                 snap = engine.snapshot(
@@ -925,6 +1023,10 @@ def _stream(args) -> int:
         if args.max_chunks is None:
             # Completed sources drain: every buffered window seals.
             engine.drain()
+        elif history is not None:
+            # Paused streams don't drain; flush the store explicitly
+            # so --history-dir leaves a consistent manifest behind.
+            history.finalize()
 
         if args.checkpoint is not None:
             save_checkpoint(engine, args.checkpoint)
@@ -935,7 +1037,9 @@ def _stream(args) -> int:
             campaign_energy_mwh=campaign_mwh,
         )
         if dashboard is not None:
-            dashboard.update(snap, monitor, forensics=forensics)
+            dashboard.update(
+                snap, monitor, forensics=forensics, history=history
+            )
         label = (
             "live (stream paused)" if args.max_chunks else "final (drained)"
         )
@@ -973,6 +1077,29 @@ def _stream(args) -> int:
                     monitor=monitor,
                 )
                 print(f"incidents written to {paths['incidents'][0]}")
+        if history is not None:
+            summary = history.summary()
+            print(
+                f"\nhistory: {summary['windows_recorded']} windows "
+                f"recorded, {summary['slo_transitions']} SLO "
+                f"transitions"
+            )
+            for row in summary["slos"]:
+                print(
+                    f"  {row['name']:<16} budget "
+                    f"{100 * row['budget_remaining']:6.2f}% left  "
+                    f"burn {row['burn_fast']:.2f} (5m/1h) / "
+                    f"{row['burn_slow']:.2f} (6h/3d)"
+                )
+            if history.events():
+                print(history.timeline())
+            if args.history_dir:
+                print(
+                    f"history store written to {args.history_dir} "
+                    f"({history.store.total_bytes():,} column bytes; "
+                    f"query with 'repro obs query --dir "
+                    f"{args.history_dir}')"
+                )
     finally:
         if server is not None:
             server.close()
@@ -1018,6 +1145,13 @@ def _serve(args) -> int:
         reference = DriftReference.from_file(args.drift_ref)
     monitor = HealthMonitor(rules, reference=reference, drift=drift)
 
+    history = None
+    if args.history_dir is not None:
+        from .obs.history import History
+
+        history = History(
+            dir=None if args.history_dir == "-" else args.history_dir,
+        )
     plane = ControlPlane(
         log,
         objective=args.objective,
@@ -1026,12 +1160,15 @@ def _serve(args) -> int:
         window_s=args.window_s,
         lateness_s=args.lateness_s,
         monitor=monitor,
+        history=history,
     )
     server = plane.serve(host=args.host, port=args.port)
     print(f"control plane serving on {server.url}")
     print(
         "endpoints: /v1/fleet/cap /v1/fleet/savings /v1/jobs "
-        "/v1/incidents /v1/policy /metrics /health /alerts"
+        "/v1/incidents /v1/policy"
+        + (" /v1/series /v1/query" if history is not None else "")
+        + " /metrics /health /alerts"
     )
     sys.stdout.flush()
     try:
@@ -1092,6 +1229,19 @@ def _serve(args) -> int:
         )
         if summary["incidents_total"]:
             print(plane.forensics.timeline())
+    if plane.history is not None:
+        # Idempotent when the drain already synced; covers --max-chunks
+        # runs that stop before the source is drained.
+        plane.history.finalize()
+        summary = plane.history.summary()
+        print(
+            f"history: {summary['windows_recorded']} windows recorded, "
+            f"{summary['slo_transitions']} SLO transitions"
+        )
+        if plane.history.events():
+            print(plane.history.timeline())
+        if args.history_dir and args.history_dir != "-":
+            print(f"history store written to {args.history_dir}")
     if args.obs or args.obs_dir:
         _write_health_state(monitor, args.obs_dir or "obs")
         if plane.forensics is not None:
@@ -1273,6 +1423,171 @@ def _obs_incidents(args) -> int:
     return 0
 
 
+def _render_query_result(doc: dict) -> str:
+    """Plain-text table of one /v1/query-shaped result dict."""
+    lines = [
+        f"{doc['series']} [{doc['agg']}] level {doc['level']} "
+        f"step {doc['step_s']:g} s over "
+        f"[{doc['t0_s']:,.0f}, {doc['t1_s']:,.0f}) — "
+        f"{doc['rows_scanned']} rows scanned",
+    ]
+    for t, value in zip(doc["t_s"], doc["values"]):
+        shown = "-" if value is None else f"{value:,.6g}"
+        lines.append(f"  {t:>14,.0f}  {shown}")
+    return "\n".join(lines)
+
+
+def _obs_query(args) -> int:
+    import json
+
+    if args.check and args.store_dir is None:
+        print("obs query --check needs --dir", file=sys.stderr)
+        return 2
+    if (args.store_dir is None) == (args.url is None):
+        print(
+            "obs query needs exactly one of --dir DIR or --url URL",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.url is not None:
+        from .obs.health import fetch_url
+
+        base = args.url.rstrip("/")
+        if args.series is None:
+            status, body = fetch_url(base + "/v1/series")
+            if status != 200:
+                print(
+                    f"GET {base}/v1/series -> {status}", file=sys.stderr
+                )
+                return 1
+            doc = json.loads(body)
+            print(f"series @ {base} ({len(doc['series'])}):")
+            for row in doc["series"]:
+                print(f"  {row['name']:<28} [{row['agg']}]")
+            return 0
+        params = [f"series={args.series}"]
+        for key in ("t0", "t1", "step", "agg", "level"):
+            value = getattr(args, key)
+            if value is not None:
+                params.append(f"{key}={value}")
+        status, body = fetch_url(base + "/v1/query?" + "&".join(params))
+        doc = json.loads(body)
+        if status != 200:
+            print(
+                f"query FAILED ({status}): {doc.get('error', body)}",
+                file=sys.stderr,
+            )
+            return 1
+        result = doc["query"]
+        print(json.dumps(result) if args.json
+              else _render_query_result(result))
+        return 0
+
+    from .obs.history import HistoryStore, select, verify_rollups
+
+    store = HistoryStore.open(args.store_dir)
+    try:
+        if args.check:
+            mismatches = verify_rollups(store)
+            rollup_rows = sum(
+                store.rows(level) for level in range(1, store.n_levels)
+            )
+            if mismatches:
+                print(
+                    f"CHECK FAILED: {len(mismatches)} rollup "
+                    f"bucket(s) differ from their level-0 refold:",
+                    file=sys.stderr,
+                )
+                for m in mismatches:
+                    print(
+                        f"  L{m['level']} bucket {m['bucket']} "
+                        f"{m['series']} [{m['agg']}]: stored "
+                        f"{m['stored']!r} != refold {m['refold']!r}",
+                        file=sys.stderr,
+                    )
+                return 1
+            print(
+                f"rollups OK: {rollup_rows} rollup rows across "
+                f"{store.n_levels - 1} level(s) refold bitwise from "
+                f"{store.rows(0)} level-0 rows"
+            )
+            if args.series is None:
+                return 0
+        if args.series is None:
+            print(f"series in {args.store_dir} ({len(store.columns)}):")
+            for name, agg in store.columns:
+                print(f"  {name:<28} [{agg}]")
+            return 0
+        span = store.time_span()
+        if span is None:
+            print("history store has no rows", file=sys.stderr)
+            return 1
+        window_s = store.window_s or 0.0
+        t0 = args.t0 if args.t0 is not None else span[0]
+        t1 = args.t1 if args.t1 is not None else span[1] + window_s
+        step = (
+            args.step if args.step is not None
+            else max((t1 - t0) / 60.0, window_s)
+        )
+        result = select(
+            store, args.series, t0, t1, step,
+            agg=args.agg, level=args.level,
+        )
+        print(json.dumps(result.to_dict()) if args.json
+              else _render_query_result(result.to_dict()))
+        return 0
+    finally:
+        store.close()
+
+
+def _obs_history(args) -> int:
+    from .obs.history import HistoryStore
+
+    store = HistoryStore.open(args.store_dir)
+    try:
+        if args.action == "info":
+            summary = store.summary()
+            print(
+                f"history store {args.store_dir}: "
+                f"{store.rows(0)} windows, "
+                f"{store.segment_count()} segments, "
+                f"{summary['bytes']:,} bytes"
+            )
+            for level in summary["levels"]:
+                span = level["span_s"]
+                shown = "-" if span is None else f"{span:g} s"
+                print(
+                    f"  L{level['level']}: {level['rows']:>8} rows "
+                    f"(+{level['dropped_rows']} gc'd) @ {shown}"
+                )
+            return 0
+        if args.action == "compact":
+            result = store.compact()
+            store.sync()
+            print(
+                f"compacted {args.store_dir}: "
+                f"{result['rewritten_segments']} segment(s) rewritten, "
+                f"{result['removed_files']} file(s) removed"
+            )
+            return 0
+        # gc
+        if args.keep_s is None:
+            print("obs history gc needs --keep-s", file=sys.stderr)
+            return 2
+        result = store.gc(args.keep_s)
+        store.sync()
+        dropped = sum(result["dropped_rows"].values())
+        print(
+            f"gc'd {args.store_dir}: {dropped} row(s) dropped across "
+            f"{len(result['dropped_rows'])} level(s), "
+            f"{result['removed_files']} file(s) removed"
+        )
+        return 0
+    finally:
+        store.close()
+
+
 def _obs_summary_url(url: str) -> int:
     from .obs.health import fetch_url
     from .obs.metrics import (
@@ -1407,6 +1722,10 @@ def _obs_command(args) -> int:
         return _obs_incidents(args)
     if args.obs_command == "profile":
         return _obs_profile(args)
+    if args.obs_command == "query":
+        return _obs_query(args)
+    if args.obs_command == "history":
+        return _obs_history(args)
     if args.obs_command == "summary":
         if args.url is not None:
             return _obs_summary_url(args.url)

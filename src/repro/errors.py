@@ -59,5 +59,9 @@ class ForensicsError(ObservabilityError):
     """A flight-recorder, detector, or incident operation is invalid."""
 
 
+class HistoryError(ObservabilityError):
+    """A history-store, rollup, range-query, or SLO operation is invalid."""
+
+
 class ServeError(ReproError):
     """A control-plane request, objective, or server operation is invalid."""

@@ -113,6 +113,8 @@ _TABLE: Dict[str, tuple] = {
                          "repro.experiments.ext_controlplane", "run"),
     "ext_incidents": ("Flight-recorder forensics under injected faults",
                       "repro.experiments.ext_incidents", "run"),
+    "ext_slo": ("SLO burn-rate alerting over the history store",
+                "repro.experiments.ext_slo", "run"),
 }
 
 EXPERIMENT_IDS = tuple(_TABLE)

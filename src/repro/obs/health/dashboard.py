@@ -33,6 +33,7 @@ def render_dashboard(
     frame: int = 0,
     history: int = 5,
     forensics=None,
+    slo_history=None,
 ) -> str:
     """One dashboard frame as plain text (no ANSI)."""
     stats = snapshot.stats
@@ -79,6 +80,7 @@ def render_dashboard(
     if monitor is None:
         lines.append("alerts: health monitoring off")
         lines.extend(_incident_pane(forensics))
+        lines.extend(_slo_pane(slo_history))
         return "\n".join(lines)
 
     states = monitor.alerts.rule_states()
@@ -100,6 +102,7 @@ def render_dashboard(
     if recent:
         lines.append(render_events(recent, title="recent transitions:"))
     lines.extend(_incident_pane(forensics))
+    lines.extend(_slo_pane(slo_history))
     return "\n".join(lines)
 
 
@@ -126,6 +129,28 @@ def _incident_pane(forensics, *, recent: int = 3) -> List[str]:
     return lines
 
 
+def _slo_pane(history) -> List[str]:
+    """The SLO burn-rate pane (empty when no history is attached)."""
+    if history is None:
+        return []
+    lines = [
+        "",
+        "slo error budgets (burn = multiples of sustainable spend):",
+        f"  {'slo':<16} {'budget left':>11} {'burn 5m/1h':>11} "
+        f"{'burn 6h/3d':>11}  state",
+    ]
+    markers = {"inactive": " ", "pending": "~", "firing": "!"}
+    for row in history.slo_rows():
+        fast = markers.get(row["fast_state"], "?")
+        slow = markers.get(row["slow_state"], "?")
+        lines.append(
+            f"  {row['name']:<16} {100 * row['budget_remaining']:>10.2f}% "
+            f"{row['burn_fast']:>11.2f} {row['burn_slow']:>11.2f}  "
+            f"[{fast}]fast [{slow}]slow"
+        )
+    return lines
+
+
 class Dashboard:
     """Redraw dashboard frames in place on a terminal.
 
@@ -140,10 +165,11 @@ class Dashboard:
         self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
 
     def update(self, snapshot, monitor: Optional[HealthMonitor],
-               forensics=None) -> None:
+               forensics=None, history=None) -> None:
         self.frame += 1
         body = render_dashboard(
             snapshot, monitor, frame=self.frame, forensics=forensics,
+            slo_history=history,
         )
         if self._tty:
             self.stream.write(_ANSI_REDRAW + body + "\n")

@@ -1,0 +1,206 @@
+"""Pure-function range queries over a :class:`HistoryStore`.
+
+:func:`select` is the one read path behind ``/v1/query``, ``repro obs
+query``, and the SLO layer's offline replays: given a series, a time
+range, and a step, it picks the coarsest rollup level whose bucket span
+still divides the step (automatic resolution selection — a 90-day query
+at 1 h steps reads ~2,160 level-2 rows instead of ~518,400 level-0
+rows), gathers the level's rows for the range via memmap slices, and
+folds each step bucket with the store's canonical
+:func:`~repro.obs.history.store.fold_values`.
+
+:func:`verify_rollups` is the bitwise gate: it refolds every rollup
+bucket from its constituent level-0 rows through the same fold and
+reports any bit that differs — the history analogue of the
+``merge_cubes`` equivalence tests, run in CI by ``repro obs query
+--check`` and ``bench_query.py --check``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ...errors import HistoryError
+from .store import AGGS, HistoryStore, fold_values
+
+#: Aggregations accepted by :func:`select`: the store folds plus the
+#: derived ones computable from a gathered value run.
+QUERY_AGGS = AGGS + ("mean", "count")
+
+
+@dataclass(frozen=True)
+class QueryResult:
+    """One answered range query, JSON-ready via :meth:`to_dict`."""
+
+    series: str
+    agg: str
+    level: int
+    step_s: float
+    t0_s: float
+    t1_s: float
+    t_s: List[float]                 # bucket start times
+    values: List[Optional[float]]    # None = empty bucket
+    rows_scanned: int
+
+    def to_dict(self) -> dict:
+        return {
+            "series": self.series,
+            "agg": self.agg,
+            "level": self.level,
+            "step_s": self.step_s,
+            "t0_s": self.t0_s,
+            "t1_s": self.t1_s,
+            "t_s": self.t_s,
+            "values": self.values,
+            "rows_scanned": self.rows_scanned,
+        }
+
+
+def auto_level(store: HistoryStore, step_s: float) -> int:
+    """Coarsest level whose bucket span fits inside the step."""
+    if store.window_s is None:
+        return 0
+    best = 0
+    for level in range(store.n_levels):
+        span = store.level_span_s(level)
+        if span is not None and span <= step_s:
+            best = level
+    return best
+
+
+def select(
+    store: HistoryStore,
+    series: str,
+    t0: float,
+    t1: float,
+    step: float,
+    *,
+    agg: Optional[str] = None,
+    level: Optional[int] = None,
+    max_row: Optional[int] = None,
+) -> QueryResult:
+    """Aggregate ``series`` over ``[t0, t1)`` into ``step``-wide buckets.
+
+    ``agg`` defaults to the series' declared fold; ``level`` defaults to
+    automatic resolution selection.  ``max_row`` bounds the readable
+    rows per level (the control plane passes the row count frozen at
+    publish time, so a served view answers identically however far
+    ingest has advanced since).
+    """
+    t0, t1, step = float(t0), float(t1), float(step)
+    if not (np.isfinite(t0) and np.isfinite(t1) and np.isfinite(step)):
+        raise HistoryError("t0, t1, and step must be finite")
+    if t1 <= t0:
+        raise HistoryError(f"empty time range [{t0}, {t1})")
+    if step <= 0:
+        raise HistoryError("step must be positive")
+    store_agg = store.series_agg(series)  # validates the series name
+    agg = store_agg if agg is None else str(agg)
+    if agg not in QUERY_AGGS:
+        raise HistoryError(
+            f"unknown aggregation {agg!r} "
+            f"(expected one of {', '.join(QUERY_AGGS)})"
+        )
+    level = auto_level(store, step) if level is None else int(level)
+    if not 0 <= level < store.n_levels:
+        raise HistoryError(
+            f"level {level} out of range (store has {store.n_levels})"
+        )
+    n_buckets = int(np.ceil((t1 - t0) / step))
+    if n_buckets > 1_000_000:
+        raise HistoryError(
+            f"query would produce {n_buckets} buckets; raise step"
+        )
+    r0, r1 = store.row_range(level, t0, t1)
+    if max_row is not None:
+        r1 = min(r1, int(max_row))
+        r0 = min(r0, r1)
+    t = store.column_slice("t_start_s", level, r0, r1)
+    v = store.column_slice(series, level, r0, r1)
+    edges = t0 + step * np.arange(n_buckets + 1, dtype=np.float64)
+    edges[-1] = min(edges[-1], t1)
+    idx = np.searchsorted(t, edges, side="left")
+    t_out: List[float] = []
+    values: List[Optional[float]] = []
+    for i in range(n_buckets):
+        a, b = int(idx[i]), int(idx[i + 1])
+        t_out.append(float(edges[i]))
+        if b <= a:
+            values.append(None)
+            continue
+        if agg == "count":
+            val = float(b - a)
+        elif agg == "mean":
+            val = float(np.add.reduce(v[a:b]) / (b - a))
+        else:
+            val = fold_values(v[a:b], agg)
+        # JSON-safe: NaN columns (e.g. cap_w before any decision)
+        # become null, like the serve layer's _finite().
+        values.append(val if np.isfinite(val) else None)
+    return QueryResult(
+        series=series,
+        agg=agg,
+        level=level,
+        step_s=step,
+        t0_s=t0,
+        t1_s=t1,
+        t_s=t_out,
+        values=values,
+        rows_scanned=int(r1 - r0),
+    )
+
+
+def verify_rollups(
+    store: HistoryStore,
+    *,
+    levels: Optional[List[int]] = None,
+    max_mismatches: int = 10,
+) -> List[dict]:
+    """Refold every rollup bucket from level 0; report bitwise diffs.
+
+    Returns an empty list when every aggregate at every checked level
+    is bitwise-equal to :func:`fold_values` over its constituent
+    level-0 rows.  Buckets whose level-0 rows were garbage-collected
+    are skipped (gc is segment-granular and level-independent).
+    Work is bounded per bucket, so the check streams over stores
+    larger than memory.
+    """
+    mismatches: List[dict] = []
+    check_levels = (
+        list(range(1, store.n_levels)) if levels is None else levels
+    )
+    dropped0 = store.dropped_rows(0)
+    rows0 = store.rows(0)
+    for level in check_levels:
+        if not 1 <= level < store.n_levels:
+            raise HistoryError(f"no rollup level {level}")
+        span = store.level_span_rows(level)
+        dropped = store.dropped_rows(level)
+        for local in range(store.rows(level)):
+            g = dropped + local          # global bucket index
+            g0 = g * span                # first global level-0 row
+            a, b = g0 - dropped0, g0 + span - dropped0
+            if a < 0 or b > rows0:
+                continue  # constituents gc'd (or not yet appended)
+            block = store._rows_block(level, local, local + 1)[0]
+            block0 = store._rows_block(0, a, b)
+            for j, (name, agg) in enumerate(store.columns):
+                want = fold_values(block0[:, j], agg)
+                got = float(block[j])
+                if np.float64(want).tobytes() != (
+                    np.float64(got).tobytes()
+                ):
+                    mismatches.append({
+                        "level": level,
+                        "bucket": g,
+                        "series": name,
+                        "agg": agg,
+                        "stored": got,
+                        "refold": want,
+                    })
+                    if len(mismatches) >= max_mismatches:
+                        return mismatches
+    return mismatches

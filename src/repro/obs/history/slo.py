@@ -1,0 +1,239 @@
+"""SLOs and multi-window burn-rate alerting over the history store.
+
+The paper's 5 % slowdown/energy budget is treated as an **error
+budget**: each :class:`SLO` declares an objective (the fraction of
+"good" that must hold over the long window) and two stored series —
+``bad`` over ``total`` is the error ratio.  The burn rate is
+
+    ``burn = (bad / total) / (1 - objective)``
+
+i.e. how many multiples of the sustainable error spend the fleet is
+currently burning; ``burn == 1`` exhausts the budget exactly at the
+end of the long window.
+
+Alerting follows the standard multi-window, multi-burn-rate scheme:
+a **fast** rule (5 m *and* 1 h windows both above 14.4 — a page:
+2 % of a 3-day budget gone within the hour) and a **slow** rule
+(6 h *and* 3 d both above 6 — a ticket).  The two-window AND is
+encoded as ``min(burn_short, burn_long)`` so each rule stays a plain
+``threshold`` :class:`~repro.obs.health.rules.RuleSpec` and the
+existing :class:`~repro.obs.health.rules.AlertEngine` state machines
+evaluate it unchanged, in event time.
+
+:class:`SLOEvaluator` keeps per-series cumulative sums keyed by window
+start, so each evaluation is two binary searches per window — O(log n)
+per sealed window, no store reads — and the transition timeline is a
+pure function of the window sequence: reruns and re-chunked ingest
+reproduce it exactly (the ``ext_slo`` experiment's acceptance check).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from ..health.rules import RuleSpec
+from .store import HistoryStore
+
+
+@dataclass(frozen=True)
+class BurnWindow:
+    """One burn-rate rule: short + long trailing windows AND'd."""
+
+    short_s: float
+    long_s: float
+    threshold: float
+
+
+#: The standard fast/slow pairs (Google SRE workbook table).
+FAST_BURN = BurnWindow(short_s=300.0, long_s=3_600.0, threshold=14.4)
+SLOW_BURN = BurnWindow(short_s=21_600.0, long_s=259_200.0, threshold=6.0)
+
+
+@dataclass(frozen=True)
+class SLO:
+    """One service-level objective over two stored history series."""
+
+    name: str
+    objective: float                 # e.g. 0.999
+    bad_series: str
+    total_series: str
+    summary: str = ""
+    fast: BurnWindow = field(default=FAST_BURN)
+    slow: BurnWindow = field(default=SLOW_BURN)
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+
+def default_slos() -> List[SLO]:
+    """The shipped SLOs over the standard history schema.
+
+    * ``cap_violation`` — at most 0.1 % of GPU samples above the
+      hardware power limit (the paper's cap-compliance guarantee);
+    * ``energy_budget`` — at most 5 % of GPU-seconds' worth of energy
+      above the per-GCD power budget (the slowdown/energy budget spent
+      at a controlled rate);
+    * ``serve_latency`` — at most 1 % of control-plane requests slower
+      than the fast-bucket bound (5 ms, the ``bench_serve`` p99 SLO).
+    """
+    return [
+        SLO(
+            name="cap_violation",
+            objective=0.999,
+            bad_series="over_limit_samples",
+            total_series="gpu_samples",
+            summary="GPU samples above the hardware power limit",
+        ),
+        SLO(
+            name="energy_budget",
+            objective=0.95,
+            bad_series="energy_over_budget_j",
+            total_series="energy_budget_j",
+            summary="fleet energy spent above the power budget",
+        ),
+        SLO(
+            name="serve_latency",
+            objective=0.99,
+            bad_series="serve_slow_requests",
+            total_series="serve_requests",
+            summary="control-plane requests slower than 5 ms",
+        ),
+    ]
+
+
+def slo_rules(slos: Iterable[SLO]) -> List[RuleSpec]:
+    """Threshold rules over the ``slo_*`` gauges, one fast + one slow.
+
+    Evaluated by the standard :class:`AlertEngine` state machines; the
+    min() encoding of the two-window AND means a rule's metric only
+    crosses its threshold when *both* windows burn too fast.
+    """
+    rules: List[RuleSpec] = []
+    for slo in slos:
+        rules.append(RuleSpec(
+            name=f"slo_{slo.name}_fast_burn",
+            metric=f"slo_{slo.name}_burn_fast",
+            kind="threshold",
+            op=">=",
+            value=slo.fast.threshold,
+            for_s=0.0,
+            severity="critical",
+            summary=(
+                f"{slo.name}: error budget burning >= "
+                f"{slo.fast.threshold:g}x over 5m and 1h"
+                + (f" ({slo.summary})" if slo.summary else "")
+            ),
+        ))
+        rules.append(RuleSpec(
+            name=f"slo_{slo.name}_slow_burn",
+            metric=f"slo_{slo.name}_burn_slow",
+            kind="threshold",
+            op=">=",
+            value=slo.slow.threshold,
+            for_s=0.0,
+            severity="warning",
+            summary=(
+                f"{slo.name}: error budget burning >= "
+                f"{slo.slow.threshold:g}x over 6h and 3d"
+                + (f" ({slo.summary})" if slo.summary else "")
+            ),
+        ))
+    return rules
+
+
+class SLOEvaluator:
+    """Incremental burn-rate evaluation over the live window stream.
+
+    Feed every sealed window's history row through :meth:`observe`; it
+    returns the ``slo_*`` gauge values as of that window's end.  State
+    is per-series cumulative sums (O(windows) floats), evaluation is
+    O(log windows) — independent of the store, so the evaluator works
+    identically for in-memory and on-disk histories.
+    """
+
+    def __init__(self, slos: Optional[Iterable[SLO]] = None) -> None:
+        self.slos: List[SLO] = (
+            list(slos) if slos is not None else default_slos()
+        )
+        names = sorted(
+            {s.bad_series for s in self.slos}
+            | {s.total_series for s in self.slos}
+        )
+        self._t_start: List[float] = []
+        self._cum: Dict[str, List[float]] = {n: [0.0] for n in names}
+        self.last_values: Dict[str, float] = {}
+
+    def observe(
+        self, t_start_s: float, t_end_s: float,
+        row: Mapping[str, float],
+    ) -> Dict[str, float]:
+        """Fold one window's row; return gauges as of ``t_end_s``."""
+        self._t_start.append(float(t_start_s))
+        for name, cum in self._cum.items():
+            cum.append(cum[-1] + float(row.get(name, 0.0)))
+        now = float(t_end_s)
+        values: Dict[str, float] = {}
+        for slo in self.slos:
+            fast = min(
+                self._burn(slo, now, slo.fast.short_s),
+                self._burn(slo, now, slo.fast.long_s),
+            )
+            slow = min(
+                self._burn(slo, now, slo.slow.short_s),
+                self._burn(slo, now, slo.slow.long_s),
+            )
+            spent = self._burn(slo, now, slo.slow.long_s) * (
+                self._window_len(now, slo.slow.long_s)
+                / slo.slow.long_s
+            )
+            values[f"slo_{slo.name}_burn_fast"] = fast
+            values[f"slo_{slo.name}_burn_slow"] = slow
+            values[f"slo_{slo.name}_budget_remaining"] = 1.0 - spent
+        self.last_values = values
+        return values
+
+    # -- internals ----------------------------------------------------------------
+
+    def _window_sum(self, name: str, now: float, window_s: float) -> float:
+        idx = bisect_left(self._t_start, now - window_s)
+        cum = self._cum[name]
+        return cum[-1] - cum[idx]
+
+    def _window_len(self, now: float, window_s: float) -> float:
+        """Event-time span actually covered by a trailing window."""
+        if not self._t_start:
+            return 0.0
+        return min(window_s, now - self._t_start[0])
+
+    def _burn(self, slo: SLO, now: float, window_s: float) -> float:
+        total = self._window_sum(slo.total_series, now, window_s)
+        if total <= 0:
+            return 0.0
+        bad = self._window_sum(slo.bad_series, now, window_s)
+        return (bad / total) / slo.error_budget
+
+
+def replay(
+    store: HistoryStore,
+    slos: Optional[Iterable[SLO]] = None,
+    *,
+    block_rows: int = 8192,
+) -> SLOEvaluator:
+    """Rebuild an evaluator from a store's level-0 rows (offline SLOs).
+
+    Streams bounded row blocks, so it works on stores larger than
+    memory; the resulting evaluator state (and therefore every gauge
+    value) matches the live one that observed the same windows.
+    """
+    ev = SLOEvaluator(slos)
+    names = [n for n, _ in store.columns]
+    rows = store.rows(0)
+    for r0 in range(0, rows, block_rows):
+        block = store._rows_block(0, r0, min(r0 + block_rows, rows))
+        for i in range(block.shape[0]):
+            row = dict(zip(names, block[i]))
+            ev.observe(row["t_start_s"], row["t_end_s"], row)
+    return ev

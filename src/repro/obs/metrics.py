@@ -43,12 +43,28 @@ def _labels_key(labels: Dict[str, str]) -> LabelsKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Prometheus exposition escaping: ``\\``, ``"``, and newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+_UNESCAPE_RE = re.compile(r"\\(.)")
+
+
+def _unescape_label_value(value: str) -> str:
+    """Inverse of :func:`_escape_label_value` (``\\n`` is a newline)."""
+    return _UNESCAPE_RE.sub(
+        lambda m: "\n" if m.group(1) == "n" else m.group(1), value
+    )
+
+
 def _render_labels(key: LabelsKey) -> str:
     if not key:
         return ""
     inner = ",".join(
-        '{}="{}"'.format(k, v.replace("\\", r"\\").replace('"', r"\""))
-        for k, v in key
+        '{}="{}"'.format(k, _escape_label_value(v)) for k, v in key
     )
     return "{" + inner + "}"
 
@@ -298,6 +314,29 @@ class MetricsRegistry:
                     out[name + _render_labels(key)] = metric.value
         return out
 
+    def histogram_totals(
+        self, name: str, le: float = math.inf
+    ) -> Tuple[float, float]:
+        """``(count, count_at_or_under_le)`` across a family's series.
+
+        Sums every labelled series of histogram ``name``: total
+        observations and those that landed in finite buckets with
+        bound ``<= le``.  The SLO layer turns consecutive readings
+        into per-window good/bad request counts (see
+        :mod:`repro.obs.history.slo`).  Missing or non-histogram
+        names read as ``(0, 0)``.
+        """
+        fam = self._families.get(name)
+        if fam is None or fam["kind"] != "histogram":
+            return 0.0, 0.0
+        total = within = 0.0
+        for metric in fam["series"].values():
+            total += metric.count
+            for bound, n in zip(fam["buckets"], metric.bucket_counts):
+                if bound <= le:
+                    within += n
+        return total, within
+
 
 #: One exposition sample: ``name{labels} value`` (labels optional).
 _SAMPLE_RE = re.compile(
@@ -340,8 +379,11 @@ def parse_prometheus_series(
 ) -> Dict[str, list]:
     """Structured parse: ``{name: [(labels_dict, value), ...]}``.
 
-    Label values are unescaped (``\\"`` and ``\\\\``); comments and
-    malformed lines are skipped, like :func:`parse_prometheus_text`.
+    Label values are unescaped (``\\"``, ``\\\\``, and ``\\n``), the
+    exact inverse of the emit-side escaping, so values containing
+    backslashes, quotes, or newlines round-trip through
+    :meth:`MetricsRegistry.to_prometheus`; comments and malformed
+    lines are skipped, like :func:`parse_prometheus_text`.
     """
     out: Dict[str, list] = {}
     for line in text.splitlines():
@@ -357,7 +399,7 @@ def parse_prometheus_series(
         except ValueError:
             continue
         labels = {
-            k: re.sub(r"\\(.)", r"\1", v)
+            k: _unescape_label_value(v)
             for k, v in _LABEL_PAIR_RE.findall(label_block or "")
         }
         out.setdefault(name, []).append((labels, value))

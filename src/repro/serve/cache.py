@@ -30,6 +30,7 @@ import threading
 import time
 from typing import Dict, Optional, Tuple
 
+from ..errors import HistoryError
 from ..stream.engine import StreamSnapshot
 from .analytics import JobStats
 from .jobs import JobStateIndex
@@ -72,6 +73,7 @@ class ServeView:
         policy_version: int = 1,
         published_wall_s: Optional[float] = None,
         incidents: Optional[dict] = None,
+        history=None,
     ) -> None:
         self.version = version
         self.policy = dict(policy)
@@ -84,6 +86,12 @@ class ServeView:
         #: Frozen forensics snapshot (``Forensics.serve_doc()`` shape);
         #: ``None`` when the plane runs without a flight recorder.
         self.incidents = incidents
+        #: Frozen history read handle
+        #: (:class:`~repro.obs.history.HistoryView`): the store plus
+        #: the per-level row counts at publish time, so ``/v1/query``
+        #: answers stay byte-stable however far ingest advances after
+        #: this view was published.  ``None`` without a history store.
+        self.history = history
         self.published_wall_s = (
             published_wall_s if published_wall_s is not None else time.time()
         )
@@ -149,6 +157,14 @@ class ServeView:
                 return 200, self._incidents_doc()
             if len(parts) == 2:
                 return self._incident_doc(parts[1])
+        if parts[0] in ("series", "query") and len(parts) == 1:
+            if self.history is None:
+                return 404, {
+                    "error": "history disabled (no history store)"
+                }
+            if parts[0] == "series":
+                return 200, self._series_doc()
+            return self._query_doc(route)
         return 404, {"error": f"no endpoint /v1/{route}"}
 
     def _head(self) -> dict:
@@ -277,6 +293,53 @@ class ServeView:
                 )
                 return 200, doc
         return 404, {"error": f"no incident {incident_id}"}
+
+    def _series_doc(self) -> dict:
+        doc = self._head()
+        doc.update(self.history.series_doc())
+        return doc
+
+    def _query_doc(self, route: str) -> Tuple[int, dict]:
+        """Answer ``/v1/query?series=...`` from the frozen history view.
+
+        Time-range and step parameters default from the view's frozen
+        span, so the rendered body is a pure function of the canonical
+        route key plus the view — cacheable like every other route.
+        """
+        params: Dict[str, str] = {}
+        if "?" in route:
+            for part in route.split("?", 1)[1].split("&"):
+                if "=" in part:
+                    key, _, value = part.partition("=")
+                    params[key] = value
+        series = params.get("series")
+        if not series:
+            return 400, {"error": "query requires series=<name>"}
+        span = self.history.span()
+        if span is None:
+            return 404, {"error": "no history rows yet"}
+        window_s = self.history.store.window_s or 0.0
+        try:
+            t0 = float(params.get("t0", span[0]))
+            t1 = float(params.get("t1", span[1] + window_s))
+            step = float(
+                params.get("step", max((t1 - t0) / 60.0, window_s))
+            )
+            agg = params.get("agg")
+            level = (
+                int(params["level"]) if "level" in params else None
+            )
+        except ValueError as exc:
+            return 400, {"error": f"bad query parameter: {exc}"}
+        try:
+            result = self.history.select(
+                series, t0, t1, step, agg=agg, level=level
+            )
+        except HistoryError as exc:
+            return 400, {"error": str(exc)}
+        doc = self._head()
+        doc["query"] = result.to_dict()
+        return 200, doc
 
     def _job_savings_doc(self, job_id: int) -> dict:
         decision = self._job_decision(job_id)

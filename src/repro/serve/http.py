@@ -13,6 +13,8 @@ behavior) with the serving endpoints:
 ``GET /v1/jobs/{id}/savings``         that job's savings-so-far
 ``GET /v1/incidents``                 incident list from the flight recorder
 ``GET /v1/incidents/{id}``            one incident + its recorder slice
+``GET /v1/series``                    history schema, span, levels, SLOs
+``GET /v1/query``                     history range query (``?series=...``)
 ``GET /v1/policy``                    active objective + available plug-ins
 ``POST /v1/policy``                   switch objective / slowdown budget
 ``POST /v1/admin/shutdown``           graceful stop (CLI serve loop exits)
@@ -31,10 +33,12 @@ the ``serve_cache_age_s`` gauge (wall age of the served view).
 
 from __future__ import annotations
 
+import re
 import time
 from http.server import ThreadingHTTPServer
 
 from ..errors import ServeError
+from ..obs.history.query import QUERY_AGGS
 from ..obs.httpd import HttpService, JsonRequestHandler
 
 #: Sub-millisecond-resolving latency buckets (seconds) for the
@@ -49,9 +53,12 @@ _INDEX_TEXT = (
     "endpoints: /v1/fleet/cap /v1/fleet/savings /v1/jobs "
     "/v1/jobs/{id} /v1/jobs/{id}/cap /v1/jobs/{id}/savings "
     "/v1/incidents /v1/incidents/{id} "
+    "/v1/series /v1/query "
     "/v1/policy (GET/POST) /v1/admin/shutdown (POST) "
     "/metrics /health /alerts\n"
 )
+
+_SERIES_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]{0,79}$")
 
 
 def _jobs_route_key(query: str) -> str:
@@ -64,6 +71,44 @@ def _jobs_route_key(query: str) -> str:
                 break
             return f"jobs?limit={max(0, min(limit, 100_000))}"
     return "jobs"
+
+
+def _query_route_key(query: str) -> str:
+    """Canonical cache key for ``/v1/query``.
+
+    Parameter values are normalized (floats via ``repr(float(...))``,
+    names/aggs validated against closed sets, unknown keys dropped) so
+    equivalent requests share one cached body and hostile values can't
+    grow the key space unboundedly — invalid values map to sentinel
+    keys the view answers with a 400.
+    """
+    params = {}
+    for part in query.split("&"):
+        if "=" in part:
+            key, _, value = part.partition("=")
+            params[key] = value
+    pieces = []
+    series = params.get("series", "")
+    if not _SERIES_NAME_RE.match(series):
+        series = ""
+    pieces.append(f"series={series}")
+    for key in ("t0", "t1", "step"):
+        if key in params:
+            try:
+                pieces.append(f"{key}={float(params[key])!r}")
+            except ValueError:
+                pieces.append(f"{key}=bad")
+    if "agg" in params:
+        agg = params["agg"]
+        pieces.append(
+            f"agg={agg if agg in QUERY_AGGS else 'bad'}"
+        )
+    if "level" in params:
+        try:
+            pieces.append(f"level={int(params['level'])}")
+        except ValueError:
+            pieces.append("level=bad")
+    return "query?" + "&".join(pieces)
 
 
 class _Handler(JsonRequestHandler):
@@ -163,6 +208,10 @@ class _Handler(JsonRequestHandler):
             key, endpoint = "incidents", "/v1/incidents"
         elif parts[0] == "incidents" and len(parts) == 2:
             key, endpoint = rest, "/v1/incidents/{id}"
+        elif parts[0] == "series" and len(parts) == 1:
+            key, endpoint = "series", "/v1/series"
+        elif parts[0] == "query" and len(parts) == 1:
+            key, endpoint = _query_route_key(query), "/v1/query"
         else:
             self._send_json(404, {"error": f"no endpoint {path}"})
             return path, 404

@@ -104,6 +104,7 @@ class ControlPlane:
         monitor=None,
         registry: Optional[MetricsRegistry] = None,
         forensics=True,
+        history=None,
     ) -> None:
         self.log = log
         self.factors = (
@@ -155,6 +156,18 @@ class ControlPlane:
         #: Guards metric writes vs /metrics renders (the registry's own
         #: lock only covers family creation, not series iteration).
         self.metrics_lock = threading.Lock()
+        # The history store rides the window-observer hook after the
+        # per-job fold and the flight recorder, so its rows see the
+        # same decision-in-force the recorder stamps.
+        self.history = history if history else None
+        if self.history is not None:
+            if monitor is not None and self.history.monitor is None:
+                self.history.set_monitor(monitor)
+            self.history.set_decision_feed(self._decision_feed)
+            self.history.set_registry(
+                self.registry, lock=self.metrics_lock
+            )
+            self.engine.attach_history(self.history)
         self._refresh_lock = threading.Lock()
         self._policy_lock = threading.Lock()
         self.stop_event = threading.Event()
@@ -226,6 +239,11 @@ class ControlPlane:
                     if self.forensics is not None
                     else None
                 )
+                history_view = (
+                    self.history.reader_view()
+                    if self.history is not None
+                    else None
+                )
                 view = self.cache.publish(
                     lambda version: ServeView(
                         version=version,
@@ -237,6 +255,7 @@ class ControlPlane:
                         decision=decision,
                         policy_version=policy_version,
                         incidents=incidents,
+                        history=history_view,
                     )
                 )
             with self.metrics_lock:

@@ -175,6 +175,9 @@ class StreamEngine:
         #: Optional :class:`repro.obs.forensics.Forensics` facade,
         #: attached via :meth:`attach_recorder`.
         self.forensics = None
+        #: Optional :class:`repro.obs.history.History` facade,
+        #: attached via :meth:`attach_history`.
+        self.history = None
         self._window_observers: List = []
         self._metric_sources: List = []
 
@@ -217,6 +220,23 @@ class StreamEngine:
         self.forensics = forensics
         self.add_window_observer(forensics.observe_window)
         self.add_metric_source(forensics.metric_values)
+        return self
+
+    def attach_history(self, history) -> "StreamEngine":
+        """Attach a long-horizon history (:mod:`repro.obs.history`).
+
+        The facade rides the window-observer hook — every sealed window
+        is compacted into one columnar store row (rolling up as buckets
+        complete) and the SLO burn rates are re-evaluated at the
+        window's end — and its gauges (``history_*``, ``slo_*``) ride
+        the metric-source hook.  Like the recorder, the history only
+        *reads* windows, so attaching one leaves every analytic output
+        bitwise unchanged (asserted in ``tests/obs/test_history.py``).
+        """
+        history.bind_engine(self)
+        self.history = history
+        self.add_window_observer(history.observe_window)
+        self.add_metric_source(history.metric_values)
         return self
 
     def attach_health(self, monitor) -> "StreamEngine":
@@ -266,6 +286,8 @@ class StreamEngine:
                     observer(window)
         if self.forensics is not None:
             self.forensics.finalize()
+        if self.history is not None:
+            self.history.finalize()
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)

@@ -1,0 +1,106 @@
+"""Drift flagging in the longitudinal benchmark trail.
+
+Loads ``benchmarks/bench_history.py`` by path (the benchmarks dir is
+not a package) and pins the contract the CI gates rely on: a timing
+more than 20 % above its trailing median is flagged, one at or under
+20 % is not, and a ``bench_query`` run lands its latency keys in the
+trail.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def bh():
+    spec = importlib.util.spec_from_file_location(
+        "bench_history_under_test",
+        ROOT / "benchmarks" / "bench_history.py",
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def entries(key, values):
+    return [
+        {"sha": f"s{i}", "time": "t", "quick": False,
+         "timings": {key: v}}
+        for i, v in enumerate(values)
+    ]
+
+
+class TestDriftFlags:
+    def test_over_twenty_percent_is_flagged(self, bh):
+        history = entries("join_ms", [10.0, 10.0, 10.0, 10.0])
+        flags = bh.drift_flags({"join_ms": 12.1}, history)
+        assert len(flags) == 1
+        assert "join_ms" in flags[0]
+        assert "above the trailing median" in flags[0]
+
+    def test_at_or_under_twenty_percent_is_not_flagged(self, bh):
+        history = entries("join_ms", [10.0, 10.0, 10.0, 10.0])
+        assert bh.drift_flags({"join_ms": 12.0}, history) == []
+        assert bh.drift_flags({"join_ms": 9.0}, history) == []
+
+    def test_median_is_over_the_trailing_window_only(self, bh):
+        # Ancient slowness outside the window must not mask new drift.
+        values = [100.0] * 5 + [10.0] * bh.WINDOW
+        history = entries("join_ms", values)
+        assert bh.drift_flags({"join_ms": 12.1}, history)
+
+    def test_too_few_priors_never_flags(self, bh):
+        history = entries("join_ms", [10.0] * (bh.MIN_PRIOR - 1))
+        assert bh.drift_flags({"join_ms": 1000.0}, history) == []
+
+    def test_keys_are_tracked_independently(self, bh):
+        history = entries("join_ms", [10.0] * 5) + entries(
+            "fig4_scalar_ms", [5.0] * 5
+        )
+        flags = bh.drift_flags(
+            {"join_ms": 20.0, "fig4_scalar_ms": 5.0}, history
+        )
+        assert len(flags) == 1 and "join_ms" in flags[0]
+
+
+class TestQueryWiring:
+    RESULTS = {
+        "history_query": {
+            "ingest_s": 2.0,
+            "full_span": {"p99_ms": 0.8},
+            "mixed": {"p99_ms": 1.2},
+        },
+    }
+
+    def test_timings_pick_up_the_query_scalars(self, bh):
+        timings = bh.timings_from_results(self.RESULTS)
+        assert timings == {
+            "query_ingest_ms": 2000.0,
+            "query_full_span_p99_ms": 0.8,
+            "query_mixed_p99_ms": 1.2,
+        }
+
+    def test_append_and_reload_roundtrip(self, bh, tmp_path):
+        path = tmp_path / "hist.jsonl"
+        entry = bh.append_run(
+            self.RESULTS, path=path, sha="abc1234", timestamp="T",
+        )
+        assert entry["timings"]["query_full_span_p99_ms"] == 0.8
+        loaded = bh.load_history(path)
+        assert len(loaded) == 1
+        assert loaded[0]["timings"] == entry["timings"]
+
+    def test_recorded_baseline_meets_the_latency_bar(self):
+        doc = json.loads(
+            (ROOT / "benchmarks" / "BENCH_query.json").read_text()
+        )["history_query"]
+        assert doc["full_span"]["p99_ms"] < 50.0
+        assert doc["written_mb"] > doc["rss_ceiling_mb"]
+        assert doc["rss_delta_mb"] < doc["rss_ceiling_mb"]
+        assert doc["rollup_sample"]["mismatches"] == 0
+        assert doc["history_invisible"] is True

@@ -25,7 +25,7 @@ class TestRegistry:
                       "ext_replay", "ext_proxies", "ext_budget",
                       "ext_governor", "ext_boost", "ext_sensitivity",
                       "ext_stream", "ext_frontier", "ext_controlplane",
-                      "ext_incidents"}
+                      "ext_incidents", "ext_slo"}
         assert set(EXPERIMENT_IDS) == paper | extensions
 
     def test_unknown_experiment(self):

@@ -262,3 +262,68 @@ class TestHistogramQuantile:
             histogram_quantile(self.BUCKETS, 1.5)
         with pytest.raises(ObservabilityError):
             histogram_quantile(self.BUCKETS, -0.1)
+
+
+class TestLabelValueEscaping:
+    """Exposition escaping round-trips for every special character.
+
+    Regression tests for the ``\\`` / ``"`` / newline escapes: an
+    unescaped backslash or quote used to corrupt the label block and
+    split one sample line into garbage for downstream parsers.
+    """
+
+    CASES = (
+        "plain",
+        'quo"te',
+        "back\\slash",
+        "new\nline",
+        "\\",
+        '\\"',
+        "\\n",          # literal backslash-n, not a newline
+        'mix\\"ed\nall\\three',
+        "",
+    )
+
+    def test_escape_unescape_roundtrip(self):
+        from repro.obs.metrics import (
+            _escape_label_value,
+            _unescape_label_value,
+        )
+
+        for value in self.CASES:
+            escaped = _escape_label_value(value)
+            assert "\n" not in escaped
+            assert _unescape_label_value(escaped) == value, value
+
+    def test_exporter_parser_roundtrip_per_value(self):
+        for value in self.CASES:
+            reg = MetricsRegistry()
+            reg.counter("escape_total", "t", job=value).inc(2.0)
+            series = parse_prometheus_series(reg.to_prometheus())
+            ((labels, count),) = series["escape_total"]
+            assert labels == {"job": value}
+            assert count == 2.0
+
+    def test_newline_value_keeps_exposition_line_oriented(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", "t", job="two\nlines").set(1.0)
+        sample_lines = [
+            line for line in reg.to_prometheus().splitlines()
+            if line.startswith("g{")
+        ]
+        assert len(sample_lines) == 1
+        assert r"two\nlines" in sample_lines[0]
+
+    def test_literal_backslash_n_distinct_from_newline(self):
+        from repro.obs.metrics import _escape_label_value
+
+        # The escaper must keep 'backslash then n' distinguishable
+        # from a real newline after the round trip.
+        assert _escape_label_value("\\n") == r"\\n"
+        assert _escape_label_value("\n") == r"\n"
+        reg = MetricsRegistry()
+        reg.counter("c_total", "t", a="\\n", b="\n").inc()
+        ((labels, _),) = parse_prometheus_series(
+            reg.to_prometheus()
+        )["c_total"]
+        assert labels == {"a": "\\n", "b": "\n"}

@@ -1,0 +1,190 @@
+"""SLO burn-rate math, rule wiring, and live/replay parity."""
+
+import numpy as np
+import pytest
+
+from repro.obs.health.rules import AlertEngine
+from repro.obs.history.slo import (
+    FAST_BURN,
+    SLO,
+    SLOW_BURN,
+    BurnWindow,
+    SLOEvaluator,
+    default_slos,
+    replay,
+    slo_rules,
+)
+from repro.obs.history.store import HistoryStore
+from repro.obs.metrics import MetricsRegistry
+
+W = 15.0
+
+
+def mini_slo(**kw) -> SLO:
+    base = dict(
+        name="t",
+        objective=0.99,                # error budget 0.01
+        bad_series="bad",
+        total_series="total",
+        fast=BurnWindow(short_s=2 * W, long_s=4 * W, threshold=10.0),
+        slow=BurnWindow(short_s=8 * W, long_s=16 * W, threshold=2.0),
+    )
+    base.update(kw)
+    return SLO(**base)
+
+
+def feed(ev, windows):
+    """Observe [(bad, total), ...] at consecutive W-second windows."""
+    values = None
+    for i, (bad, total) in enumerate(windows):
+        values = ev.observe(
+            i * W, (i + 1) * W, {"bad": bad, "total": total}
+        )
+    return values
+
+
+class TestBurnMath:
+    def test_steady_error_rate_burns_at_rate_over_budget(self):
+        ev = SLOEvaluator([mini_slo()])
+        # 2 % bad forever: burn = 0.02 / 0.01 = 2 in every window.
+        values = feed(ev, [(2.0, 100.0)] * 32)
+        assert values["slo_t_burn_fast"] == pytest.approx(2.0)
+        assert values["slo_t_burn_slow"] == pytest.approx(2.0)
+
+    def test_clean_service_burns_zero(self):
+        values = feed(SLOEvaluator([mini_slo()]), [(0.0, 100.0)] * 8)
+        assert values["slo_t_burn_fast"] == 0.0
+        assert values["slo_t_burn_slow"] == 0.0
+        assert values["slo_t_budget_remaining"] == 1.0
+
+    def test_no_traffic_reads_as_zero_burn(self):
+        values = feed(SLOEvaluator([mini_slo()]), [(0.0, 0.0)] * 4)
+        assert values["slo_t_burn_fast"] == 0.0
+
+    def test_two_window_and_is_the_min(self):
+        ev = SLOEvaluator([mini_slo()])
+        # Clean history, then one fully-bad window: the short (2-window)
+        # trailing ratio is 1/2, the long (4-window) ratio is 1/4 —
+        # the rule metric must report the *long* window's burn.
+        values = feed(ev, [(0.0, 100.0)] * 15 + [(100.0, 100.0)])
+        assert values["slo_t_burn_fast"] == pytest.approx(
+            (1.0 / 4.0) / 0.01
+        )
+
+    def test_budget_remaining_tracks_spend_over_long_window(self):
+        ev = SLOEvaluator([mini_slo()])
+        # Burning at exactly 1x: the whole budget is gone exactly at
+        # the end of the 16-window long horizon.
+        values = feed(ev, [(1.0, 100.0)] * 16)
+        assert values["slo_t_budget_remaining"] == pytest.approx(0.0)
+
+    def test_burn_recovers_as_the_burst_slides_off(self):
+        ev = SLOEvaluator([mini_slo()])
+        feed(ev, [(100.0, 100.0)] * 4)
+        during = ev.last_values["slo_t_burn_fast"]
+        feed_rest = [(0.0, 100.0)] * 16
+        for i, (bad, total) in enumerate(feed_rest, start=4):
+            ev.observe(i * W, (i + 1) * W, {"bad": bad, "total": total})
+        after = ev.last_values["slo_t_burn_fast"]
+        assert during == pytest.approx(100.0)
+        assert after == 0.0
+
+
+class TestRules:
+    def test_default_slos_cover_the_standard_schema(self):
+        slos = {s.name: s for s in default_slos()}
+        assert set(slos) == {
+            "cap_violation", "energy_budget", "serve_latency",
+        }
+        assert slos["cap_violation"].objective == 0.999
+        assert slos["cap_violation"].bad_series == "over_limit_samples"
+        assert slos["energy_budget"].error_budget == pytest.approx(0.05)
+
+    def test_standard_windows_are_the_sre_table(self):
+        assert (FAST_BURN.short_s, FAST_BURN.long_s) == (300.0, 3600.0)
+        assert FAST_BURN.threshold == 14.4
+        assert (SLOW_BURN.short_s, SLOW_BURN.long_s) == (
+            21600.0, 259200.0
+        )
+        assert SLOW_BURN.threshold == 6.0
+
+    def test_rules_pair_fast_critical_slow_warning(self):
+        rules = slo_rules(default_slos())
+        assert len(rules) == 6
+        by_name = {r.name: r for r in rules}
+        fast = by_name["slo_cap_violation_fast_burn"]
+        slow = by_name["slo_cap_violation_slow_burn"]
+        assert fast.severity == "critical" and fast.value == 14.4
+        assert slow.severity == "warning" and slow.value == 6.0
+        assert fast.metric == "slo_cap_violation_burn_fast"
+
+    def test_fast_rule_fires_before_slow_and_resolves_first(self):
+        # Slow threshold 10 over the 16-window horizon needs two bad
+        # windows before it binds, so the fast page leads going in;
+        # its 2-window short window also clears first coming out.
+        slo = mini_slo(slow=BurnWindow(8 * W, 16 * W, 10.0))
+        ev = SLOEvaluator([slo])
+        alerts = AlertEngine(slo_rules([slo]))
+        windows = (
+            [(0.0, 100.0)] * 16      # clean warmup
+            + [(100.0, 100.0)] * 16  # sustained full burn
+            + [(0.0, 100.0)] * 32    # recovery
+        )
+        for i, (bad, total) in enumerate(windows):
+            values = ev.observe(
+                i * W, (i + 1) * W, {"bad": bad, "total": total}
+            )
+            alerts.evaluate(values, (i + 1) * W)
+        t = {
+            (e["rule"], e["transition"]): e["t_s"]
+            for e in alerts.history
+        }
+        assert t[("slo_t_fast_burn", "firing")] < (
+            t[("slo_t_slow_burn", "firing")]
+        )
+        assert t[("slo_t_fast_burn", "resolved")] < (
+            t[("slo_t_slow_burn", "resolved")]
+        )
+        assert not alerts.firing()
+
+
+class TestReplay:
+    def test_replay_matches_live_evaluator(self):
+        slo = mini_slo()
+        store = HistoryStore(
+            [("t_start_s", "min"), ("t_end_s", "max"),
+             ("bad", "sum"), ("total", "sum")],
+            chunk_rows=8, window_s=W,
+        )
+        live = SLOEvaluator([slo])
+        rng = np.random.default_rng(7)
+        for i in range(50):
+            bad = float(rng.integers(0, 5))
+            row = {
+                "t_start_s": i * W, "t_end_s": (i + 1) * W,
+                "bad": bad, "total": 100.0,
+            }
+            store.append_row(row)
+            live.observe(i * W, (i + 1) * W, row)
+        replayed = replay(store, [slo], block_rows=7)
+        assert replayed.last_values == live.last_values
+
+
+class TestServeLatencyTotals:
+    def test_histogram_totals_split_on_the_bound(self):
+        reg = MetricsRegistry()
+        h = reg.histogram(
+            "serve_request_seconds", "latency",
+            buckets=(0.001, 0.005, 0.05), endpoint="/x",
+        )
+        for v in (0.0005, 0.002, 0.004, 0.02, 0.2):
+            h.observe(v)
+        total, fast = reg.histogram_totals(
+            "serve_request_seconds", 0.005
+        )
+        assert total == 5.0 and fast == 3.0
+
+    def test_missing_family_reads_zero(self):
+        assert MetricsRegistry().histogram_totals("nope", 1.0) == (
+            0.0, 0.0
+        )

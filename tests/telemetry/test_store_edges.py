@@ -82,13 +82,94 @@ def test_non_monotonic_timestamps_are_preserved_and_filterable():
 def test_empty_filter_windows():
     store = TelemetryStore(mk_chunk([0.0, DT, 2 * DT], [0, 1, 2]))
     assert len(store.filter_time(100 * DT, 200 * DT)) == 0
-    # Inverted and zero-width windows select nothing (not an error).
-    assert len(store.filter_time(2 * DT, 0.0)) == 0
+    # Zero-width windows select nothing (not an error)...
     assert len(store.filter_time(DT, DT)) == 0
     assert len(store.filter_nodes([])) == 0
     assert len(store.filter_nodes([99])) == 0
     # Chained empty filters compose.
     assert len(store.filter_nodes([0]).filter_time(DT, 2 * DT)) == 0
+
+
+def test_inverted_time_range_raises():
+    # ...but an inverted range is a caller bug, not an empty window:
+    # silently returning nothing hid swapped-argument mistakes.
+    store = TelemetryStore(mk_chunk([0.0, DT, 2 * DT], [0, 1, 2]))
+    with pytest.raises(TelemetryError, match="negative time range"):
+        store.filter_time(2 * DT, 0.0)
+    with pytest.raises(TelemetryError, match="negative time range"):
+        store.filter_time(0.0, -DT)
+
+
+def test_empty_mask_filter_preserves_shape_and_aggregates():
+    store = TelemetryStore(mk_chunk([0.0, DT, 2 * DT], [0, 1, 2]))
+    view = store.filter_nodes([99])
+    assert len(view) == 0
+    assert view.chunk.gpu_power_w.shape == (0, constants.GPUS_PER_NODE)
+    assert view.gpu_energy_j() == 0.0
+    assert view.cpu_energy_j() == 0.0
+    assert view.interval_s == store.interval_s
+
+
+def test_full_mask_filter_is_the_identity():
+    store = TelemetryStore(
+        mk_chunk([0.0, DT, 2 * DT], [0, 1, 2], gpu=175.0, cpu=90.0)
+    )
+    view = store.filter_time(0.0, 3 * DT)
+    assert len(view) == len(store)
+    np.testing.assert_array_equal(view.chunk.time_s, store.chunk.time_s)
+    np.testing.assert_array_equal(
+        view.chunk.gpu_power_w, store.chunk.gpu_power_w
+    )
+    assert view.gpu_energy_j() == store.gpu_energy_j()
+
+
+def test_filtered_view_roundtrips_through_save_load(tmp_path):
+    store = TelemetryStore(
+        mk_chunk([0.0, DT, 2 * DT, 3 * DT], [0, 1, 0, 1], gpu=220.0)
+    )
+    view = store.filter_nodes([1])
+    path = tmp_path / "view.npz"
+    view.save(path)
+    loaded = TelemetryStore.load(path)
+    assert len(loaded) == 2
+    np.testing.assert_array_equal(loaded.chunk.time_s, view.chunk.time_s)
+    np.testing.assert_array_equal(loaded.chunk.node_id, view.chunk.node_id)
+    assert loaded.gpu_energy_j() == view.gpu_energy_j()
+    assert loaded.interval_s == view.interval_s
+
+
+class TestColumnarDirectory:
+    def test_roundtrip_is_memmapped_and_equal(self, tmp_path):
+        store = TelemetryStore(
+            mk_chunk([0.0, DT, 2 * DT], [0, 1, 2], gpu=240.0, cpu=110.0)
+        )
+        store.save_columnar(tmp_path / "cols")
+        loaded = TelemetryStore.load(tmp_path / "cols")
+        assert isinstance(loaded.chunk.time_s, np.memmap)
+        np.testing.assert_array_equal(
+            loaded.chunk.gpu_power_w, store.chunk.gpu_power_w
+        )
+        assert loaded.gpu_energy_j() == store.gpu_energy_j()
+        assert loaded.interval_s == store.interval_s
+
+    def test_filters_work_on_memmapped_columns(self, tmp_path):
+        store = TelemetryStore(mk_chunk([0.0, DT, 2 * DT], [0, 1, 0]))
+        store.save_columnar(tmp_path / "cols")
+        loaded = TelemetryStore.load(tmp_path / "cols")
+        assert len(loaded.filter_nodes([0])) == 2
+        assert len(loaded.filter_time(0.0, DT)) == 1
+
+    def test_directory_without_meta_rejected(self, tmp_path):
+        (tmp_path / "cols").mkdir()
+        with pytest.raises(TelemetryError, match="missing meta.json"):
+            TelemetryStore.load(tmp_path / "cols")
+
+    def test_unknown_format_rejected(self, tmp_path):
+        d = tmp_path / "cols"
+        d.mkdir()
+        (d / "meta.json").write_text('{"format": "something-else"}')
+        with pytest.raises(TelemetryError, match="unknown format"):
+            TelemetryStore.load(d)
 
 
 def test_invalid_interval_rejected():
