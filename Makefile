@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard bench-serve bench-forensics bench-query profile
+.PHONY: test lint bench-quick bench-record bench bench-obs bench-shard bench-serve bench-forensics bench-query bench-logs profile
 
 # Tier-1 correctness suite.
 test:
@@ -57,6 +57,14 @@ bench-forensics:
 bench-query:
 	$(PYTHON) benchmarks/bench_query.py --check --history
 
+# Structured event-log gate: a disabled EventLog on the ingest path
+# must stay under the 2 % overhead budget, an enabled one must leave
+# the fleet cube bitwise identical, and the segment store must ingest
+# 1M events RSS-bounded while answering range queries under the
+# recorded p99 < 50 ms in benchmarks/BENCH_logs.json.
+bench-logs:
+	$(PYTHON) benchmarks/bench_logs.py --check --quick --history
+
 # Re-measure and rewrite the recorded baselines (run on the reference
 # machine after intentional perf changes).
 bench-record:
@@ -65,6 +73,7 @@ bench-record:
 	$(PYTHON) benchmarks/bench_serve.py --record
 	$(PYTHON) benchmarks/bench_forensics.py --record
 	$(PYTHON) benchmarks/bench_query.py --record
+	$(PYTHON) benchmarks/bench_logs.py --record
 
 # Span-linked profile of the table5 reference run: writes flamegraph
 # input (profile-artifacts/profile.collapsed), a Chrome trace, and the

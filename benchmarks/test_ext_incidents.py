@@ -33,3 +33,10 @@ def test_ext_incidents(benchmark, bench_config):
     assert summary["windows_recorded"] == 72
     assert summary["records_evicted"] == 0
     assert summary["incidents_open"] == 0
+
+    # Every exported bundle embeds its deterministic event-log slice:
+    # non-empty, rerun-verbatim, and with chunking-invariant ids.
+    checks = result.data["checks"]
+    assert checks["bundle_logs_embedded"]
+    assert checks["log_slice_reproducible"]
+    assert checks["log_ids_chunking_invariant"]

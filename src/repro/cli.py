@@ -337,6 +337,16 @@ def _build_parser() -> argparse.ArgumentParser:
             "for the SLO pane"
         ),
     )
+    stream_p.add_argument(
+        "--log-dir", default=None, metavar="DIR",
+        help=(
+            "persist the structured event log (window seals, alert "
+            "transitions, incident lifecycles) to rotated JSONL "
+            "segments at DIR (query later with 'repro obs logs --dir "
+            "DIR'); --watch alone keeps an in-memory ring for the "
+            "live tail pane"
+        ),
+    )
 
     from .serve.objectives import objective_names
 
@@ -443,6 +453,15 @@ def _build_parser() -> argparse.ArgumentParser:
             "retain every sealed window in an out-of-core columnar "
             "history store at DIR and serve /v1/query + /v1/series "
             "from it (in-memory if DIR is '-')"
+        ),
+    )
+    serve_p.add_argument(
+        "--log-dir", default=None, metavar="DIR",
+        help=(
+            "keep a structured event log (cap decisions, policy "
+            "changes, alerts, incidents) and serve /v1/logs from it; "
+            "persisted as JSONL segments at DIR (in-memory if DIR "
+            "is '-')"
         ),
     )
 
@@ -661,6 +680,68 @@ def _build_parser() -> argparse.ArgumentParser:
         "--keep-s", type=float, default=None,
         help="gc: keep at least this much trailing event time (seconds)",
     )
+    obs_logs = obs_sub.add_parser(
+        "logs",
+        help=(
+            "query or tail a structured event log from a store written "
+            "by --log-dir or a live /v1/logs endpoint; --check "
+            "validates segment/manifest integrity (the CI gate)"
+        ),
+    )
+    obs_logs.add_argument(
+        "action", nargs="?", default="query", choices=("query", "tail"),
+        help=(
+            "query applies the filters below; tail shows only the "
+            "newest records (default query)"
+        ),
+    )
+    obs_logs.add_argument(
+        "--dir", dest="store_dir", default=None, metavar="DIR",
+        help="event-log store directory written by --log-dir",
+    )
+    obs_logs.add_argument(
+        "--url", default=None, metavar="URL",
+        help="base URL of a live control plane (uses /v1/logs)",
+    )
+    obs_logs.add_argument(
+        "--t0", type=float, default=None,
+        help="range start, event seconds",
+    )
+    obs_logs.add_argument(
+        "--t1", type=float, default=None,
+        help="range end, event seconds",
+    )
+    obs_logs.add_argument(
+        "--severity", default=None,
+        help="minimum severity (debug/info/warning/error/critical)",
+    )
+    obs_logs.add_argument(
+        "--event", default=None,
+        help=(
+            "event name, exact ('serve.decide_cap') or dotted prefix "
+            "('serve.')"
+        ),
+    )
+    obs_logs.add_argument(
+        "--window", type=int, default=None,
+        help="only records correlated to this window index",
+    )
+    obs_logs.add_argument(
+        "--limit", "-n", type=int, default=None,
+        help="newest N matches (default 200 for query, 20 for tail)",
+    )
+    obs_logs.add_argument(
+        "--json", action="store_true",
+        help="print raw records as JSON lines",
+    )
+    obs_logs.add_argument(
+        "--check", action="store_true",
+        help=(
+            "validate segment files against the manifest (counts, seq "
+            "monotonicity, time bounds) and exit non-zero on any "
+            "problem (requires --dir)"
+        ),
+    )
     obs_diff = obs_sub.add_parser(
         "diff",
         help=(
@@ -771,6 +852,46 @@ def _build_health(args):
     if args.serve is not None:
         server = HealthServer(monitor=monitor, port=args.serve).start()
     return monitor, server
+
+
+def _open_event_log(log_dir):
+    """An :class:`EventLog`, persisted at ``log_dir`` when given.
+
+    An existing store (manifest present) is reopened and appended to —
+    reopen-resume leaves segments bitwise-identical to one continuous
+    run.  ``None`` or ``'-'`` keeps the ring in memory only.
+    """
+    from pathlib import Path
+
+    from .obs.log import EventLog, LogStore
+    from .obs.log.store import MANIFEST_NAME
+
+    store = None
+    if log_dir and log_dir != "-":
+        path = Path(log_dir)
+        store = (
+            LogStore.open(path)
+            if (path / MANIFEST_NAME).exists()
+            else LogStore(path)
+        )
+    return EventLog(store=store)
+
+
+def _print_event_log_summary(eventlog, log_dir) -> None:
+    """The end-of-run structured-log summary block."""
+    summary = eventlog.summary()
+    print(
+        f"\nevents: {summary['events_total']} emitted "
+        f"({summary['suppressed_total']} suppressed, "
+        f"{summary['evicted_total']} evicted from the ring)"
+    )
+    if log_dir and log_dir != "-":
+        store = summary["store"]
+        print(
+            f"event log written to {log_dir} "
+            f"({store['records']} records in {store['segments']} "
+            f"segment(s); query with 'repro obs logs --dir {log_dir}')"
+        )
 
 
 def _write_health_state(monitor, obs_dir) -> None:
@@ -993,6 +1114,17 @@ def _stream(args) -> int:
 
         history = History(dir=args.history_dir, monitor=monitor)
         engine.attach_history(history)
+    # The structured event log attaches last on the same hook:
+    # persistent when --log-dir names a directory, in-memory for the
+    # --watch tail pane.
+    eventlog = None
+    if args.watch or args.log_dir:
+        eventlog = _open_event_log(args.log_dir)
+        engine.attach_log(eventlog)
+        if monitor is not None:
+            monitor.alerts.add_listener(eventlog.alert_transition)
+        if forensics is not None:
+            forensics.set_event_log(eventlog)
     # --watch refreshes at the snapshot cadence; plain snapshots stay
     # opt-in via --snapshot-every as before.
     watch_every = args.snapshot_every or 20
@@ -1011,6 +1143,7 @@ def _stream(args) -> int:
                     monitor,
                     forensics=forensics,
                     history=history,
+                    eventlog=eventlog,
                 )
             elif args.snapshot_every and (i + 1) % args.snapshot_every == 0:
                 snap = engine.snapshot(
@@ -1023,10 +1156,13 @@ def _stream(args) -> int:
         if args.max_chunks is None:
             # Completed sources drain: every buffered window seals.
             engine.drain()
-        elif history is not None:
-            # Paused streams don't drain; flush the store explicitly
-            # so --history-dir leaves a consistent manifest behind.
-            history.finalize()
+        else:
+            # Paused streams don't drain; flush the stores explicitly
+            # so --history-dir/--log-dir leave consistent manifests.
+            if history is not None:
+                history.finalize()
+            if eventlog is not None:
+                eventlog.finalize()
 
         if args.checkpoint is not None:
             save_checkpoint(engine, args.checkpoint)
@@ -1038,7 +1174,8 @@ def _stream(args) -> int:
         )
         if dashboard is not None:
             dashboard.update(
-                snap, monitor, forensics=forensics, history=history
+                snap, monitor, forensics=forensics, history=history,
+                eventlog=eventlog,
             )
         label = (
             "live (stream paused)" if args.max_chunks else "final (drained)"
@@ -1100,6 +1237,8 @@ def _stream(args) -> int:
                     f"query with 'repro obs query --dir "
                     f"{args.history_dir}')"
                 )
+        if eventlog is not None:
+            _print_event_log_summary(eventlog, args.log_dir)
     finally:
         if server is not None:
             server.close()
@@ -1152,6 +1291,11 @@ def _serve(args) -> int:
         history = History(
             dir=None if args.history_dir == "-" else args.history_dir,
         )
+    eventlog = (
+        _open_event_log(args.log_dir)
+        if args.log_dir is not None
+        else None
+    )
     plane = ControlPlane(
         log,
         objective=args.objective,
@@ -1161,6 +1305,7 @@ def _serve(args) -> int:
         lateness_s=args.lateness_s,
         monitor=monitor,
         history=history,
+        event_log=eventlog,
     )
     server = plane.serve(host=args.host, port=args.port)
     print(f"control plane serving on {server.url}")
@@ -1168,6 +1313,7 @@ def _serve(args) -> int:
         "endpoints: /v1/fleet/cap /v1/fleet/savings /v1/jobs "
         "/v1/incidents /v1/policy"
         + (" /v1/series /v1/query" if history is not None else "")
+        + (" /v1/logs" if eventlog is not None else "")
         + " /metrics /health /alerts"
     )
     sys.stdout.flush()
@@ -1242,6 +1388,11 @@ def _serve(args) -> int:
             print(plane.history.timeline())
         if args.history_dir and args.history_dir != "-":
             print(f"history store written to {args.history_dir}")
+    if plane.event_log is not None:
+        # Idempotent when the drain already synced; covers --max-chunks
+        # runs that stop before the source is drained.
+        plane.event_log.finalize()
+        _print_event_log_summary(plane.event_log, args.log_dir)
     if args.obs or args.obs_dir:
         _write_health_state(monitor, args.obs_dir or "obs")
         if plane.forensics is not None:
@@ -1541,6 +1692,105 @@ def _obs_query(args) -> int:
         store.close()
 
 
+def _obs_logs(args) -> int:
+    """``repro obs logs``: query/tail/validate a structured event log."""
+    import json
+
+    if args.check and args.store_dir is None:
+        print("obs logs --check needs --dir", file=sys.stderr)
+        return 2
+    if (args.store_dir is None) == (args.url is None):
+        print(
+            "obs logs needs exactly one of --dir DIR or --url URL",
+            file=sys.stderr,
+        )
+        return 2
+    limit = (
+        args.limit if args.limit is not None
+        else (20 if args.action == "tail" else 200)
+    )
+
+    from .obs.log import render_records
+
+    if args.url is not None:
+        from .obs.health import fetch_url
+
+        base = args.url.rstrip("/")
+        params = [f"limit={limit}"]
+        for key in ("t0", "t1", "severity", "event", "window"):
+            value = getattr(args, key)
+            if value is not None:
+                params.append(f"{key}={value}")
+        status, body = fetch_url(base + "/v1/logs?" + "&".join(params))
+        doc = json.loads(body)
+        if status != 200:
+            print(
+                f"logs FAILED ({status}): {doc.get('error', body)}",
+                file=sys.stderr,
+            )
+            return 1
+        records = doc["logs"]
+        if args.json:
+            for rec in records:
+                print(json.dumps(rec, sort_keys=True))
+            return 0
+        summary = doc["summary"]
+        print(
+            f"events @ {base}: {summary['emitted']} emitted "
+            f"({summary['suppressed']} suppressed, "
+            f"{summary['evicted']} evicted); showing {len(records)}"
+        )
+        if records:
+            print(render_records(records))
+        return 0
+
+    from .obs.log import LogStore, select, tail
+
+    store = LogStore.open(args.store_dir)
+    try:
+        if args.check:
+            problems = store.check()
+            if problems:
+                print(
+                    f"CHECK FAILED: {len(problems)} problem(s) in "
+                    f"{args.store_dir}:",
+                    file=sys.stderr,
+                )
+                for problem in problems:
+                    print(f"  {problem}", file=sys.stderr)
+                return 1
+            print(
+                f"log store OK: {store.records_resident()} records "
+                f"across {store.segment_count()} segment(s), "
+                f"{store.total_bytes():,} bytes"
+            )
+            return 0
+        records = select(
+            store.iter_records(args.t0, args.t1),
+            min_severity=args.severity,
+            event=args.event,
+            window=args.window,
+            limit=None if args.action == "tail" else limit,
+        )
+        if args.action == "tail":
+            records = tail(records, limit)
+        if args.json:
+            for rec in records:
+                print(json.dumps(rec, sort_keys=True))
+            return 0
+        summary = store.summary()
+        print(
+            f"event log {args.store_dir}: {summary['records']} records "
+            f"in {summary['segments']} segment(s); showing "
+            f"{len(records)}"
+        )
+        if records:
+            print(render_records(records))
+        return 0
+    finally:
+        store.close()
+
+
 def _obs_history(args) -> int:
     from .obs.history import HistoryStore
 
@@ -1726,6 +1976,8 @@ def _obs_command(args) -> int:
         return _obs_query(args)
     if args.obs_command == "history":
         return _obs_history(args)
+    if args.obs_command == "logs":
+        return _obs_logs(args)
     if args.obs_command == "summary":
         if args.url is not None:
             return _obs_summary_url(args.url)

@@ -63,5 +63,9 @@ class HistoryError(ObservabilityError):
     """A history-store, rollup, range-query, or SLO operation is invalid."""
 
 
+class LogError(ObservabilityError):
+    """An event-log, log-segment, or log-query operation is invalid."""
+
+
 class ServeError(ReproError):
     """A control-plane request, objective, or server operation is invalid."""

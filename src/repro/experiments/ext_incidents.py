@@ -39,7 +39,13 @@ Checks:
   recorder-enabled plane are bitwise identical to a plane with
   forensics disabled (``recorder_bitwise``);
 * every incident is resolved at drain, so the CI gate
-  ``repro obs incidents --check`` passes (``all_resolved``).
+  ``repro obs incidents --check`` passes (``all_resolved``);
+* each incident's exported forensic bundle embeds a non-empty,
+  window-bounded slice of the structured event log
+  (``bundle_logs_embedded``), the slice reproduces verbatim under
+  rerun (``log_slice_reproducible``), and its event ids are invariant
+  under re-chunking (``log_ids_chunking_invariant``) — the
+  determinism contract of :mod:`repro.obs.log`.
 """
 
 from __future__ import annotations
@@ -47,7 +53,13 @@ from __future__ import annotations
 import numpy as np
 
 from .. import constants, units
-from ..obs.forensics import Forensics, default_detectors
+from ..obs.forensics import (
+    Forensics,
+    build_bundle,
+    default_detectors,
+    forensics_doc,
+)
+from ..obs.log import EventLog
 from ..obs.health.drift import DriftReference
 from ..scheduler import SlurmSimulator, default_mix
 from ..serve import ControlPlane
@@ -128,7 +140,8 @@ def _synthetic_store(seed: int) -> TelemetryStore:
     return TelemetryStore(chunk)
 
 
-def _run_plane(store, log, *, chunk_ticks: int, forensics):
+def _run_plane(store, log, *, chunk_ticks: int, forensics,
+               event_log=None):
     """Stream the campaign through a plane, stalling publication.
 
     Chunks whose event time falls in the stall span bypass
@@ -143,6 +156,7 @@ def _run_plane(store, log, *, chunk_ticks: int, forensics):
         max_slowdown_pct=5.0,
         window_s=WINDOW_S,
         forensics=forensics,
+        event_log=event_log,
     )
     for chunk in replay_store(store, chunk_ticks=chunk_ticks):
         if STALL_T0 <= float(chunk.time_s[0]) < STALL_T1:
@@ -157,6 +171,26 @@ def _timeline(forensics: Forensics) -> list:
     return [i.to_dict() for i in forensics.incidents.incidents]
 
 
+def _scrub(rec: dict) -> dict:
+    """Drop process-local correlation ids (trace/span) for comparison.
+
+    Everything else in a window-correlated record — the per-event
+    occurrence id, seq, event time, severity, message, fields — is
+    part of the determinism contract and *is* compared.
+    """
+    return {k: v for k, v in rec.items()
+            if k not in ("trace_id", "span_id")}
+
+
+def _bundle_logs(plane) -> dict:
+    """``{incident_id: embedded log slice}`` from exported bundles."""
+    doc = forensics_doc(plane.forensics)
+    return {
+        inc["id"]: build_bundle(doc, inc["id"])["logs"]
+        for inc in doc["incidents"]
+    }
+
+
 def _top_node(incident: dict):
     tops = incident.get("top_nodes", [])
     return tops[0]["id"] if tops else None
@@ -168,17 +202,23 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         units.days(CAMPAIGN_S / 86_400.0), rng=config.seed
     )
 
+    # Every instrumented plane carries a structured event log, so the
+    # forensic bundles below embed correlated log slices; the ring is
+    # sized past the campaign's emission count (no eviction).
     plane_a = _run_plane(
         store, log, chunk_ticks=20,
         forensics=Forensics(detectors=_detectors()),
+        event_log=EventLog(capacity=16_384),
     )
     plane_b = _run_plane(
         store, log, chunk_ticks=20,
         forensics=Forensics(detectors=_detectors()),
+        event_log=EventLog(capacity=16_384),
     )
     plane_c = _run_plane(
         store, log, chunk_ticks=40,
         forensics=Forensics(detectors=_detectors()),
+        event_log=EventLog(capacity=16_384),
     )
     plane_plain = _run_plane(store, log, chunk_ticks=20, forensics=False)
 
@@ -212,6 +252,40 @@ def run(config: ExperimentConfig) -> ExperimentResult:
             plane_a.job_acc.samples, plane_plain.job_acc.samples
         )
     )
+
+    # Structured-log determinism: each exported bundle embeds the log
+    # slice spanning its incident's window range (padded one window);
+    # the slice reproduces verbatim under rerun, and its per-event
+    # occurrence ids survive re-chunking (cadence-driven records never
+    # enter bundles, so the halved chunk size changes no embedded id).
+    logs_a, logs_b, logs_c = (
+        _bundle_logs(plane_a), _bundle_logs(plane_b), _bundle_logs(plane_c)
+    )
+    bounds = {
+        i["id"]: (i["first_window"] - 1, i["last_window"] + 1)
+        for i in timeline
+    }
+    bundle_logs_embedded = bool(logs_a) and all(
+        slice_ and all(
+            bounds[inc_id][0] <= r["window"] <= bounds[inc_id][1]
+            for r in slice_
+        )
+        for inc_id, slice_ in logs_a.items()
+    )
+    log_slice_reproducible = {
+        inc_id: [_scrub(r) for r in slice_]
+        for inc_id, slice_ in logs_a.items()
+    } == {
+        inc_id: [_scrub(r) for r in slice_]
+        for inc_id, slice_ in logs_b.items()
+    }
+    log_ids_chunking_invariant = {
+        inc_id: [r["id"] for r in slice_]
+        for inc_id, slice_ in logs_a.items()
+    } == {
+        inc_id: [r["id"] for r in slice_]
+        for inc_id, slice_ in logs_c.items()
+    }
 
     by_detector = {i["detector"]: i for i in timeline}
     straggler = by_detector.get("straggler")
@@ -249,6 +323,9 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         "offline_parity": offline_parity,
         "recorder_bitwise": recorder_bitwise,
         "all_resolved": not plane_a.forensics.incidents.open_incidents,
+        "bundle_logs_embedded": bundle_logs_embedded,
+        "log_slice_reproducible": log_slice_reproducible,
+        "log_ids_chunking_invariant": log_ids_chunking_invariant,
     }
 
     summary = plane_a.forensics.summary()
@@ -273,6 +350,10 @@ def run(config: ExperimentConfig) -> ExperimentResult:
         f"offline window-content parity={offline_parity}",
         f"recorder overhead on analytics: fleet cube + per-job matrices "
         f"bitwise identical to a recorder-free plane={recorder_bitwise}",
+        f"bundled event logs: "
+        f"{sum(len(s) for s in logs_a.values())} records across "
+        f"{len(logs_a)} bundles, rerun-verbatim={log_slice_reproducible}, "
+        f"ids chunking-invariant={log_ids_chunking_invariant}",
     ]
     failed = sorted(k for k, ok in checks.items() if not ok)
     lines.append("")

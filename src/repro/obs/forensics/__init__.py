@@ -117,6 +117,7 @@ class Forensics:
         self.power_limit_w = float(power_limit_w)
         self.interval_s = float(interval_s)
         self.monitor = monitor
+        self.event_log = None
         self._decision_feed: Optional[DecisionFeed] = None
         self._prev_samples_in = 0
         self._prev_late = 0
@@ -146,6 +147,44 @@ class Forensics:
     def set_tagger(self, tagger) -> "Forensics":
         self.incidents.tagger = tagger
         return self
+
+    def set_event_log(self, event_log) -> "Forensics":
+        """Wire a structured event log (:mod:`repro.obs.log`).
+
+        Detector findings and incident open/resolve transitions then
+        emit window-correlated records.  All three streams occur once
+        per window in fold order, so their event ids — and the log
+        slice a forensic bundle embeds — are invariant under rerun and
+        re-chunking (asserted by ``ext_incidents``).
+        """
+        self.event_log = event_log
+        self.incidents.on_event = self._incident_event
+        return self
+
+    def _incident_event(self, transition, incident) -> None:
+        if transition == "open":
+            severity = (
+                "error" if incident.severity in ("critical", "page")
+                else "warning"
+            )
+            self.event_log.emit(
+                severity, "incident.open",
+                incident.peak_summary or incident.detector,
+                t_s=incident.t_start_s,
+                window=incident.first_window,
+                incident=incident.id,
+                detector=incident.detector,
+            )
+        else:
+            self.event_log.emit(
+                "info", "incident.resolve",
+                f"{incident.detector} quiet since window "
+                f"{incident.last_window}",
+                t_s=incident.t_end_s,
+                window=incident.last_window,
+                incident=incident.id,
+                detector=incident.detector,
+            )
 
     # -- the window observer ------------------------------------------------------
 
@@ -191,6 +230,15 @@ class Forensics:
         findings: List[Finding] = []
         for detector in self.detectors:
             findings.extend(detector.observe(record, window))
+        if self.event_log is not None:
+            for f in findings:
+                self.event_log.emit(
+                    "warning", "forensics.finding", f.summary,
+                    t_s=f.t_end_s, window=record.index,
+                    node=(f.nodes[0] if f.nodes else None),
+                    detector=f.detector, value=f.value,
+                    threshold=f.threshold,
+                )
         self.incidents.observe(record, findings, window=window)
 
     def finalize(self) -> "Forensics":
@@ -258,6 +306,14 @@ class Forensics:
                 )
             ]
         doc["records_by_id"] = records_by_id
+        if self.event_log is not None:
+            doc["logs_by_id"] = {
+                incident.id: self.event_log.window_slice(
+                    incident.first_window - pad,
+                    incident.last_window + pad,
+                )
+                for incident in self.incidents.incidents
+            }
         return doc
 
     def timeline(self) -> str:

@@ -46,6 +46,7 @@ def forensics_doc(
     """The full forensic state of one run as a JSON-ready document."""
     metrics_text = registry.to_prometheus() if registry is not None else None
     alerts = monitor.to_alerts_dict() if monitor is not None else None
+    event_log = getattr(forensics, "event_log", None)
     return {
         "schema": SCHEMA_VERSION,
         "kind": "forensics",
@@ -57,6 +58,15 @@ def forensics_doc(
             for i in forensics.incidents.incidents
         ],
         "records": [r.to_dict() for r in forensics.recorder.records],
+        # Window-correlated log records only: their per-event occurrence
+        # ids are rerun- and chunking-invariant, so the slice a bundle
+        # embeds is exactly reproducible (cadence-driven records, e.g.
+        # snapshot publishes, are deliberately excluded).
+        "logs": (
+            None if event_log is None
+            else [dict(r) for r in event_log.records()
+                  if r.get("window") is not None]
+        ),
         "metrics": metrics_text,
         "alerts": alerts,
     }
@@ -77,6 +87,7 @@ def build_bundle(doc: dict, incident_id: str, *, pad: int = 1) -> dict:
         r for r in doc.get("records", [])
         if first <= r["index"] <= last
     ]
+    logs = doc.get("logs")
     return {
         "schema": SCHEMA_VERSION,
         "kind": "incident_bundle",
@@ -84,6 +95,10 @@ def build_bundle(doc: dict, incident_id: str, *, pad: int = 1) -> dict:
         "provenance": doc.get("provenance", _provenance()),
         "incident": incident,
         "records": records,
+        "logs": (
+            None if logs is None
+            else [r for r in logs if first <= r.get("window", -1) <= last]
+        ),
         "metrics": doc.get("metrics"),
         "alerts": doc.get("alerts"),
     }

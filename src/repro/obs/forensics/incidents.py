@@ -159,6 +159,13 @@ class IncidentEngine:
         self.incidents: List[Incident] = []
         self._open: Dict[str, Incident] = {}
         self.findings_total = 0
+        #: Optional lifecycle callback ``fn(transition, incident)`` with
+        #: ``transition`` in ``("open", "resolve")`` — called after the
+        #: opening window is folded in (so ``first_window``/``t_start_s``
+        #: are set) and on resolution.  Fold-order deterministic, which
+        #: is what lets the structured event log stamp chunking-
+        #: invariant ids on incident records.
+        self.on_event = None
 
     # -- fold ---------------------------------------------------------------------
 
@@ -178,7 +185,8 @@ class IncidentEngine:
             ):
                 self._resolve(detector)
                 incident = None
-            if incident is None:
+            opened = incident is None
+            if opened:
                 incident = Incident(
                     id=f"inc-{len(self.incidents) + 1:03d}",
                     detector=detector,
@@ -188,6 +196,8 @@ class IncidentEngine:
                 self._open[detector] = incident
             incident.extend(record, fs)
             self._attribute(incident, record, fs, window)
+            if opened and self.on_event is not None:
+                self.on_event("open", incident)
 
         for detector in sorted(self._open):
             if detector in by_detector:
@@ -215,6 +225,8 @@ class IncidentEngine:
         incident = self._open.pop(detector, None)
         if incident is not None:
             incident.resolve()
+            if self.on_event is not None:
+                self.on_event("resolve", incident)
 
     # -- attribution --------------------------------------------------------------
 

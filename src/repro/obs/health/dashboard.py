@@ -11,6 +11,7 @@ sequential frames otherwise (pipes, CI logs).
 
 from __future__ import annotations
 
+import shutil
 import sys
 from typing import List, Optional
 
@@ -34,8 +35,16 @@ def render_dashboard(
     history: int = 5,
     forensics=None,
     slo_history=None,
+    eventlog=None,
+    width: Optional[int] = None,
 ) -> str:
-    """One dashboard frame as plain text (no ANSI)."""
+    """One dashboard frame as plain text (no ANSI).
+
+    ``width`` clips every pane line (with an ellipsis) instead of
+    letting the terminal hard-wrap mid-row — on narrow terminals
+    (< 100 columns) the frame degrades to truncated lines rather than
+    a scrambled layout.
+    """
     stats = snapshot.stats
     lines: List[str] = [
         f"repro stream — live health (frame {frame}, "
@@ -79,31 +88,38 @@ def render_dashboard(
 
     if monitor is None:
         lines.append("alerts: health monitoring off")
-        lines.extend(_incident_pane(forensics))
-        lines.extend(_slo_pane(slo_history))
-        return "\n".join(lines)
-
-    states = monitor.alerts.rule_states()
-    firing = [r for r in states if r["state"] == FIRING]
-    status = "DEGRADED" if firing else "ok"
-    lines.append(
-        f"alerts: {status} — {len(firing)} firing / {len(states)} rules "
-        f"({monitor.alerts.evaluations} evaluations)"
-    )
-    for row in states:
-        marker = {"inactive": " ", "pending": "~", "firing": "!"}[row["state"]]
-        value = row["value"]
-        shown = "-" if value is None else f"{value:g}"
+    else:
+        states = monitor.alerts.rule_states()
+        firing = [r for r in states if r["state"] == FIRING]
+        status = "DEGRADED" if firing else "ok"
         lines.append(
-            f"  [{marker}] {row['name']:<28} {row['state']:<9} "
-            f"value={shown}"
+            f"alerts: {status} — {len(firing)} firing / {len(states)} "
+            f"rules ({monitor.alerts.evaluations} evaluations)"
         )
-    recent = list(monitor.alerts.history)[-history:]
-    if recent:
-        lines.append(render_events(recent, title="recent transitions:"))
+        for row in states:
+            marker = {
+                "inactive": " ", "pending": "~", "firing": "!",
+            }[row["state"]]
+            value = row["value"]
+            shown = "-" if value is None else f"{value:g}"
+            lines.append(
+                f"  [{marker}] {row['name']:<28} {row['state']:<9} "
+                f"value={shown}"
+            )
+        recent = list(monitor.alerts.history)[-history:]
+        if recent:
+            lines.append(render_events(recent, title="recent transitions:"))
     lines.extend(_incident_pane(forensics))
     lines.extend(_slo_pane(slo_history))
-    return "\n".join(lines)
+    lines.extend(_logs_pane(eventlog))
+    body = "\n".join(lines)
+    if width is not None:
+        clip = max(20, int(width))
+        body = "\n".join(
+            line if len(line) <= clip else line[: clip - 1] + "…"
+            for line in body.split("\n")
+        )
+    return body
 
 
 def _incident_pane(forensics, *, recent: int = 3) -> List[str]:
@@ -126,6 +142,26 @@ def _incident_pane(forensics, *, recent: int = 3) -> List[str]:
             f"{incident.first_window}..{incident.last_window} "
             f"{incident.status}"
         )
+    return lines
+
+
+def _logs_pane(eventlog, *, recent: int = 6) -> List[str]:
+    """The live structured-log tail pane (empty when no log attached)."""
+    if eventlog is None:
+        return []
+    from ..log.query import render_record, tail
+
+    records = eventlog.records()
+    lines = [
+        "",
+        f"events: {eventlog.emitted} emitted "
+        f"({eventlog.suppressed} suppressed, {eventlog.evicted} evicted)"
+        + (f" — last {min(recent, len(records))}:" if records else ""),
+    ]
+    if not records:
+        lines.append("  (no events yet)")
+    for rec in tail(records, recent):
+        lines.append("  " + render_record(rec))
     return lines
 
 
@@ -165,11 +201,16 @@ class Dashboard:
         self._tty = bool(getattr(self.stream, "isatty", lambda: False)())
 
     def update(self, snapshot, monitor: Optional[HealthMonitor],
-               forensics=None, history=None) -> None:
+               forensics=None, history=None, eventlog=None) -> None:
         self.frame += 1
+        # Clip to the live terminal width so a narrow tty (< 100 cols)
+        # truncates rows instead of hard-wrapping them mid-pane.
+        width = (
+            shutil.get_terminal_size().columns if self._tty else None
+        )
         body = render_dashboard(
             snapshot, monitor, frame=self.frame, forensics=forensics,
-            slo_history=history,
+            slo_history=history, eventlog=eventlog, width=width,
         )
         if self._tty:
             self.stream.write(_ANSI_REDRAW + body + "\n")

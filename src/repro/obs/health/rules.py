@@ -190,6 +190,20 @@ class AlertEngine:
         self.evaluations = 0
         self.transitions = 0
         self.last_eval_s: Optional[float] = None
+        #: Transition listeners ``fn(event_dict)``, called for every
+        #: emitted transition — how the structured event log records
+        #: alert state changes (see :meth:`add_listener`).
+        self._listeners: List = []
+
+    def add_listener(self, fn) -> "AlertEngine":
+        """Call ``fn(event)`` for every transition event, as emitted.
+
+        Listeners observe the same dicts that land in :attr:`history`,
+        in the same deterministic evaluation order; they must not
+        mutate the event.
+        """
+        self._listeners.append(fn)
+        return self
 
     # -- evaluation ---------------------------------------------------------------
 
@@ -236,6 +250,8 @@ class AlertEngine:
             events.append(event)
             self.history.append(event)
             self.transitions += 1
+            for listener in self._listeners:
+                listener(event)
 
         for rule in self.rules:
             st = self._states[rule.name]

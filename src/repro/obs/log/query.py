@@ -1,0 +1,103 @@
+"""Pure-function query engine and renderers for event-log records.
+
+Everything here is side-effect free: :func:`select` filters a record
+sequence (from a ring snapshot, a :class:`~repro.obs.log.store.LogStore`
+iterator, or a served ``/v1/logs`` document) and the renderers turn
+records into stable text for the CLI and the live dashboard pane.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from ...errors import LogError
+from .events import SEVERITY_CODE
+
+
+def select(records: Iterable[dict], *, t0: Optional[float] = None,
+           t1: Optional[float] = None, min_severity: Optional[str] = None,
+           event: Optional[str] = None, window: Optional[int] = None,
+           fields: Optional[dict] = None,
+           limit: Optional[int] = None) -> List[dict]:
+    """Filter records by time range, severity floor, event, and fields.
+
+    ``event`` matches exactly, or as a dotted prefix when it ends with
+    ``.`` (``"serve."`` selects every control-plane event).  ``fields``
+    matches against correlation ids and ``fields`` payload entries
+    alike.  ``limit`` keeps the *newest* matches, preserving order.
+    """
+    floor = None
+    if min_severity is not None:
+        floor = SEVERITY_CODE.get(min_severity)
+        if floor is None:
+            raise LogError(
+                f"unknown severity {min_severity!r}; "
+                f"choose from {tuple(SEVERITY_CODE)}"
+            )
+    out: List[dict] = []
+    for rec in records:
+        if t0 is not None and rec.get("t_s", 0.0) < t0:
+            continue
+        if t1 is not None and rec.get("t_s", 0.0) > t1:
+            continue
+        if floor is not None and SEVERITY_CODE.get(
+                rec.get("severity", "debug"), 0) < floor:
+            continue
+        name = rec.get("event", "")
+        if event is not None:
+            if event.endswith("."):
+                if not name.startswith(event):
+                    continue
+            elif name != event:
+                continue
+        if window is not None and rec.get("window") != window:
+            continue
+        if fields is not None and not _fields_match(rec, fields):
+            continue
+        out.append(rec)
+    if limit is not None and limit >= 0 and len(out) > limit:
+        out = out[len(out) - limit:]
+    return out
+
+
+def _fields_match(rec: dict, wanted: dict) -> bool:
+    payload = rec.get("fields", {})
+    for key, value in wanted.items():
+        have = rec.get(key, payload.get(key))
+        if have != value:
+            return False
+    return True
+
+
+def render_record(rec: dict, *, width: Optional[int] = None) -> str:
+    """One stable text line: time, severity, event, message, ids."""
+    parts = [
+        f"t={rec.get('t_s', 0.0):>10.1f}s",
+        f"{rec.get('severity', '?').upper():<8s}",
+        f"{rec.get('event', '?'):<22s}",
+        rec.get("msg", ""),
+    ]
+    ids = []
+    for key in ("window", "node", "job", "incident", "cap_version"):
+        if key in rec:
+            ids.append(f"{key}={rec[key]}")
+    if rec.get("suppressed"):
+        ids.append(f"suppressed={rec['suppressed']}")
+    if ids:
+        parts.append("[" + " ".join(ids) + "]")
+    line = "  ".join(p for p in parts if p)
+    if width is not None and len(line) > width:
+        line = line[: max(1, width - 1)] + "…"
+    return line
+
+
+def render_records(records: Iterable[dict], *,
+                   width: Optional[int] = None) -> str:
+    return "\n".join(render_record(r, width=width) for r in records)
+
+
+def tail(records: List[dict], n: int) -> List[dict]:
+    """The newest ``n`` records, oldest of them first."""
+    if n <= 0:
+        return []
+    return records[-n:]

@@ -1,0 +1,320 @@
+"""On-disk JSONL segment store for structured event logs.
+
+The store mirrors the ``obs.history`` segment idioms: an append-only
+directory of fixed-capacity segment files plus an atomically rewritten
+``manifest.json``.  Records are one sorted-key JSON object per line, so
+segments are greppable, diffable, and byte-reproducible: appending the
+same record stream always yields the same segment bytes, and a store
+that is closed mid-segment and reopened continues appending to the same
+file — reopen-resume is bitwise-equal to one continuous run.
+
+Retention is segment-granular: :meth:`LogStore.gc` drops whole closed
+segments whose newest record fell behind the event-time frontier by
+more than ``keep_s``, never rewriting surviving bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ...errors import LogError
+
+#: Records per segment file before rotation.
+DEFAULT_SEGMENT_RECORDS = 4096
+#: Manifest file name inside the store directory.
+MANIFEST_NAME = "manifest.json"
+#: On-disk format version; bumped on incompatible layout changes.
+_FORMAT = 1
+
+
+def _render_line(record: dict) -> str:
+    """Canonical single-line serialization: sorted keys, no spaces."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class LogStore:
+    """JSONL segment store with manifested rotation, retention, and GC."""
+
+    def __init__(self, dir, *, segment_records: int = DEFAULT_SEGMENT_RECORDS,
+                 meta: Optional[dict] = None):
+        self.dir = Path(dir)
+        self.dir.mkdir(parents=True, exist_ok=True)
+        if (self.dir / MANIFEST_NAME).exists():
+            raise LogError(
+                f"{self.dir} already holds a log store; use LogStore.open()"
+            )
+        if segment_records < 1:
+            raise LogError("segment_records must be >= 1")
+        self.segment_records = int(segment_records)
+        self.meta = dict(meta or {})
+        self.segments: list = []     # closed + active descriptors, in order
+        self.next_file_id = 0
+        self.gc_dropped_segments = 0
+        self.gc_dropped_records = 0
+        self._fh = None              # append handle for the active segment
+        self._dirty = False
+        self.sync()
+
+    # -- lifecycle ----------------------------------------------------
+
+    @classmethod
+    def open(cls, dir) -> "LogStore":
+        """Reopen an existing store, resuming mid-segment appends.
+
+        The newest segment file is scanned line-by-line; a trailing
+        partial line (torn write on crash) is truncated so the resumed
+        stream stays byte-identical to an uninterrupted run.
+        """
+        dir = Path(dir)
+        path = dir / MANIFEST_NAME
+        if not path.exists():
+            raise LogError(f"{dir} does not hold a log store manifest")
+        doc = json.loads(path.read_text())
+        if doc.get("format") != _FORMAT:
+            raise LogError(
+                f"log store format {doc.get('format')!r} != {_FORMAT}"
+            )
+        self = cls.__new__(cls)
+        self.dir = dir
+        self.segment_records = int(doc["segment_records"])
+        self.meta = dict(doc.get("meta", {}))
+        self.segments = list(doc.get("segments", []))
+        self.next_file_id = int(doc["next_file_id"])
+        self.gc_dropped_segments = int(doc.get("gc_dropped_segments", 0))
+        self.gc_dropped_records = int(doc.get("gc_dropped_records", 0))
+        self._fh = None
+        self._dirty = False
+        if self.segments and self.segments[-1]["records"] < self.segment_records:
+            self._recover_tail(self.segments[-1])
+        return self
+
+    def _recover_tail(self, seg: dict) -> None:
+        """Re-adopt the still-open tail segment after a reopen."""
+        path = self.dir / seg["file"]
+        if not path.exists():
+            raise LogError(f"log segment missing: {path}")
+        raw = path.read_bytes()
+        end = raw.rfind(b"\n") + 1
+        if end != len(raw):          # torn trailing write: drop it
+            with open(path, "r+b") as fh:
+                fh.truncate(end)
+            raw = raw[:end]
+        records = [json.loads(line) for line in raw.splitlines() if line]
+        if len(records) < seg["records"]:
+            raise LogError(
+                f"log segment {seg['file']} holds {len(records)} records, "
+                f"manifest says {seg['records']}"
+            )
+        # Lines past the manifest count were synced to the file but not
+        # yet to the manifest; adopt them.
+        seg["records"] = len(records)
+        if records:
+            seg["t0"] = min(r.get("t_s", 0.0) for r in records)
+            seg["t1"] = max(r.get("t_s", 0.0) for r in records)
+            seg["seq0"] = records[0].get("seq", 0)
+            seg["seq1"] = records[-1].get("seq", 0)
+
+    def close(self) -> None:
+        self.sync()
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- appending ----------------------------------------------------
+
+    def _start_segment(self) -> dict:
+        name = f"seg-{self.next_file_id:06d}.jsonl"
+        self.next_file_id += 1
+        seg = {"file": name, "records": 0,
+               "t0": None, "t1": None, "seq0": None, "seq1": None}
+        self.segments.append(seg)
+        if self._fh is not None:
+            self._fh.close()
+        self._fh = open(self.dir / name, "ab")
+        return seg
+
+    def append(self, record: dict) -> None:
+        """Append one record to the active segment, rotating when full."""
+        if self.segments and self.segments[-1]["records"] < self.segment_records:
+            seg = self.segments[-1]
+            if self._fh is None:     # reopened store: resume in append mode
+                self._fh = open(self.dir / seg["file"], "ab")
+        else:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+            seg = self._start_segment()
+        self._fh.write(_render_line(record).encode() + b"\n")
+        t = float(record.get("t_s", 0.0))
+        seg["records"] += 1
+        seg["t0"] = t if seg["t0"] is None else min(seg["t0"], t)
+        seg["t1"] = t if seg["t1"] is None else max(seg["t1"], t)
+        if seg["seq0"] is None:
+            seg["seq0"] = record.get("seq", 0)
+        seg["seq1"] = record.get("seq", 0)
+        self._dirty = True
+
+    def sync(self) -> None:
+        """Flush the active segment and atomically rewrite the manifest."""
+        if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+        doc = {
+            "format": _FORMAT,
+            "segment_records": self.segment_records,
+            "next_file_id": self.next_file_id,
+            "segments": self.segments,
+            "records_total": self.records_resident(),
+            "gc_dropped_segments": self.gc_dropped_segments,
+            "gc_dropped_records": self.gc_dropped_records,
+            "meta": self.meta,
+        }
+        tmp = self.dir / (MANIFEST_NAME + ".tmp")
+        tmp.write_text(json.dumps(doc, sort_keys=True, indent=2) + "\n")
+        tmp.replace(self.dir / MANIFEST_NAME)
+        self._dirty = False
+
+    # -- retention ----------------------------------------------------
+
+    def gc(self, keep_s: float) -> dict:
+        """Drop whole closed segments older than ``frontier - keep_s``.
+
+        The still-open tail segment is never dropped.  Empty segments
+        (zero records — possible only after a crash between rotation
+        and the first append) are always collected.
+        """
+        if keep_s < 0:
+            raise LogError("keep_s must be >= 0")
+        span = self.time_span()
+        cutoff = None if span is None else span[1] - keep_s
+        kept: list = []
+        dropped_segments = dropped_records = 0
+        for i, seg in enumerate(self.segments):
+            is_tail = i == len(self.segments) - 1
+            empty = seg["records"] == 0
+            expired = (cutoff is not None and seg["t1"] is not None
+                       and seg["t1"] < cutoff)
+            if (empty or expired) and not is_tail:
+                (self.dir / seg["file"]).unlink(missing_ok=True)
+                dropped_segments += 1
+                dropped_records += seg["records"]
+            else:
+                kept.append(seg)
+        self.segments = kept
+        self.gc_dropped_segments += dropped_segments
+        self.gc_dropped_records += dropped_records
+        if dropped_segments:
+            self.sync()
+        return {"dropped_segments": dropped_segments,
+                "dropped_records": dropped_records}
+
+    # -- reading ------------------------------------------------------
+
+    def iter_records(self, t0: Optional[float] = None,
+                     t1: Optional[float] = None) -> Iterator[dict]:
+        """Yield records in append order from segments overlapping [t0, t1]."""
+        if self._fh is not None:
+            self._fh.flush()
+        for seg in self.segments:
+            if seg["records"] == 0:
+                continue
+            if t0 is not None and seg["t1"] is not None and seg["t1"] < t0:
+                continue
+            if t1 is not None and seg["t0"] is not None and seg["t0"] > t1:
+                continue
+            path = self.dir / seg["file"]
+            with open(path, "rb") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    rec = json.loads(line)
+                    t = rec.get("t_s", 0.0)
+                    if t0 is not None and t < t0:
+                        continue
+                    if t1 is not None and t > t1:
+                        continue
+                    yield rec
+
+    # -- accounting ---------------------------------------------------
+
+    def records_resident(self) -> int:
+        return sum(seg["records"] for seg in self.segments)
+
+    def segment_count(self) -> int:
+        return len(self.segments)
+
+    def total_bytes(self) -> int:
+        total = 0
+        for seg in self.segments:
+            path = self.dir / seg["file"]
+            if path.exists():
+                total += path.stat().st_size
+        return total
+
+    def time_span(self):
+        """(oldest t0, newest t1) across resident records, or ``None``."""
+        lo = hi = None
+        for seg in self.segments:
+            if seg["t0"] is None:
+                continue
+            lo = seg["t0"] if lo is None else min(lo, seg["t0"])
+            hi = seg["t1"] if hi is None else max(hi, seg["t1"])
+        return None if lo is None else (lo, hi)
+
+    def summary(self) -> dict:
+        span = self.time_span()
+        return {
+            "dir": str(self.dir),
+            "segments": self.segment_count(),
+            "records": self.records_resident(),
+            "bytes": self.total_bytes(),
+            "span_s": None if span is None else [span[0], span[1]],
+            "gc_dropped_segments": self.gc_dropped_segments,
+            "gc_dropped_records": self.gc_dropped_records,
+        }
+
+    def metric_values(self) -> dict:
+        return {
+            "log_store_segments": float(self.segment_count()),
+            "log_store_records": float(self.records_resident()),
+            "log_store_bytes": float(self.total_bytes()),
+        }
+
+    def check(self) -> list:
+        """Validate manifest/segment consistency; list of problem strings."""
+        problems = []
+        prev_seq = None
+        for seg in self.segments:
+            path = self.dir / seg["file"]
+            if not path.exists():
+                problems.append(f"missing segment file {seg['file']}")
+                continue
+            records = [json.loads(line) for line in path.read_bytes().splitlines()
+                       if line.strip()]
+            if len(records) != seg["records"]:
+                problems.append(
+                    f"{seg['file']}: {len(records)} records on disk, "
+                    f"manifest says {seg['records']}"
+                )
+                continue
+            for rec in records:
+                seq = rec.get("seq")
+                if prev_seq is not None and seq is not None and seq <= prev_seq:
+                    problems.append(
+                        f"{seg['file']}: seq {seq} not increasing "
+                        f"(previous {prev_seq})"
+                    )
+                if seq is not None:
+                    prev_seq = seq
+            if records:
+                t_lo = min(r.get("t_s", 0.0) for r in records)
+                t_hi = max(r.get("t_s", 0.0) for r in records)
+                if seg["t0"] is not None and abs(t_lo - seg["t0"]) > 1e-9:
+                    problems.append(f"{seg['file']}: t0 mismatch")
+                if seg["t1"] is not None and abs(t_hi - seg["t1"]) > 1e-9:
+                    problems.append(f"{seg['file']}: t1 mismatch")
+        return problems

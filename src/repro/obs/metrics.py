@@ -69,6 +69,19 @@ def _render_labels(key: LabelsKey) -> str:
     return "{" + inner + "}"
 
 
+def _render_exemplar(exemplar: Optional[dict]) -> str:
+    """OpenMetrics exemplar suffix, or ``""`` when there is none."""
+    if not exemplar:
+        return ""
+    labels = _render_labels(
+        tuple(sorted((k, str(v)) for k, v in exemplar["labels"].items()))
+    ) or "{}"
+    out = f" # {labels} {exemplar['value']:g}"
+    if exemplar.get("ts") is not None:
+        out += f" {exemplar['ts']:g}"
+    return out
+
+
 class Counter:
     """Monotonically increasing value (events, samples, bytes)."""
 
@@ -109,7 +122,7 @@ class Histogram:
     matter how many observations arrive.
     """
 
-    __slots__ = ("buckets", "bucket_counts", "count", "sum")
+    __slots__ = ("buckets", "bucket_counts", "count", "sum", "exemplars")
 
     def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -123,16 +136,33 @@ class Histogram:
         self.bucket_counts = [0] * (len(bounds) + 1)   # last = +Inf
         self.count = 0
         self.sum = 0.0
+        #: OpenMetrics exemplars: bucket index -> {"labels", "value",
+        #: "ts"}.  Slowest-wins per bucket, so the serve-latency buckets
+        #: carry the trace id of the worst request they absorbed.
+        #: Process-local: exemplars are exposition decoration, not
+        #: counters, so they are not shipped through ``state()``/
+        #: ``merge_state`` (worker exemplars stay with the worker).
+        self.exemplars: Dict[int, dict] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, *, exemplar: Optional[dict] = None,
+                exemplar_ts: Optional[float] = None) -> None:
         value = float(value)
         self.count += 1
         self.sum += value
+        idx = len(self.buckets)                        # +Inf by default
         for i, bound in enumerate(self.buckets):
             if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+                idx = i
+                break
+        self.bucket_counts[idx] += 1
+        if exemplar:
+            have = self.exemplars.get(idx)
+            if have is None or value >= have["value"]:
+                self.exemplars[idx] = {
+                    "labels": dict(exemplar),
+                    "value": value,
+                    "ts": exemplar_ts,
+                }
 
 
 class MetricsRegistry:
@@ -224,8 +254,16 @@ class MetricsRegistry:
             }
         return out
 
-    def to_prometheus(self) -> str:
-        """Prometheus text exposition format (version 0.0.4)."""
+    def to_prometheus(self, *, exemplars: bool = False) -> str:
+        """Prometheus text exposition format (version 0.0.4).
+
+        With ``exemplars=True``, histogram bucket lines that captured an
+        exemplar carry the OpenMetrics suffix
+        ``# {trace_id="..."} value timestamp`` (timestamp omitted when
+        the exemplar has none).  Exemplar labels are rendered sorted,
+        so the opt-in output is as byte-stable as the default form, and
+        both round-trip through :func:`parse_prometheus_text`.
+        """
         lines = []
         for name, fam in sorted(self._families.items()):
             if fam["help"]:
@@ -239,18 +277,26 @@ class MetricsRegistry:
                     # keys in sorted order — the same canonical form
                     # ``_labels_key`` gives series keys.  Byte-stable
                     # output for any label insertion order.
-                    for bound, n in zip(
+                    for i, (bound, n) in enumerate(zip(
                         fam["buckets"], metric.bucket_counts
-                    ):
+                    )):
                         cumulative += n
                         le = _render_labels(tuple(sorted(
                             key + (("le", f"{bound:g}"),)
                         )))
-                        lines.append(f"{name}_bucket{le} {cumulative}")
+                        line = f"{name}_bucket{le} {cumulative}"
+                        if exemplars:
+                            line += _render_exemplar(metric.exemplars.get(i))
+                        lines.append(line)
                     le = _render_labels(tuple(sorted(
                         key + (("le", "+Inf"),)
                     )))
-                    lines.append(f"{name}_bucket{le} {metric.count}")
+                    line = f"{name}_bucket{le} {metric.count}"
+                    if exemplars:
+                        line += _render_exemplar(
+                            metric.exemplars.get(len(fam["buckets"]))
+                        )
+                    lines.append(line)
                     lbl = _render_labels(key)
                     lines.append(f"{name}_sum{lbl} {metric.sum:g}")
                     lines.append(f"{name}_count{lbl} {metric.count}")
@@ -342,6 +388,19 @@ class MetricsRegistry:
 _SAMPLE_RE = re.compile(
     r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{.*\})?\s+(\S+)$"
 )
+#: OpenMetrics exemplar tail: `` # {labels} value [timestamp]``.  The
+#: label block is brace-free inside (exemplar labels are plain ids),
+#: so anchoring at end-of-line never eats a sample's own label block.
+_EXEMPLAR_TAIL_RE = re.compile(
+    r"\s+#\s+\{[^{}]*\}\s+\S+(?:\s+\S+)?\s*$"
+)
+
+
+def _strip_exemplar(line: str) -> str:
+    """Drop an OpenMetrics exemplar suffix so sample parsing sees
+    ``name{labels} value`` exactly as the non-exemplar form renders it —
+    that is what makes exemplar output round-trip through the parsers."""
+    return _EXEMPLAR_TAIL_RE.sub("", line)
 #: One ``key="value"`` pair inside a label block (escapes included).
 _LABEL_PAIR_RE = re.compile(
     r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
@@ -363,7 +422,7 @@ def parse_prometheus_text(text: str) -> Dict[str, float]:
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        parts = line.rsplit(None, 1)
+        parts = _strip_exemplar(line).rsplit(None, 1)
         if len(parts) != 2:
             continue
         key, raw = parts
@@ -390,7 +449,7 @@ def parse_prometheus_series(
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        match = _SAMPLE_RE.match(line)
+        match = _SAMPLE_RE.match(_strip_exemplar(line))
         if match is None:
             continue
         name, label_block, raw = match.groups()

@@ -141,6 +141,16 @@ class Tracer:
         self._seq += 1
         return f"{self.pid:x}-{self._epoch:x}-{self._seq:x}"
 
+    @property
+    def trace_id(self) -> str:
+        """Identity shared by every span this tracer mints.
+
+        Span ids are ``{pid}-{epoch}-{seq}``; the ``{pid}-{epoch}``
+        prefix names the tracer instance itself, so it doubles as the
+        trace id the event log stamps on records for span correlation.
+        """
+        return f"{self.pid:x}-{self._epoch:x}"
+
     def span(self, name: str, **attrs) -> Span:
         return Span(self, name, attrs)
 

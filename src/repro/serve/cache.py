@@ -30,7 +30,8 @@ import threading
 import time
 from typing import Dict, Optional, Tuple
 
-from ..errors import HistoryError
+from ..errors import HistoryError, LogError
+from ..obs.log.query import select as select_logs
 from ..stream.engine import StreamSnapshot
 from .analytics import JobStats
 from .jobs import JobStateIndex
@@ -74,6 +75,7 @@ class ServeView:
         published_wall_s: Optional[float] = None,
         incidents: Optional[dict] = None,
         history=None,
+        logs=None,
     ) -> None:
         self.version = version
         self.policy = dict(policy)
@@ -92,6 +94,11 @@ class ServeView:
         #: answers stay byte-stable however far ingest advances after
         #: this view was published.  ``None`` without a history store.
         self.history = history
+        #: Frozen event-log read handle
+        #: (:class:`~repro.obs.log.events.LogView`): the ring snapshot
+        #: at publish time, so ``/v1/logs`` answers stay byte-stable
+        #: while the live log keeps emitting.  ``None`` without a log.
+        self.logs = logs
         self.published_wall_s = (
             published_wall_s if published_wall_s is not None else time.time()
         )
@@ -157,6 +164,10 @@ class ServeView:
                 return 200, self._incidents_doc()
             if len(parts) == 2:
                 return self._incident_doc(parts[1])
+        if parts[0] == "logs" and len(parts) == 1:
+            if self.logs is None:
+                return 404, {"error": "logging disabled (no event log)"}
+            return self._logs_doc(route)
         if parts[0] in ("series", "query") and len(parts) == 1:
             if self.history is None:
                 return 404, {
@@ -339,6 +350,51 @@ class ServeView:
             return 400, {"error": str(exc)}
         doc = self._head()
         doc["query"] = result.to_dict()
+        return 200, doc
+
+    def _logs_doc(self, route: str) -> Tuple[int, dict]:
+        """Answer ``/v1/logs`` from the frozen log view.
+
+        Filters ride :func:`repro.obs.log.query.select`, a pure
+        function of the frozen record tuple, so rendered bodies are
+        cacheable like every other route.  ``limit`` keeps the newest
+        matches and defaults to 200.
+        """
+        params: Dict[str, str] = {}
+        if "?" in route:
+            for part in route.split("?", 1)[1].split("&"):
+                if "=" in part:
+                    key, _, value = part.partition("=")
+                    params[key] = value
+        try:
+            t0 = float(params["t0"]) if "t0" in params else None
+            t1 = float(params["t1"]) if "t1" in params else None
+            window = (
+                int(params["window"]) if "window" in params else None
+            )
+            limit = max(0, int(params.get("limit", 200)))
+        except ValueError as exc:
+            return 400, {"error": f"bad logs parameter: {exc}"}
+        try:
+            records = select_logs(
+                self.logs.records,
+                t0=t0, t1=t1,
+                min_severity=params.get("severity"),
+                event=params.get("event"),
+                window=window, limit=limit,
+            )
+        except LogError as exc:
+            return 400, {"error": str(exc)}
+        doc = self._head()
+        doc["summary"] = {
+            "emitted": self.logs.emitted,
+            "suppressed": self.logs.suppressed,
+            "sampled_out": self.logs.sampled_out,
+            "evicted": self.logs.evicted,
+            "resident": len(self.logs.records),
+        }
+        doc["count"] = len(records)
+        doc["logs"] = records
         return 200, doc
 
     def _job_savings_doc(self, job_id: int) -> dict:

@@ -15,6 +15,8 @@ behavior) with the serving endpoints:
 ``GET /v1/incidents/{id}``            one incident + its recorder slice
 ``GET /v1/series``                    history schema, span, levels, SLOs
 ``GET /v1/query``                     history range query (``?series=...``)
+``GET /v1/logs``                      structured event log (``?severity=``
+                                      ``&event=&t0=&t1=&window=&limit=``)
 ``GET /v1/policy``                    active objective + available plug-ins
 ``POST /v1/policy``                   switch objective / slowdown budget
 ``POST /v1/admin/shutdown``           graceful stop (CLI serve loop exits)
@@ -40,6 +42,7 @@ from http.server import ThreadingHTTPServer
 from ..errors import ServeError
 from ..obs.history.query import QUERY_AGGS
 from ..obs.httpd import HttpService, JsonRequestHandler
+from ..obs.log.events import SEVERITIES
 
 #: Sub-millisecond-resolving latency buckets (seconds) for the
 #: serve_request_seconds histogram; the SLO gate is p99 < 5 ms.
@@ -53,12 +56,16 @@ _INDEX_TEXT = (
     "endpoints: /v1/fleet/cap /v1/fleet/savings /v1/jobs "
     "/v1/jobs/{id} /v1/jobs/{id}/cap /v1/jobs/{id}/savings "
     "/v1/incidents /v1/incidents/{id} "
-    "/v1/series /v1/query "
+    "/v1/series /v1/query /v1/logs "
     "/v1/policy (GET/POST) /v1/admin/shutdown (POST) "
     "/metrics /health /alerts\n"
 )
 
 _SERIES_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]{0,79}$")
+
+#: Event names are dotted identifiers (``serve.decide_cap``); a
+#: trailing dot is a valid prefix filter (``serve.``).
+_EVENT_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.]{0,79}$")
 
 
 def _jobs_route_key(query: str) -> str:
@@ -111,6 +118,50 @@ def _query_route_key(query: str) -> str:
     return "query?" + "&".join(pieces)
 
 
+def _logs_route_key(query: str) -> str:
+    """Canonical cache key for ``/v1/logs``.
+
+    Same normalization contract as :func:`_query_route_key`: floats via
+    ``repr(float(...))``, severities/event names validated against
+    closed sets or bounded patterns, unknown keys dropped, invalid
+    values mapped to sentinel keys the view answers deterministically.
+    """
+    params = {}
+    for part in query.split("&"):
+        if "=" in part:
+            key, _, value = part.partition("=")
+            params[key] = value
+    pieces = []
+    for key in ("t0", "t1"):
+        if key in params:
+            try:
+                pieces.append(f"{key}={float(params[key])!r}")
+            except ValueError:
+                pieces.append(f"{key}=bad")
+    if "severity" in params:
+        severity = params["severity"]
+        pieces.append(
+            f"severity={severity if severity in SEVERITIES else 'bad'}"
+        )
+    if "event" in params:
+        event = params["event"]
+        if not _EVENT_NAME_RE.match(event.rstrip(".")) or ".." in event:
+            event = "bad"
+        pieces.append(f"event={event}")
+    if "window" in params:
+        try:
+            pieces.append(f"window={int(params['window'])}")
+        except ValueError:
+            pieces.append("window=bad")
+    if "limit" in params:
+        try:
+            limit = int(params["limit"])
+        except ValueError:
+            limit = 200
+        pieces.append(f"limit={max(0, min(limit, 100_000))}")
+    return "logs?" + "&".join(pieces) if pieces else "logs"
+
+
 class _Handler(JsonRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._handle("GET")
@@ -146,8 +197,12 @@ class _Handler(JsonRequestHandler):
         registry = plane.registry
         monitor = plane.monitor
         if path == "/metrics" and method == "GET":
+            # With an event log attached, latency buckets carry
+            # OpenMetrics exemplars (trace id of the slowest request).
             with plane.metrics_lock:
-                body = registry.to_prometheus()
+                body = registry.to_prometheus(
+                    exemplars=plane.event_log is not None
+                )
             self._send(200, "text/plain; version=0.0.4", body)
             return path, 200
         if path == "/health" and method == "GET":
@@ -212,6 +267,8 @@ class _Handler(JsonRequestHandler):
             key, endpoint = "series", "/v1/series"
         elif parts[0] == "query" and len(parts) == 1:
             key, endpoint = _query_route_key(query), "/v1/query"
+        elif parts[0] == "logs" and len(parts) == 1:
+            key, endpoint = _logs_route_key(query), "/v1/logs"
         else:
             self._send_json(404, {"error": f"no endpoint {path}"})
             return path, 404

@@ -105,6 +105,7 @@ class ControlPlane:
         registry: Optional[MetricsRegistry] = None,
         forensics=True,
         history=None,
+        event_log=None,
     ) -> None:
         self.log = log
         self.factors = (
@@ -168,6 +169,19 @@ class ControlPlane:
                 self.registry, lock=self.metrics_lock
             )
             self.engine.attach_history(self.history)
+        # The structured event log attaches last on the same hook, so a
+        # window-seal record sees state every earlier fold has already
+        # advanced; serving-side events (decide_cap, publish, policy,
+        # shutdown) are emitted by the methods below.
+        self.event_log = event_log if event_log else None
+        if self.event_log is not None:
+            self.event_log.set_decision_feed(self._decision_feed)
+            self.engine.attach_log(self.event_log)
+            if monitor is not None:
+                monitor.alerts.add_listener(self.event_log.alert_transition)
+            if self.forensics is not None:
+                self.forensics.set_event_log(self.event_log)
+        self._req_seq = 0
         self._refresh_lock = threading.Lock()
         self._policy_lock = threading.Lock()
         self.stop_event = threading.Event()
@@ -244,6 +258,11 @@ class ControlPlane:
                     if self.history is not None
                     else None
                 )
+                logs_view = (
+                    self.event_log.reader_view()
+                    if self.event_log is not None
+                    else None
+                )
                 view = self.cache.publish(
                     lambda version: ServeView(
                         version=version,
@@ -256,8 +275,29 @@ class ControlPlane:
                         policy_version=policy_version,
                         incidents=incidents,
                         history=history_view,
+                        logs=logs_view,
                     )
                 )
+                if self.event_log is not None:
+                    frontier = _frontier_s(snap.stats)
+                    t_s = frontier if frontier is not None else 0.0
+                    self.event_log.emit(
+                        "info", "serve.decide_cap",
+                        (f"cap {decision.cap:g} W" if decision.capped
+                         else "uncapped"),
+                        t_s=t_s, cap_version=view.version,
+                        objective=policy["objective"],
+                        cap_w=(float(decision.cap)
+                               if decision.capped else None),
+                        savings_pct=float(decision.savings_pct),
+                    )
+                    self.event_log.emit(
+                        "info", "serve.publish",
+                        f"published view v{view.version}",
+                        t_s=t_s, cap_version=view.version,
+                        policy_version=policy_version,
+                        windows=int(snap.stats.windows_folded),
+                    )
             with self.metrics_lock:
                 self.engine.export_metrics(self.registry)
             return view
@@ -284,6 +324,16 @@ class ControlPlane:
                     raise ServeError("slowdown budget must be >= 0")
                 self.policy.max_slowdown_pct = budget
             self.policy.version += 1
+            if self.event_log is not None:
+                self.event_log.emit(
+                    "info", "serve.policy",
+                    f"policy v{self.policy.version}: "
+                    f"{self.policy.objective} within "
+                    f"{self.policy.max_slowdown_pct:g}% slowdown",
+                    policy_version=self.policy.version,
+                    objective=self.policy.objective,
+                    max_slowdown_pct=self.policy.max_slowdown_pct,
+                )
         return self.refresh()
 
     # -- serving ------------------------------------------------------------------
@@ -302,6 +352,10 @@ class ControlPlane:
 
     def request_stop(self) -> None:
         """Ask the serve/ingest loops to wind down (graceful shutdown)."""
+        if self.event_log is not None and not self.stop_event.is_set():
+            self.event_log.emit(
+                "info", "serve.shutdown", "graceful stop requested"
+            )
         self.stop_event.set()
 
     def wait_until_stopped(self, *, poll_s: float = 0.1) -> None:
@@ -370,7 +424,35 @@ class ControlPlane:
     def observe_request(
         self, endpoint: str, status: int, elapsed_s: float, view
     ) -> None:
-        """Meter one HTTP request into the shared registry."""
+        """Meter one HTTP request into the shared registry.
+
+        With an event log attached, the latency observation carries an
+        OpenMetrics exemplar — the trace id of the request (the active
+        obs trace when tracing is on, else a per-plane request
+        sequence) — so the slowest request in each histogram bucket
+        stays findable from a ``to_prometheus(exemplars=True)`` render.
+        A rate-limited ``serve.request`` debug record rides along.
+        """
+        exemplar = None
+        if self.event_log is not None:
+            st = _obs._STATE
+            with self.metrics_lock:
+                self._req_seq += 1
+                trace_id = (
+                    st.tracer.trace_id if st is not None
+                    else f"req-{self._req_seq:x}"
+                )
+            exemplar = {"trace_id": trace_id}
+            frontier = (
+                _frontier_s(view.snap.stats) if view is not None else None
+            )
+            self.event_log.emit(
+                "debug", "serve.request", f"{endpoint} {status}",
+                t_s=frontier if frontier is not None else 0.0,
+                trace_id=trace_id,
+                endpoint=endpoint, status=int(status),
+                elapsed_s=float(elapsed_s),
+            )
         with self.metrics_lock:
             self.registry.counter(
                 "serve_requests_total",
@@ -382,7 +464,7 @@ class ControlPlane:
                 "control-plane request latency",
                 buckets=SERVE_LATENCY_BUCKETS,
                 endpoint=endpoint,
-            ).observe(elapsed_s)
+            ).observe(elapsed_s, exemplar=exemplar)
             if view is not None:
                 self.registry.gauge(
                     "serve_cache_age_s",

@@ -178,6 +178,9 @@ class StreamEngine:
         #: Optional :class:`repro.obs.history.History` facade,
         #: attached via :meth:`attach_history`.
         self.history = None
+        #: Optional :class:`repro.obs.log.EventLog`,
+        #: attached via :meth:`attach_log`.
+        self.eventlog = None
         self._window_observers: List = []
         self._metric_sources: List = []
 
@@ -239,6 +242,24 @@ class StreamEngine:
         self.add_metric_source(history.metric_values)
         return self
 
+    def attach_log(self, eventlog) -> "StreamEngine":
+        """Attach a structured event log (:mod:`repro.obs.log`).
+
+        The log rides the window-observer hook — one ``stream.window_seal``
+        record per sealed window (stamped with the window index and the
+        published cap version when a decision feed is wired), plus
+        rate-limited ``stream.late_drop``/``stream.duplicates`` spike
+        records — and its ``log_*`` gauges ride the metric-source hook.
+        Like every other facade, the log only *reads* engine state, so
+        attaching one leaves the cube and every served byte bitwise
+        unchanged (asserted in ``tests/obs/test_log.py``).
+        """
+        eventlog.bind_engine(self)
+        self.eventlog = eventlog
+        self.add_window_observer(eventlog.observe_window)
+        self.add_metric_source(eventlog.metric_values)
+        return self
+
     def attach_health(self, monitor) -> "StreamEngine":
         """Attach a health monitor; evaluated per drained window.
 
@@ -288,6 +309,8 @@ class StreamEngine:
             self.forensics.finalize()
         if self.history is not None:
             self.history.finalize()
+        if self.eventlog is not None:
+            self.eventlog.finalize()
         st = _obs.state()
         if st is not None:
             self.export_metrics(st.registry)

@@ -325,6 +325,13 @@ def _shard_task(
             seed=seed,
         )
     start = len(states)
+    if start:
+        _obs.log_event(
+            "info", "shard.checkpoint_resume",
+            f"resumed {start}/{len(units)} fold units from checkpoint",
+            t_s=float(counters[-1][-1]) if counters else 0.0,
+            unit=start - 1, units_done=start,
+        )
     dirty = 0
     for j in range(start, len(units)):
         if max_units is not None and j >= max_units:
@@ -348,6 +355,12 @@ def _shard_task(
                 states=states,
                 counters=counters,
             )
+            _obs.log_event(
+                "info", "shard.checkpoint_write",
+                f"checkpointed {len(states)}/{len(units)} fold units",
+                t_s=float(counters[-1][-1]) if counters else 0.0,
+                unit=j, node=int(lo), units_done=len(states),
+            )
             dirty = 0
     if checkpoint_path and dirty:
         _save_shard_checkpoint(
@@ -358,6 +371,12 @@ def _shard_task(
             seed=seed,
             states=states,
             counters=counters,
+        )
+        _obs.log_event(
+            "info", "shard.checkpoint_write",
+            f"checkpointed {len(states)}/{len(units)} fold units",
+            t_s=float(counters[-1][-1]) if counters else 0.0,
+            unit=len(states) - 1, units_done=len(states),
         )
     return states, counters
 
